@@ -1,0 +1,77 @@
+//! Criterion benchmarks for the detection layer: the real-time audit
+//! path (the paper requires a verdict "within at most few seconds" —
+//! ours is microseconds) and threshold recomputation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ew_core::{Detector, DetectorConfig, GlobalView, ThresholdPolicy, UserCounters};
+
+/// A realistic weekly client state: ~250 distinct ads, a few chased.
+fn loaded_counters() -> UserCounters {
+    let mut c = UserCounters::new();
+    let mut x = 0x1234_5678u64;
+    for ad in 0..250u64 {
+        let domains = if ad % 25 == 0 { 7 } else { 1 + (ad % 2) };
+        for _ in 0..domains {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            c.observe(ad, (x >> 33) % 500);
+        }
+    }
+    c
+}
+
+fn global_view() -> GlobalView {
+    GlobalView::from_estimates(
+        (0..250u64).map(|ad| (ad, if ad % 25 == 0 { 2.0 } else { 8.0 })),
+        ThresholdPolicy::Mean,
+    )
+}
+
+fn bench_single_audit(c: &mut Criterion) {
+    let counters = loaded_counters();
+    let view = global_view();
+    let detector = Detector::new(DetectorConfig::default());
+    c.bench_function("audit_one_ad", |b| {
+        b.iter(|| black_box(detector.classify(&counters, black_box(25), &view)))
+    });
+}
+
+fn bench_audit_all(c: &mut Criterion) {
+    let counters = loaded_counters();
+    let view = global_view();
+    let detector = Detector::new(DetectorConfig::default());
+    c.bench_function("audit_all_250_ads", |b| {
+        b.iter(|| black_box(detector.classify_all(&counters, &view)))
+    });
+}
+
+fn bench_threshold_recompute(c: &mut Criterion) {
+    let counters = loaded_counters();
+    c.bench_function("domains_threshold_mean", |b| {
+        b.iter(|| black_box(counters.domains_threshold(ThresholdPolicy::Mean)))
+    });
+    c.bench_function("domains_threshold_mean_median", |b| {
+        b.iter(|| black_box(counters.domains_threshold(ThresholdPolicy::MeanPlusMedian)))
+    });
+}
+
+fn bench_global_view_build(c: &mut Criterion) {
+    // Building the Users_th view over 10k positive ads.
+    let estimates: Vec<(u64, f64)> = (0..10_000u64).map(|ad| (ad, (ad % 17) as f64)).collect();
+    c.bench_function("global_view_10k_ads", |b| {
+        b.iter(|| {
+            black_box(GlobalView::from_estimates(
+                estimates.iter().copied(),
+                ThresholdPolicy::Mean,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_audit,
+    bench_audit_all,
+    bench_threshold_recompute,
+    bench_global_view_build
+);
+criterion_main!(benches);

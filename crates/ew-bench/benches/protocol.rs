@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the wire layer: encoding/decoding the weekly
+//! report (the largest message, 185 KB of cells), framing + CRC
+//! throughput, and a full client→server transport round trip.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ew_proto::framing::{encode_frame, FrameDecoder};
+use ew_proto::{channel_pair, Message};
+
+fn report_message() -> Message {
+    Message::Report {
+        user: 42,
+        round: 7,
+        depth: 17,
+        width: 2719,
+        seed: 0xE71D,
+        cells: (0..17 * 2719u32).collect(),
+    }
+}
+
+fn bench_encode_report(c: &mut Criterion) {
+    let msg = report_message();
+    let size = msg.encode().len() as u64;
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(size));
+    group.bench_function("encode_report_185KB", |b| {
+        b.iter(|| black_box(msg.encode()))
+    });
+    let encoded = msg.encode();
+    group.bench_function("decode_report_185KB", |b| {
+        b.iter(|| black_box(Message::decode(black_box(&encoded)).expect("valid")))
+    });
+    group.finish();
+}
+
+fn bench_framing(c: &mut Criterion) {
+    let payload = report_message().encode();
+    let mut group = c.benchmark_group("framing");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("frame_and_crc_185KB", |b| {
+        b.iter(|| black_box(encode_frame(black_box(&payload))))
+    });
+    let frame = encode_frame(&payload);
+    group.bench_function("deframe_and_verify_185KB", |b| {
+        b.iter(|| {
+            let mut dec = FrameDecoder::new();
+            dec.extend(black_box(&frame));
+            black_box(dec.next_frame().expect("clean").expect("complete"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_transport_roundtrip(c: &mut Criterion) {
+    let msg = report_message();
+    c.bench_function("transport_roundtrip_185KB", |b| {
+        b.iter(|| {
+            let (mut tx, mut rx) = channel_pair(None);
+            tx.send(&msg);
+            black_box(rx.try_recv().expect("no error").expect("delivered"))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_encode_report,
+    bench_framing,
+    bench_transport_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks for the sketch layer: update/query
+//! throughput at paper-scale dimensions (185 KB sketch), report
+//! aggregation, and the spectral-bloom comparison point.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ew_sketch::{BlindedSketch, CmsParams, CountMinSketch, SketchAccumulator, SpectralBloomFilter};
+
+fn paper_params() -> CmsParams {
+    // epsilon = delta = 0.001, T = 10k -> 17 x 2719 (the 185 KB sketch).
+    CmsParams::from_error_bounds(0.001, 0.001, 10_000, 7)
+}
+
+fn bench_cms_update(c: &mut Criterion) {
+    let mut cms = CountMinSketch::new(paper_params());
+    let mut i = 0u64;
+    c.bench_function("cms_update_185KB", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            cms.update(black_box(i));
+        })
+    });
+}
+
+fn bench_cms_query(c: &mut Criterion) {
+    let mut cms = CountMinSketch::new(paper_params());
+    for i in 0..10_000u64 {
+        cms.update(i);
+    }
+    let mut i = 0u64;
+    c.bench_function("cms_query_185KB", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(cms.query(black_box(i % 20_000)));
+        })
+    });
+}
+
+fn bench_report_aggregation(c: &mut Criterion) {
+    // Cost of folding one blinded client report into the accumulator —
+    // the backend's per-client work in a round.
+    let params = paper_params();
+    let mut sketch = CountMinSketch::new(params);
+    for i in 0..200u64 {
+        sketch.update(i);
+    }
+    let report = BlindedSketch::from_raw(params, sketch.cells().to_vec());
+    c.bench_function("accumulator_add_185KB", |b| {
+        b.iter_batched(
+            || SketchAccumulator::new(params),
+            |mut acc| acc.add(black_box(&report)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_server_enumeration(c: &mut Criterion) {
+    // Enumerating a 160k-ID space against the aggregate (finalize path).
+    let params = paper_params();
+    let mut cms = CountMinSketch::new(params);
+    for i in 0..10_000u64 {
+        cms.update(i);
+    }
+    let mut group = c.benchmark_group("server");
+    group.sample_size(20);
+    group.bench_function("enumerate_160k_ids", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for id in 0..160_000u64 {
+                acc += cms.query(id) as u64;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_spectral_update(c: &mut Criterion) {
+    let mut filter = SpectralBloomFilter::new(17 * 2719, 4, 7);
+    let mut i = 0u64;
+    c.bench_function("spectral_update_equal_mem", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            filter.update(black_box(i));
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cms_update,
+    bench_cms_query,
+    bench_report_aggregation,
+    bench_server_enumeration,
+    bench_spectral_update
+);
+criterion_main!(benches);

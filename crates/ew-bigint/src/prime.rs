@@ -1,0 +1,238 @@
+//! Primality testing (Miller–Rabin) and random prime generation, used by
+//! the RSA-OPRF key generation in `ew-crypto`.
+
+use crate::random::{random_below, random_odd_bits};
+use crate::ubig::UBig;
+use rand::RngCore;
+
+/// Small primes used for trial division before the expensive MR rounds.
+const SMALL_PRIMES: [u64; 46] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199,
+];
+
+/// Tuning for the Miller–Rabin primality test.
+#[derive(Debug, Clone, Copy)]
+pub struct MillerRabinConfig {
+    /// Number of random bases tested. 32 gives a false-positive
+    /// probability below 4^-32 per composite, ample for a reproduction.
+    pub rounds: usize,
+}
+
+impl Default for MillerRabinConfig {
+    fn default() -> Self {
+        MillerRabinConfig { rounds: 32 }
+    }
+}
+
+/// Miller–Rabin probabilistic primality test.
+///
+/// Deterministically correct for inputs below 2^64 thanks to the fixed
+/// witness set; probabilistic (with `config.rounds` random bases) above.
+pub fn is_probable_prime<R: RngCore + ?Sized>(
+    n: &UBig,
+    rng: &mut R,
+    config: MillerRabinConfig,
+) -> bool {
+    if n < &UBig::two() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pp = UBig::from_u64(p);
+        if n == &pp {
+            return true;
+        }
+        if n.rem_ref(&pp).is_zero() {
+            return false;
+        }
+    }
+
+    // Write n-1 = d * 2^s with d odd.
+    let n_minus_1 = n.sub_ref(&UBig::one());
+    let s = trailing_zeros(&n_minus_1);
+    let d = n_minus_1.shr_bits(s);
+
+    // Fixed witnesses make the test deterministic below 2^64
+    // (Sinclair's verified set).
+    const FIXED: [u64; 7] = [2, 3, 5, 7, 11, 13, 17];
+    for &w in &FIXED {
+        let a = UBig::from_u64(w);
+        if &a >= n {
+            continue;
+        }
+        if !mr_round(n, &n_minus_1, &d, s, &a) {
+            return false;
+        }
+    }
+    if n.bit_len() <= 64 {
+        return true;
+    }
+
+    let two = UBig::two();
+    let upper = n.sub_ref(&two); // bases in [2, n-2]
+    for _ in 0..config.rounds {
+        let a = random_below(rng, &upper.sub_ref(&two)).add_ref(&two);
+        if !mr_round(n, &n_minus_1, &d, s, &a) {
+            return false;
+        }
+    }
+    true
+}
+
+/// One Miller–Rabin round with base `a`. Returns `true` if `n` passes.
+fn mr_round(n: &UBig, n_minus_1: &UBig, d: &UBig, s: usize, a: &UBig) -> bool {
+    let mut x = a.modpow(d, n);
+    if x.is_one() || &x == n_minus_1 {
+        return true;
+    }
+    for _ in 1..s {
+        x = x.mulmod(&x, n);
+        if &x == n_minus_1 {
+            return true;
+        }
+        if x.is_one() {
+            // Non-trivial square root of 1 => composite.
+            return false;
+        }
+    }
+    false
+}
+
+fn trailing_zeros(v: &UBig) -> usize {
+    debug_assert!(!v.is_zero());
+    let mut count = 0;
+    for i in 0.. {
+        if v.bit(i) {
+            return count;
+        }
+        count += 1;
+    }
+    unreachable!("non-zero value has a set bit")
+}
+
+/// Generates a random prime with exactly `bits` bits.
+///
+/// Candidates are random odd values with the top bit forced; each is
+/// screened by trial division and then Miller–Rabin.
+pub fn gen_prime<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> UBig {
+    assert!(bits >= 4, "prime size too small to be useful");
+    let config = MillerRabinConfig::default();
+    loop {
+        let candidate = random_odd_bits(rng, bits);
+        if is_probable_prime(&candidate, rng, config) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a safe prime `p` (i.e. `(p-1)/2` also prime) with `bits` bits.
+///
+/// Used for test-scale Diffie–Hellman groups; the RFC 3526 groups used by
+/// default in `ew-crypto` are pre-generated safe primes.
+pub fn gen_safe_prime<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> UBig {
+    assert!(bits >= 5, "safe prime size too small");
+    let config = MillerRabinConfig::default();
+    loop {
+        let q = gen_prime(rng, bits - 1);
+        let p = q.shl_bits(1).add_ref(&UBig::one());
+        if p.bit_len() == bits && is_probable_prime(&p, rng, config) {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn prime(n: u64) -> bool {
+        let mut rng = StdRng::seed_from_u64(1);
+        is_probable_prime(
+            &UBig::from_u64(n),
+            &mut rng,
+            MillerRabinConfig::default(),
+        )
+    }
+
+    #[test]
+    fn small_primes_recognized() {
+        for p in [2u64, 3, 5, 7, 199, 211, 65537, 1_000_000_007] {
+            assert!(prime(p), "{p} is prime");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        for c in [0u64, 1, 4, 9, 15, 221, 65536, 1_000_000_008] {
+            assert!(!prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Fermat pseudoprimes to many bases; MR must reject them.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!prime(c), "{c} is a Carmichael number");
+        }
+    }
+
+    #[test]
+    fn mersenne_prime_2_127_minus_1() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m127 = (&UBig::one() << 127).sub_ref(&UBig::one());
+        assert!(is_probable_prime(
+            &m127,
+            &mut rng,
+            MillerRabinConfig::default()
+        ));
+    }
+
+    #[test]
+    fn known_large_composite_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // 2^128 + 1 = 59649589127497217 * 5704689200685129054721
+        let f7 = (&UBig::one() << 128).add_ref(&UBig::one());
+        assert!(!is_probable_prime(
+            &f7,
+            &mut rng,
+            MillerRabinConfig::default()
+        ));
+    }
+
+    #[test]
+    fn generated_primes_have_requested_size() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for bits in [16usize, 32, 64, 128] {
+            let p = gen_prime(&mut rng, bits);
+            assert_eq!(p.bit_len(), bits);
+            assert!(p.is_odd());
+        }
+    }
+
+    #[test]
+    fn generated_prime_product_factors() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = gen_prime(&mut rng, 48);
+        let q = gen_prime(&mut rng, 48);
+        let n = p.mul_ref(&q);
+        assert!(n.rem_ref(&p).is_zero());
+        assert!(n.rem_ref(&q).is_zero());
+        assert!(!is_probable_prime(
+            &n,
+            &mut rng,
+            MillerRabinConfig::default()
+        ));
+    }
+
+    #[test]
+    fn safe_prime_structure() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = gen_safe_prime(&mut rng, 40);
+        assert_eq!(p.bit_len(), 40);
+        let q = p.sub_ref(&UBig::one()).shr_bits(1);
+        assert!(is_probable_prime(&q, &mut rng, MillerRabinConfig::default()));
+    }
+}

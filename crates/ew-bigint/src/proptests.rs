@@ -1,0 +1,130 @@
+//! Property-based tests for the big-integer substrate: ring axioms,
+//! division invariants, shift/serialization round-trips and modular
+//! arithmetic identities.
+
+use crate::ubig::UBig;
+use proptest::prelude::*;
+
+/// Strategy producing UBig values of up to ~256 bits from raw bytes.
+fn ubig() -> impl Strategy<Value = UBig> {
+    proptest::collection::vec(any::<u8>(), 0..32).prop_map(|bytes| UBig::from_bytes_be(&bytes))
+}
+
+/// Strategy producing non-zero UBig values.
+fn ubig_nonzero() -> impl Strategy<Value = UBig> {
+    ubig().prop_map(|v| if v.is_zero() { UBig::one() } else { v })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in ubig(), b in ubig()) {
+        prop_assert_eq!(a.add_ref(&b), b.add_ref(&a));
+    }
+
+    #[test]
+    fn add_associates(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(a.add_ref(&b).add_ref(&c), a.add_ref(&b.add_ref(&c)));
+    }
+
+    #[test]
+    fn mul_commutes(a in ubig(), b in ubig()) {
+        prop_assert_eq!(a.mul_ref(&b), b.mul_ref(&a));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(
+            a.mul_ref(&b.add_ref(&c)),
+            a.mul_ref(&b).add_ref(&a.mul_ref(&c))
+        );
+    }
+
+    #[test]
+    fn sub_undoes_add(a in ubig(), b in ubig()) {
+        prop_assert_eq!(a.add_ref(&b).sub_ref(&b), a);
+    }
+
+    #[test]
+    fn divrem_reconstructs(a in ubig(), d in ubig_nonzero()) {
+        let (q, r) = a.divrem(&d);
+        prop_assert!(r < d);
+        prop_assert_eq!(q.mul_ref(&d).add_ref(&r), a);
+    }
+
+    #[test]
+    fn div_by_self_is_one(a in ubig_nonzero()) {
+        let (q, r) = a.divrem(&a);
+        prop_assert_eq!(q, UBig::one());
+        prop_assert!(r.is_zero());
+    }
+
+    #[test]
+    fn shift_roundtrip(a in ubig(), bits in 0usize..200) {
+        prop_assert_eq!(a.shl_bits(bits).shr_bits(bits), a);
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two(a in ubig(), bits in 0usize..100) {
+        let pow = &UBig::one() << bits;
+        prop_assert_eq!(a.shl_bits(bits), a.mul_ref(&pow));
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in ubig()) {
+        prop_assert_eq!(UBig::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in ubig()) {
+        prop_assert_eq!(UBig::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in ubig()) {
+        prop_assert_eq!(UBig::from_dec(&format!("{a}")).unwrap(), a);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in ubig_nonzero(), b in ubig_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!(a.rem_ref(&g).is_zero());
+        prop_assert!(b.rem_ref(&g).is_zero());
+    }
+
+    #[test]
+    fn modpow_multiplicative(a in ubig(), b in ubig(), m in ubig_nonzero()) {
+        // (a*b)^2 == a^2 * b^2 (mod m)
+        let two = UBig::two();
+        let lhs = a.mul_ref(&b).modpow(&two, &m);
+        let rhs = a.modpow(&two, &m).mulmod(&b.modpow(&two, &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn modpow_exponent_additive(a in ubig(), m in ubig_nonzero()) {
+        // a^(3+4) == a^3 * a^4 (mod m)
+        let lhs = a.modpow(&UBig::from_u64(7), &m);
+        let rhs = a
+            .modpow(&UBig::from_u64(3), &m)
+            .mulmod(&a.modpow(&UBig::from_u64(4), &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn modinv_is_inverse(a in ubig_nonzero(), m in ubig_nonzero()) {
+        if let Some(inv) = a.modinv(&m) {
+            if !m.is_one() {
+                prop_assert_eq!(a.mulmod(&inv, &m), UBig::one());
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_consistent_with_subtraction(a in ubig(), b in ubig()) {
+        if a >= b {
+            prop_assert!(a.checked_sub(&b).is_some());
+        } else {
+            prop_assert!(a.checked_sub(&b).is_none());
+        }
+    }
+}

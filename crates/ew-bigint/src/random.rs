@@ -1,0 +1,139 @@
+//! Random [`UBig`] generation helpers, parameterized over any
+//! [`rand::RngCore`] so the whole reproduction stays seedable and
+//! deterministic end-to-end.
+
+use crate::ubig::UBig;
+use rand::RngCore;
+
+/// Uniformly random value with exactly `bits` significant bits
+/// (the top bit is forced to 1). `bits == 0` yields zero.
+pub fn random_bits<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> UBig {
+    if bits == 0 {
+        return UBig::zero();
+    }
+    let limbs_needed = bits.div_ceil(64);
+    let mut limbs = Vec::with_capacity(limbs_needed);
+    for _ in 0..limbs_needed {
+        limbs.push(rng.next_u64());
+    }
+    // Mask excess high bits then force the top bit.
+    let top_bits = bits - (limbs_needed - 1) * 64;
+    let last = limbs.last_mut().expect("bits > 0 implies >= 1 limb");
+    if top_bits < 64 {
+        *last &= (1u64 << top_bits) - 1;
+    }
+    *last |= 1u64 << (top_bits - 1);
+    let mut out = UBig { limbs };
+    out.normalize();
+    out
+}
+
+/// Random odd value with exactly `bits` significant bits (`bits >= 2`).
+pub fn random_odd_bits<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> UBig {
+    assert!(bits >= 2, "need at least 2 bits for a meaningful odd value");
+    let mut v = random_bits(rng, bits);
+    v.set_bit(0);
+    v
+}
+
+/// Uniformly random value in `[0, bound)` by rejection sampling.
+///
+/// # Panics
+/// Panics if `bound` is zero.
+pub fn random_below<R: RngCore + ?Sized>(rng: &mut R, bound: &UBig) -> UBig {
+    assert!(!bound.is_zero(), "random_below with zero bound");
+    let bits = bound.bit_len();
+    let limbs_needed = bits.div_ceil(64);
+    let top_bits = bits - (limbs_needed - 1) * 64;
+    let mask = if top_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << top_bits) - 1
+    };
+    loop {
+        let mut limbs = Vec::with_capacity(limbs_needed);
+        for _ in 0..limbs_needed {
+            limbs.push(rng.next_u64());
+        }
+        *limbs.last_mut().expect(">= 1 limb") &= mask;
+        let mut candidate = UBig { limbs };
+        candidate.normalize();
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// Random value in `[low, high)`.
+///
+/// # Panics
+/// Panics if `low >= high`.
+pub fn random_range<R: RngCore + ?Sized>(rng: &mut R, low: &UBig, high: &UBig) -> UBig {
+    assert!(low < high, "empty range");
+    let span = high.sub_ref(low);
+    low.add_ref(&random_below(rng, &span))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_has_exact_length() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for bits in [1usize, 2, 63, 64, 65, 127, 128, 1000] {
+            let v = random_bits(&mut rng, bits);
+            assert_eq!(v.bit_len(), bits, "bits={bits}");
+        }
+        assert_eq!(random_bits(&mut rng, 0), UBig::zero());
+    }
+
+    #[test]
+    fn random_odd_is_odd() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..50 {
+            assert!(random_odd_bits(&mut rng, 100).is_odd());
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let bound = UBig::from_hex("10000000000000000001").unwrap();
+        for _ in 0..200 {
+            assert!(random_below(&mut rng, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn random_below_small_bound_hits_all() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let bound = UBig::from_u64(3);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let v = random_below(&mut rng, &bound).to_u64().unwrap();
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let low = UBig::from_u64(1000);
+        let high = UBig::from_u64(1010);
+        for _ in 0..100 {
+            let v = random_range(&mut rng, &low, &high);
+            assert!(v >= low && v < high);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = random_bits(&mut StdRng::seed_from_u64(42), 256);
+        let b = random_bits(&mut StdRng::seed_from_u64(42), 256);
+        assert_eq!(a, b);
+    }
+}

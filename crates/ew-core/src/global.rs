@@ -1,0 +1,168 @@
+//! The backend's global view: `#Users(α)` estimates and the `Users_th`
+//! threshold, computed from the (unblinded) aggregate — "computing the
+//! number of different users that have seen α, as well as the Users_th
+//! threshold, requires a global view of the system" (§4.1).
+
+use crate::threshold::ThresholdPolicy;
+use crate::AdKey;
+use std::collections::HashMap;
+
+/// Global per-ad user-count estimates for one window.
+///
+/// In the deployed system the estimates come from querying the aggregate
+/// count-min sketch for every enumerable ad ID; in cleartext evaluation
+/// they are exact. Either way the type is the same — the detector does
+/// not care where the numbers came from (that is the point of the
+/// "black box" design).
+#[derive(Debug, Clone, Default)]
+pub struct GlobalView {
+    users_per_ad: HashMap<AdKey, f64>,
+    threshold: f64,
+    policy: ThresholdPolicy,
+}
+
+impl GlobalView {
+    /// Builds the view from per-ad user-count estimates and computes
+    /// `Users_th` under `policy`.
+    ///
+    /// Only strictly positive estimates participate in the threshold:
+    /// the server enumerates the whole (over-estimated) ad-ID space
+    /// `[1, |A|]`, and IDs that decode to zero are vacant slots, not ads.
+    pub fn from_estimates<I>(estimates: I, policy: ThresholdPolicy) -> Self
+    where
+        I: IntoIterator<Item = (AdKey, f64)>,
+    {
+        let users_per_ad: HashMap<AdKey, f64> = estimates
+            .into_iter()
+            .filter(|(_, c)| *c > 0.0)
+            .collect();
+        let dist: Vec<f64> = users_per_ad.values().copied().collect();
+        let threshold = policy.compute(&dist);
+        GlobalView {
+            users_per_ad,
+            threshold,
+            policy,
+        }
+    }
+
+    /// `#Users(α)` estimate (0 when the ad was never reported).
+    pub fn users(&self, ad: AdKey) -> f64 {
+        self.users_per_ad.get(&ad).copied().unwrap_or(0.0)
+    }
+
+    /// The global `Users_th` threshold.
+    pub fn users_threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The policy that produced the threshold.
+    pub fn policy(&self) -> ThresholdPolicy {
+        self.policy
+    }
+
+    /// Number of (positively counted) ads in the view.
+    pub fn num_ads(&self) -> usize {
+        self.users_per_ad.len()
+    }
+
+    /// The raw distribution (for Figure 2 style plots).
+    pub fn distribution(&self) -> Vec<f64> {
+        self.users_per_ad.values().copied().collect()
+    }
+}
+
+/// Per-group global views — the paper's §7.2.3 improvement suggestion:
+/// *"False positives can be further reduced by grouping users in more
+/// homogeneous groups in terms of browsing patterns (e.g.,
+/// geographically or based on age group, etc.)."*
+///
+/// Each group gets its own `#Users(α)` distribution and `Users_th`,
+/// computed over that group's members only; a user's audits consult
+/// their group's view. The `ew-bench` segmentation ablation quantifies
+/// the FP/FN effect.
+#[derive(Debug, Clone)]
+pub struct SegmentedGlobalView {
+    views: Vec<GlobalView>,
+}
+
+impl SegmentedGlobalView {
+    /// Builds one view per group from per-group estimates.
+    pub fn from_group_estimates<I>(groups: Vec<I>, policy: ThresholdPolicy) -> Self
+    where
+        I: IntoIterator<Item = (AdKey, f64)>,
+    {
+        SegmentedGlobalView {
+            views: groups
+                .into_iter()
+                .map(|g| GlobalView::from_estimates(g, policy))
+                .collect(),
+        }
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.views.len()
+    }
+
+    /// The view for one group.
+    ///
+    /// # Panics
+    /// Panics if `group` is out of range.
+    pub fn view(&self, group: usize) -> &GlobalView {
+        &self.views[group]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segmented_views_have_independent_thresholds() {
+        let seg = SegmentedGlobalView::from_group_estimates(
+            vec![
+                vec![(1u64, 2.0), (2, 4.0)],
+                vec![(1, 10.0), (3, 20.0)],
+            ],
+            ThresholdPolicy::Mean,
+        );
+        assert_eq!(seg.num_groups(), 2);
+        assert!((seg.view(0).users_threshold() - 3.0).abs() < 1e-12);
+        assert!((seg.view(1).users_threshold() - 15.0).abs() < 1e-12);
+        // The same ad can look niche in one group and popular in another.
+        assert_eq!(seg.view(0).users(1), 2.0);
+        assert_eq!(seg.view(1).users(1), 10.0);
+    }
+
+    #[test]
+    fn threshold_is_mean_of_positive_counts() {
+        let view = GlobalView::from_estimates(
+            vec![(1, 2.0), (2, 4.0), (3, 0.0), (4, 6.0)],
+            ThresholdPolicy::Mean,
+        );
+        assert_eq!(view.num_ads(), 3);
+        assert!((view.users_threshold() - 4.0).abs() < 1e-12);
+        assert_eq!(view.users(3), 0.0);
+        assert_eq!(view.users(2), 4.0);
+    }
+
+    #[test]
+    fn zeros_do_not_dilute_threshold() {
+        // A hugely over-provisioned ID space (many zeros) must not pull
+        // the threshold to zero — that would classify everything as
+        // "seen by few users".
+        let mut est: Vec<(AdKey, f64)> = (0..10_000).map(|i| (i, 0.0)).collect();
+        est.push((10_001, 5.0));
+        est.push((10_002, 7.0));
+        let view = GlobalView::from_estimates(est, ThresholdPolicy::Mean);
+        assert!((view.users_threshold() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_view() {
+        let view = GlobalView::from_estimates(Vec::<(AdKey, f64)>::new(), ThresholdPolicy::Mean);
+        assert_eq!(view.users_threshold(), 0.0);
+        assert_eq!(view.users(1), 0.0);
+        assert_eq!(view.num_ads(), 0);
+    }
+}

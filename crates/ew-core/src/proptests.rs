@@ -1,0 +1,136 @@
+//! Property tests for the detection algorithm's invariants.
+
+use crate::counters::UserCounters;
+use crate::detector::{Detector, DetectorConfig, Verdict};
+use crate::global::GlobalView;
+use crate::threshold::ThresholdPolicy;
+use proptest::prelude::*;
+
+fn arb_observations() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..30, 0u64..20), 0..200)
+}
+
+proptest! {
+    #[test]
+    fn thresholds_are_bounded_by_distribution_extremes(obs in arb_observations()) {
+        let mut c = UserCounters::new();
+        for (ad, d) in &obs {
+            c.observe(*ad, *d);
+        }
+        let dist = c.domain_distribution();
+        if dist.is_empty() {
+            return Ok(());
+        }
+        let max = dist.iter().cloned().fold(0.0f64, f64::max);
+        let min = dist.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Mean and Median stay within [min, max].
+        for p in [ThresholdPolicy::Mean, ThresholdPolicy::Median] {
+            let th = c.domains_threshold(p);
+            prop_assert!(th >= min - 1e-9 && th <= max + 1e-9, "{:?}: {th}", p);
+        }
+        // Composites never fall below the plain mean.
+        let mean = c.domains_threshold(ThresholdPolicy::Mean);
+        prop_assert!(c.domains_threshold(ThresholdPolicy::MeanPlusMedian) >= mean);
+        prop_assert!(c.domains_threshold(ThresholdPolicy::MeanPlusStd) >= mean - 1e-9);
+    }
+
+    #[test]
+    fn verdicts_deterministic(obs in arb_observations(), ad in 0u64..30) {
+        let mut c = UserCounters::new();
+        for (a, d) in &obs {
+            c.observe(*a, *d);
+        }
+        let global = GlobalView::from_estimates(
+            (0u64..30).map(|a| (a, (a % 7) as f64)),
+            ThresholdPolicy::Mean,
+        );
+        let det = Detector::new(DetectorConfig::default());
+        prop_assert_eq!(det.classify(&c, ad, &global), det.classify(&c, ad, &global));
+    }
+
+    #[test]
+    fn activity_gate_is_a_hard_gate(obs in arb_observations()) {
+        let mut c = UserCounters::new();
+        for (a, d) in &obs {
+            c.observe(*a, *d);
+        }
+        let global = GlobalView::from_estimates(
+            (0u64..30).map(|a| (a, 3.0)),
+            ThresholdPolicy::Mean,
+        );
+        let det = Detector::new(DetectorConfig::default());
+        for ad in 0u64..30 {
+            let v = det.classify(&c, ad, &global);
+            if c.distinct_domains() < 4 {
+                prop_assert_eq!(v, Verdict::InsufficientData);
+            } else {
+                prop_assert_ne!(v, Verdict::InsufficientData);
+            }
+        }
+    }
+
+    #[test]
+    fn unseen_ads_never_flagged(obs in arb_observations()) {
+        let mut c = UserCounters::new();
+        for (a, d) in &obs {
+            c.observe(*a, *d);
+        }
+        let global = GlobalView::from_estimates(
+            (0u64..100).map(|a| (a, 1.0)),
+            ThresholdPolicy::Mean,
+        );
+        let det = Detector::new(DetectorConfig::default());
+        // Ads outside the observed id range have #Domains = 0.
+        for ad in 1000u64..1010 {
+            let v = det.classify(&c, ad, &global);
+            prop_assert_ne!(v, Verdict::Targeted, "unseen ad {} flagged", ad);
+        }
+    }
+
+    #[test]
+    fn counters_match_reference_counting(obs in arb_observations()) {
+        use std::collections::{HashMap, HashSet};
+        let mut c = UserCounters::new();
+        let mut reference: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for (a, d) in &obs {
+            c.observe(*a, *d);
+            reference.entry(*a).or_default().insert(*d);
+        }
+        for (ad, domains) in &reference {
+            prop_assert_eq!(c.domain_count(*ad), domains.len());
+        }
+        prop_assert_eq!(c.distinct_ads(), reference.len());
+        prop_assert_eq!(c.impressions(), obs.len() as u64);
+    }
+
+    #[test]
+    fn window_eviction_equals_suffix_recount(
+        days in proptest::collection::vec(
+            proptest::collection::vec((0u64..20, 0u64..10), 0..20), 1..12),
+    ) {
+        // Feeding N days into a 7-day window must equal recounting the
+        // last 7 days from scratch.
+        let mut w = crate::window::WeeklyWindow::new(7);
+        for (i, day) in days.iter().enumerate() {
+            for (ad, d) in day {
+                w.observe(*ad, *d);
+            }
+            if i + 1 < days.len() {
+                w.advance_day();
+            }
+        }
+        let mut reference = UserCounters::new();
+        let start = days.len().saturating_sub(7);
+        for day in &days[start..] {
+            for (ad, d) in day {
+                reference.observe(*ad, *d);
+            }
+        }
+        let got = w.counters();
+        prop_assert_eq!(got.impressions(), reference.impressions());
+        prop_assert_eq!(got.distinct_ads(), reference.distinct_ads());
+        for ad in 0u64..20 {
+            prop_assert_eq!(got.domain_count(ad), reference.domain_count(ad));
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Kursawe-style additive random shares of zero (PETS'11), the blinding
+//! layer of the paper's privacy-preserving aggregation (§6).
+//!
+//! At round `s`, user `u_i` blinds the `m`-th sketch cell with
+//!
+//! ```text
+//! b_i[m] = Σ_{j≠i} H(y_j^{x_i} || m || s) · (-1)^{i>j}
+//! ```
+//!
+//! Because the pairwise shared secret `y_j^{x_i} = y_i^{x_j}` is symmetric
+//! and the signs are antisymmetric, `Σ_i b_i[m] = 0`: the server that sums
+//! every blinded sketch recovers the exact aggregate while each individual
+//! report is uniformly random.
+//!
+//! Arithmetic is in `Z_{2^32}` (wrapping `u32`), matching the paper's
+//! 4-byte CMS cells.
+//!
+//! ## Fault tolerance
+//!
+//! If a set `M` of users never reports, the pairwise terms between
+//! reporting users still cancel, but each reporting user `i` leaves the
+//! residue `Σ_{j∈M} c_{ij}` in the aggregate. The paper's two-round
+//! recovery has the server broadcast `M` and each reporting client answer
+//! with exactly that residue — [`BlindingGenerator::adjustment_vector`] —
+//! which the server subtracts to restore a clean aggregate.
+
+use crate::dh::DhKeyPair;
+use crate::directory::{KeyDirectory, UserId};
+use crate::group::ModpGroup;
+use crate::hmac::hmac_expand;
+use std::collections::BTreeMap;
+
+/// Per-round parameters for blinding derivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlindingParams {
+    /// Aggregation round (the paper uses one round per week).
+    pub round: u64,
+    /// Number of cells to blind (CMS width × depth).
+    pub num_cells: usize,
+}
+
+/// Domain-separation label for the per-pair cell stream.
+const BLIND_LABEL: &[u8] = b"eyewnder/blinding/v1";
+
+/// Holds one user's pairwise shared secrets and derives blinding vectors.
+#[derive(Debug, Clone)]
+pub struct BlindingGenerator {
+    user: UserId,
+    /// Peer id → serialized shared secret `y_peer^{x_self}`.
+    shared: BTreeMap<UserId, Vec<u8>>,
+}
+
+impl BlindingGenerator {
+    /// Precomputes shared secrets with every *other* user in `directory`.
+    ///
+    /// The expensive part (one modular exponentiation per peer) happens
+    /// once per cohort; per-round derivation afterwards is pure hashing.
+    /// This mirrors the paper's note that key agreement is "carried out
+    /// once per week ... in the background".
+    pub fn new(
+        group: &ModpGroup,
+        user: UserId,
+        keypair: &DhKeyPair,
+        directory: &KeyDirectory,
+    ) -> Self {
+        let mut shared = BTreeMap::new();
+        for (peer, public) in directory.iter() {
+            if peer == user {
+                continue;
+            }
+            shared.insert(peer, keypair.shared_secret(group, public));
+        }
+        BlindingGenerator { user, shared }
+    }
+
+    /// The id of the user this generator belongs to.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Number of peers this generator shares secrets with.
+    pub fn peer_count(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Derives the per-cell contribution stream for one peer at `round`.
+    fn pair_stream(&self, peer: UserId, params: BlindingParams) -> Vec<u8> {
+        let secret = self
+            .shared
+            .get(&peer)
+            .expect("peer must be enrolled in the directory");
+        let mut info = Vec::with_capacity(BLIND_LABEL.len() + 8);
+        info.extend_from_slice(BLIND_LABEL);
+        info.extend_from_slice(&params.round.to_be_bytes());
+        hmac_expand(secret, &info, params.num_cells * 4)
+    }
+
+    /// The blinding vector `b_i` for this round: one `u32` per cell.
+    pub fn blinding_vector(&self, params: BlindingParams) -> Vec<u32> {
+        self.signed_sum(params, |_peer| true)
+    }
+
+    /// The recovery adjustment `Σ_{j ∈ missing} c_{ij}`: what this user
+    /// contributed "against" the missing peers. The server subtracts
+    /// these from the aggregate of received reports.
+    pub fn adjustment_vector(&self, params: BlindingParams, missing: &[UserId]) -> Vec<u32> {
+        self.signed_sum(params, |peer| missing.contains(&peer))
+    }
+
+    /// Shared worker: sums signed per-peer streams over peers selected by
+    /// `include`.
+    fn signed_sum<F: Fn(UserId) -> bool>(&self, params: BlindingParams, include: F) -> Vec<u32> {
+        let mut acc = vec![0u32; params.num_cells];
+        for &peer in self.shared.keys() {
+            if !include(peer) {
+                continue;
+            }
+            let stream = self.pair_stream(peer, params);
+            let positive = self.user > peer;
+            for (m, cell) in acc.iter_mut().enumerate() {
+                let bytes: [u8; 4] = stream[m * 4..m * 4 + 4]
+                    .try_into()
+                    .expect("stream sized to 4 bytes per cell");
+                let v = u32::from_be_bytes(bytes);
+                *cell = if positive {
+                    cell.wrapping_add(v)
+                } else {
+                    cell.wrapping_sub(v)
+                };
+            }
+        }
+        acc
+    }
+}
+
+/// Adds a blinding (or adjustment) vector onto raw cells, wrapping.
+pub fn apply_blinding(cells: &mut [u32], blinding: &[u32]) {
+    assert_eq!(cells.len(), blinding.len(), "cell-count mismatch");
+    for (c, b) in cells.iter_mut().zip(blinding) {
+        *c = c.wrapping_add(*b);
+    }
+}
+
+/// Subtracts a vector from an aggregate, wrapping (server-side recovery).
+pub fn subtract_vector(cells: &mut [u32], v: &[u32]) {
+    assert_eq!(cells.len(), v.len(), "cell-count mismatch");
+    for (c, b) in cells.iter_mut().zip(v) {
+        *c = c.wrapping_sub(*b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds a cohort of `n` users over a small test group.
+    fn cohort(n: u32, seed: u64) -> (ModpGroup, Vec<DhKeyPair>, KeyDirectory) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let group = ModpGroup::generate(&mut rng, 64);
+        let mut dir = KeyDirectory::new(group.element_len());
+        let mut pairs = Vec::new();
+        for id in 0..n {
+            let kp = DhKeyPair::generate(&group, &mut rng);
+            dir.publish(id, kp.public().clone());
+            pairs.push(kp);
+        }
+        (group, pairs, dir)
+    }
+
+    fn generators(
+        group: &ModpGroup,
+        pairs: &[DhKeyPair],
+        dir: &KeyDirectory,
+    ) -> Vec<BlindingGenerator> {
+        pairs
+            .iter()
+            .enumerate()
+            .map(|(i, kp)| BlindingGenerator::new(group, i as u32, kp, dir))
+            .collect()
+    }
+
+    #[test]
+    fn blindings_sum_to_zero() {
+        let (group, pairs, dir) = cohort(5, 100);
+        let gens = generators(&group, &pairs, &dir);
+        let params = BlindingParams {
+            round: 3,
+            num_cells: 17,
+        };
+        let mut sum = vec![0u32; params.num_cells];
+        for g in &gens {
+            apply_blinding(&mut sum, &g.blinding_vector(params));
+        }
+        assert!(sum.iter().all(|&c| c == 0), "shares of zero must cancel");
+    }
+
+    #[test]
+    fn blinded_aggregate_equals_cleartext_aggregate() {
+        let (group, pairs, dir) = cohort(4, 101);
+        let gens = generators(&group, &pairs, &dir);
+        let params = BlindingParams {
+            round: 1,
+            num_cells: 8,
+        };
+        let mut rng = StdRng::seed_from_u64(999);
+        use rand::Rng;
+        let data: Vec<Vec<u32>> = (0..4)
+            .map(|_| (0..8).map(|_| rng.gen_range(0..1000u32)).collect())
+            .collect();
+
+        let mut clear = vec![0u32; 8];
+        let mut blinded = vec![0u32; 8];
+        for (i, g) in gens.iter().enumerate() {
+            let mut report = data[i].clone();
+            apply_blinding(&mut clear, &data[i]);
+            apply_blinding(&mut report, &g.blinding_vector(params));
+            apply_blinding(&mut blinded, &report);
+        }
+        assert_eq!(clear, blinded);
+    }
+
+    #[test]
+    fn rounds_are_independent() {
+        let (group, pairs, dir) = cohort(3, 102);
+        let gens = generators(&group, &pairs, &dir);
+        let p1 = BlindingParams {
+            round: 1,
+            num_cells: 4,
+        };
+        let p2 = BlindingParams {
+            round: 2,
+            num_cells: 4,
+        };
+        assert_ne!(gens[0].blinding_vector(p1), gens[0].blinding_vector(p2));
+    }
+
+    #[test]
+    fn individual_blinding_nonzero() {
+        let (group, pairs, dir) = cohort(3, 103);
+        let gens = generators(&group, &pairs, &dir);
+        let params = BlindingParams {
+            round: 7,
+            num_cells: 16,
+        };
+        // A single user's blinding must look random, not zero.
+        assert!(gens[0]
+            .blinding_vector(params)
+            .iter()
+            .any(|&c| c != 0));
+    }
+
+    #[test]
+    fn missing_client_recovery() {
+        let (group, pairs, dir) = cohort(6, 104);
+        let gens = generators(&group, &pairs, &dir);
+        let params = BlindingParams {
+            round: 5,
+            num_cells: 10,
+        };
+        let missing: Vec<UserId> = vec![2, 4];
+        let reporting: Vec<usize> = vec![0, 1, 3, 5];
+
+        // Server sums reports only from reporting clients (cells all zero
+        // so the residue is exactly the uncancelled blinding).
+        let mut agg = vec![0u32; params.num_cells];
+        for &i in &reporting {
+            apply_blinding(&mut agg, &gens[i].blinding_vector(params));
+        }
+        assert!(
+            agg.iter().any(|&c| c != 0),
+            "missing clients leave residue"
+        );
+
+        // Round 2: reporting clients send adjustments; server subtracts.
+        for &i in &reporting {
+            subtract_vector(&mut agg, &gens[i].adjustment_vector(params, &missing));
+        }
+        assert!(agg.iter().all(|&c| c == 0), "recovery must cancel residue");
+    }
+
+    #[test]
+    fn adjustment_for_nobody_is_zero() {
+        let (group, pairs, dir) = cohort(3, 105);
+        let gens = generators(&group, &pairs, &dir);
+        let params = BlindingParams {
+            round: 1,
+            num_cells: 5,
+        };
+        assert!(gens[1]
+            .adjustment_vector(params, &[])
+            .iter()
+            .all(|&c| c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell-count mismatch")]
+    fn apply_blinding_length_mismatch_panics() {
+        let mut cells = vec![0u32; 3];
+        apply_blinding(&mut cells, &[1, 2]);
+    }
+}

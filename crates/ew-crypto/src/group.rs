@@ -1,0 +1,203 @@
+//! Multiplicative groups modulo a safe prime, used for the Diffie–Hellman
+//! agreements behind the Kursawe blinding construction.
+//!
+//! The paper assumes "a cyclic group G of order q where Computational
+//! Diffie-Hellman is hard". We provide the standard RFC 3526 MODP groups
+//! (1536/2048-bit) for deployment-scale parameters, plus generated
+//! safe-prime groups of arbitrary size so the test suite stays fast.
+
+use ew_bigint::{gen_safe_prime, random_range, UBig};
+use rand::RngCore;
+use std::sync::Arc;
+
+/// A multiplicative group `Z_p^*` restricted to the prime-order subgroup
+/// of quadratic residues, for a safe prime `p = 2q + 1`.
+///
+/// The generator is chosen as a quadratic residue so the subgroup it
+/// generates has prime order `q`, which makes exponent arithmetic clean.
+#[derive(Debug, Clone)]
+pub struct ModpGroup {
+    /// Safe prime modulus `p`.
+    p: Arc<UBig>,
+    /// Subgroup order `q = (p-1)/2`.
+    q: Arc<UBig>,
+    /// Generator of the order-`q` subgroup.
+    g: Arc<UBig>,
+}
+
+/// RFC 3526 group 14 (2048-bit MODP), hex from the RFC.
+const MODP_2048_HEX: &str = concat!(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1",
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD",
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245",
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED",
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D",
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F",
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D",
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B",
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9",
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510",
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF"
+);
+
+/// RFC 3526 group 5 (1536-bit MODP).
+const MODP_1536_HEX: &str = concat!(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1",
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD",
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245",
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED",
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D",
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F",
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D",
+    "670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF"
+);
+
+impl ModpGroup {
+    /// The 2048-bit MODP group from RFC 3526 (group id 14), generator 2.
+    ///
+    /// `2` generates the order-`q` subgroup in this group because
+    /// `p ≡ 7 (mod 8)` makes 2 a quadratic residue.
+    pub fn modp_2048() -> Self {
+        Self::from_safe_prime(
+            UBig::from_hex(MODP_2048_HEX).expect("RFC constant parses"),
+            UBig::two(),
+        )
+    }
+
+    /// The 1536-bit MODP group from RFC 3526 (group id 5), generator 2.
+    pub fn modp_1536() -> Self {
+        Self::from_safe_prime(
+            UBig::from_hex(MODP_1536_HEX).expect("RFC constant parses"),
+            UBig::two(),
+        )
+    }
+
+    /// Builds a group from a known safe prime and a candidate generator.
+    ///
+    /// The candidate is squared, which guarantees landing in the
+    /// order-`q` quadratic-residue subgroup regardless of the input
+    /// (as long as the square is not 1).
+    pub fn from_safe_prime(p: UBig, candidate: UBig) -> Self {
+        let q = p.sub_ref(&UBig::one()).shr_bits(1);
+        let g = candidate.mulmod(&candidate, &p);
+        assert!(!g.is_one() && !g.is_zero(), "degenerate generator");
+        ModpGroup {
+            p: Arc::new(p),
+            q: Arc::new(q),
+            g: Arc::new(g),
+        }
+    }
+
+    /// Generates a fresh safe-prime group of `bits` bits — intended for
+    /// tests where 2048-bit exponentiations would dominate runtime.
+    pub fn generate<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        let p = gen_safe_prime(rng, bits);
+        Self::from_safe_prime(p, UBig::two())
+    }
+
+    /// The prime modulus `p`.
+    pub fn modulus(&self) -> &UBig {
+        &self.p
+    }
+
+    /// The subgroup order `q`.
+    pub fn order(&self) -> &UBig {
+        &self.q
+    }
+
+    /// The subgroup generator.
+    pub fn generator(&self) -> &UBig {
+        &self.g
+    }
+
+    /// Size of a serialized group element in bytes.
+    pub fn element_len(&self) -> usize {
+        self.p.bit_len().div_ceil(8)
+    }
+
+    /// `g^exp mod p`.
+    pub fn pow_g(&self, exp: &UBig) -> UBig {
+        self.g.modpow(exp, &self.p)
+    }
+
+    /// `base^exp mod p`.
+    pub fn pow(&self, base: &UBig, exp: &UBig) -> UBig {
+        base.modpow(exp, &self.p)
+    }
+
+    /// Uniformly random exponent in `[1, q)`.
+    pub fn random_exponent<R: RngCore + ?Sized>(&self, rng: &mut R) -> UBig {
+        random_range(rng, &UBig::one(), &self.q)
+    }
+
+    /// Serializes a group element, left-padded to [`Self::element_len`].
+    pub fn serialize_element(&self, el: &UBig) -> Vec<u8> {
+        el.to_bytes_be_padded(self.element_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn modp_2048_parameters() {
+        let grp = ModpGroup::modp_2048();
+        assert_eq!(grp.modulus().bit_len(), 2048);
+        assert_eq!(grp.element_len(), 256);
+        // g = 4 (2 squared) has order q: g^q == 1.
+        assert_eq!(grp.pow_g(grp.order()), UBig::one());
+    }
+
+    #[test]
+    fn modp_1536_parameters() {
+        let grp = ModpGroup::modp_1536();
+        assert_eq!(grp.modulus().bit_len(), 1536);
+        assert_eq!(grp.pow_g(grp.order()), UBig::one());
+    }
+
+    #[test]
+    fn generated_group_has_expected_structure() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let grp = ModpGroup::generate(&mut rng, 64);
+        assert_eq!(grp.modulus().bit_len(), 64);
+        assert_eq!(grp.pow_g(grp.order()), UBig::one());
+        // Order is prime and (p-1)/2.
+        let expected_q = grp.modulus().sub_ref(&UBig::one()).shr_bits(1);
+        assert_eq!(grp.order(), &expected_q);
+    }
+
+    #[test]
+    fn dh_commutes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let grp = ModpGroup::generate(&mut rng, 64);
+        let a = grp.random_exponent(&mut rng);
+        let b = grp.random_exponent(&mut rng);
+        let ga = grp.pow_g(&a);
+        let gb = grp.pow_g(&b);
+        assert_eq!(grp.pow(&gb, &a), grp.pow(&ga, &b));
+    }
+
+    #[test]
+    fn random_exponent_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let grp = ModpGroup::generate(&mut rng, 48);
+        for _ in 0..50 {
+            let e = grp.random_exponent(&mut rng);
+            assert!(!e.is_zero());
+            assert!(&e < grp.order());
+        }
+    }
+
+    #[test]
+    fn element_serialization_fixed_len() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let grp = ModpGroup::generate(&mut rng, 61);
+        let el = grp.pow_g(&grp.random_exponent(&mut rng));
+        let bytes = grp.serialize_element(&el);
+        assert_eq!(bytes.len(), grp.element_len());
+        assert_eq!(UBig::from_bytes_be(&bytes), el);
+    }
+}

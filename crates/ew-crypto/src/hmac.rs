@@ -1,0 +1,110 @@
+//! HMAC-SHA256 (RFC 2104) and a simple counter-mode expansion helper used
+//! to derive arbitrary-length pseudo-random byte strings from shared DH
+//! secrets (the `H(y^x || m || s)` step of the blinding construction).
+
+use crate::sha256::{Sha256, DIGEST_LEN};
+
+const BLOCK_LEN: usize = 64;
+
+/// `HMAC-SHA256(key, message)`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        key_block[..DIGEST_LEN].copy_from_slice(&Sha256::digest(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let inner = Sha256::digest_parts(&[&ipad, message]);
+    Sha256::digest_parts(&[&opad, &inner])
+}
+
+/// Expands `(key, info)` into `len` pseudo-random bytes via counter-mode
+/// HMAC: `T_i = HMAC(key, info || be32(i))`, concatenated and truncated.
+pub fn hmac_expand(key: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut counter: u32 = 0;
+    while out.len() < len {
+        let mut msg = Vec::with_capacity(info.len() + 4);
+        msg.extend_from_slice(info);
+        msg.extend_from_slice(&counter.to_be_bytes());
+        out.extend_from_slice(&hmac_sha256(key, &msg));
+        counter = counter.checked_add(1).expect("expansion too large");
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::to_hex;
+
+    #[test]
+    fn rfc4231_test_case_1() {
+        let key = [0x0bu8; 20];
+        let digest = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            to_hex(&digest),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_2() {
+        let digest = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&digest),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let digest = hmac_sha256(&key, &data);
+        assert_eq!(
+            to_hex(&digest),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        // Test case 6: key longer than the block size is hashed first.
+        let key = [0xaau8; 131];
+        let digest = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            to_hex(&digest),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn expand_lengths() {
+        for len in [0usize, 1, 31, 32, 33, 100, 256] {
+            assert_eq!(hmac_expand(b"key", b"info", len).len(), len);
+        }
+    }
+
+    #[test]
+    fn expand_prefix_consistent() {
+        let long = hmac_expand(b"key", b"info", 100);
+        let short = hmac_expand(b"key", b"info", 40);
+        assert_eq!(&long[..40], &short[..]);
+    }
+
+    #[test]
+    fn expand_domain_separated() {
+        assert_ne!(hmac_expand(b"k1", b"i", 32), hmac_expand(b"k2", b"i", 32));
+        assert_ne!(hmac_expand(b"k", b"i1", 32), hmac_expand(b"k", b"i2", 32));
+    }
+}

@@ -1,0 +1,186 @@
+//! Distributed OPRF — footnote 4 of §6: *"in order to avoid a single
+//! point of failure, \[the\] mapping function can be distributed to
+//! multiple servers by defining F as the XOR of the output of multiple
+//! OPRFs, each computed with its own secret key."*
+//!
+//! `F(x) = F(k₁, x) ⊕ F(k₂, x) ⊕ … ⊕ F(kₘ, x)`: no single oprf-server
+//! can compute (or invert) the URL → ad-ID mapping; all must collude.
+
+use crate::oprf::{OprfClient, OprfError, OprfServerKey, PendingRequest, OPRF_OUTPUT_LEN};
+use rand::RngCore;
+
+/// The client-side combiner over `m` independent OPRF servers.
+#[derive(Debug, Clone)]
+pub struct MultiOprfClient {
+    clients: Vec<OprfClient>,
+}
+
+/// One in-flight multi-server evaluation: a pending request per server.
+#[derive(Debug)]
+pub struct MultiPending {
+    pending: Vec<PendingRequest>,
+}
+
+impl MultiPending {
+    /// The blinded element destined for server `i`.
+    pub fn blinded_for(&self, i: usize) -> &PendingRequest {
+        &self.pending[i]
+    }
+
+    /// Number of servers involved.
+    pub fn servers(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl MultiOprfClient {
+    /// Client targeting the given server set (order matters and must be
+    /// consistent across all cohort members).
+    pub fn new(clients: Vec<OprfClient>) -> Self {
+        assert!(!clients.is_empty(), "need at least one OPRF server");
+        MultiOprfClient { clients }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Blinds `input` once per server (independent blinding factors).
+    pub fn blind<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        input: &[u8],
+    ) -> Result<MultiPending, OprfError> {
+        let pending = self
+            .clients
+            .iter()
+            .map(|c| c.blind(rng, input))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MultiPending { pending })
+    }
+
+    /// Combines the per-server responses into the final XOR output.
+    ///
+    /// `responses[i]` must be server `i`'s answer to
+    /// `pending.blinded_for(i)`.
+    pub fn finalize(
+        &self,
+        pending: &MultiPending,
+        responses: &[ew_bigint::UBig],
+    ) -> Result<[u8; OPRF_OUTPUT_LEN], OprfError> {
+        assert_eq!(
+            responses.len(),
+            self.clients.len(),
+            "one response per server"
+        );
+        let mut out = [0u8; OPRF_OUTPUT_LEN];
+        for ((client, p), resp) in self.clients.iter().zip(&pending.pending).zip(responses) {
+            let part = client.finalize(p, resp)?;
+            for (o, b) in out.iter_mut().zip(part.iter()) {
+                *o ^= b;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Ground-truth evaluation across a server set (tests / crawler).
+pub fn multi_evaluate_direct(servers: &[OprfServerKey], input: &[u8]) -> [u8; OPRF_OUTPUT_LEN] {
+    assert!(!servers.is_empty());
+    let mut out = [0u8; OPRF_OUTPUT_LEN];
+    for s in servers {
+        let part = s.evaluate_direct(input);
+        for (o, b) in out.iter_mut().zip(part.iter()) {
+            *o ^= b;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(m: usize, seed: u64) -> (Vec<OprfServerKey>, MultiOprfClient, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let servers: Vec<OprfServerKey> = (0..m)
+            .map(|_| OprfServerKey::generate(&mut rng, 128))
+            .collect();
+        let clients = servers
+            .iter()
+            .map(|s| OprfClient::new(s.public().clone()))
+            .collect();
+        (servers, MultiOprfClient::new(clients), rng)
+    }
+
+    #[test]
+    fn oblivious_matches_direct_three_servers() {
+        let (servers, client, mut rng) = setup(3, 70);
+        let input = b"https://adnet.example/multi";
+        let pending = client.blind(&mut rng, input).unwrap();
+        let responses: Vec<_> = (0..3)
+            .map(|i| {
+                servers[i]
+                    .evaluate_blinded(&pending.blinded_for(i).blinded)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(
+            client.finalize(&pending, &responses).unwrap(),
+            multi_evaluate_direct(&servers, input)
+        );
+    }
+
+    #[test]
+    fn single_server_degenerates_to_plain_oprf() {
+        let (servers, client, mut rng) = setup(1, 71);
+        let input = b"https://adnet.example/single";
+        let pending = client.blind(&mut rng, input).unwrap();
+        let resp = servers[0]
+            .evaluate_blinded(&pending.blinded_for(0).blinded)
+            .unwrap();
+        assert_eq!(
+            client.finalize(&pending, &[resp]).unwrap(),
+            servers[0].evaluate_direct(input)
+        );
+    }
+
+    #[test]
+    fn no_single_server_knows_the_output() {
+        // Any strict subset of server keys produces a different value
+        // than the full XOR — one compromised server learns nothing.
+        let (servers, _client, _) = setup(3, 72);
+        let input = b"https://adnet.example/subset";
+        let full = multi_evaluate_direct(&servers, input);
+        let partial = multi_evaluate_direct(&servers[..2], input);
+        assert_ne!(full, partial);
+    }
+
+    #[test]
+    fn deterministic_per_input_across_blindings() {
+        let (servers, client, mut rng) = setup(2, 73);
+        let input = b"https://adnet.example/stable";
+        let mut outputs = Vec::new();
+        for _ in 0..2 {
+            let pending = client.blind(&mut rng, input).unwrap();
+            let responses: Vec<_> = (0..2)
+                .map(|i| {
+                    servers[i]
+                        .evaluate_blinded(&pending.blinded_for(i).blinded)
+                        .unwrap()
+                })
+                .collect();
+            outputs.push(client.finalize(&pending, &responses).unwrap());
+        }
+        assert_eq!(outputs[0], outputs[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one OPRF server")]
+    fn empty_server_set_rejected() {
+        MultiOprfClient::new(Vec::new());
+    }
+}

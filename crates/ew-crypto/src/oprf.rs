@@ -1,0 +1,306 @@
+//! RSA-based Oblivious Pseudo-Random Function (Jarecki–Liu, TCC'09), as
+//! adopted by the paper (§6) to map ad URLs to compact ad identifiers
+//! without the backend or the oprf-server learning the mapping jointly.
+//!
+//! Definition: `F(k, x) = G(H(x)^d mod N)` where
+//! * `H : {0,1}* → Z_N` hashes arbitrary strings into the RSA group,
+//! * `d` is the oprf-server's private RSA exponent, and
+//! * `G : Z_N → {0,1}^l` is an output hash.
+//!
+//! Protocol (one round trip):
+//! 1. client picks random `r`, sends `x' = H(x) · r^e mod N`;
+//! 2. server answers `y' = (x')^d mod N`;
+//! 3. client unblinds `y = y' · r^{-1} = H(x)^d` and outputs `G(y)`.
+//!
+//! Blindness follows from `r^e` being uniform; one-more-unforgeability
+//! from the one-more-RSA assumption. The ad ID used by the sketch layer
+//! is `G(y)` truncated/reduced into `[0, |A|)` by the caller.
+
+use crate::rsa::{RsaKeyPair, RsaPublicKey};
+use crate::sha256::Sha256;
+use ew_bigint::{random_range, UBig};
+use rand::RngCore;
+
+/// Length in bytes of the OPRF output `G(y)`.
+pub const OPRF_OUTPUT_LEN: usize = 32;
+
+/// Domain-separation tags for the two hashes.
+const H_TAG: &[u8] = b"eyewnder/oprf/H/v1";
+const G_TAG: &[u8] = b"eyewnder/oprf/G/v1";
+
+/// Errors the OPRF protocol can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OprfError {
+    /// A received group element was not in `[0, N)`.
+    ElementOutOfRange,
+    /// The blinding factor was not invertible (gcd(r, N) != 1 — would
+    /// imply factoring N; practically unreachable, but handled).
+    BlindingNotInvertible,
+}
+
+impl std::fmt::Display for OprfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OprfError::ElementOutOfRange => write!(f, "group element out of range"),
+            OprfError::BlindingNotInvertible => write!(f, "blinding factor not invertible"),
+        }
+    }
+}
+
+impl std::error::Error for OprfError {}
+
+/// Hash arbitrary bytes into `Z_N` (counter-mode SHA-256, reduced mod N).
+///
+/// We expand to `element_len + 16` bytes before reducing so the modular
+/// bias is below 2^-128 — indistinguishable from uniform for our purposes.
+pub fn hash_to_zn(input: &[u8], public: &RsaPublicKey) -> UBig {
+    let target = public.element_len() + 16;
+    let mut bytes = Vec::with_capacity(target);
+    let mut counter: u32 = 0;
+    while bytes.len() < target {
+        bytes.extend_from_slice(&Sha256::digest_parts(&[
+            H_TAG,
+            &counter.to_be_bytes(),
+            input,
+        ]));
+        counter += 1;
+    }
+    bytes.truncate(target);
+    UBig::from_bytes_be(&bytes).rem_ref(&public.n)
+}
+
+/// Output hash `G : Z_N → {0,1}^l`.
+pub fn output_hash(y: &UBig, public: &RsaPublicKey) -> [u8; OPRF_OUTPUT_LEN] {
+    let serialized = y.to_bytes_be_padded(public.element_len());
+    Sha256::digest_parts(&[G_TAG, &serialized])
+}
+
+/// The oprf-server's key material (wraps an RSA key pair).
+#[derive(Debug, Clone)]
+pub struct OprfServerKey {
+    key: RsaKeyPair,
+}
+
+impl OprfServerKey {
+    /// Generates a fresh server key with an RSA modulus of `bits` bits.
+    pub fn generate<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        OprfServerKey {
+            key: RsaKeyPair::generate(rng, bits),
+        }
+    }
+
+    /// The public parameters `(N, e)` clients need.
+    pub fn public(&self) -> &RsaPublicKey {
+        self.key.public()
+    }
+
+    /// Server side of the protocol: "sign" a blinded request.
+    ///
+    /// The server is oblivious: `blinded` is uniformly random in `Z_N`
+    /// from its point of view.
+    pub fn evaluate_blinded(&self, blinded: &UBig) -> Result<UBig, OprfError> {
+        if blinded >= &self.key.public().n {
+            return Err(OprfError::ElementOutOfRange);
+        }
+        Ok(self.key.private_op(blinded))
+    }
+
+    /// Non-oblivious evaluation `F(k, x)` — ground truth for tests and
+    /// for the crawler, which owns its own inputs anyway.
+    pub fn evaluate_direct(&self, input: &[u8]) -> [u8; OPRF_OUTPUT_LEN] {
+        let h = hash_to_zn(input, self.key.public());
+        let y = self.key.private_op(&h);
+        output_hash(&y, self.key.public())
+    }
+}
+
+/// A pending blinded request: what the client must remember between
+/// sending `x'` and receiving `y'`.
+#[derive(Debug, Clone)]
+pub struct PendingRequest {
+    /// `r^{-1} mod N`, kept to unblind the response.
+    r_inv: UBig,
+    /// The blinded element sent to the server.
+    pub blinded: UBig,
+}
+
+/// Client side of the OPRF protocol.
+#[derive(Debug, Clone)]
+pub struct OprfClient {
+    public: RsaPublicKey,
+}
+
+impl OprfClient {
+    /// Creates a client for a server with the given public key.
+    pub fn new(public: RsaPublicKey) -> Self {
+        OprfClient { public }
+    }
+
+    /// The server public key this client targets.
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// Step 1: blind `input`, producing the request to send and the
+    /// secret unblinding state.
+    pub fn blind<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        input: &[u8],
+    ) -> Result<PendingRequest, OprfError> {
+        let h = hash_to_zn(input, &self.public);
+        // r uniform in [2, N): retry until invertible (always, for valid N).
+        for _ in 0..16 {
+            let r = random_range(rng, &UBig::two(), &self.public.n);
+            let Some(r_inv) = r.modinv(&self.public.n) else {
+                continue;
+            };
+            let r_e = r.modpow(&self.public.e, &self.public.n);
+            let blinded = h.mulmod(&r_e, &self.public.n);
+            return Ok(PendingRequest { r_inv, blinded });
+        }
+        Err(OprfError::BlindingNotInvertible)
+    }
+
+    /// Step 3: unblind the server's response and produce `F(k, x)`.
+    ///
+    /// Verifies the RSA relation `unblinded^e == H(x)` is *not* checked
+    /// here (we don't retain `H(x)`); callers that need verifiability can
+    /// recompute and compare via [`Self::finalize_verified`].
+    pub fn finalize(
+        &self,
+        pending: &PendingRequest,
+        response: &UBig,
+    ) -> Result<[u8; OPRF_OUTPUT_LEN], OprfError> {
+        if response >= &self.public.n {
+            return Err(OprfError::ElementOutOfRange);
+        }
+        let y = response.mulmod(&pending.r_inv, &self.public.n);
+        Ok(output_hash(&y, &self.public))
+    }
+
+    /// Like [`Self::finalize`], but additionally verifies that the server
+    /// answered honestly by checking `y^e == H(input) (mod N)`.
+    pub fn finalize_verified(
+        &self,
+        pending: &PendingRequest,
+        response: &UBig,
+        input: &[u8],
+    ) -> Result<[u8; OPRF_OUTPUT_LEN], OprfError> {
+        if response >= &self.public.n {
+            return Err(OprfError::ElementOutOfRange);
+        }
+        let y = response.mulmod(&pending.r_inv, &self.public.n);
+        let expected_h = hash_to_zn(input, &self.public);
+        if y.modpow(&self.public.e, &self.public.n) != expected_h {
+            return Err(OprfError::ElementOutOfRange);
+        }
+        Ok(output_hash(&y, &self.public))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (OprfServerKey, OprfClient, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let server = OprfServerKey::generate(&mut rng, 128);
+        let client = OprfClient::new(server.public().clone());
+        (server, client, rng)
+    }
+
+    #[test]
+    fn oblivious_matches_direct() {
+        let (server, client, mut rng) = setup(30);
+        for input in [&b"https://ads.example/creative/1"[..], b"", b"x"] {
+            let pending = client.blind(&mut rng, input).unwrap();
+            let response = server.evaluate_blinded(&pending.blinded).unwrap();
+            let out = client.finalize(&pending, &response).unwrap();
+            assert_eq!(out, server.evaluate_direct(input));
+        }
+    }
+
+    #[test]
+    fn verified_finalize_accepts_honest_server() {
+        let (server, client, mut rng) = setup(31);
+        let input = b"https://adnet.example/banner?id=77";
+        let pending = client.blind(&mut rng, input).unwrap();
+        let response = server.evaluate_blinded(&pending.blinded).unwrap();
+        let out = client
+            .finalize_verified(&pending, &response, input)
+            .unwrap();
+        assert_eq!(out, server.evaluate_direct(input));
+    }
+
+    #[test]
+    fn verified_finalize_rejects_tampered_response() {
+        let (server, client, mut rng) = setup(32);
+        let input = b"https://adnet.example/banner?id=78";
+        let pending = client.blind(&mut rng, input).unwrap();
+        let mut response = server.evaluate_blinded(&pending.blinded).unwrap();
+        // Corrupt the response.
+        response = response.addmod(&UBig::one(), &server.public().n);
+        assert!(client
+            .finalize_verified(&pending, &response, input)
+            .is_err());
+    }
+
+    #[test]
+    fn deterministic_per_input() {
+        let (server, client, mut rng) = setup(33);
+        let input = b"same ad, different blinding";
+        let p1 = client.blind(&mut rng, input).unwrap();
+        let p2 = client.blind(&mut rng, input).unwrap();
+        // Different blinded requests (server can't link)...
+        assert_ne!(p1.blinded, p2.blinded);
+        // ...same final PRF output.
+        let r1 = server.evaluate_blinded(&p1.blinded).unwrap();
+        let r2 = server.evaluate_blinded(&p2.blinded).unwrap();
+        assert_eq!(
+            client.finalize(&p1, &r1).unwrap(),
+            client.finalize(&p2, &r2).unwrap()
+        );
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_outputs() {
+        let (server, _, _) = setup(34);
+        assert_ne!(
+            server.evaluate_direct(b"https://a.example/1"),
+            server.evaluate_direct(b"https://a.example/2")
+        );
+    }
+
+    #[test]
+    fn server_rejects_out_of_range() {
+        let (server, _, _) = setup(35);
+        let too_big = server.public().n.add_ref(&UBig::one());
+        assert_eq!(
+            server.evaluate_blinded(&too_big),
+            Err(OprfError::ElementOutOfRange)
+        );
+    }
+
+    #[test]
+    fn different_keys_different_prf() {
+        let mut rng = StdRng::seed_from_u64(36);
+        let s1 = OprfServerKey::generate(&mut rng, 128);
+        let s2 = OprfServerKey::generate(&mut rng, 128);
+        assert_ne!(
+            s1.evaluate_direct(b"https://x.example"),
+            s2.evaluate_direct(b"https://x.example")
+        );
+    }
+
+    #[test]
+    fn hash_to_zn_in_range() {
+        let (server, _, _) = setup(37);
+        for i in 0..50u32 {
+            let h = hash_to_zn(&i.to_be_bytes(), server.public());
+            assert!(h < server.public().n);
+        }
+    }
+}

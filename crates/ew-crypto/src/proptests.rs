@@ -1,0 +1,125 @@
+//! Property tests across the crypto layer: blinding cancellation for
+//! arbitrary cohorts/rounds, OPRF correctness over arbitrary inputs,
+//! and hash-to-group range discipline.
+//!
+//! Cohorts use a fixed small DH group and a fixed RSA key (generated
+//! once) so the properties, not key generation, dominate runtime.
+
+use crate::blinding::{apply_blinding, BlindingGenerator, BlindingParams};
+use crate::dh::DhKeyPair;
+use crate::directory::KeyDirectory;
+use crate::group::ModpGroup;
+use crate::oprf::{hash_to_zn, OprfClient, OprfServerKey};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn shared_group() -> &'static ModpGroup {
+    static GROUP: OnceLock<ModpGroup> = OnceLock::new();
+    GROUP.get_or_init(|| ModpGroup::generate(&mut StdRng::seed_from_u64(1000), 48))
+}
+
+fn shared_oprf() -> &'static OprfServerKey {
+    static KEY: OnceLock<OprfServerKey> = OnceLock::new();
+    KEY.get_or_init(|| OprfServerKey::generate(&mut StdRng::seed_from_u64(1001), 96))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn blindings_cancel_for_any_cohort(
+        n in 2u32..7,
+        round in any::<u64>(),
+        cells in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let group = shared_group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dir = KeyDirectory::new(group.element_len());
+        let pairs: Vec<DhKeyPair> = (0..n)
+            .map(|id| {
+                let kp = DhKeyPair::generate(group, &mut rng);
+                dir.publish(id, kp.public().clone());
+                kp
+            })
+            .collect();
+        let mut sum = vec![0u32; cells];
+        for (i, kp) in pairs.iter().enumerate() {
+            let g = BlindingGenerator::new(group, i as u32, kp, &dir);
+            apply_blinding(
+                &mut sum,
+                &g.blinding_vector(BlindingParams { round, num_cells: cells }),
+            );
+        }
+        prop_assert!(sum.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn adjustments_equal_pairwise_residue(
+        round in any::<u64>(),
+        cells in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        // For a 3-cohort where client 2 goes missing, the sum of the
+        // reporting clients' blindings equals the sum of their
+        // adjustments against {2}.
+        let group = shared_group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dir = KeyDirectory::new(group.element_len());
+        let pairs: Vec<DhKeyPair> = (0..3u32)
+            .map(|id| {
+                let kp = DhKeyPair::generate(group, &mut rng);
+                dir.publish(id, kp.public().clone());
+                kp
+            })
+            .collect();
+        let params = BlindingParams { round, num_cells: cells };
+        let gens: Vec<BlindingGenerator> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, kp)| BlindingGenerator::new(group, i as u32, kp, &dir))
+            .collect();
+        let mut blind_sum = vec![0u32; cells];
+        let mut adj_sum = vec![0u32; cells];
+        for g in &gens[..2] {
+            apply_blinding(&mut blind_sum, &g.blinding_vector(params));
+            apply_blinding(&mut adj_sum, &g.adjustment_vector(params, &[2]));
+        }
+        prop_assert_eq!(blind_sum, adj_sum);
+    }
+
+    #[test]
+    fn oprf_roundtrip_any_input(input in proptest::collection::vec(any::<u8>(), 0..128), seed in any::<u64>()) {
+        let server = shared_oprf();
+        let client = OprfClient::new(server.public().clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pending = client.blind(&mut rng, &input).unwrap();
+        let resp = server.evaluate_blinded(&pending.blinded).unwrap();
+        prop_assert_eq!(
+            client.finalize(&pending, &resp).unwrap(),
+            server.evaluate_direct(&input)
+        );
+    }
+
+    #[test]
+    fn hash_to_zn_always_in_range(input in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let server = shared_oprf();
+        let h = hash_to_zn(&input, server.public());
+        prop_assert!(h < server.public().n);
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        split in 0usize..300,
+    ) {
+        use crate::sha256::Sha256;
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+}

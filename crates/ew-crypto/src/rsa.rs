@@ -1,0 +1,130 @@
+//! RSA key generation for the oblivious PRF server.
+//!
+//! The oprf-server of the paper holds an RSA triple `(N, d, e)` with
+//! `N = p·q` and `e·d ≡ 1 (mod φ(N))`; it publishes `(N, e)` and keeps
+//! `d` private (§6, "OPRF" paragraph).
+
+use ew_bigint::{gen_prime, UBig};
+use rand::RngCore;
+
+/// Public half of an RSA key: `(N, e)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    /// Modulus `N = p·q`.
+    pub n: UBig,
+    /// Public exponent `e` (65537 by default).
+    pub e: UBig,
+}
+
+impl RsaPublicKey {
+    /// Size of the modulus in bits.
+    pub fn modulus_bits(&self) -> usize {
+        self.n.bit_len()
+    }
+
+    /// Serialized size of one `Z_N` element in bytes.
+    pub fn element_len(&self) -> usize {
+        self.n.bit_len().div_ceil(8)
+    }
+}
+
+/// Full RSA key pair held by the oprf-server.
+#[derive(Debug, Clone)]
+pub struct RsaKeyPair {
+    public: RsaPublicKey,
+    /// Private exponent `d`.
+    d: UBig,
+}
+
+/// Standard public exponent 2^16 + 1.
+pub const DEFAULT_E: u64 = 65_537;
+
+impl RsaKeyPair {
+    /// Generates a fresh key with a modulus of (approximately) `bits`
+    /// bits: two random primes of `bits/2` bits each.
+    ///
+    /// Primes are regenerated if `gcd(e, φ) != 1` or if `p == q`
+    /// (vanishingly unlikely but cheap to guard).
+    pub fn generate<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        assert!(bits >= 32, "modulus too small to be meaningful");
+        let e = UBig::from_u64(DEFAULT_E);
+        loop {
+            let p = gen_prime(rng, bits / 2);
+            let q = gen_prime(rng, bits - bits / 2);
+            if p == q {
+                continue;
+            }
+            let n = p.mul_ref(&q);
+            let phi = p.sub_ref(&UBig::one()).mul_ref(&q.sub_ref(&UBig::one()));
+            let Some(d) = e.modinv(&phi) else {
+                continue;
+            };
+            return RsaKeyPair {
+                public: RsaPublicKey { n, e },
+                d,
+            };
+        }
+    }
+
+    /// The public `(N, e)`.
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// Raw RSA private operation `x^d mod N` — the oprf-server's "sign".
+    pub fn private_op(&self, x: &UBig) -> UBig {
+        x.modpow(&self.d, &self.public.n)
+    }
+
+    /// Raw RSA public operation `x^e mod N`.
+    pub fn public_op(&self, x: &UBig) -> UBig {
+        x.modpow(&self.public.e, &self.public.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ew_bigint::random_below;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn private_undoes_public() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let key = RsaKeyPair::generate(&mut rng, 128);
+        for _ in 0..10 {
+            let x = random_below(&mut rng, &key.public().n);
+            assert_eq!(key.private_op(&key.public_op(&x)), x);
+            assert_eq!(key.public_op(&key.private_op(&x)), x);
+        }
+    }
+
+    #[test]
+    fn modulus_has_requested_size() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for bits in [64usize, 96, 128] {
+            let key = RsaKeyPair::generate(&mut rng, bits);
+            // p, q have bits/2 bits each with top bits forced, so the
+            // product has bits or bits-1... with forced top bits it is
+            // exactly `bits` or `bits - 1`.
+            let got = key.public().modulus_bits();
+            assert!(got == bits || got == bits - 1, "bits={bits} got={got}");
+        }
+    }
+
+    #[test]
+    fn default_exponent_is_65537() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let key = RsaKeyPair::generate(&mut rng, 64);
+        assert_eq!(key.public().e, UBig::from_u64(65_537));
+    }
+
+    #[test]
+    fn distinct_keys_per_invocation() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = RsaKeyPair::generate(&mut rng, 64);
+        let b = RsaKeyPair::generate(&mut rng, 64);
+        assert_ne!(a.public().n, b.public().n);
+    }
+}

@@ -1,0 +1,176 @@
+//! Explicit little-endian encode/decode helpers over `bytes`.
+//!
+//! Every multi-byte integer is little-endian; every variable-length
+//! field is prefixed with a `u32` length. Maximum lengths are enforced
+//! on decode so a corrupted or hostile length prefix cannot trigger an
+//! huge allocation.
+
+use bytes::{Buf, BufMut};
+
+/// Maximum variable-length field size accepted on decode (16 MiB —
+/// comfortably above the largest CMS report, far below anything silly).
+pub const MAX_FIELD_LEN: usize = 16 * 1024 * 1024;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Ran out of bytes mid-field.
+    UnexpectedEof,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// A length prefix exceeded [`MAX_FIELD_LEN`].
+    FieldTooLarge(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of payload"),
+            CodecError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            CodecError::FieldTooLarge(n) => write!(f, "field length {n} exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Checks `buf` has at least `n` remaining bytes.
+fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::UnexpectedEof)
+    } else {
+        Ok(())
+    }
+}
+
+/// Reads a `u8`.
+pub fn get_u8(buf: &mut impl Buf) -> Result<u8, CodecError> {
+    need(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+/// Reads a little-endian `u32`.
+pub fn get_u32(buf: &mut impl Buf) -> Result<u32, CodecError> {
+    need(buf, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+/// Reads a little-endian `u64`.
+pub fn get_u64(buf: &mut impl Buf) -> Result<u64, CodecError> {
+    need(buf, 8)?;
+    Ok(buf.get_u64_le())
+}
+
+/// Reads an `f64` (LE bit pattern).
+pub fn get_f64(buf: &mut impl Buf) -> Result<f64, CodecError> {
+    Ok(f64::from_bits(get_u64(buf)?))
+}
+
+/// Reads a length-prefixed byte vector.
+pub fn get_bytes(buf: &mut impl Buf) -> Result<Vec<u8>, CodecError> {
+    let len = get_u32(buf)? as usize;
+    if len > MAX_FIELD_LEN {
+        return Err(CodecError::FieldTooLarge(len));
+    }
+    need(buf, len)?;
+    let mut out = vec![0u8; len];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+/// Reads a length-prefixed `u32` vector.
+pub fn get_u32_vec(buf: &mut impl Buf) -> Result<Vec<u32>, CodecError> {
+    let len = get_u32(buf)? as usize;
+    if len.saturating_mul(4) > MAX_FIELD_LEN {
+        return Err(CodecError::FieldTooLarge(len));
+    }
+    need(buf, len * 4)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(buf.get_u32_le());
+    }
+    Ok(out)
+}
+
+/// Reads a length-prefixed `u32`-element id list (same wire shape as
+/// [`get_u32_vec`], separate name for clarity at call sites).
+pub fn get_user_list(buf: &mut impl Buf) -> Result<Vec<u32>, CodecError> {
+    get_u32_vec(buf)
+}
+
+/// Writes a length-prefixed byte slice.
+pub fn put_bytes(buf: &mut impl BufMut, data: &[u8]) {
+    debug_assert!(data.len() <= MAX_FIELD_LEN);
+    buf.put_u32_le(data.len() as u32);
+    buf.put_slice(data);
+}
+
+/// Writes a length-prefixed `u32` slice.
+pub fn put_u32_vec(buf: &mut impl BufMut, data: &[u32]) {
+    debug_assert!(data.len() * 4 <= MAX_FIELD_LEN);
+    buf.put_u32_le(data.len() as u32);
+    for &v in data {
+        buf.put_u32_le(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u32_le(0xdead_beef);
+        buf.put_u64_le(0x0123_4567_89ab_cdef);
+        buf.put_u64_le(1.5f64.to_bits());
+        let mut r = &buf[..];
+        assert_eq!(get_u8(&mut r).unwrap(), 7);
+        assert_eq!(get_u32(&mut r).unwrap(), 0xdead_beef);
+        assert_eq!(get_u64(&mut r).unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(get_f64(&mut r).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn roundtrip_vectors() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"hello");
+        put_u32_vec(&mut buf, &[1, 2, 3]);
+        let mut r = &buf[..];
+        assert_eq!(get_bytes(&mut r).unwrap(), b"hello");
+        assert_eq!(get_u32_vec(&mut r).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn eof_detected() {
+        let buf = [1u8, 2];
+        let mut r = &buf[..];
+        assert_eq!(get_u64(&mut r), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(u32::MAX); // absurd length prefix
+        let mut r = &buf[..];
+        assert!(matches!(
+            get_bytes(&mut r),
+            Err(CodecError::FieldTooLarge(_))
+        ));
+        let mut r2 = &buf[..];
+        assert!(matches!(
+            get_u32_vec(&mut r2),
+            Err(CodecError::FieldTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_vector_detected() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(10); // claims 10 u32s
+        buf.put_u32_le(1); // only provides one
+        let mut r = &buf[..];
+        assert_eq!(get_u32_vec(&mut r), Err(CodecError::UnexpectedEof));
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! # ew-proto — the eyeWnder wire protocol
+//!
+//! Message codecs, length-prefixed framing and an in-process transport
+//! for the traffic between the three parties of the paper's architecture
+//! (Figure 1): browser-extension **clients**, the **backend** aggregation
+//! server and the **oprf-server**.
+//!
+//! Design follows the networking guides used for this reproduction
+//! (smoltcp's "simplicity and robustness" ethos): an explicit, versioned
+//! binary format — no reflection, no derived serialization — plus fault
+//! injection at the transport layer (drop / corrupt / duplicate /
+//! reorder) so the system tests can exercise failure paths on one
+//! machine.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! +----------+----------+------------------+-------------+
+//! | magic u16| len  u32 | payload (len B)  | crc32 u32   |
+//! +----------+----------+------------------+-------------+
+//! ```
+//!
+//! * `magic` = `0xE71D` guards against stream desync,
+//! * `len` is the payload length,
+//! * `crc32` (IEEE 802.3 polynomial) covers the payload; a corrupted
+//!   frame decodes to [`FrameError::BadChecksum`] instead of garbage.
+//!
+//! Payloads are [`Message`]s encoded with explicit little-endian codecs
+//! ([`codec`]).
+
+pub mod codec;
+pub mod crc32;
+pub mod fault;
+pub mod framing;
+pub mod message;
+pub mod transport;
+
+#[cfg(test)]
+mod proptests;
+
+pub use fault::{FaultConfig, FaultyLink};
+pub use framing::{FrameDecoder, FrameError, MAGIC};
+pub use message::Message;
+pub use transport::{channel_pair, Endpoint};

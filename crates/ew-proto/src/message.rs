@@ -1,0 +1,334 @@
+//! The protocol messages exchanged by clients, the backend and the
+//! oprf-server (the arrows of the paper's Figure 1, plus the two-round
+//! fault-tolerance exchange of §6).
+
+use crate::codec::{
+    get_bytes, get_f64, get_u32, get_u32_vec, get_u64, get_u8, get_user_list, put_bytes,
+    put_u32_vec, CodecError,
+};
+use bytes::BufMut;
+
+/// All protocol messages. Group elements travel as big-endian byte
+/// strings (the crypto layer's canonical serialization).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → backend bulletin board: enrolment, publishing the DH
+    /// public key used for blinding agreements.
+    PublishKey {
+        /// Sender's user id.
+        user: u32,
+        /// Serialized DH public key.
+        public_key: Vec<u8>,
+    },
+    /// Client → oprf-server: a blinded ad-URL hash to be "signed".
+    OprfRequest {
+        /// Client-chosen correlation id.
+        request_id: u64,
+        /// Blinded element `H(x)·r^e mod N`.
+        blinded: Vec<u8>,
+    },
+    /// oprf-server → client: the signed element.
+    OprfResponse {
+        /// Echoed correlation id.
+        request_id: u64,
+        /// `(blinded)^d mod N`.
+        element: Vec<u8>,
+    },
+    /// Client → backend: the weekly blinded CMS report.
+    Report {
+        /// Sender's user id.
+        user: u32,
+        /// Aggregation round (week index).
+        round: u64,
+        /// Sketch depth (rows).
+        depth: u32,
+        /// Sketch width (columns).
+        width: u32,
+        /// Shared hash seed of the sketch.
+        seed: u64,
+        /// Blinded cells, row-major.
+        cells: Vec<u32>,
+    },
+    /// Backend → clients: the recovery round's list of clients whose
+    /// reports never arrived.
+    MissingClients {
+        /// Aggregation round.
+        round: u64,
+        /// Missing user ids.
+        users: Vec<u32>,
+    },
+    /// Client → backend: the recovery adjustment vector (the sender's
+    /// residual blinding against the missing set).
+    Adjustment {
+        /// Sender's user id.
+        user: u32,
+        /// Aggregation round.
+        round: u64,
+        /// Adjustment cells.
+        cells: Vec<u32>,
+    },
+    /// Backend → clients: the computed global threshold (Figure 1,
+    /// arrow 5).
+    ThresholdBroadcast {
+        /// Aggregation round.
+        round: u64,
+        /// `Users_th` for the round.
+        users_threshold: f64,
+    },
+    /// Client → backend: ask for the `#Users` estimate of one ad ID
+    /// (issued when the user audits an ad in real time).
+    UsersQuery {
+        /// Aggregation round to query.
+        round: u64,
+        /// Ad identifier in `[0, |A|)`.
+        ad: u64,
+    },
+    /// Backend → client: the estimate.
+    UsersReply {
+        /// Echoed round.
+        round: u64,
+        /// Echoed ad id.
+        ad: u64,
+        /// CMS estimate of `#Users(ad)`.
+        estimate: u32,
+    },
+}
+
+/// Wire tags (stable; append-only).
+mod tag {
+    pub const PUBLISH_KEY: u8 = 0x01;
+    pub const OPRF_REQUEST: u8 = 0x02;
+    pub const OPRF_RESPONSE: u8 = 0x03;
+    pub const REPORT: u8 = 0x04;
+    pub const MISSING_CLIENTS: u8 = 0x05;
+    pub const ADJUSTMENT: u8 = 0x06;
+    pub const THRESHOLD_BROADCAST: u8 = 0x07;
+    pub const USERS_QUERY: u8 = 0x08;
+    pub const USERS_REPLY: u8 = 0x09;
+}
+
+impl Message {
+    /// Encodes to a payload (no framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        match self {
+            Message::PublishKey { user, public_key } => {
+                buf.put_u8(tag::PUBLISH_KEY);
+                buf.put_u32_le(*user);
+                put_bytes(&mut buf, public_key);
+            }
+            Message::OprfRequest {
+                request_id,
+                blinded,
+            } => {
+                buf.put_u8(tag::OPRF_REQUEST);
+                buf.put_u64_le(*request_id);
+                put_bytes(&mut buf, blinded);
+            }
+            Message::OprfResponse {
+                request_id,
+                element,
+            } => {
+                buf.put_u8(tag::OPRF_RESPONSE);
+                buf.put_u64_le(*request_id);
+                put_bytes(&mut buf, element);
+            }
+            Message::Report {
+                user,
+                round,
+                depth,
+                width,
+                seed,
+                cells,
+            } => {
+                buf.put_u8(tag::REPORT);
+                buf.put_u32_le(*user);
+                buf.put_u64_le(*round);
+                buf.put_u32_le(*depth);
+                buf.put_u32_le(*width);
+                buf.put_u64_le(*seed);
+                put_u32_vec(&mut buf, cells);
+            }
+            Message::MissingClients { round, users } => {
+                buf.put_u8(tag::MISSING_CLIENTS);
+                buf.put_u64_le(*round);
+                put_u32_vec(&mut buf, users);
+            }
+            Message::Adjustment { user, round, cells } => {
+                buf.put_u8(tag::ADJUSTMENT);
+                buf.put_u32_le(*user);
+                buf.put_u64_le(*round);
+                put_u32_vec(&mut buf, cells);
+            }
+            Message::ThresholdBroadcast {
+                round,
+                users_threshold,
+            } => {
+                buf.put_u8(tag::THRESHOLD_BROADCAST);
+                buf.put_u64_le(*round);
+                buf.put_u64_le(users_threshold.to_bits());
+            }
+            Message::UsersQuery { round, ad } => {
+                buf.put_u8(tag::USERS_QUERY);
+                buf.put_u64_le(*round);
+                buf.put_u64_le(*ad);
+            }
+            Message::UsersReply {
+                round,
+                ad,
+                estimate,
+            } => {
+                buf.put_u8(tag::USERS_REPLY);
+                buf.put_u64_le(*round);
+                buf.put_u64_le(*ad);
+                buf.put_u32_le(*estimate);
+            }
+        }
+        buf
+    }
+
+    /// Decodes from a payload. Trailing bytes are rejected as
+    /// corruption.
+    pub fn decode(mut payload: &[u8]) -> Result<Self, CodecError> {
+        let buf = &mut payload;
+        let t = get_u8(buf)?;
+        let msg = match t {
+            tag::PUBLISH_KEY => Message::PublishKey {
+                user: get_u32(buf)?,
+                public_key: get_bytes(buf)?,
+            },
+            tag::OPRF_REQUEST => Message::OprfRequest {
+                request_id: get_u64(buf)?,
+                blinded: get_bytes(buf)?,
+            },
+            tag::OPRF_RESPONSE => Message::OprfResponse {
+                request_id: get_u64(buf)?,
+                element: get_bytes(buf)?,
+            },
+            tag::REPORT => Message::Report {
+                user: get_u32(buf)?,
+                round: get_u64(buf)?,
+                depth: get_u32(buf)?,
+                width: get_u32(buf)?,
+                seed: get_u64(buf)?,
+                cells: get_u32_vec(buf)?,
+            },
+            tag::MISSING_CLIENTS => Message::MissingClients {
+                round: get_u64(buf)?,
+                users: get_user_list(buf)?,
+            },
+            tag::ADJUSTMENT => Message::Adjustment {
+                user: get_u32(buf)?,
+                round: get_u64(buf)?,
+                cells: get_u32_vec(buf)?,
+            },
+            tag::THRESHOLD_BROADCAST => Message::ThresholdBroadcast {
+                round: get_u64(buf)?,
+                users_threshold: get_f64(buf)?,
+            },
+            tag::USERS_QUERY => Message::UsersQuery {
+                round: get_u64(buf)?,
+                ad: get_u64(buf)?,
+            },
+            tag::USERS_REPLY => Message::UsersReply {
+                round: get_u64(buf)?,
+                ad: get_u64(buf)?,
+                estimate: get_u32(buf)?,
+            },
+            other => return Err(CodecError::BadTag(other)),
+        };
+        if !payload.is_empty() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::PublishKey {
+                user: 7,
+                public_key: vec![1, 2, 3, 4],
+            },
+            Message::OprfRequest {
+                request_id: 42,
+                blinded: vec![0xff; 16],
+            },
+            Message::OprfResponse {
+                request_id: 42,
+                element: vec![0xee; 16],
+            },
+            Message::Report {
+                user: 3,
+                round: 12,
+                depth: 4,
+                width: 100,
+                seed: 99,
+                cells: (0..400).collect(),
+            },
+            Message::MissingClients {
+                round: 12,
+                users: vec![1, 5, 9],
+            },
+            Message::Adjustment {
+                user: 3,
+                round: 12,
+                cells: vec![7; 400],
+            },
+            Message::ThresholdBroadcast {
+                round: 12,
+                users_threshold: 2.62,
+            },
+            Message::UsersQuery { round: 12, ad: 555 },
+            Message::UsersReply {
+                round: 12,
+                ad: 555,
+                estimate: 9,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for msg in samples() {
+            let encoded = msg.encode();
+            let decoded = Message::decode(&encoded).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert_eq!(Message::decode(&[0xAA]), Err(CodecError::BadTag(0xAA)));
+    }
+
+    #[test]
+    fn empty_payload_rejected() {
+        assert_eq!(Message::decode(&[]), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut encoded = Message::UsersQuery { round: 1, ad: 2 }.encode();
+        encoded.push(0);
+        assert!(Message::decode(&encoded).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        // Any strict prefix of a valid encoding must fail to decode.
+        for msg in samples() {
+            let encoded = msg.encode();
+            for cut in 0..encoded.len() {
+                assert!(
+                    Message::decode(&encoded[..cut]).is_err(),
+                    "prefix of length {cut} decoded unexpectedly"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Scenario configuration — Table 1 of the paper plus the knobs the
+//! individual experiments sweep.
+
+/// Demographic multipliers on the probability that an eligible targeted
+/// campaign actually wins a slot — the planted effects recovered by the
+/// §8 logistic regression. 1.0 everywhere = no bias.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetingBias {
+    /// Multiplier for female users (paper finds women more targeted).
+    pub female: f64,
+    /// Multiplier for male users.
+    pub male: f64,
+    /// Multipliers per income bracket `[0-30k, 30-60k, 60-90k, 90k+]`.
+    pub income: [f64; 4],
+    /// Multipliers per age bracket `[1-20, 20-30, 30-40, 40-50, 50-60, 60-70]`.
+    pub age: [f64; 6],
+}
+
+impl Default for TargetingBias {
+    fn default() -> Self {
+        TargetingBias {
+            female: 1.0,
+            male: 1.0,
+            income: [1.0; 4],
+            age: [1.0; 6],
+        }
+    }
+}
+
+impl TargetingBias {
+    /// The shape reported by Table 2: women targeted more than men,
+    /// income effect rising through 60–90k then dropping for 90k+, and a
+    /// mild upward age trend.
+    pub fn paper_like() -> Self {
+        TargetingBias {
+            female: 1.0,
+            male: 0.68,
+            income: [0.75, 1.05, 1.1, 0.45],
+            age: [0.65, 0.7, 0.9, 1.15, 0.6, 1.5],
+        }
+    }
+}
+
+/// Full scenario configuration. Defaults are Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// RNG seed — every run is reproducible.
+    pub seed: u64,
+    /// Number of users (Table 1: 500).
+    pub num_users: usize,
+    /// Number of websites (Table 1: 1000).
+    pub num_websites: usize,
+    /// Average page visits per user per week (Table 1: 138).
+    pub avg_user_visits: f64,
+    /// Average static/contextual ads in a site's pool (Table 1: 20).
+    pub avg_ads_per_website: f64,
+    /// Fraction of the *ad population* that is targeted (Table 1: 0.1).
+    pub pct_targeted_ads: f64,
+    /// Frequency cap for targeted campaigns (Figure 3 sweeps 1..=12).
+    pub frequency_cap: u32,
+    /// Ad slots rendered per page visit.
+    pub slots_per_visit: usize,
+    /// Interests per user.
+    pub interests_per_user: usize,
+    /// Zipf exponent for site popularity.
+    pub zipf_exponent: f64,
+    /// Probability a visit is interest-driven (vs popularity-driven) —
+    /// the user-centric-walk mixture weight.
+    pub interest_affinity: f64,
+    /// Probability an *eligible* targeted campaign takes a slot
+    /// (before bias multipliers and cap enforcement).
+    pub targeted_slot_share: f64,
+    /// Mix of targeted campaign kinds `(direct, retargeting, indirect)`;
+    /// must sum to 1.
+    pub targeted_kind_mix: (f64, f64, f64),
+    /// Probability that visiting a retargeting campaign's trigger site
+    /// actually enrols the user in its audience (models "viewed the
+    /// specific product page", which is finer than a whole site).
+    pub retarget_trigger_prob: f64,
+    /// Number of sites a static (brand-awareness) campaign spans.
+    pub static_campaign_spread: usize,
+    /// Fraction of *non-targeted* campaigns that are broad static
+    /// campaigns (the rest are single-site contextual pool ads).
+    pub pct_static_campaigns: f64,
+    /// Demographic targeting bias (identity by default).
+    pub bias: TargetingBias,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 1,
+            num_users: 500,
+            num_websites: 1000,
+            avg_user_visits: 138.0,
+            avg_ads_per_website: 20.0,
+            pct_targeted_ads: 0.1,
+            frequency_cap: 7,
+            slots_per_visit: 3,
+            interests_per_user: 3,
+            zipf_exponent: 0.9,
+            interest_affinity: 0.55,
+            targeted_slot_share: 0.25,
+            targeted_kind_mix: (0.6, 0.25, 0.15),
+            retarget_trigger_prob: 0.3,
+            static_campaign_spread: 12,
+            pct_static_campaigns: 0.05,
+            bias: TargetingBias::default(),
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Table 1 configuration, verbatim.
+    pub fn table1(seed: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// A small, fast configuration for unit tests.
+    pub fn small(seed: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            num_users: 60,
+            num_websites: 120,
+            avg_user_visits: 60.0,
+            avg_ads_per_website: 8.0,
+            ..Default::default()
+        }
+    }
+
+    /// Total number of non-targeted "ad inventory" slots implied by
+    /// Table 1 (`sites × ads-per-site`), from which the campaign counts
+    /// are derived.
+    pub fn total_inventory(&self) -> usize {
+        (self.num_websites as f64 * self.avg_ads_per_website) as usize
+    }
+
+    /// Number of targeted campaigns: `pct_targeted` of the inventory.
+    pub fn num_targeted_campaigns(&self) -> usize {
+        (self.total_inventory() as f64 * self.pct_targeted_ads).round() as usize
+    }
+
+    /// Sanity-checks parameter ranges; call before running.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_users == 0 || self.num_websites == 0 {
+            return Err("need at least one user and one website".into());
+        }
+        if !(0.0..=1.0).contains(&self.pct_targeted_ads) {
+            return Err("pct_targeted_ads out of [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.interest_affinity)
+            || !(0.0..=1.0).contains(&self.targeted_slot_share)
+            || !(0.0..=1.0).contains(&self.pct_static_campaigns)
+            || !(0.0..=1.0).contains(&self.retarget_trigger_prob)
+        {
+            return Err("probability parameter out of [0,1]".into());
+        }
+        let (a, b, c) = self.targeted_kind_mix;
+        if (a + b + c - 1.0).abs() > 1e-9 || a < 0.0 || b < 0.0 || c < 0.0 {
+            return Err("targeted_kind_mix must be a distribution".into());
+        }
+        if self.slots_per_visit == 0 {
+            return Err("need at least one ad slot per visit".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let c = ScenarioConfig::table1(7);
+        assert_eq!(c.num_users, 500);
+        assert_eq!(c.num_websites, 1000);
+        assert_eq!(c.avg_user_visits, 138.0);
+        assert_eq!(c.avg_ads_per_website, 20.0);
+        assert_eq!(c.pct_targeted_ads, 0.1);
+        assert_eq!(c.total_inventory(), 20_000);
+        assert_eq!(c.num_targeted_campaigns(), 2_000);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        let mut c = ScenarioConfig::default();
+        c.pct_targeted_ads = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = ScenarioConfig::default();
+        c.targeted_kind_mix = (0.5, 0.2, 0.2);
+        assert!(c.validate().is_err());
+
+        let mut c = ScenarioConfig::default();
+        c.num_users = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ScenarioConfig::default();
+        c.slots_per_visit = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn paper_bias_shape() {
+        let b = TargetingBias::paper_like();
+        assert!(b.female > b.male, "women more targeted");
+        assert!(b.income[1] > b.income[0]);
+        assert!(b.income[2] > b.income[0]);
+        assert!(b.income[3] < b.income[0], "90k+ less targeted");
+    }
+}

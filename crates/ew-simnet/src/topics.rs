@@ -1,0 +1,79 @@
+//! A small fixed topic taxonomy for websites, user interests and ad
+//! content — the vocabulary over which "semantic overlap" (the
+//! content-based heuristic of §7.3.2) is defined.
+
+/// Index into [`TOPIC_NAMES`].
+pub type TopicId = usize;
+
+/// Human-readable topic labels, loosely modelled on the AdWords verticals
+/// the paper's content-based heuristic used.
+pub const TOPIC_NAMES: [&str; 24] = [
+    "sports",
+    "technology",
+    "fashion",
+    "travel",
+    "finance",
+    "food",
+    "health",
+    "automotive",
+    "gaming",
+    "music",
+    "movies",
+    "news",
+    "real-estate",
+    "education",
+    "pets",
+    "fitness",
+    "beauty",
+    "electronics",
+    "programming",
+    "insurance",
+    "dating",
+    "government",
+    "home-garden",
+    "kids",
+];
+
+/// Number of topics in the taxonomy.
+pub const NUM_TOPICS: usize = TOPIC_NAMES.len();
+
+/// Whether an ad about `ad_topic` semantically overlaps a user profile
+/// (set of interest topics). This is deliberately the *direct* notion of
+/// overlap — indirect targeting is precisely the case where a campaign's
+/// audience does **not** overlap its content topic, which is what the
+/// content-based baseline cannot see (§2.1).
+pub fn semantic_overlap(profile: &[TopicId], ad_topic: TopicId) -> bool {
+    profile.contains(&ad_topic)
+}
+
+/// Name of a topic (for logs and example output).
+pub fn topic_name(t: TopicId) -> &'static str {
+    TOPIC_NAMES[t % NUM_TOPICS]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_nonempty_and_distinct() {
+        assert_eq!(NUM_TOPICS, 24);
+        let mut names: Vec<&str> = TOPIC_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_TOPICS, "topic names must be unique");
+    }
+
+    #[test]
+    fn overlap_semantics() {
+        assert!(semantic_overlap(&[1, 5, 7], 5));
+        assert!(!semantic_overlap(&[1, 5, 7], 2));
+        assert!(!semantic_overlap(&[], 0));
+    }
+
+    #[test]
+    fn topic_name_wraps() {
+        assert_eq!(topic_name(0), "sports");
+        assert_eq!(topic_name(NUM_TOPICS), "sports");
+    }
+}

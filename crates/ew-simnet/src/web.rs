@@ -1,0 +1,63 @@
+//! Simulated websites (publishers): Zipf popularity, topic labels, and
+//! domain name rendering for the detection layer (which counts *domains*).
+
+use crate::topics::{topic_name, TopicId, NUM_TOPICS};
+use rand::Rng;
+
+/// Identifier of a website (index into the scenario's site table).
+pub type SiteId = u32;
+
+/// One publisher site.
+#[derive(Debug, Clone)]
+pub struct Website {
+    /// Stable identifier; also the Zipf popularity rank (0 = most popular).
+    pub id: SiteId,
+    /// The site's dominant topic (drives contextual ads and
+    /// interest-driven visits).
+    pub topic: TopicId,
+    /// Indices of static/contextual campaigns in the site's local ad pool
+    /// (filled in by the scenario builder).
+    pub ad_pool: Vec<usize>,
+}
+
+impl Website {
+    /// Generates a site with a random topic and an empty pool.
+    pub fn generate<R: Rng + ?Sized>(id: SiteId, rng: &mut R) -> Self {
+        Website {
+            id,
+            topic: rng.gen_range(0..NUM_TOPICS),
+            ad_pool: Vec::new(),
+        }
+    }
+
+    /// Synthetic domain name, e.g. `"sports-0042.example"`.
+    pub fn domain(&self) -> String {
+        format!("{}-{:04}.example", topic_name(self.topic), self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn domains_unique_per_site() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sites: Vec<Website> = (0..100).map(|id| Website::generate(id, &mut rng)).collect();
+        let mut domains: Vec<String> = sites.iter().map(|s| s.domain()).collect();
+        domains.sort();
+        domains.dedup();
+        assert_eq!(domains.len(), 100);
+    }
+
+    #[test]
+    fn topics_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for id in 0..50 {
+            let s = Website::generate(id, &mut rng);
+            assert!(s.topic < NUM_TOPICS);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The count-min sketch (Cormode–Muthukrishnan, J. Algorithms 2005).
+
+use crate::hashing::{fold_item, RowHash};
+use crate::params::CmsParams;
+
+/// A count-min sketch over 64-bit items with 4-byte (u32) cells.
+///
+/// Cells saturate rather than wrap on local updates — a single client
+/// never legitimately counts near `u32::MAX`, and saturating keeps the
+/// "never under-estimate within u32 range" invariant intact. (The
+/// *blinded* wire form in [`crate::blinded`] wraps instead, because
+/// blinding arithmetic lives in `Z_{2^32}`.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountMinSketch {
+    params: CmsParams,
+    rows: Vec<RowHash>,
+    /// Row-major cells: `cells[row * width + col]`.
+    cells: Vec<u32>,
+    /// Total number of insertions (`N` in the error bound).
+    insertions: u64,
+}
+
+impl CountMinSketch {
+    /// Empty sketch with the given dimensions.
+    pub fn new(params: CmsParams) -> Self {
+        let rows = (0..params.depth)
+            .map(|r| RowHash::derive(params.hash_seed, r))
+            .collect();
+        CountMinSketch {
+            params,
+            rows,
+            cells: vec![0u32; params.num_cells()],
+            insertions: 0,
+        }
+    }
+
+    /// The sketch dimensions.
+    pub fn params(&self) -> CmsParams {
+        self.params
+    }
+
+    /// Raw cells, row-major. This is what gets blinded and shipped.
+    pub fn cells(&self) -> &[u32] {
+        &self.cells
+    }
+
+    /// Rebuilds a sketch from raw cells (e.g. an unblinded aggregate),
+    /// so the standard `query` API works on server-side aggregates.
+    ///
+    /// `insertions` is the caller's best estimate of the total count
+    /// (used only by [`Self::error_bound`]).
+    pub fn from_cells(params: CmsParams, cells: Vec<u32>, insertions: u64) -> Self {
+        assert_eq!(cells.len(), params.num_cells(), "cell count mismatch");
+        let rows = (0..params.depth)
+            .map(|r| RowHash::derive(params.hash_seed, r))
+            .collect();
+        CountMinSketch {
+            params,
+            rows,
+            cells,
+            insertions,
+        }
+    }
+
+    /// Total insertions so far.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// `X.update(x)`: adds one occurrence of `item`.
+    pub fn update(&mut self, item: u64) {
+        self.update_by(item, 1);
+    }
+
+    /// Adds `count` occurrences of `item`.
+    pub fn update_by(&mut self, item: u64, count: u32) {
+        let width = self.params.width;
+        for (r, row) in self.rows.iter().enumerate() {
+            let idx = r * width + row.column(item, width);
+            self.cells[idx] = self.cells[idx].saturating_add(count);
+        }
+        self.insertions += count as u64;
+    }
+
+    /// Convenience: update with an arbitrary byte identifier (folded).
+    pub fn update_bytes(&mut self, item: &[u8]) {
+        self.update(fold_item(item));
+    }
+
+    /// `X.query(x)`: the frequency estimate `min_j X[j, h_j(x)]`.
+    ///
+    /// Guarantees (for an unblinded, non-overflowed sketch):
+    /// `true <= estimate` always, and `estimate <= true + ε·N` with
+    /// probability `1 − δ` for the `(ε, δ)` the sketch was sized for.
+    pub fn query(&self, item: u64) -> u32 {
+        let width = self.params.width;
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(r, row)| self.cells[r * width + row.column(item, width)])
+            .min()
+            .expect("depth >= 1")
+    }
+
+    /// Byte-identifier variant of [`Self::query`].
+    pub fn query_bytes(&self, item: &[u8]) -> u32 {
+        self.query(fold_item(item))
+    }
+
+    /// Cell-wise merge of another sketch with identical parameters.
+    ///
+    /// # Panics
+    /// Panics if dimensions or hash seeds differ.
+    pub fn merge(&mut self, other: &CountMinSketch) {
+        assert_eq!(self.params, other.params, "merging incompatible sketches");
+        for (c, o) in self.cells.iter_mut().zip(&other.cells) {
+            *c = c.saturating_add(*o);
+        }
+        self.insertions += other.insertions;
+    }
+
+    /// The additive error `ε·N` implied by the current fill, where `ε`
+    /// is reconstructed from the width (`ε = e / w`).
+    pub fn error_bound(&self) -> f64 {
+        let epsilon = std::f64::consts::E / self.params.width as f64;
+        epsilon * self.insertions as f64
+    }
+
+    /// Resets all cells (new aggregation window).
+    pub fn clear(&mut self) {
+        self.cells.fill(0);
+        self.insertions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CmsParams {
+        CmsParams::new(5, 256, 42)
+    }
+
+    #[test]
+    fn exact_when_sparse() {
+        let mut cms = CountMinSketch::new(params());
+        for (item, count) in [(1u64, 3u32), (2, 7), (999, 1)] {
+            for _ in 0..count {
+                cms.update(item);
+            }
+        }
+        assert_eq!(cms.query(1), 3);
+        assert_eq!(cms.query(2), 7);
+        assert_eq!(cms.query(999), 1);
+        assert_eq!(cms.insertions(), 11);
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut cms = CountMinSketch::new(CmsParams::new(4, 32, 7));
+        let mut truth = std::collections::HashMap::new();
+        // Overload a tiny sketch to force collisions.
+        for i in 0..500u64 {
+            let item = i % 97;
+            cms.update(item);
+            *truth.entry(item).or_insert(0u32) += 1;
+        }
+        for (&item, &count) in &truth {
+            assert!(cms.query(item) >= count, "item {item}");
+        }
+    }
+
+    #[test]
+    fn unseen_item_usually_zero_when_sparse() {
+        let mut cms = CountMinSketch::new(params());
+        cms.update(1);
+        cms.update(2);
+        // With 5 rows of 256 columns and 2 items, a fixed third item
+        // colliding in all 5 rows is essentially impossible.
+        assert_eq!(cms.query(31337), 0);
+    }
+
+    #[test]
+    fn update_by_equals_repeated_update() {
+        let mut a = CountMinSketch::new(params());
+        let mut b = CountMinSketch::new(params());
+        a.update_by(5, 9);
+        for _ in 0..9 {
+            b.update(5);
+        }
+        assert_eq!(a.cells(), b.cells());
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = CountMinSketch::new(params());
+        let mut b = CountMinSketch::new(params());
+        a.update_by(1, 2);
+        b.update_by(1, 3);
+        b.update_by(7, 1);
+        a.merge(&b);
+        assert_eq!(a.query(1), 5);
+        assert_eq!(a.query(7), 1);
+        assert_eq!(a.insertions(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merge_incompatible_panics() {
+        let mut a = CountMinSketch::new(CmsParams::new(4, 32, 7));
+        let b = CountMinSketch::new(CmsParams::new(4, 32, 8));
+        a.merge(&b);
+    }
+
+    #[test]
+    fn from_cells_roundtrip() {
+        let mut cms = CountMinSketch::new(params());
+        cms.update_by(11, 4);
+        let rebuilt =
+            CountMinSketch::from_cells(cms.params(), cms.cells().to_vec(), cms.insertions());
+        assert_eq!(rebuilt.query(11), 4);
+    }
+
+    #[test]
+    fn bytes_api_consistent() {
+        let mut cms = CountMinSketch::new(params());
+        cms.update_bytes(b"https://ads.example/1");
+        cms.update_bytes(b"https://ads.example/1");
+        assert_eq!(cms.query_bytes(b"https://ads.example/1"), 2);
+        assert_eq!(cms.query_bytes(b"https://ads.example/2"), 0);
+    }
+
+    #[test]
+    fn error_bound_within_spec_mostly() {
+        // Statistical check of the (eps, delta) guarantee on a
+        // deliberately loaded sketch.
+        let p = CmsParams::from_error_bounds(0.01, 0.01, 2000, 3);
+        let mut cms = CountMinSketch::new(p);
+        for i in 0..2000u64 {
+            cms.update(i);
+        }
+        let bound = cms.error_bound().ceil() as u32;
+        let violations = (0..2000u64)
+            .filter(|&i| cms.query(i) > 1 + bound)
+            .count();
+        // delta = 1% of 2000 = 20 expected; allow generous slack.
+        assert!(violations <= 60, "violations={violations}");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cms = CountMinSketch::new(params());
+        cms.update(1);
+        cms.clear();
+        assert_eq!(cms.query(1), 0);
+        assert_eq!(cms.insertions(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Conservative-update count-min sketch (Estan–Varghese), a second
+//! accuracy/linearity ablation point next to the spectral Bloom filter.
+//!
+//! Conservative update only raises the cells that *must* rise to keep
+//! the estimate consistent: on inserting `x`, every probed cell below
+//! `query(x) + 1` is lifted to that value, others stay. Over-estimation
+//! drops sharply — but, like minimal increase, the update is
+//! **non-linear**: summing two conservatively-updated sketches is not
+//! the sketch of the combined stream, so it cannot carry the blinded
+//! aggregation of §6. `ew-bench --bin ablation_sketch` quantifies the
+//! accuracy the protocol gives up for linearity.
+
+use crate::hashing::{fold_item, RowHash};
+use crate::params::CmsParams;
+
+/// A count-min sketch with conservative update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConservativeCms {
+    params: CmsParams,
+    rows: Vec<RowHash>,
+    cells: Vec<u32>,
+    insertions: u64,
+}
+
+impl ConservativeCms {
+    /// Empty sketch with the given dimensions.
+    pub fn new(params: CmsParams) -> Self {
+        ConservativeCms {
+            params,
+            rows: (0..params.depth)
+                .map(|r| RowHash::derive(params.hash_seed, r))
+                .collect(),
+            cells: vec![0u32; params.num_cells()],
+            insertions: 0,
+        }
+    }
+
+    /// The sketch dimensions.
+    pub fn params(&self) -> CmsParams {
+        self.params
+    }
+
+    /// Total insertions.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    fn indices(&self, item: u64) -> impl Iterator<Item = usize> + '_ {
+        let width = self.params.width;
+        self.rows
+            .iter()
+            .enumerate()
+            .map(move |(r, row)| r * width + row.column(item, width))
+    }
+
+    /// Conservative insert of one occurrence.
+    pub fn update(&mut self, item: u64) {
+        let target = self.query(item).saturating_add(1);
+        let idx: Vec<usize> = self.indices(item).collect();
+        for i in idx {
+            if self.cells[i] < target {
+                self.cells[i] = target;
+            }
+        }
+        self.insertions += 1;
+    }
+
+    /// Byte-identifier variant of [`Self::update`].
+    pub fn update_bytes(&mut self, item: &[u8]) {
+        self.update(fold_item(item));
+    }
+
+    /// Frequency estimate (same min rule as the plain CMS).
+    pub fn query(&self, item: u64) -> u32 {
+        self.indices(item)
+            .map(|i| self.cells[i])
+            .min()
+            .expect("depth >= 1")
+    }
+
+    /// Byte-identifier variant of [`Self::query`].
+    pub fn query_bytes(&self, item: &[u8]) -> u32 {
+        self.query(fold_item(item))
+    }
+
+    /// Memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.params.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cms::CountMinSketch;
+
+    #[test]
+    fn exact_when_sparse() {
+        let mut c = ConservativeCms::new(CmsParams::new(4, 256, 3));
+        for _ in 0..5 {
+            c.update(9);
+        }
+        c.update(10);
+        assert_eq!(c.query(9), 5);
+        assert_eq!(c.query(10), 1);
+        assert_eq!(c.query(11), 0);
+        assert_eq!(c.insertions(), 6);
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut c = ConservativeCms::new(CmsParams::new(3, 32, 5));
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..600u64 {
+            let item = i % 80;
+            c.update(item);
+            *truth.entry(item).or_insert(0u32) += 1;
+        }
+        for (&item, &count) in &truth {
+            assert!(c.query(item) >= count, "item {item}");
+        }
+    }
+
+    #[test]
+    fn never_worse_than_plain_cms() {
+        let params = CmsParams::new(3, 64, 9);
+        let mut plain = CountMinSketch::new(params);
+        let mut conservative = ConservativeCms::new(params);
+        let mut x = 77u64;
+        for _ in 0..2_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = (x >> 33) % 300;
+            plain.update(item);
+            conservative.update(item);
+        }
+        for item in 0..300u64 {
+            assert!(
+                conservative.query(item) <= plain.query(item),
+                "item {item}: conservative {} > plain {}",
+                conservative.query(item),
+                plain.query(item)
+            );
+        }
+    }
+
+    #[test]
+    fn update_is_not_linear() {
+        // Demonstrate the property that rules it out for the protocol:
+        // sketch(A) + sketch(B) != sketch(A ++ B) cell-wise, in general.
+        // Two rows of two cells: collisions guaranteed, and the
+        // "lift to min+1" rule interacts with them non-additively.
+        // (Depth 1 would degenerate to plain counting, which *is*
+        // additive — the min across rows is what breaks linearity.)
+        let params = CmsParams::new(2, 2, 1);
+        let mut a = ConservativeCms::new(params);
+        let mut b = ConservativeCms::new(params);
+        let mut combined = ConservativeCms::new(params);
+        for i in 0..40u64 {
+            let item = i.wrapping_mul(0x9E37_79B9) % 11;
+            a.update(item);
+            combined.update(item);
+        }
+        for i in 0..40u64 {
+            let item = i.wrapping_mul(0xC2B2_AE3D) % 13;
+            b.update(item);
+            combined.update(item);
+        }
+        let summed: Vec<u32> = a
+            .cells
+            .iter()
+            .zip(&b.cells)
+            .map(|(x, y)| x + y)
+            .collect();
+        assert_ne!(
+            summed, combined.cells,
+            "conservative update must not be additive (else the protocol could use it)"
+        );
+    }
+}

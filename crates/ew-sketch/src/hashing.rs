@@ -1,0 +1,121 @@
+//! Pairwise-independent row hash functions for the sketches.
+//!
+//! Each row `j` uses a universal hash `h_j(x) = ((a_j·x + b_j) mod p) mod w`
+//! over the Mersenne prime `p = 2^61 − 1`, with `(a_j, b_j)` derived
+//! deterministically from the shared sketch seed via SHA-256 so every
+//! cohort member builds *identical* hash functions from `CmsParams`.
+
+use ew_crypto::sha256::Sha256;
+
+/// The Mersenne prime 2^61 − 1.
+const P61: u128 = (1u128 << 61) - 1;
+
+/// One row's `(a, b)` coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowHash {
+    a: u64,
+    b: u64,
+}
+
+impl RowHash {
+    /// Derives row `row`'s coefficients from the sketch seed.
+    pub fn derive(seed: u64, row: usize) -> Self {
+        let digest = Sha256::digest_parts(&[
+            b"eyewnder/sketch/rowhash/v1",
+            &seed.to_be_bytes(),
+            &(row as u64).to_be_bytes(),
+        ]);
+        let a = u64::from_be_bytes(digest[0..8].try_into().expect("8 bytes")) % ((P61 as u64) - 1) + 1;
+        let b = u64::from_be_bytes(digest[8..16].try_into().expect("8 bytes")) % (P61 as u64);
+        RowHash { a, b }
+    }
+
+    /// Maps a 64-bit item to a column in `[0, width)`.
+    pub fn column(&self, item: u64, width: usize) -> usize {
+        debug_assert!(width >= 1);
+        let v = (self.a as u128 * item as u128 + self.b as u128) % P61;
+        (v % width as u128) as usize
+    }
+}
+
+/// Folds arbitrary bytes (e.g. a 32-byte OPRF output or an ad URL) into
+/// the 64-bit item domain used by the sketches.
+pub fn fold_item(bytes: &[u8]) -> u64 {
+    if bytes.len() == 32 {
+        // 32-byte inputs are OPRF outputs: already uniform, take a prefix.
+        u64::from_be_bytes(bytes[0..8].try_into().expect("8 bytes"))
+    } else {
+        // Anything else (URLs share long prefixes) gets hashed first.
+        let digest = Sha256::digest_parts(&[b"eyewnder/sketch/fold/v1", bytes]);
+        u64::from_be_bytes(digest[0..8].try_into().expect("8 bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        assert_eq!(RowHash::derive(7, 3), RowHash::derive(7, 3));
+        assert_ne!(RowHash::derive(7, 3), RowHash::derive(7, 4));
+        assert_ne!(RowHash::derive(7, 3), RowHash::derive(8, 3));
+    }
+
+    #[test]
+    fn columns_in_range() {
+        let h = RowHash::derive(1, 0);
+        for item in 0..1000u64 {
+            assert!(h.column(item, 37) < 37);
+        }
+        assert_eq!(h.column(12345, 1), 0);
+    }
+
+    #[test]
+    fn rows_spread_items() {
+        // Different rows should disagree on at least some items
+        // (pairwise independence sanity check, not a strict proof).
+        let h0 = RowHash::derive(99, 0);
+        let h1 = RowHash::derive(99, 1);
+        let disagreements = (0..1000u64)
+            .filter(|&i| h0.column(i, 101) != h1.column(i, 101))
+            .count();
+        assert!(disagreements > 900, "rows nearly identical: {disagreements}");
+    }
+
+    #[test]
+    fn distribution_roughly_uniform() {
+        let h = RowHash::derive(5, 2);
+        let width = 64usize;
+        let mut buckets = vec![0usize; width];
+        let n = 64_000u64;
+        for i in 0..n {
+            buckets[h.column(i.wrapping_mul(0x9e3779b97f4a7c15), width)] += 1;
+        }
+        let expected = n as usize / width;
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!(
+                b > expected / 2 && b < expected * 2,
+                "bucket {i} count {b} far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_item_distinguishes() {
+        assert_ne!(fold_item(b"a"), fold_item(b"b"));
+        assert_ne!(fold_item(&[0u8; 32]), fold_item(&[1u8; 32]));
+        // URLs sharing a long prefix must still fold apart.
+        assert_ne!(
+            fold_item(b"https://ads.example/creative/1"),
+            fold_item(b"https://ads.example/creative/2")
+        );
+        // Exactly-32-byte inputs (PRF outputs) take their leading 8 bytes.
+        let mut prf_out = [0xabu8; 32];
+        prf_out[0] = 0x01;
+        assert_eq!(
+            fold_item(&prf_out),
+            u64::from_be_bytes(prf_out[0..8].try_into().unwrap())
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the sketch layer: the CMS lower-bound invariant,
+//! merge linearity, and blinded-aggregation round trips.
+
+use crate::blinded::{BlindedSketch, SketchAccumulator};
+use crate::cms::CountMinSketch;
+use crate::exact::ExactCounter;
+use crate::params::CmsParams;
+use proptest::prelude::*;
+
+fn small_params() -> impl Strategy<Value = CmsParams> {
+    (1usize..6, 4usize..64, any::<u64>())
+        .prop_map(|(d, w, seed)| CmsParams::new(d, w, seed))
+}
+
+proptest! {
+    #[test]
+    fn cms_never_underestimates(
+        params in small_params(),
+        items in proptest::collection::vec(0u64..50, 0..300),
+    ) {
+        let mut cms = CountMinSketch::new(params);
+        let mut exact = ExactCounter::new();
+        for &i in &items {
+            cms.update(i);
+            exact.update(i);
+        }
+        for (item, count) in exact.iter() {
+            prop_assert!(cms.query(item) as u64 >= count);
+        }
+        prop_assert_eq!(cms.insertions(), items.len() as u64);
+    }
+
+    #[test]
+    fn cms_row_sums_equal_insertions(
+        params in small_params(),
+        items in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        // Each insertion adds exactly 1 to every row.
+        let mut cms = CountMinSketch::new(params);
+        for &i in &items {
+            cms.update(i);
+        }
+        for r in 0..params.depth {
+            let row_sum: u64 = cms.cells()
+                [r * params.width..(r + 1) * params.width]
+                .iter()
+                .map(|&c| c as u64)
+                .sum();
+            prop_assert_eq!(row_sum, items.len() as u64);
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_stream(
+        params in small_params(),
+        xs in proptest::collection::vec(0u64..100, 0..100),
+        ys in proptest::collection::vec(0u64..100, 0..100),
+    ) {
+        let mut merged = CountMinSketch::new(params);
+        let mut a = CountMinSketch::new(params);
+        let mut b = CountMinSketch::new(params);
+        for &x in &xs {
+            a.update(x);
+            merged.update(x);
+        }
+        for &y in &ys {
+            b.update(y);
+            merged.update(y);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.cells(), merged.cells());
+    }
+
+    #[test]
+    fn accumulator_without_blinding_is_cellwise_sum(
+        params in small_params(),
+        streams in proptest::collection::vec(
+            proptest::collection::vec(0u64..40, 0..50), 1..5),
+    ) {
+        // Raw (unblinded) reports: the accumulator must equal merge().
+        let mut acc = SketchAccumulator::new(params);
+        let mut merged = CountMinSketch::new(params);
+        let mut total = 0u64;
+        for stream in &streams {
+            let mut s = CountMinSketch::new(params);
+            for &i in stream {
+                s.update(i);
+            }
+            total += s.insertions();
+            merged.merge(&s);
+            acc.add(&BlindedSketch::from_raw(params, s.cells().to_vec()));
+        }
+        let agg = acc.finalize(total);
+        prop_assert_eq!(agg.cells(), merged.cells());
+    }
+
+    #[test]
+    fn query_monotone_in_updates(params in small_params(), item in 0u64..1000) {
+        let mut cms = CountMinSketch::new(params);
+        let mut last = cms.query(item);
+        for _ in 0..5 {
+            cms.update(item);
+            let now = cms.query(item);
+            prop_assert!(now >= last + 1, "each update raises the estimate");
+            last = now;
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Descriptive statistics: the moments §4.2 of the paper evaluates as
+//! threshold candidates (mean, median, standard deviation) and the
+//! probability-density histogram plotted in Figure 2.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Population variance. Returns 0 for slices shorter than 2.
+pub fn variance(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(data: &[f64]) -> f64 {
+    variance(data).sqrt()
+}
+
+/// Median (average of middle two for even lengths). Returns 0 when empty.
+pub fn median(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// The `p`-th percentile (0..=100) by linear interpolation.
+pub fn percentile(data: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Histogram normalized to a probability density: returns
+/// `(bin_centers, densities)` over `bins` equal-width bins spanning
+/// `[min, max]` of the data. Empty data yields empty vectors.
+///
+/// Densities integrate to 1 (`Σ density · bin_width = 1`), matching the
+/// "Probability Density" axis of the paper's Figure 2.
+pub fn histogram_pdf(data: &[f64], bins: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(bins >= 1, "need at least one bin");
+    if data.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+    let mut counts = vec![0usize; bins];
+    for &x in data {
+        let mut idx = ((x - lo) / width) as usize;
+        if idx >= bins {
+            idx = bins - 1;
+        }
+        counts[idx] += 1;
+    }
+    let n = data.len() as f64;
+    let centers = (0..bins)
+        .map(|i| lo + width * (i as f64 + 0.5))
+        .collect();
+    let densities = counts
+        .iter()
+        .map(|&c| c as f64 / (n * width))
+        .collect();
+    (centers, densities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn variance_and_stddev() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&data) - 4.0).abs() < 1e-12);
+        assert!((stddev(&data) - 2.0).abs() < 1e-12);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&data, 0.0), 10.0);
+        assert_eq!(percentile(&data, 100.0), 40.0);
+        assert_eq!(percentile(&data, 50.0), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_out_of_range() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn histogram_integrates_to_one() {
+        let data: Vec<f64> = (0..1000).map(|i| (i % 37) as f64).collect();
+        let (centers, densities) = histogram_pdf(&data, 10);
+        assert_eq!(centers.len(), 10);
+        let width = centers[1] - centers[0];
+        let integral: f64 = densities.iter().map(|d| d * width).sum();
+        assert!((integral - 1.0).abs() < 1e-9, "integral={integral}");
+    }
+
+    #[test]
+    fn histogram_constant_data() {
+        let (centers, densities) = histogram_pdf(&[5.0; 20], 4);
+        assert_eq!(centers.len(), 4);
+        // All mass in the first bin (width defaults to 1).
+        assert!(densities[0] > 0.0);
+        assert_eq!(densities[1..].iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let (c, d) = histogram_pdf(&[], 5);
+        assert!(c.is_empty() && d.is_empty());
+    }
+}

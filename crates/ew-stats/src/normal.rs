@@ -1,0 +1,74 @@
+//! The error function and standard normal CDF, for Wald-test p-values.
+//!
+//! `erf` uses the Abramowitz & Stegun 7.1.26 rational approximation
+//! (|error| < 1.5·10⁻⁷), which is plenty for significance stars.
+
+/// Error function `erf(x)`.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF `Φ(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Two-sided p-value for a Wald z statistic: `2·(1 − Φ(|z|))`.
+pub fn wald_p_value(z: f64) -> f64 {
+    2.0 * (1.0 - normal_cdf(z.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(6.0) > 0.999_999);
+        assert!(normal_cdf(-6.0) < 1e-6);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let mut last = 0.0;
+        let mut x = -5.0;
+        while x < 5.0 {
+            let v = normal_cdf(x);
+            assert!(v >= last - 1e-12, "CDF must be non-decreasing");
+            last = v;
+            x += 0.05;
+        }
+    }
+
+    #[test]
+    fn p_values() {
+        assert!((wald_p_value(1.96) - 0.05).abs() < 2e-3);
+        assert!((wald_p_value(0.0) - 1.0).abs() < 1e-7);
+        assert!(wald_p_value(4.0) < 1e-3);
+        // Symmetric in the sign of z.
+        assert_eq!(wald_p_value(2.5), wald_p_value(-2.5));
+    }
+}

@@ -1,0 +1,332 @@
+//! The back-end server (§5): bulletin board, report aggregation with the
+//! two-round missing-client recovery, unblinding-by-summation, `#Users`
+//! enumeration and `Users_th` computation.
+
+use crate::ids::AdIdMapper;
+use ew_bigint::UBig;
+use ew_core::{GlobalView, ThresholdPolicy};
+use ew_crypto::directory::KeyDirectory;
+use ew_sketch::{BlindedSketch, CmsParams, SketchAccumulator};
+use std::collections::BTreeSet;
+
+/// State of one aggregation round at the server.
+#[derive(Debug)]
+struct RoundState {
+    round: u64,
+    accumulator: SketchAccumulator,
+    reported: BTreeSet<u32>,
+    adjusted: BTreeSet<u32>,
+    missing: Vec<u32>,
+}
+
+/// The aggregation server.
+#[derive(Debug)]
+pub struct BackendServer {
+    directory: KeyDirectory,
+    params: CmsParams,
+    mapper: AdIdMapper,
+    policy: ThresholdPolicy,
+    current: Option<RoundState>,
+    /// Finalized global views, newest last.
+    finalized: Vec<(u64, GlobalView)>,
+}
+
+/// Errors in round handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoundError {
+    /// No round is open.
+    NoOpenRound,
+    /// A report arrived for a different round than the open one.
+    WrongRound {
+        /// The round currently open at the server.
+        expected: u64,
+        /// The round the report claimed.
+        got: u64,
+    },
+    /// A report arrived from an unenrolled user.
+    UnknownUser(u32),
+    /// The same user reported twice.
+    DuplicateReport(u32),
+    /// The report's sketch dimensions don't match the cohort parameters.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for RoundError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoundError::NoOpenRound => write!(f, "no aggregation round open"),
+            RoundError::WrongRound { expected, got } => {
+                write!(f, "report for round {got}, expected {expected}")
+            }
+            RoundError::UnknownUser(u) => write!(f, "report from unenrolled user {u}"),
+            RoundError::DuplicateReport(u) => write!(f, "duplicate report from user {u}"),
+            RoundError::DimensionMismatch => write!(f, "sketch dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for RoundError {}
+
+impl BackendServer {
+    /// New server for a cohort with the given sketch parameters and
+    /// ad-ID space.
+    pub fn new(
+        element_len: usize,
+        params: CmsParams,
+        mapper: AdIdMapper,
+        policy: ThresholdPolicy,
+    ) -> Self {
+        BackendServer {
+            directory: KeyDirectory::new(element_len),
+            params,
+            mapper,
+            policy,
+            current: None,
+            finalized: Vec::new(),
+        }
+    }
+
+    /// Enrolls a user by publishing their DH public key.
+    pub fn enroll(&mut self, user: u32, public_key: UBig) {
+        self.directory.publish(user, public_key);
+    }
+
+    /// The bulletin board (clients read it to compute blindings).
+    pub fn directory(&self) -> &KeyDirectory {
+        &self.directory
+    }
+
+    /// The cohort's sketch parameters.
+    pub fn params(&self) -> CmsParams {
+        self.params
+    }
+
+    /// The ad-ID mapper (shared with clients).
+    pub fn mapper(&self) -> AdIdMapper {
+        self.mapper
+    }
+
+    /// Opens aggregation round `round`.
+    pub fn open_round(&mut self, round: u64) {
+        self.current = Some(RoundState {
+            round,
+            accumulator: SketchAccumulator::new(self.params),
+            reported: BTreeSet::new(),
+            adjusted: BTreeSet::new(),
+            missing: Vec::new(),
+        });
+    }
+
+    /// Accepts one blinded report.
+    pub fn receive_report(
+        &mut self,
+        user: u32,
+        round: u64,
+        report: &BlindedSketch,
+    ) -> Result<(), RoundError> {
+        let state = self.current.as_mut().ok_or(RoundError::NoOpenRound)?;
+        if state.round != round {
+            return Err(RoundError::WrongRound {
+                expected: state.round,
+                got: round,
+            });
+        }
+        if self.directory.get(user).is_none() {
+            return Err(RoundError::UnknownUser(user));
+        }
+        if !state.reported.insert(user) {
+            return Err(RoundError::DuplicateReport(user));
+        }
+        if report.params() != self.params {
+            return Err(RoundError::DimensionMismatch);
+        }
+        state.accumulator.add(report);
+        Ok(())
+    }
+
+    /// After the report deadline: the list of enrolled users whose
+    /// reports never arrived. Broadcast to the cohort, whose members
+    /// answer with adjustments (§6 "Fault-tolerance").
+    pub fn missing_clients(&mut self) -> Result<Vec<u32>, RoundError> {
+        let state = self.current.as_mut().ok_or(RoundError::NoOpenRound)?;
+        let missing: Vec<u32> = self
+            .directory
+            .user_ids()
+            .filter(|u| !state.reported.contains(u))
+            .collect();
+        state.missing = missing.clone();
+        Ok(missing)
+    }
+
+    /// Accepts one recovery adjustment from a reporting client.
+    pub fn receive_adjustment(
+        &mut self,
+        user: u32,
+        round: u64,
+        adjustment: &[u32],
+    ) -> Result<(), RoundError> {
+        let state = self.current.as_mut().ok_or(RoundError::NoOpenRound)?;
+        if state.round != round {
+            return Err(RoundError::WrongRound {
+                expected: state.round,
+                got: round,
+            });
+        }
+        if !state.reported.contains(&user) {
+            return Err(RoundError::UnknownUser(user));
+        }
+        if !state.adjusted.insert(user) {
+            return Err(RoundError::DuplicateReport(user));
+        }
+        if adjustment.len() != self.params.num_cells() {
+            return Err(RoundError::DimensionMismatch);
+        }
+        state.accumulator.subtract_adjustment(adjustment);
+        Ok(())
+    }
+
+    /// Closes the round: unblinds (by summation), enumerates the ad-ID
+    /// space and computes the global view + `Users_th`.
+    ///
+    /// Correct when either every enrolled client reported, or every
+    /// reporting client sent its adjustment for the missing set.
+    pub fn finalize_round(&mut self) -> Result<&GlobalView, RoundError> {
+        let state = self.current.take().ok_or(RoundError::NoOpenRound)?;
+        let reports = state.accumulator.reports();
+        let aggregate = state.accumulator.finalize(reports as u64);
+        let estimates = self
+            .mapper
+            .all_ids()
+            .map(|ad| (ad, aggregate.query(ad) as f64));
+        let view = GlobalView::from_estimates(estimates, self.policy);
+        self.finalized.push((state.round, view));
+        Ok(&self.finalized.last().expect("just pushed").1)
+    }
+
+    /// The most recent finalized view, if any.
+    pub fn latest_view(&self) -> Option<&GlobalView> {
+        self.finalized.last().map(|(_, v)| v)
+    }
+
+    /// A finalized view by round.
+    pub fn view_for_round(&self, round: u64) -> Option<&GlobalView> {
+        self.finalized
+            .iter()
+            .find(|(r, _)| *r == round)
+            .map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ew_sketch::BlindedSketch;
+
+    fn server() -> BackendServer {
+        BackendServer::new(
+            8,
+            CmsParams::new(2, 32, 3),
+            AdIdMapper::new(64),
+            ThresholdPolicy::Mean,
+        )
+    }
+
+    fn raw_report(params: CmsParams, ads: &[u64]) -> BlindedSketch {
+        let mut s = ew_sketch::CountMinSketch::new(params);
+        for &a in ads {
+            s.update(a);
+        }
+        BlindedSketch::from_raw(params, s.cells().to_vec())
+    }
+
+    #[test]
+    fn round_lifecycle_cleartext() {
+        let mut srv = server();
+        for u in 0..3 {
+            srv.enroll(u, UBig::from_u64(u as u64 + 1));
+        }
+        srv.open_round(1);
+        let p = srv.params();
+        srv.receive_report(0, 1, &raw_report(p, &[5, 9])).unwrap();
+        srv.receive_report(1, 1, &raw_report(p, &[5])).unwrap();
+        srv.receive_report(2, 1, &raw_report(p, &[5, 60])).unwrap();
+        assert_eq!(srv.missing_clients().unwrap(), Vec::<u32>::new());
+        let view = srv.finalize_round().unwrap();
+        assert_eq!(view.users(5), 3.0);
+        assert_eq!(view.users(9), 1.0);
+        assert_eq!(view.users(60), 1.0);
+        // Threshold = mean of {3, 1, 1}.
+        assert!((view.users_threshold() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut srv = server();
+        srv.enroll(0, UBig::from_u64(1));
+        let p = srv.params();
+
+        // No round open yet.
+        assert_eq!(
+            srv.receive_report(0, 1, &raw_report(p, &[])),
+            Err(RoundError::NoOpenRound)
+        );
+
+        srv.open_round(1);
+        // Wrong round.
+        assert_eq!(
+            srv.receive_report(0, 2, &raw_report(p, &[])),
+            Err(RoundError::WrongRound {
+                expected: 1,
+                got: 2
+            })
+        );
+        // Unknown user.
+        assert_eq!(
+            srv.receive_report(9, 1, &raw_report(p, &[])),
+            Err(RoundError::UnknownUser(9))
+        );
+        // Duplicate.
+        srv.receive_report(0, 1, &raw_report(p, &[1])).unwrap();
+        assert_eq!(
+            srv.receive_report(0, 1, &raw_report(p, &[1])),
+            Err(RoundError::DuplicateReport(0))
+        );
+        // Dimension mismatch.
+        let bad = raw_report(CmsParams::new(2, 16, 3), &[]);
+        srv.enroll(1, UBig::from_u64(2));
+        assert_eq!(
+            srv.receive_report(1, 1, &bad),
+            Err(RoundError::DimensionMismatch)
+        );
+    }
+
+    #[test]
+    fn missing_detection() {
+        let mut srv = server();
+        for u in 0..4 {
+            srv.enroll(u, UBig::from_u64(u as u64 + 1));
+        }
+        srv.open_round(2);
+        let p = srv.params();
+        srv.receive_report(0, 2, &raw_report(p, &[1])).unwrap();
+        srv.receive_report(2, 2, &raw_report(p, &[1])).unwrap();
+        assert_eq!(srv.missing_clients().unwrap(), vec![1, 3]);
+    }
+
+    #[test]
+    fn views_kept_per_round() {
+        let mut srv = server();
+        srv.enroll(0, UBig::from_u64(1));
+        for round in 1..=2 {
+            srv.open_round(round);
+            let p = srv.params();
+            srv.receive_report(0, round, &raw_report(p, &[round]))
+                .unwrap();
+            srv.finalize_round().unwrap();
+        }
+        assert!(srv.view_for_round(1).is_some());
+        assert!(srv.view_for_round(2).is_some());
+        assert!(srv.view_for_round(3).is_none());
+        assert_eq!(srv.latest_view().unwrap().users(2), 1.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! The client — the model of the paper's browser extension (§5):
+//! observes rendered ads, resolves ad URLs to compact IDs via the OPRF,
+//! keeps the local `#Domains` counters, ships the weekly blinded CMS
+//! report and classifies audited ads with the `ew-core` detector.
+
+use crate::ids::AdIdMapper;
+use crate::oprf_server::OprfService;
+use ew_bigint::UBig;
+use ew_core::{AdKey, Detector, DomainKey, GlobalView, UserCounters, Verdict};
+use ew_crypto::blinding::{BlindingGenerator, BlindingParams};
+use ew_crypto::dh::DhKeyPair;
+use ew_crypto::directory::KeyDirectory;
+use ew_crypto::group::ModpGroup;
+use ew_crypto::oprf::{OprfClient, PendingRequest};
+use ew_sketch::{BlindedSketch, CmsParams, CountMinSketch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeSet, HashMap};
+
+/// One eyeWnder client (user + extension).
+#[derive(Debug)]
+pub struct Client {
+    id: u32,
+    keypair: DhKeyPair,
+    oprf: OprfClient,
+    mapper: AdIdMapper,
+    blinding: Option<BlindingGenerator>,
+    /// URL → ad-ID cache: "the mapping is done once per (unique) ad ...
+    /// results can be stored locally" (§7.1).
+    id_cache: HashMap<String, AdKey>,
+    counters: UserCounters,
+    /// Distinct ads seen this window — the *set* encoded in the CMS, so
+    /// the aggregate counts users-per-ad, not impressions-per-ad.
+    seen_ads: BTreeSet<AdKey>,
+    rng: StdRng,
+}
+
+impl Client {
+    /// Creates a client, generating its DH key pair in `group`.
+    pub fn new(
+        id: u32,
+        group: &ModpGroup,
+        oprf_public: ew_crypto::rsa::RsaPublicKey,
+        mapper: AdIdMapper,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9));
+        let keypair = DhKeyPair::generate(group, &mut rng);
+        Client {
+            id,
+            keypair,
+            oprf: OprfClient::new(oprf_public),
+            mapper,
+            blinding: None,
+            id_cache: HashMap::new(),
+            counters: UserCounters::new(),
+            seen_ads: BTreeSet::new(),
+            rng,
+        }
+    }
+
+    /// This client's user id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The DH public key to publish on the bulletin board.
+    pub fn public_key(&self) -> &UBig {
+        self.keypair.public()
+    }
+
+    /// Precomputes pairwise blinding secrets once the directory is
+    /// complete (done once per cohort, §7.1).
+    pub fn setup_blinding(&mut self, group: &ModpGroup, directory: &KeyDirectory) {
+        self.blinding = Some(BlindingGenerator::new(
+            group,
+            self.id,
+            &self.keypair,
+            directory,
+        ));
+    }
+
+    /// True once blinding secrets are ready.
+    pub fn blinding_ready(&self) -> bool {
+        self.blinding.is_some()
+    }
+
+    /// Step 1 of the OPRF for an uncached URL: returns the pending state
+    /// and the blinded element to send (wire path). Returns `None` if
+    /// the URL is already cached.
+    pub fn oprf_blind(&mut self, url: &str) -> Option<(PendingRequest, Vec<u8>)> {
+        if self.id_cache.contains_key(url) {
+            return None;
+        }
+        let pending = self
+            .oprf
+            .blind(&mut self.rng, url.as_bytes())
+            .expect("blinding is always invertible for valid N");
+        let wire = pending.blinded.to_bytes_be();
+        Some((pending, wire))
+    }
+
+    /// Step 3 of the OPRF: unblinds the server's response and caches the
+    /// resulting ad ID.
+    pub fn oprf_finish(&mut self, url: &str, pending: &PendingRequest, response: &[u8]) -> AdKey {
+        let out = self
+            .oprf
+            .finalize(pending, &UBig::from_bytes_be(response))
+            .expect("response in range");
+        let ad = self.mapper.to_ad_id(&out);
+        self.id_cache.insert(url.to_string(), ad);
+        ad
+    }
+
+    /// Resolves a URL to an ad ID via a direct call to the service
+    /// (the fast path used by the simulation harness; the wire path is
+    /// exercised by the system-level tests).
+    pub fn map_ad(&mut self, url: &str, service: &mut OprfService) -> AdKey {
+        if let Some(&ad) = self.id_cache.get(url) {
+            return ad;
+        }
+        let (pending, wire) = self
+            .oprf_blind(url)
+            .expect("uncached URL yields a request");
+        let response = service
+            .evaluate(&UBig::from_bytes_be(&wire))
+            .expect("in-range element");
+        self.oprf_finish(
+            url,
+            &pending,
+            &response.to_bytes_be_padded(self.oprf.public().element_len()),
+        )
+    }
+
+    /// Records one rendered impression.
+    pub fn observe(&mut self, ad: AdKey, domain: DomainKey) {
+        self.counters.observe(ad, domain);
+        self.seen_ads.insert(ad);
+    }
+
+    /// Local counters (for auditing and diagnostics).
+    pub fn counters(&self) -> &UserCounters {
+        &self.counters
+    }
+
+    /// Number of distinct ads seen this window.
+    pub fn distinct_ads(&self) -> usize {
+        self.seen_ads.len()
+    }
+
+    /// Builds the weekly blinded report: the *set* of seen ads encoded
+    /// in a CMS, every cell blinded for `round`.
+    ///
+    /// # Panics
+    /// Panics if [`Self::setup_blinding`] has not run.
+    pub fn build_report(&self, params: CmsParams, round: u64) -> BlindedSketch {
+        let generator = self
+            .blinding
+            .as_ref()
+            .expect("blinding must be set up before reporting");
+        let mut sketch = CountMinSketch::new(params);
+        for &ad in &self.seen_ads {
+            sketch.update(ad);
+        }
+        BlindedSketch::from_sketch(&sketch, generator, round)
+    }
+
+    /// The recovery-round adjustment for a set of missing clients.
+    pub fn adjustment(&self, params: CmsParams, round: u64, missing: &[u32]) -> Vec<u32> {
+        let generator = self
+            .blinding
+            .as_ref()
+            .expect("blinding must be set up before adjusting");
+        generator.adjustment_vector(
+            BlindingParams {
+                round,
+                num_cells: params.num_cells(),
+            },
+            missing,
+        )
+    }
+
+    /// Audits one ad against the backend's global view — the real-time
+    /// user-facing operation of the paper.
+    pub fn audit(&self, ad: AdKey, global: &GlobalView, detector: &Detector) -> Verdict {
+        detector.classify(&self.counters, ad, global)
+    }
+
+    /// Clears the weekly window (after a report round completes).
+    pub fn reset_window(&mut self) {
+        self.counters.reset();
+        self.seen_ads.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ew_core::DetectorConfig;
+    use ew_core::ThresholdPolicy;
+
+    fn setup() -> (ModpGroup, OprfService, AdIdMapper, StdRng) {
+        let mut rng = StdRng::seed_from_u64(60);
+        let group = ModpGroup::generate(&mut rng, 64);
+        let service = OprfService::generate(&mut rng, 128);
+        (group, service, AdIdMapper::new(1 << 16), rng)
+    }
+
+    #[test]
+    fn url_mapping_cached() {
+        let (group, mut service, mapper, _) = setup();
+        let mut c = Client::new(1, &group, service.public().clone(), mapper, 7);
+        let a1 = c.map_ad("https://x.example/1", &mut service);
+        let a2 = c.map_ad("https://x.example/1", &mut service);
+        assert_eq!(a1, a2);
+        assert_eq!(service.requests_served(), 1, "second lookup is cached");
+        let b = c.map_ad("https://x.example/2", &mut service);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn mapping_consistent_across_clients() {
+        // Two clients mapping the same URL must land on the same ad ID —
+        // otherwise the crowd can't count users per ad.
+        let (group, mut service, mapper, _) = setup();
+        let mut c1 = Client::new(1, &group, service.public().clone(), mapper, 7);
+        let mut c2 = Client::new(2, &group, service.public().clone(), mapper, 8);
+        let url = "https://adnet.example/shared";
+        assert_eq!(c1.map_ad(url, &mut service), c2.map_ad(url, &mut service));
+    }
+
+    #[test]
+    fn report_requires_blinding() {
+        let (group, service, mapper, _) = setup();
+        let c = Client::new(1, &group, service.public().clone(), mapper, 7);
+        let params = CmsParams::new(2, 16, 1);
+        let result = std::panic::catch_unwind(|| c.build_report(params, 1));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn report_encodes_distinct_ads_once() {
+        let (group, service, mapper, mut _rng) = setup();
+        let mut dir = KeyDirectory::new(group.element_len());
+        let mut clients: Vec<Client> = (0..3)
+            .map(|id| Client::new(id, &group, service.public().clone(), mapper, 7))
+            .collect();
+        for c in &clients {
+            dir.publish(c.id(), c.public_key().clone());
+        }
+        for c in &mut clients {
+            c.setup_blinding(&group, &dir);
+        }
+        // Client 0 sees ad 42 five times on different domains; the CMS
+        // must still count it once (it encodes the *set*).
+        for d in 0..5 {
+            clients[0].observe(42, d);
+        }
+        let params = CmsParams::new(3, 64, 5);
+        let round = 9;
+        let mut acc = ew_sketch::SketchAccumulator::new(params);
+        for c in &clients {
+            acc.add(&c.build_report(params, round));
+        }
+        let agg = acc.finalize(1);
+        assert_eq!(agg.query(42), 1, "one user saw ad 42, however many times");
+    }
+
+    #[test]
+    fn audit_pipeline() {
+        let (group, service, mapper, _) = setup();
+        let mut c = Client::new(1, &group, service.public().clone(), mapper, 7);
+        // Chased ad 1 across 5 domains; background ads once each.
+        for d in 0..5 {
+            c.observe(1, d);
+        }
+        for ad in 2..=9 {
+            c.observe(ad, 100 + ad);
+        }
+        let global = GlobalView::from_estimates(
+            (1..=9u64).map(|ad| (ad, if ad == 1 { 2.0 } else { 12.0 })),
+            ThresholdPolicy::Mean,
+        );
+        let det = Detector::new(DetectorConfig::default());
+        assert_eq!(c.audit(1, &global, &det), Verdict::Targeted);
+        assert_eq!(c.audit(5, &global, &det), Verdict::NonTargeted);
+    }
+
+    #[test]
+    fn window_reset() {
+        let (group, service, mapper, _) = setup();
+        let mut c = Client::new(1, &group, service.public().clone(), mapper, 7);
+        c.observe(1, 1);
+        assert_eq!(c.distinct_ads(), 1);
+        c.reset_window();
+        assert_eq!(c.distinct_ads(), 0);
+        assert_eq!(c.counters().impressions(), 0);
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! # ew-system — the eyeWnder distributed system
+//!
+//! Glues every substrate into the deployable system of the paper's
+//! Figure 1 and §5:
+//!
+//! * [`client`] — the browser-extension model: observes impressions,
+//!   maps ad URLs to compact ad IDs through the **oblivious PRF**,
+//!   maintains the per-user counters of `ew-core`, builds the weekly
+//!   **blinded CMS report**, answers the fault-tolerance recovery round
+//!   and audits ads in real time.
+//! * [`oprf_server`] — the keyed PRF service (§6): blind-evaluates
+//!   requests without learning ad URLs.
+//! * [`backend`] — the aggregation server: key bulletin board, report
+//!   accumulation, missing-client recovery, sketch unblinding, `#Users`
+//!   enumeration over the ad-ID space and `Users_th` computation.
+//! * [`crawler`] — the clean-profile probe used purely for evaluation
+//!   (§5): visits sites with no history, so any ad it sees is
+//!   non-targeted with high probability.
+//! * [`store`] — the Figure 1 metadata database (active users, round
+//!   aggregates, crawler datasets), in memory.
+//! * [`system`] — end-to-end orchestration of weekly rounds, both by
+//!   direct calls and over `ew-proto` transports with fault injection.
+//! * [`pipeline`] — the §7.2 controlled-study pipeline: impression log →
+//!   detector verdicts → confusion matrices (Figure 3, the FP sweep) and
+//!   the Figure 2 cleartext-vs-CMS distribution comparison.
+//! * [`eval`] — the §7.3 live-validation methodology: the Figure 4
+//!   decision tree over the CR / CB / F8 oracles, including the
+//!   UNKNOWN-resolution step of §7.3.3.
+
+pub mod backend;
+pub mod client;
+pub mod crawler;
+pub mod eval;
+pub mod ids;
+pub mod oprf_server;
+pub mod pipeline;
+pub mod store;
+pub mod system;
+
+pub use backend::BackendServer;
+pub use client::Client;
+pub use crawler::Crawler;
+pub use eval::{EvalOracles, EvalTree};
+pub use ids::AdIdMapper;
+pub use oprf_server::OprfService;
+pub use pipeline::{cms_user_distribution, run_cleartext_pipeline, run_segmented_pipeline, PipelineResult};
+pub use store::{RoundRecord, Store, UserRecord};
+pub use system::{EyewnderSystem, RoundOutcome, SystemConfig};

@@ -1,0 +1,133 @@
+//! The oprf-server (§6): holds the RSA secret `d` and blind-evaluates
+//! client requests. "The server is 'oblivious' to the input of the PRF
+//! so that x remains private to the user."
+
+use ew_bigint::UBig;
+use ew_crypto::oprf::{OprfError, OprfServerKey};
+use ew_crypto::rsa::RsaPublicKey;
+use ew_proto::Message;
+use rand::RngCore;
+
+/// The OPRF service, wrapping the key with request accounting.
+#[derive(Debug, Clone)]
+pub struct OprfService {
+    key: OprfServerKey,
+    requests_served: u64,
+}
+
+impl OprfService {
+    /// Generates a fresh service key (`bits`-bit RSA modulus).
+    pub fn generate<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        OprfService {
+            key: OprfServerKey::generate(rng, bits),
+            requests_served: 0,
+        }
+    }
+
+    /// Public parameters clients need.
+    pub fn public(&self) -> &RsaPublicKey {
+        self.key.public()
+    }
+
+    /// Blind-evaluates one element (direct-call path).
+    pub fn evaluate(&mut self, blinded: &UBig) -> Result<UBig, OprfError> {
+        let out = self.key.evaluate_blinded(blinded)?;
+        self.requests_served += 1;
+        Ok(out)
+    }
+
+    /// Handles a wire message; returns the response (or `None` for
+    /// messages this server ignores, including malformed elements —
+    /// a real service would log and drop them).
+    pub fn handle(&mut self, msg: &Message) -> Option<Message> {
+        match msg {
+            Message::OprfRequest {
+                request_id,
+                blinded,
+            } => {
+                let element = UBig::from_bytes_be(blinded);
+                match self.evaluate(&element) {
+                    Ok(signed) => Some(Message::OprfResponse {
+                        request_id: *request_id,
+                        element: signed.to_bytes_be_padded(self.public().element_len()),
+                    }),
+                    Err(_) => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Total blind evaluations performed (the "once per unique ad"
+    /// overhead the paper measures in §7.1).
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// Ground-truth evaluation for tests/crawler (non-oblivious).
+    pub fn evaluate_direct(&self, input: &[u8]) -> [u8; ew_crypto::oprf::OPRF_OUTPUT_LEN] {
+        self.key.evaluate_direct(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ew_crypto::oprf::OprfClient;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wire_roundtrip_matches_direct() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let mut service = OprfService::generate(&mut rng, 128);
+        let client = OprfClient::new(service.public().clone());
+
+        let url = b"https://adnet0.example/creative/0000002a";
+        let pending = client.blind(&mut rng, url).unwrap();
+        let req = Message::OprfRequest {
+            request_id: 9,
+            blinded: pending.blinded.to_bytes_be(),
+        };
+        let resp = service.handle(&req).expect("valid request served");
+        let Message::OprfResponse {
+            request_id,
+            element,
+        } = resp
+        else {
+            panic!("wrong response type");
+        };
+        assert_eq!(request_id, 9);
+        let out = client
+            .finalize(&pending, &UBig::from_bytes_be(&element))
+            .unwrap();
+        assert_eq!(out, service.evaluate_direct(url));
+        assert_eq!(service.requests_served(), 1);
+    }
+
+    #[test]
+    fn out_of_range_request_dropped() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut service = OprfService::generate(&mut rng, 128);
+        let too_big = service
+            .public()
+            .n
+            .add_ref(&UBig::one())
+            .to_bytes_be();
+        let req = Message::OprfRequest {
+            request_id: 1,
+            blinded: too_big,
+        };
+        assert!(service.handle(&req).is_none());
+        assert_eq!(service.requests_served(), 0);
+    }
+
+    #[test]
+    fn ignores_unrelated_messages() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let mut service = OprfService::generate(&mut rng, 128);
+        assert!(service
+            .handle(&Message::UsersQuery { round: 1, ad: 2 })
+            .is_none());
+    }
+}

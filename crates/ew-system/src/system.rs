@@ -1,0 +1,528 @@
+//! End-to-end orchestration: a cohort of clients, the backend and the
+//! oprf-server running weekly aggregation rounds — by direct calls for
+//! experiment throughput, or over `ew-proto` framed transports with
+//! fault injection for the full-stack tests.
+
+use crate::backend::BackendServer;
+use crate::client::Client;
+use crate::ids::AdIdMapper;
+use crate::oprf_server::OprfService;
+use crate::store::{RoundRecord, Store};
+use ew_core::{AdKey, Detector, DetectorConfig, GlobalView, ThresholdPolicy, Verdict};
+use ew_crypto::group::ModpGroup;
+use ew_proto::{channel_pair, FaultConfig, Message};
+use ew_simnet::{AdClass, ImpressionLog, Scenario};
+use ew_sketch::{BlindedSketch, CmsParams};
+use ew_stats::ConfusionMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// System-wide parameters.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// DH group size in bits. Tests default to small generated groups;
+    /// deployments would use [`ModpGroup::modp_2048`] (see `ew-bench`).
+    pub group_bits: usize,
+    /// RSA modulus size for the OPRF.
+    pub rsa_bits: usize,
+    /// Sketch dimensions shared by the cohort.
+    pub cms: CmsParams,
+    /// Enumerable ad-ID space size.
+    pub ad_capacity: u64,
+    /// Threshold policy (both sides).
+    pub policy: ThresholdPolicy,
+    /// Detector settings for audits.
+    pub detector: DetectorConfig,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            seed: 1,
+            group_bits: 64,
+            rsa_bits: 128,
+            cms: CmsParams::new(5, 2048, 0xE71D),
+            ad_capacity: 1 << 18,
+            policy: ThresholdPolicy::Mean,
+            detector: DetectorConfig::default(),
+        }
+    }
+}
+
+/// Outcome of one aggregation round.
+#[derive(Debug, Clone)]
+pub struct RoundOutcome {
+    /// The round index.
+    pub round: u64,
+    /// The finalized global view.
+    pub view: GlobalView,
+    /// How many reports were folded in.
+    pub reports: usize,
+    /// Which clients were declared missing (recovery ran if non-empty).
+    pub missing: Vec<u32>,
+    /// Frames rejected as corrupt on the wire path (0 on direct path).
+    pub corrupt_frames: usize,
+}
+
+/// The assembled system.
+#[derive(Debug)]
+pub struct EyewnderSystem {
+    /// Configuration.
+    pub config: SystemConfig,
+    group: ModpGroup,
+    oprf: OprfService,
+    backend: BackendServer,
+    clients: Vec<Client>,
+    /// The Figure 1 metadata database.
+    store: Store,
+    /// Simulator ad-id → protocol ad-ID, learned during ingestion
+    /// (evaluation-side bookkeeping only).
+    sim_ad_to_key: HashMap<u64, AdKey>,
+}
+
+impl EyewnderSystem {
+    /// Builds a cohort of `num_clients` enrolled clients with blinding
+    /// secrets established.
+    pub fn new(config: SystemConfig, num_clients: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let group = ModpGroup::generate(&mut rng, config.group_bits);
+        let oprf = OprfService::generate(&mut rng, config.rsa_bits);
+        let mapper = AdIdMapper::new(config.ad_capacity);
+        let mut backend = BackendServer::new(
+            group.element_len(),
+            config.cms,
+            mapper,
+            config.policy,
+        );
+
+        let mut clients: Vec<Client> = (0..num_clients as u32)
+            .map(|id| {
+                Client::new(
+                    id,
+                    &group,
+                    oprf.public().clone(),
+                    mapper,
+                    config.seed ^ 0xC11E_47,
+                )
+            })
+            .collect();
+        let mut store = Store::new();
+        for c in &clients {
+            backend.enroll(c.id(), c.public_key().clone());
+            store.register_user(c.id(), 0);
+        }
+        let directory = backend.directory().clone();
+        for c in &mut clients {
+            c.setup_blinding(&group, &directory);
+        }
+
+        EyewnderSystem {
+            config,
+            group,
+            oprf,
+            backend,
+            clients,
+            store,
+            sim_ad_to_key: HashMap::new(),
+        }
+    }
+
+    /// The metadata store (round history, user activity).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Number of enrolled clients.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The DH group (exposed for overhead accounting in benches).
+    pub fn group(&self) -> &ModpGroup {
+        &self.group
+    }
+
+    /// Total OPRF evaluations served so far.
+    pub fn oprf_requests(&self) -> u64 {
+        self.oprf.requests_served()
+    }
+
+    /// The learned simulator-ad → ad-ID mapping.
+    pub fn ad_key_of(&self, sim_ad: u64) -> Option<AdKey> {
+        self.sim_ad_to_key.get(&sim_ad).copied()
+    }
+
+    /// Feeds a week of simulated impressions into the clients: each
+    /// impression's creative URL is resolved through the OPRF (cached
+    /// per client) and observed into the local counters.
+    ///
+    /// Only impressions of users with ids below the cohort size are
+    /// ingested (the scenario may simulate more users than enrolled —
+    /// the paper's panel was 100 out of a larger population).
+    pub fn ingest(&mut self, scenario: &Scenario, log: &ImpressionLog) {
+        for r in log.records() {
+            let Some(client) = self.clients.get_mut(r.user as usize) else {
+                continue;
+            };
+            let url = scenario.campaigns[r.ad as usize].ad.url();
+            let key = client.map_ad(&url, &mut self.oprf);
+            self.sim_ad_to_key.insert(r.ad, key);
+            client.observe(key, r.site as u64);
+        }
+    }
+
+    /// Runs an aggregation round by direct calls. `silent` lists client
+    /// ids that fail to report (the fault-tolerance path).
+    pub fn run_round(&mut self, round: u64, silent: &[u32]) -> RoundOutcome {
+        self.backend.open_round(round);
+        let params = self.config.cms;
+        let mut reports = 0usize;
+        for c in &self.clients {
+            if silent.contains(&c.id()) {
+                continue;
+            }
+            let report = c.build_report(params, round);
+            self.backend
+                .receive_report(c.id(), round, &report)
+                .expect("well-formed report accepted");
+            reports += 1;
+        }
+        let missing = self
+            .backend
+            .missing_clients()
+            .expect("round open");
+        if !missing.is_empty() {
+            for c in &self.clients {
+                if silent.contains(&c.id()) {
+                    continue;
+                }
+                let adj = c.adjustment(params, round, &missing);
+                self.backend
+                    .receive_adjustment(c.id(), round, &adj)
+                    .expect("adjustment accepted");
+            }
+        }
+        let view = self
+            .backend
+            .finalize_round()
+            .expect("finalizable round")
+            .clone();
+        self.record_round(round, reports, &missing, &view);
+        RoundOutcome {
+            round,
+            view,
+            reports,
+            missing,
+            corrupt_frames: 0,
+        }
+    }
+
+    /// Runs an aggregation round **over the wire**: every report crosses
+    /// a framed, checksummed transport with the given fault profile.
+    /// Reports lost to drops or corruption make their senders "missing";
+    /// the recovery round then runs over a clean link (in practice a
+    /// retry/second round-trip).
+    pub fn run_round_over_wire(
+        &mut self,
+        round: u64,
+        fault: FaultConfig,
+    ) -> RoundOutcome {
+        self.backend.open_round(round);
+        let params = self.config.cms;
+
+        let (mut client_side, mut server_side) = channel_pair(Some(fault));
+        for c in &self.clients {
+            let report = c.build_report(params, round);
+            let msg = Message::Report {
+                user: c.id(),
+                round,
+                depth: params.depth as u32,
+                width: params.width as u32,
+                seed: params.hash_seed,
+                cells: report.cells().to_vec(),
+            };
+            client_side.send(&msg);
+        }
+        drop(client_side);
+
+        let (messages, corrupt_frames) = server_side.drain();
+        let mut reports = 0usize;
+        for msg in messages {
+            let Message::Report {
+                user,
+                round: r,
+                depth,
+                width,
+                seed,
+                cells,
+            } = msg
+            else {
+                continue;
+            };
+            let rx_params = CmsParams::new(depth as usize, width as usize, seed);
+            if rx_params != params {
+                continue; // corrupted header that still framed+decoded
+            }
+            let report = BlindedSketch::from_raw(params, cells);
+            // Duplicates (from the fault link) are rejected by the
+            // backend; that's expected, not an error here.
+            if self.backend.receive_report(user, r, &report).is_ok() {
+                reports += 1;
+            }
+        }
+
+        let missing = self.backend.missing_clients().expect("round open");
+        if !missing.is_empty() {
+            for c in &self.clients {
+                if missing.contains(&c.id()) {
+                    continue;
+                }
+                let adj = c.adjustment(params, round, &missing);
+                self.backend
+                    .receive_adjustment(c.id(), round, &adj)
+                    .expect("adjustment accepted");
+            }
+        }
+        let view = self
+            .backend
+            .finalize_round()
+            .expect("finalizable round")
+            .clone();
+        self.record_round(round, reports, &missing, &view);
+        RoundOutcome {
+            round,
+            view,
+            reports,
+            missing,
+            corrupt_frames,
+        }
+    }
+
+    /// Writes one finalized round into the metadata store.
+    fn record_round(&mut self, round: u64, reports: usize, missing: &[u32], view: &GlobalView) {
+        for c in &self.clients {
+            if !missing.contains(&c.id()) {
+                self.store.mark_reported(c.id(), round);
+            }
+        }
+        self.store.record_round(RoundRecord {
+            round,
+            reports,
+            missing: missing.len(),
+            policy: self.config.policy,
+            users_threshold: view.users_threshold(),
+            positive_ads: view.num_ads(),
+        });
+    }
+
+    /// The real-time audit path **over the wire** (Figure 1, arrow 5 +
+    /// the per-ad query): the client sends a `UsersQuery` for the ad's
+    /// ID, the backend answers a `UsersReply` from its latest finalized
+    /// view, and the client combines the estimate with its local
+    /// counters and the broadcast `Users_th`. Returns `None` if no
+    /// round has been finalized yet or the user id is unknown.
+    pub fn audit_over_wire(&mut self, user: u32, sim_ad: u64) -> Option<Verdict> {
+        let client = self.clients.get(user as usize)?;
+        let ad = self.sim_ad_to_key.get(&sim_ad).copied()?;
+        let view = self.backend.latest_view()?;
+
+        // Client -> backend query, backend -> client reply, framed.
+        let (mut client_ep, mut server_ep) = channel_pair(None);
+        client_ep.send(&Message::UsersQuery { round: 0, ad });
+        let (queries, _) = server_ep.drain();
+        for q in queries {
+            if let Message::UsersQuery { round, ad } = q {
+                server_ep.send(&Message::UsersReply {
+                    round,
+                    ad,
+                    estimate: view.users(ad) as u32,
+                });
+            }
+        }
+        let (replies, _) = client_ep.drain();
+        let Message::UsersReply { estimate, .. } = replies.into_iter().next()? else {
+            return None;
+        };
+
+        // Local half of the decision: the client's own counters plus the
+        // broadcast threshold.
+        let counters = client.counters();
+        if counters.distinct_domains() < self.config.detector.min_active_domains {
+            return Some(Verdict::InsufficientData);
+        }
+        let domains = counters.domain_count(ad) as f64;
+        let domains_th = counters.domains_threshold(self.config.detector.policy);
+        Some(
+            if domains > domains_th && (estimate as f64) < view.users_threshold() {
+                Verdict::Targeted
+            } else {
+                Verdict::NonTargeted
+            },
+        )
+    }
+
+    /// Clears every client's window (after a completed round).
+    pub fn reset_windows(&mut self) {
+        for c in &mut self.clients {
+            c.reset_window();
+        }
+    }
+
+    /// Every enrolled client audits every ad they saw against `view`;
+    /// verdicts are scored against the simulator's ground truth.
+    pub fn audit_against(
+        &self,
+        _scenario: &Scenario,
+        log: &ImpressionLog,
+        view: &GlobalView,
+    ) -> (ConfusionMatrix, usize) {
+        let detector = Detector::new(self.config.detector);
+        let mut confusion = ConfusionMatrix::new();
+        let mut insufficient = 0usize;
+
+        // Ground truth per protocol ad key (collisions: targeted wins,
+        // conservative for FP accounting).
+        let mut truth: HashMap<AdKey, AdClass> = HashMap::new();
+        for r in log.records() {
+            if let Some(&key) = self.sim_ad_to_key.get(&r.ad) {
+                let entry = truth.entry(key).or_insert(r.truth);
+                if r.truth == AdClass::Targeted {
+                    *entry = AdClass::Targeted;
+                }
+            }
+        }
+
+        for c in &self.clients {
+            let counters = c.counters();
+            for ad in counters.ads() {
+                match detector.classify(counters, ad, view) {
+                    Verdict::InsufficientData => insufficient += 1,
+                    v => {
+                        let t = truth.get(&ad).copied().unwrap_or(AdClass::NonTargeted);
+                        confusion.record(t == AdClass::Targeted, v == Verdict::Targeted);
+                    }
+                }
+            }
+        }
+        (confusion, insufficient)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ew_simnet::ScenarioConfig;
+
+    fn small_system() -> (EyewnderSystem, Scenario, ImpressionLog) {
+        let mut cfg = ScenarioConfig::small(5);
+        cfg.num_users = 24;
+        cfg.num_websites = 60;
+        cfg.avg_user_visits = 40.0;
+        let scenario = Scenario::build(cfg);
+        let log = scenario.run_week(0);
+        let sys = EyewnderSystem::new(SystemConfig::default(), 24);
+        (sys, scenario, log)
+    }
+
+    #[test]
+    fn full_round_matches_cleartext_counts() {
+        let (mut sys, scenario, log) = small_system();
+        sys.ingest(&scenario, &log);
+        let outcome = sys.run_round(1, &[]);
+        assert_eq!(outcome.reports, 24);
+        assert!(outcome.missing.is_empty());
+
+        // The unblinded aggregate must reproduce the exact #Users counts
+        // up to CMS over-estimation (which only inflates) and the rare
+        // ad-ID birthday collision (which merges two ads' counts).
+        let mut inflated = 0usize;
+        let mut total = 0usize;
+        for (sim_ad, users) in log.users_per_ad() {
+            let key = sys.ad_key_of(sim_ad).expect("ad ingested");
+            let est = outcome.view.users(key);
+            total += 1;
+            assert!(
+                est >= users as f64,
+                "ad {sim_ad}: estimate {est} < true {users}"
+            );
+            if est > users as f64 + 3.0 {
+                inflated += 1;
+            }
+        }
+        assert!(
+            inflated * 50 <= total,
+            "{inflated}/{total} estimates inflated beyond CMS slack"
+        );
+    }
+
+    #[test]
+    fn missing_clients_recovered() {
+        let (mut sys, scenario, log) = small_system();
+        sys.ingest(&scenario, &log);
+        let silent = vec![3u32, 11];
+        let outcome = sys.run_round(2, &silent);
+        assert_eq!(outcome.missing, silent);
+        assert_eq!(outcome.reports, 22);
+        // Counts must still be sane (no garbage from unmatched blinding):
+        // every estimate within the count of reporting users + slack.
+        for (_ad, est) in outcome
+            .view
+            .distribution()
+            .iter()
+            .enumerate()
+        {
+            assert!(*est <= 24.0 + 3.0, "estimate {est} looks like residue");
+        }
+    }
+
+    #[test]
+    fn audit_is_precise_on_small_world() {
+        let (mut sys, scenario, log) = small_system();
+        sys.ingest(&scenario, &log);
+        let outcome = sys.run_round(1, &[]);
+        let (confusion, _skipped) = sys.audit_against(&scenario, &log, &outcome.view);
+        assert!(confusion.total() > 0);
+        assert!(
+            confusion.fpr() < 0.15,
+            "FPR {:.3} too high for the controlled world",
+            confusion.fpr()
+        );
+    }
+
+    #[test]
+    fn wire_round_with_faults_still_converges() {
+        let (mut sys, scenario, log) = small_system();
+        sys.ingest(&scenario, &log);
+        let fault = FaultConfig {
+            drop_prob: 0.2,
+            corrupt_prob: 0.1,
+            duplicate_prob: 0.1,
+            reorder_prob: 0.1,
+            seed: 9,
+        };
+        let outcome = sys.run_round_over_wire(3, fault);
+        // Some reports were lost...
+        assert!(outcome.reports < 24 || outcome.corrupt_frames > 0 || outcome.missing.is_empty());
+        // ...but recovery kept the aggregate clean.
+        for est in outcome.view.distribution() {
+            assert!(est <= 27.0, "estimate {est} is blinding residue");
+        }
+    }
+
+    #[test]
+    fn oprf_called_once_per_unique_ad_per_client() {
+        let (mut sys, scenario, log) = small_system();
+        sys.ingest(&scenario, &log);
+        let mut per_client_unique: u64 = 0;
+        let mut seen: std::collections::HashSet<(u32, u64)> = Default::default();
+        for r in log.records() {
+            if (r.user as usize) < sys.num_clients() && seen.insert((r.user, r.ad)) {
+                per_client_unique += 1;
+            }
+        }
+        assert_eq!(sys.oprf_requests(), per_client_unique);
+    }
+}

@@ -1,0 +1,61 @@
+//! Socio-economic bias study (§8): deliver ads with a planted
+//! demographic bias, then recover the bias with the logistic-regression
+//! machinery — the miniature version of `ew-bench --bin tab2_logistic`.
+//!
+//! ```text
+//! cargo run --release --example bias_study
+//! ```
+
+use eyewnder::simnet::user::Gender;
+use eyewnder::simnet::{AdClass, Scenario, ScenarioConfig, TargetingBias};
+use eyewnder::stats::{LogisticModel, Matrix};
+
+fn main() {
+    // Plant a strong, simple bias: women targeted ~2x as much as men.
+    let mut bias = TargetingBias::default();
+    bias.female = 1.2;
+    bias.male = 0.55;
+
+    let scenario = Scenario::build(ScenarioConfig {
+        num_users: 250,
+        num_websites: 400,
+        bias,
+        ..ScenarioConfig::table1(5)
+    });
+    let week = scenario.run_week(0);
+
+    // One observation per delivered ad: was it targeted, and to whom?
+    let mut design = Vec::new();
+    let mut outcome = Vec::new();
+    for r in week.records() {
+        let user = &scenario.users[r.user as usize];
+        let female = matches!(user.demographics.gender, Gender::Female);
+        design.extend_from_slice(&[1.0, if female { 1.0 } else { 0.0 }]);
+        outcome.push(if r.truth == AdClass::Targeted { 1.0 } else { 0.0 });
+    }
+    let n = outcome.len();
+    println!("{n} delivered ads observed");
+
+    let x = Matrix::from_rows(n, 2, design);
+    let fit = LogisticModel::default().fit(&x, &outcome).expect("converges");
+    let rows = fit.summary(&["female"], 1);
+    let female = &rows[0];
+
+    println!("\nmodel: targeted ~ 1 + female");
+    println!(
+        "female odds ratio: {:.3}  (95% CI {:.3}-{:.3}, p = {:.2e} {})",
+        female.odds_ratio,
+        female.ci_low,
+        female.ci_high,
+        female.p_value,
+        female.stars()
+    );
+    println!(
+        "predicted targeting probability: female {:.3}, male {:.3}",
+        fit.predict(&[1.0, 1.0]),
+        fit.predict(&[1.0, 0.0])
+    );
+    println!("\nplanted multipliers were 1.2 (female) vs 0.55 (male) on the");
+    println!("targeted slot share - the regression recovers the direction and");
+    println!("magnitude without ever seeing the simulator's internals.");
+}

@@ -1,0 +1,72 @@
+//! Quickstart: simulate one week of browsing, run the count-based
+//! detector, and print what it found.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use eyewnder::core::{DetectorConfig, Verdict};
+use eyewnder::simnet::{Scenario, ScenarioConfig};
+use eyewnder::system::run_cleartext_pipeline;
+
+fn main() {
+    // 1. Build a controlled web/ad ecosystem (Table 1 of the paper,
+    //    shrunk for a fast demo) and simulate a week of browsing.
+    let config = ScenarioConfig {
+        num_users: 120,
+        num_websites: 300,
+        avg_user_visits: 100.0,
+        ..ScenarioConfig::table1(7)
+    };
+    let scenario = Scenario::build(config);
+    let week = scenario.run_week(0);
+    println!(
+        "Simulated {} impressions for {} users across {} sites ({} distinct ads).",
+        week.len(),
+        scenario.users.len(),
+        scenario.sites.len(),
+        week.distinct_ads().len()
+    );
+
+    // 2. Run the detector: every user audits every ad they saw.
+    let result = run_cleartext_pipeline(&week, DetectorConfig::default());
+    let flagged = result
+        .verdicts
+        .iter()
+        .filter(|(_, _, v)| *v == Verdict::Targeted)
+        .count();
+    println!(
+        "Detector flagged {flagged} (user, ad) pairs as targeted out of {} classified.",
+        result.confusion.total()
+    );
+
+    // 3. Score against the simulator's hidden ground truth.
+    println!(
+        "Against ground truth: TPR {:.1}%  TNR {:.1}%  FPR {:.2}%  precision {:.3}",
+        result.confusion.tpr() * 100.0,
+        result.confusion.tnr() * 100.0,
+        result.confusion.fpr() * 100.0,
+        result.confusion.precision()
+    );
+    println!(
+        "Global Users_th this week: {:.2} users per ad",
+        result.users_threshold
+    );
+
+    // 4. Show a few concrete detections with their campaign mechanics.
+    println!("\nSample detections:");
+    let mut shown = 0;
+    for (user, ad, verdict) in &result.verdicts {
+        if *verdict != Verdict::Targeted || shown >= 5 {
+            continue;
+        }
+        let campaign = &scenario.campaigns[*ad as usize];
+        println!(
+            "  user {:>3} <- {:<60} [{:?}]",
+            user,
+            campaign.ad.url(),
+            campaign.kind
+        );
+        shown += 1;
+    }
+}

@@ -1,0 +1,60 @@
+//! Multi-week operation: three consecutive privacy-preserving rounds
+//! (the Figure 2 regime), store bookkeeping, and threshold stability.
+
+use eyewnder::simnet::{Scenario, ScenarioConfig};
+use eyewnder::system::{EyewnderSystem, SystemConfig};
+
+#[test]
+fn three_week_deployment_with_store_history() {
+    let cfg = ScenarioConfig {
+        seed: 77,
+        num_users: 14,
+        num_websites: 40,
+        avg_user_visits: 30.0,
+        avg_ads_per_website: 5.0,
+        ..ScenarioConfig::table1(77)
+    };
+    let scenario = Scenario::build(cfg);
+    let mut sys = EyewnderSystem::new(
+        SystemConfig {
+            seed: 77,
+            ..SystemConfig::default()
+        },
+        14,
+    );
+
+    let mut thresholds = Vec::new();
+    for week in 0..3u64 {
+        let log = scenario.run_week(week);
+        sys.ingest(&scenario, &log);
+        // Week 1 loses two clients; others are clean.
+        let silent: Vec<u32> = if week == 1 { vec![2, 9] } else { vec![] };
+        let outcome = sys.run_round(week + 1, &silent);
+        thresholds.push(outcome.view.users_threshold());
+        sys.reset_windows();
+    }
+
+    // Store recorded every round with the right missing counts.
+    let store = sys.store();
+    assert_eq!(store.active_users(), 14);
+    assert_eq!(store.round(1).unwrap().missing, 0);
+    assert_eq!(store.round(2).unwrap().missing, 2);
+    assert_eq!(store.round(3).unwrap().missing, 0);
+    assert_eq!(store.threshold_history().len(), 3);
+    for (round, th) in store.threshold_history() {
+        assert_eq!(th, thresholds[(round - 1) as usize]);
+        assert!(th > 0.0);
+    }
+
+    // Clients 2 and 9 last reported in round 3 (they came back).
+    assert!(store.stale_users(4).len() == 14, "round 4 not run yet");
+    assert!(store.stale_users(3).is_empty(), "everyone reported in round 3");
+
+    // Weekly thresholds are in a stable band (same ecosystem).
+    let max = thresholds.iter().cloned().fold(0.0f64, f64::max);
+    let min = thresholds.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        max / min < 2.0,
+        "weekly thresholds vary wildly: {thresholds:?}"
+    );
+}

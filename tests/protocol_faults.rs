@@ -1,0 +1,164 @@
+//! Fault-injection integration tests: the full system running weekly
+//! rounds over lossy, corrupting, duplicating, reordering links.
+
+use eyewnder::proto::{channel_pair, FaultConfig, Message};
+use eyewnder::simnet::{Scenario, ScenarioConfig};
+use eyewnder::system::{EyewnderSystem, SystemConfig};
+
+fn world(seed: u64) -> (Scenario, eyewnder::simnet::ImpressionLog, EyewnderSystem) {
+    let cfg = ScenarioConfig {
+        seed,
+        num_users: 14,
+        num_websites: 40,
+        avg_user_visits: 25.0,
+        avg_ads_per_website: 5.0,
+        ..ScenarioConfig::table1(seed)
+    };
+    let scenario = Scenario::build(cfg);
+    let log = scenario.run_week(0);
+    let mut sys = EyewnderSystem::new(
+        SystemConfig {
+            seed,
+            ..SystemConfig::default()
+        },
+        14,
+    );
+    sys.ingest(&scenario, &log);
+    (scenario, log, sys)
+}
+
+#[test]
+fn harsh_link_round_still_produces_clean_aggregate() {
+    let (_s, _log, mut sys) = world(1);
+    let outcome = sys.run_round_over_wire(1, FaultConfig::harsh(5));
+    // Whatever was lost, the recovery round must leave no blinding
+    // residue: every estimate bounded by the cohort size plus CMS slack.
+    for est in outcome.view.distribution() {
+        assert!(est <= 14.0 + 5.0, "estimate {est} is residue");
+    }
+}
+
+#[test]
+fn perfect_link_loses_nothing() {
+    let (_s, _log, mut sys) = world(2);
+    let outcome = sys.run_round_over_wire(1, FaultConfig::perfect());
+    assert_eq!(outcome.reports, 14);
+    assert!(outcome.missing.is_empty());
+    assert_eq!(outcome.corrupt_frames, 0);
+}
+
+#[test]
+fn wire_and_direct_rounds_agree_when_lossless() {
+    let (scenario, log, mut sys_wire) = world(3);
+    let wire = sys_wire.run_round_over_wire(1, FaultConfig::perfect());
+
+    let mut sys_direct = EyewnderSystem::new(
+        SystemConfig {
+            seed: 3,
+            ..SystemConfig::default()
+        },
+        14,
+    );
+    sys_direct.ingest(&scenario, &log);
+    let direct = sys_direct.run_round(1, &[]);
+
+    // Same cohort, same data, same round: identical views.
+    for sim_ad in log.distinct_ads() {
+        let k1 = sys_wire.ad_key_of(sim_ad).unwrap();
+        let k2 = sys_direct.ad_key_of(sim_ad).unwrap();
+        assert_eq!(wire.view.users(k1), direct.view.users(k2), "ad {sim_ad}");
+    }
+}
+
+#[test]
+fn duplicated_reports_are_rejected_not_double_counted() {
+    let (_s, log, mut sys) = world(4);
+    let dup_only = FaultConfig {
+        duplicate_prob: 1.0,
+        seed: 9,
+        ..FaultConfig::perfect()
+    };
+    let outcome = sys.run_round_over_wire(1, dup_only);
+    assert_eq!(outcome.reports, 14, "duplicates rejected by the backend");
+    // Counts not inflated: every estimate is at most cohort + CMS slack.
+    for (sim_ad, users) in log.users_per_ad() {
+        let key = sys.ad_key_of(sim_ad).unwrap();
+        assert!(
+            outcome.view.users(key) <= users as f64 + 5.0,
+            "ad {sim_ad} double counted"
+        );
+    }
+}
+
+#[test]
+fn corruption_storm_never_wedges_the_receiver() {
+    // 100% corruption: nothing useful arrives, but drain() terminates
+    // and reports nothing decodable as a wrong message.
+    let cfg = FaultConfig {
+        corrupt_prob: 1.0,
+        seed: 10,
+        ..FaultConfig::perfect()
+    };
+    let (mut tx, mut rx) = channel_pair(Some(cfg));
+    for i in 0..200u64 {
+        tx.send(&Message::UsersQuery { round: 1, ad: i });
+    }
+    drop(tx);
+    let (msgs, corrupt) = rx.drain();
+    assert!(corrupt > 0);
+    // A single flipped bit can land in padding-free fields and still
+    // decode — but then it decodes to a *valid* message structure, not
+    // garbage memory. Either way the receiver survived.
+    assert!(msgs.len() + corrupt <= 200 + corrupt);
+}
+
+#[test]
+fn query_reply_flow_over_wire() {
+    // The real-time audit path: client asks #Users for an ad id.
+    let (mut client, mut server) = channel_pair(None);
+    client.send(&Message::UsersQuery { round: 3, ad: 77 });
+    let (msgs, _) = server.drain();
+    assert_eq!(msgs, vec![Message::UsersQuery { round: 3, ad: 77 }]);
+    server.send(&Message::UsersReply {
+        round: 3,
+        ad: 77,
+        estimate: 4,
+    });
+    let (replies, _) = client.drain();
+    assert_eq!(
+        replies,
+        vec![Message::UsersReply {
+            round: 3,
+            ad: 77,
+            estimate: 4
+        }]
+    );
+}
+
+#[test]
+fn real_time_audit_over_wire_matches_direct_classification() {
+    use eyewnder::core::Verdict;
+    let (_scenario, log, mut sys) = world(6);
+    sys.run_round(1, &[]);
+
+    let mut audited = 0;
+    let mut targeted = 0;
+    for sim_ad in log.distinct_ads().into_iter().take(50) {
+        // Audit from the first user who saw the ad.
+        let user = log
+            .records()
+            .iter()
+            .find(|r| r.ad == sim_ad)
+            .map(|r| r.user)
+            .unwrap();
+        if let Some(v) = sys.audit_over_wire(user, sim_ad) {
+            audited += 1;
+            if v == Verdict::Targeted {
+                targeted += 1;
+            }
+        }
+    }
+    assert!(audited > 0, "audits must complete over the wire");
+    // Not everything is targeted; the flow returns real verdicts.
+    assert!(targeted < audited);
+}
