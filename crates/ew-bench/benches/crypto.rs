@@ -3,6 +3,7 @@
 //! plus the primitives underneath them.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ew_bigint::{random_below, random_odd_bits, MontgomeryCtx};
 use ew_crypto::blinding::{BlindingGenerator, BlindingParams};
 use ew_crypto::dh::DhKeyPair;
 use ew_crypto::directory::KeyDirectory;
@@ -26,6 +27,52 @@ fn bench_hmac(c: &mut Criterion) {
     c.bench_function("hmac_sha256_256B", |b| {
         b.iter(|| black_box(hmac_sha256(black_box(&key), black_box(&msg))))
     });
+}
+
+fn bench_modpow(c: &mut Criterion) {
+    // The raw lever under everything else: Montgomery vs. the generic
+    // multiply-then-long-divide ladder, at both deployment widths.
+    let mut rng = StdRng::seed_from_u64(7);
+    for bits in [1024usize, 2048] {
+        let m = random_odd_bits(&mut rng, bits);
+        let base = random_below(&mut rng, &m);
+        let exp = random_below(&mut rng, &m);
+        let ctx = MontgomeryCtx::new(&m);
+        let mut group = c.benchmark_group(format!("modpow_{bits}"));
+        group.sample_size(20);
+        group.bench_function("montgomery", |b| {
+            b.iter(|| black_box(ctx.modpow(black_box(&base), black_box(&exp))))
+        });
+        group.bench_function("generic", |b| {
+            b.iter(|| black_box(base.modpow_generic(black_box(&exp), &m)))
+        });
+        group.finish();
+    }
+}
+
+fn bench_oprf_batch(c: &mut Criterion) {
+    // The weekly wake-up: 32 distinct new ad URLs mapped in one batch
+    // (one shared blinding inversion, hot server CRT context).
+    let mut rng = StdRng::seed_from_u64(8);
+    let server = OprfServerKey::generate(&mut rng, 2048);
+    let client = OprfClient::new(server.public().clone());
+    let urls: Vec<Vec<u8>> = (0..32)
+        .map(|i| format!("https://adnet.example/creative/{i:08x}").into_bytes())
+        .collect();
+    let url_refs: Vec<&[u8]> = urls.iter().map(|u| u.as_slice()).collect();
+    let mut group = c.benchmark_group("oprf_batch_32");
+    group.sample_size(10);
+    group.bench_function("rsa_2048", |b| {
+        b.iter(|| {
+            let pendings = client.blind_batch(&mut rng, &url_refs).expect("blindable");
+            let blinded: Vec<_> = pendings.iter().map(|p| p.blinded.clone()).collect();
+            let responses = server.evaluate_blinded_batch(&blinded).expect("valid");
+            for (pending, resp) in pendings.iter().zip(&responses) {
+                black_box(client.finalize(pending, resp).expect("unblinds"));
+            }
+        })
+    });
+    group.finish();
 }
 
 fn bench_oprf_roundtrip(c: &mut Criterion) {
@@ -96,7 +143,9 @@ criterion_group!(
     benches,
     bench_sha256,
     bench_hmac,
+    bench_modpow,
     bench_oprf_roundtrip,
+    bench_oprf_batch,
     bench_dh_modp2048,
     bench_blinding_vector
 );

@@ -1,0 +1,40 @@
+//! Quick before/after microbenchmark for the Montgomery subsystem.
+use ew_bigint::{random_below, random_odd_bits, FixedBaseTable, MontgomeryCtx};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for bits in [1024usize, 2048] {
+        let m = random_odd_bits(&mut rng, bits);
+        let base = random_below(&mut rng, &m);
+        let exp = random_below(&mut rng, &m);
+        let ctx = MontgomeryCtx::new(&m);
+        assert_eq!(ctx.modpow(&base, &exp), base.modpow_generic(&exp, &m));
+        let table = FixedBaseTable::new(std::sync::Arc::new(ctx.clone()), &base, bits);
+        assert_eq!(table.pow(&exp), ctx.modpow(&base, &exp));
+
+        let n = if bits == 1024 { 10 } else { 4 };
+        let t = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(base.modpow_generic(&exp, &m));
+        }
+        let generic = t.elapsed() / n;
+        let t = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(ctx.modpow(&base, &exp));
+        }
+        let mont = t.elapsed() / n;
+        let t = Instant::now();
+        for _ in 0..(n * 4) {
+            std::hint::black_box(table.pow(&exp));
+        }
+        let fixed = t.elapsed() / (n * 4);
+        println!(
+            "{bits}-bit: generic {generic:?}  mont(ctx) {mont:?} ({:.1}x)  fixed-base {fixed:?} ({:.1}x)",
+            generic.as_secs_f64() / mont.as_secs_f64(),
+            generic.as_secs_f64() / fixed.as_secs_f64()
+        );
+    }
+}

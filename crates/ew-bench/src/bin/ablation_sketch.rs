@@ -148,7 +148,12 @@ fn main() {
     println!(
         "{}",
         row(
-            &["depth".into(), "width".into(), "mean +err".into(), "max +err".into()],
+            &[
+                "depth".into(),
+                "width".into(),
+                "mean +err".into(),
+                "max +err".into()
+            ],
             &widths2
         )
     );

@@ -33,10 +33,7 @@ fn main() {
             });
         }
     }
-    println!(
-        "Fortnight: {} impressions over 14 days",
-        fortnight.len()
-    );
+    println!("Fortnight: {} impressions over 14 days", fortnight.len());
     println!();
 
     let widths = [10usize, 10, 8, 8, 8, 12];

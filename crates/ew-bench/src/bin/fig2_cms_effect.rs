@@ -28,7 +28,7 @@ fn main() {
         ..ScenarioConfig::table1(0)
     };
     // Paper §7.1: delta = epsilon = 0.001, sized for 10k ads.
-    let params = CmsParams::from_error_bounds(0.001, 0.001, 10_000, 0xF16_2);
+    let params = CmsParams::from_error_bounds(0.001, 0.001, 10_000, 0xF162);
     println!(
         "CMS: depth={} width={} ({} KB)",
         params.depth,
@@ -40,11 +40,7 @@ fn main() {
     let scenario = Scenario::build(config);
     for week in 0..3u64 {
         let log = scenario.run_week(week);
-        let actual: Vec<f64> = log
-            .users_per_ad()
-            .into_values()
-            .map(|n| n as f64)
-            .collect();
+        let actual: Vec<f64> = log.users_per_ad().into_values().map(|n| n as f64).collect();
         let cms = cms_user_distribution(&log, params);
 
         let act_th = mean(&actual);

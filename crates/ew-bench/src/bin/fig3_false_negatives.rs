@@ -19,7 +19,10 @@ fn main() {
     let base = ScenarioConfig::table1(0);
     print_table1(&base);
 
-    println!("Figure 3: False Negatives % vs Frequency Cap ({} seeds)", seeds.len());
+    println!(
+        "Figure 3: False Negatives % vs Frequency Cap ({} seeds)",
+        seeds.len()
+    );
     let widths = [4usize, 12, 12, 12];
     println!(
         "{}",

@@ -66,12 +66,18 @@ fn main() {
             u.demographics.income,
             u.demographics.age,
         ));
-        y.push(if r.truth == AdClass::Targeted { 1.0 } else { 0.0 });
+        y.push(if r.truth == AdClass::Targeted {
+            1.0
+        } else {
+            0.0
+        });
     }
     let n = y.len();
     println!("Observations (delivered ads): {n}");
     let x = Matrix::from_rows(n, P, data);
-    let fit = LogisticModel::default().fit(&x, &y).expect("model converges");
+    let fit = LogisticModel::default()
+        .fit(&x, &y)
+        .expect("model converges");
 
     // §8.1 model selection: try D ~ G + A + L + E (adding employment
     // dummies) and test the improvement with an ANOVA likelihood-ratio
@@ -105,12 +111,18 @@ fn main() {
             Employment::NotWorking => e[2] = 1.0,
         }
         data_e.extend_from_slice(&e);
-        y_s.push(if r.truth == AdClass::Targeted { 1.0 } else { 0.0 });
+        y_s.push(if r.truth == AdClass::Targeted {
+            1.0
+        } else {
+            0.0
+        });
     }
     let ns = y_s.len();
     let x_base_s = Matrix::from_rows(ns, P, data_base_s);
     let x_e = Matrix::from_rows(ns, P + 3, data_e);
-    let fit_base_s = LogisticModel::default().fit(&x_base_s, &y_s).expect("converges");
+    let fit_base_s = LogisticModel::default()
+        .fit(&x_base_s, &y_s)
+        .expect("converges");
     let fit_e = LogisticModel::default().fit(&x_e, &y_s).expect("converges");
     let lr = likelihood_ratio_test(fit_base_s.log_likelihood, P, fit_e.log_likelihood, P + 3);
     println!();

@@ -48,10 +48,7 @@ fn check_real_time() -> std::time::Duration {
     for ad in 0..200u64 {
         counters.observe(ad, ad % 40);
     }
-    let global = GlobalView::from_estimates(
-        (0..200u64).map(|ad| (ad, 5.0)),
-        ThresholdPolicy::Mean,
-    );
+    let global = GlobalView::from_estimates((0..200u64).map(|ad| (ad, 5.0)), ThresholdPolicy::Mean);
     let det = Detector::new(DetectorConfig::default());
     let t = Instant::now();
     for ad in 0..200u64 {
@@ -76,14 +73,20 @@ fn main() {
     let rows: [(&str, [&str; 8]); 11] = [
         ("Fake impressions", ["-", "-", "-", "-", "-", "-", "-", "+"]),
         ("Click-fraud", ["-", "-", "-", "o", "o", "o", "?", "+"]),
-        ("Privacy-preserving", ["o", "o", "o", "o", "o", "o", "o", "+"]),
+        (
+            "Privacy-preserving",
+            ["o", "o", "o", "o", "o", "o", "o", "+"],
+        ),
         ("Real users", ["-", "-", "-", "-", "-", "-", "+", "+"]),
         ("Personas", ["o", "o", "o", "o", "o", "o", "-", "-"]),
         ("Real-time", ["-", "-", "-", "-", "-", "-", "+", "+"]),
         ("High scalability", ["-", "-", "-", "-", "-", "-", "+", "+"]),
         ("Operates offline", ["o", "o", "o", "o", "o", "o", "-", "-"]),
         ("Topic-based", ["-", "o", "o", "o", "-", "-", "o", "-"]),
-        ("Correlation-based", ["o", "-", "-", "-", "o", "o", "-", "-"]),
+        (
+            "Correlation-based",
+            ["o", "-", "-", "-", "o", "o", "-", "-"],
+        ),
         ("Count-based", ["-", "-", "-", "-", "-", "-", "-", "o"]),
     ];
     print!("{:<20}", header[0]);

@@ -65,7 +65,10 @@ fn main() {
     for &users in &[10_000u32, 50_000] {
         // 32-byte EC-style keys reproduce the paper's numbers; our
         // RFC 3526 MODP-2048 keys are 256 bytes.
-        for (label, elem) in [("32 B (EC, paper's regime)", 32usize), ("256 B (MODP-2048)", 256)] {
+        for (label, elem) in [
+            ("32 B (EC, paper's regime)", 32usize),
+            ("256 B (MODP-2048)", 256),
+        ] {
             let mut dir = KeyDirectory::new(elem);
             for u in 0..users {
                 dir.publish(u, UBig::from_u64(u as u64 + 1));

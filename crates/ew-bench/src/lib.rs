@@ -33,11 +33,7 @@ pub fn run_once(config: ScenarioConfig, policy: ThresholdPolicy) -> ConfusionMat
 }
 
 /// Runs `seeds` independent replications and merges the confusions.
-pub fn run_seeds(
-    base: &ScenarioConfig,
-    policy: ThresholdPolicy,
-    seeds: &[u64],
-) -> ConfusionMatrix {
+pub fn run_seeds(base: &ScenarioConfig, policy: ThresholdPolicy, seeds: &[u64]) -> ConfusionMatrix {
     let mut merged = ConfusionMatrix::new();
     for &seed in seeds {
         let mut config = base.clone();
@@ -73,7 +69,10 @@ pub fn print_table1(config: &ScenarioConfig) {
     println!("  Number of users            {}", config.num_users);
     println!("  Number of websites         {}", config.num_websites);
     println!("  Average user visits        {}", config.avg_user_visits);
-    println!("  Average ads per website    {}", config.avg_ads_per_website);
+    println!(
+        "  Average ads per website    {}",
+        config.avg_ads_per_website
+    );
     println!("  Percentage of targeted ads {}", config.pct_targeted_ads);
     println!();
 }

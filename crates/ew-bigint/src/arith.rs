@@ -43,8 +43,7 @@ impl UBig {
     /// # Panics
     /// Panics if `other > self` (unsigned underflow).
     pub fn sub_ref(&self, other: &UBig) -> UBig {
-        self.checked_sub(other)
-            .expect("UBig subtraction underflow")
+        self.checked_sub(other).expect("UBig subtraction underflow")
     }
 
     /// `self - other`, or `None` on underflow.
@@ -149,10 +148,7 @@ impl UBig {
         } else {
             for i in 0..src.len() {
                 let lo = src[i] >> bit_shift;
-                let hi = src
-                    .get(i + 1)
-                    .map(|&n| n << (64 - bit_shift))
-                    .unwrap_or(0);
+                let hi = src.get(i + 1).map(|&n| n << (64 - bit_shift)).unwrap_or(0);
                 out.push(lo | hi);
             }
         }

@@ -31,6 +31,7 @@ impl UBig {
     /// # Panics
     /// Panics if `d` is zero.
     pub fn divrem(&self, d: &UBig) -> (UBig, UBig) {
+        crate::ops_trace::record_divrem();
         assert!(!d.is_zero(), "division by zero");
         if self < d {
             return (UBig::zero(), self.clone());
@@ -98,9 +99,7 @@ fn knuth_d(u: &UBig, v: &UBig) -> (UBig, UBig) {
         let mut q_hat = num / v_top as u128;
         let mut r_hat = num % v_top as u128;
         // Correct q_hat down while it is provably too big (at most twice).
-        while q_hat >> 64 != 0
-            || q_hat * v_next as u128 > ((r_hat << 64) | w[j + n - 2] as u128)
-        {
+        while q_hat >> 64 != 0 || q_hat * v_next as u128 > ((r_hat << 64) | w[j + n - 2] as u128) {
             q_hat -= 1;
             r_hat += v_top as u128;
             if r_hat >> 64 != 0 {
@@ -193,10 +192,8 @@ mod tests {
 
     #[test]
     fn knuth_d_reconstructs() {
-        let u = UBig::from_hex(
-            "c6a47b3e21f09d8e7a5b4c3d2e1f0a9b8c7d6e5f40312233445566778899aabb",
-        )
-        .unwrap();
+        let u = UBig::from_hex("c6a47b3e21f09d8e7a5b4c3d2e1f0a9b8c7d6e5f40312233445566778899aabb")
+            .unwrap();
         let v = UBig::from_hex("f123456789abcdef0fedcba987654321").unwrap();
         let (q, r) = u.divrem(&v);
         assert!(r < v);
@@ -252,7 +249,9 @@ mod tests {
         // Deterministic pseudo-random cases: q*v + r round-trips.
         let mut x = 0x123456789abcdefu64;
         let mut step = || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x
         };
         for ul in 1..8usize {

@@ -20,6 +20,43 @@
 //! deterministic and panics only on documented contract violations
 //! (e.g. division by zero).
 //!
+//! ## The Montgomery fast path
+//!
+//! Modular exponentiation is the protocol's hot loop (RSA blind
+//! signatures, MODP Diffie–Hellman over 1024–2048-bit moduli), so for
+//! **odd** moduli [`UBig::modpow`] dispatches to a Montgomery-form
+//! ladder ([`MontgomeryCtx`]):
+//!
+//! * **CIOS multiplication** — `a·b·R⁻¹ mod n` with `R = 2^(64k)` in
+//!   `2k² + k` word multiplications and *zero* divisions, versus
+//!   multiply-plus-Knuth-division (`~2k²` multiplications *and* a
+//!   quotient-estimation pass with per-step allocations) for the
+//!   generic ladder, which remains available as
+//!   [`UBig::modpow_generic`] for even moduli and differential tests.
+//! * **Dedicated squaring** — the `≈4/5` of ladder steps that square
+//!   use the triangle trick plus one reduction sweep: `≈1.5k²` word
+//!   multiplications.
+//! * **Fixed-base tables** — [`FixedBaseTable`] precomputes
+//!   `base^(j·16^i)` so a fixed-generator exponentiation (DH keygen)
+//!   needs one multiply per non-zero exponent nibble and **no
+//!   squarings**: ~`bits/4` CIOS passes instead of `bits` squarings
+//!   plus `bits/4` multiplies.
+//! * **Batch inversion** — [`MontgomeryCtx::batch_inv`] inverts `n`
+//!   elements with one extended GCD plus `3(n−1)` multiplications
+//!   (Montgomery's trick), which the OPRF client uses to blind a whole
+//!   batch of URLs with a single inversion.
+//! * **Binary extended GCD** — [`UBig::modinv`] for odd moduli runs a
+//!   division-free binary inverse; the signed extended Euclid
+//!   ([`ext_gcd`]) covers the general case.
+//!
+//! Contexts precompute `n' = -n⁻¹ mod 2^64` (Newton–Hensel), `R mod n`
+//! and `R² mod n` — the only divisions on the whole path, paid once per
+//! key/group. The RSA layer (`ew-crypto`) combines this with a CRT
+//! split (two half-width exponentiations + Garner) for another ~4×.
+//! The [`ops_trace`] thread-local counters make these contracts
+//! testable: the proptests assert *zero* `divrem` calls after context
+//! setup and *one* `modinv` per blinded batch.
+//!
 //! This crate is **not** constant-time and must not be used to protect
 //! real-world secrets; it exists to make the reproduced protocol fully
 //! executable and measurable on one machine.
@@ -38,11 +75,14 @@
 mod arith;
 mod div;
 mod modular;
+mod montgomery;
+pub mod ops_trace;
 mod prime;
 mod random;
 mod ubig;
 
 pub use modular::ext_gcd;
+pub use montgomery::{FixedBaseTable, MontgomeryCtx};
 pub use prime::{gen_prime, gen_safe_prime, is_probable_prime, MillerRabinConfig};
 pub use random::{random_below, random_bits, random_odd_bits, random_range};
 pub use ubig::{ParseUBigError, UBig};

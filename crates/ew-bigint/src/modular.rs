@@ -1,5 +1,15 @@
 //! Modular arithmetic: exponentiation, inversion, extended GCD.
+//!
+//! [`UBig::modpow`] dispatches by modulus parity: odd moduli (every RSA
+//! and safe-prime modulus in the protocol) take the division-free
+//! Montgomery path of [`crate::MontgomeryCtx`]; even moduli fall back to
+//! the generic square-and-multiply ladder, kept public as
+//! [`UBig::modpow_generic`] for differential testing. Inversion gets the
+//! same treatment: odd moduli use a division-free binary extended GCD,
+//! the general case keeps the signed extended Euclid.
 
+use crate::montgomery::MontgomeryCtx;
+use crate::ops_trace;
 use crate::ubig::UBig;
 
 impl UBig {
@@ -24,11 +34,36 @@ impl UBig {
         self.mul_ref(other).rem_ref(m)
     }
 
-    /// `self^exp mod m` via a 4-bit fixed-window ladder.
+    /// `self^exp mod m`.
+    ///
+    /// Odd moduli (the RSA/DH case) dispatch to a fixed-window
+    /// Montgomery ladder — no division after the per-call context
+    /// setup; callers on a hot loop should hold a
+    /// [`crate::MontgomeryCtx`] and call [`crate::MontgomeryCtx::modpow`]
+    /// directly to amortize even that. Even moduli use the generic
+    /// ladder.
     ///
     /// # Panics
     /// Panics if `m` is zero. `m == 1` yields zero.
     pub fn modpow(&self, exp: &UBig, m: &UBig) -> UBig {
+        assert!(!m.is_zero(), "modpow with zero modulus");
+        if m.is_one() {
+            return UBig::zero();
+        }
+        if m.is_odd() {
+            return MontgomeryCtx::new(m).modpow(self, exp);
+        }
+        self.modpow_generic(exp, m)
+    }
+
+    /// `self^exp mod m` via the generic 4-bit fixed-window ladder
+    /// (multiply + long-divide per step). Works for any modulus; kept
+    /// public as the reference implementation the Montgomery path is
+    /// differentially tested against.
+    ///
+    /// # Panics
+    /// Panics if `m` is zero. `m == 1` yields zero.
+    pub fn modpow_generic(&self, exp: &UBig, m: &UBig) -> UBig {
         assert!(!m.is_zero(), "modpow with zero modulus");
         if m.is_one() {
             return UBig::zero();
@@ -74,7 +109,11 @@ impl UBig {
 
     /// Multiplicative inverse of `self` modulo `m`, if it exists
     /// (i.e. `gcd(self, m) == 1`).
+    ///
+    /// Odd moduli use a division-free binary extended GCD; the general
+    /// case runs the signed extended Euclid ([`ext_gcd`]).
     pub fn modinv(&self, m: &UBig) -> Option<UBig> {
+        ops_trace::record_modinv();
         if m.is_zero() {
             return None;
         }
@@ -82,12 +121,66 @@ impl UBig {
         if a.is_zero() {
             return if m.is_one() { Some(UBig::zero()) } else { None };
         }
+        if m.is_odd() {
+            return modinv_odd(&a, m);
+        }
         let (g, x, _) = ext_gcd(&a, m);
         if !g.is_one() {
             return None;
         }
         Some(x)
     }
+}
+
+/// `a - b mod m` for operands already reduced into `[0, m)` — a compare
+/// and at most one add/sub, no division.
+fn sub_mod_reduced(a: &UBig, b: &UBig, m: &UBig) -> UBig {
+    if a >= b {
+        a.sub_ref(b)
+    } else {
+        a.add_ref(m).sub_ref(b)
+    }
+}
+
+/// Binary extended GCD inverse for **odd** `m > 1` and `a` in `[1, m)`.
+///
+/// The classic binary inversion algorithm (HAC 14.61 shape): strip
+/// factors of two from the working values with shifts — using that `m`
+/// odd makes `x/2 mod m` computable as `(x + m) / 2` when `x` is odd —
+/// and subtract the smaller from the larger, mirroring every step on
+/// the Bézout coefficients. No `divrem` anywhere.
+fn modinv_odd(a: &UBig, m: &UBig) -> Option<UBig> {
+    debug_assert!(m.is_odd() && !m.is_one());
+    debug_assert!(!a.is_zero() && a < m);
+    let mut u = a.clone();
+    let mut v = m.clone();
+    // Invariants: x1·a ≡ u (mod m), x2·a ≡ v (mod m), both in [0, m).
+    let mut x1 = UBig::one();
+    let mut x2 = UBig::zero();
+
+    while !u.is_one() && !v.is_one() {
+        while u.is_even() {
+            u = u.shr_bits(1);
+            x1 = (if x1.is_even() { x1 } else { x1.add_ref(m) }).shr_bits(1);
+        }
+        while v.is_even() {
+            v = v.shr_bits(1);
+            x2 = (if x2.is_even() { x2 } else { x2.add_ref(m) }).shr_bits(1);
+        }
+        if u >= v {
+            u = u.sub_ref(&v);
+            x1 = sub_mod_reduced(&x1, &x2, m);
+        } else {
+            v = v.sub_ref(&u);
+            x2 = sub_mod_reduced(&x2, &x1, m);
+        }
+        if u.is_zero() || v.is_zero() {
+            // gcd(a, m) > 1: the odd cores collided before reaching 1.
+            return None;
+        }
+    }
+
+    Some(if u.is_one() { x1 } else { x2 })
 }
 
 /// Extended Euclidean algorithm over naturals.
@@ -100,10 +193,7 @@ impl UBig {
 /// Internally tracks signed Bézout coefficients as (magnitude, sign) pairs
 /// to stay within unsigned big-integer arithmetic.
 pub fn ext_gcd(a: &UBig, b: &UBig) -> (UBig, UBig, UBig) {
-    assert!(
-        !(a.is_zero() && b.is_zero()),
-        "ext_gcd(0, 0) is undefined"
-    );
+    assert!(!(a.is_zero() && b.is_zero()), "ext_gcd(0, 0) is undefined");
     // Signed value = (magnitude, negative?)
     type S = (UBig, bool);
 

@@ -1,0 +1,685 @@
+//! Montgomery-form modular arithmetic for odd moduli.
+//!
+//! The protocol's hot path is modular exponentiation over 1024–2048-bit
+//! odd moduli (RSA blind signatures, MODP Diffie–Hellman). The generic
+//! ladder in [`crate::UBig::modpow_generic`] pays a full multiply *and*
+//! a Knuth division per square-and-multiply step. Montgomery reduction
+//! replaces the division with a second multiply-accumulate pass that
+//! only needs single-word arithmetic: with `R = 2^(64k)` and
+//! `n' = -n^{-1} mod 2^64`, the CIOS (Coarsely Integrated Operand
+//! Scanning) loop computes `a·b·R^{-1} mod n` in `2k² + k` word
+//! multiplications and **zero** divisions. Squarings — four of every
+//! five ladder steps — take a dedicated path (square the operand with
+//! the triangle trick, then one reduction sweep) at `≈1.5k²` word
+//! multiplications.
+//!
+//! A [`MontgomeryCtx`] precomputes everything that depends only on the
+//! modulus (`n'`, `R mod n`, `R² mod n` — one division each at setup),
+//! so a cached context amortizes to nothing across the millions of
+//! exponentiations a deployed oprf-server performs. For the
+//! fixed-generator case (DH `g^x`), [`FixedBaseTable`] trades ~2 MB of
+//! precomputed powers for an exponentiation with **no squarings at
+//! all** — one multiply per non-zero exponent nibble.
+//!
+//! After setup, none of the operations here touch
+//! [`crate::UBig::divrem`]; the differential proptests pin that
+//! property via [`crate::ops_trace`].
+
+use crate::ops_trace;
+use crate::ubig::UBig;
+use std::sync::Arc;
+
+/// Precomputed constants for Montgomery arithmetic modulo a fixed odd
+/// modulus `n > 1`.
+///
+/// Cheap to clone relative to one exponentiation; build once per key /
+/// group and share (e.g. behind an `Arc`).
+#[derive(Clone, Debug)]
+pub struct MontgomeryCtx {
+    /// The modulus.
+    n: UBig,
+    /// `n`'s limbs padded to exactly `k` words.
+    n_limbs: Vec<u64>,
+    /// Limb count `k` (so `R = 2^(64k)`).
+    k: usize,
+    /// `-n^{-1} mod 2^64` (Dussé–Kaliski word inverse).
+    n0inv: u64,
+    /// `R mod n` — the Montgomery representation of 1.
+    r1: Vec<u64>,
+    /// `R² mod n` — multiplier for converting into Montgomery form.
+    r2: Vec<u64>,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for the odd modulus `n > 1`.
+    ///
+    /// Performs the only divisions this module ever needs (two
+    /// remainders, for `R mod n` and `R² mod n`).
+    ///
+    /// # Panics
+    /// Panics if `n` is even or `n <= 1`.
+    pub fn new(n: &UBig) -> Self {
+        assert!(n.is_odd(), "Montgomery arithmetic requires an odd modulus");
+        assert!(!n.is_one(), "modulus must exceed 1");
+        let k = n.limb_count();
+        let mut n_limbs = n.limbs.clone();
+        n_limbs.resize(k, 0);
+        let n0inv = word_inverse(n_limbs[0]).wrapping_neg();
+        let r1 = pad_limbs(&(&UBig::one() << (64 * k)).rem_ref(n), k);
+        let r2 = pad_limbs(&(&UBig::one() << (128 * k)).rem_ref(n), k);
+        MontgomeryCtx {
+            n: n.clone(),
+            n_limbs,
+            k,
+            n0inv,
+            r1,
+            r2,
+        }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &UBig {
+        &self.n
+    }
+
+    /// `base^exp mod n` via a 4-bit fixed-window ladder entirely in
+    /// Montgomery form: one conversion in, one squaring per exponent
+    /// bit plus at most one multiply per nibble, one conversion out —
+    /// and no division.
+    ///
+    /// `base` is reduced modulo `n` first if necessary (the only
+    /// possible division, skipped whenever `base < n`).
+    pub fn modpow(&self, base: &UBig, exp: &UBig) -> UBig {
+        if exp.is_zero() {
+            return UBig::one();
+        }
+        let base = if base >= &self.n {
+            base.rem_ref(&self.n)
+        } else {
+            base.clone()
+        };
+        if base.is_zero() {
+            return UBig::zero();
+        }
+
+        let k = self.k;
+        let mut scratch = vec![0u64; 2 * k + 2];
+        let mut out = vec![0u64; k];
+
+        // Table of base^0..base^15, all in Montgomery form.
+        let base_m = {
+            let mut b = vec![0u64; k];
+            self.mont_mul(&pad_limbs(&base, k), &self.r2, &mut scratch, &mut b);
+            b
+        };
+        let mut table = Vec::with_capacity(16);
+        table.push(self.r1.clone());
+        table.push(base_m);
+        for i in 2..16 {
+            let mut next = vec![0u64; k];
+            self.mont_mul(&table[i - 1], &table[1], &mut scratch, &mut next);
+            table.push(next);
+        }
+
+        let bits = exp.bit_len();
+        let windows = bits.div_ceil(4);
+        let mut acc = self.r1.clone();
+        for w in (0..windows).rev() {
+            for _ in 0..4 {
+                self.mont_sq(&acc, &mut scratch, &mut out);
+                std::mem::swap(&mut acc, &mut out);
+            }
+            let nibble = exp_nibble(exp, w);
+            if nibble != 0 {
+                self.mont_mul(&acc, &table[nibble], &mut scratch, &mut out);
+                std::mem::swap(&mut acc, &mut out);
+            }
+        }
+
+        // Leave Montgomery form: multiply by 1.
+        let one = one_limbs(k);
+        self.mont_mul(&acc, &one, &mut scratch, &mut out);
+        to_ubig(&out)
+    }
+
+    /// `a·b mod n` through two CIOS passes (into and out of Montgomery
+    /// form in one go) — division-free, for callers holding a context.
+    ///
+    /// Operands must already be reduced (`< n`).
+    pub fn mulmod(&self, a: &UBig, b: &UBig) -> UBig {
+        debug_assert!(a < &self.n && b < &self.n, "operands must be reduced");
+        let k = self.k;
+        let mut scratch = vec![0u64; 2 * k + 2];
+        let mut ab = vec![0u64; k];
+        // (a·b·R^{-1}) · R² · R^{-1} = a·b mod n.
+        self.mont_mul(&pad_limbs(a, k), &pad_limbs(b, k), &mut scratch, &mut ab);
+        let mut out = vec![0u64; k];
+        self.mont_mul(&ab, &self.r2, &mut scratch, &mut out);
+        to_ubig(&out)
+    }
+
+    /// Batch modular inversion (Montgomery's trick): inverts every
+    /// element of `values` with **one** extended-GCD inversion plus
+    /// `3(len−1)` multiplications, instead of `len` inversions.
+    ///
+    /// Returns `None` if any element is zero or shares a factor with
+    /// `n` (in which case nothing is invertible to report). Elements
+    /// must already be reduced (`< n`).
+    pub fn batch_inv(&self, values: &[UBig]) -> Option<Vec<UBig>> {
+        if values.is_empty() {
+            return Some(Vec::new());
+        }
+        // prefix[i] = v₀·v₁⋯vᵢ mod n.
+        let mut prefix = Vec::with_capacity(values.len());
+        prefix.push(values[0].clone());
+        for v in &values[1..] {
+            let last = prefix.last().expect("non-empty by construction");
+            prefix.push(self.mulmod(last, v));
+        }
+        // One inversion of the total product...
+        let mut running = prefix
+            .last()
+            .expect("non-empty by construction")
+            .modinv(&self.n)?;
+        // ...walked backwards to recover the individual inverses.
+        let mut out = vec![UBig::zero(); values.len()];
+        for i in (1..values.len()).rev() {
+            out[i] = self.mulmod(&running, &prefix[i - 1]);
+            running = self.mulmod(&running, &values[i]);
+        }
+        out[0] = running;
+        Some(out)
+    }
+
+    /// One CIOS Montgomery multiplication: `out = a·b·R^{-1} mod n`.
+    ///
+    /// `a`, `b` and `out` are `k`-limb little-endian buffers holding
+    /// values `< n`; `scratch` must provide at least `k+2` limbs.
+    fn mont_mul(&self, a: &[u64], b: &[u64], scratch: &mut [u64], out: &mut [u64]) {
+        ops_trace::record_mont_mul();
+        let k = self.k;
+        // Exact-length reslices let the optimizer drop bounds checks in
+        // the word loops below.
+        let n = &self.n_limbs[..k];
+        let a = &a[..k];
+        let b = &b[..k];
+        let t = &mut scratch[..k + 2];
+        t.fill(0);
+
+        for &bi in b {
+            // t += a · bi
+            let bi = bi as u128;
+            let mut carry: u64 = 0;
+            for (j, &aj) in a.iter().enumerate() {
+                let s = t[j] as u128 + aj as u128 * bi + carry as u128;
+                t[j] = s as u64;
+                carry = (s >> 64) as u64;
+            }
+            let s = t[k] as u128 + carry as u128;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+
+            // m cancels the low word: (t + m·n) ≡ 0 mod 2^64.
+            let m = t[0].wrapping_mul(self.n0inv) as u128;
+            let s = t[0] as u128 + m * n[0] as u128;
+            let mut carry = (s >> 64) as u64;
+            // Fused division by 2^64: write limb j to slot j-1.
+            for j in 1..k {
+                let s = t[j] as u128 + m * n[j] as u128 + carry as u128;
+                t[j - 1] = s as u64;
+                carry = (s >> 64) as u64;
+            }
+            let s = t[k] as u128 + carry as u128;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1] + (s >> 64) as u64;
+            t[k + 1] = 0;
+        }
+
+        // t < 2n; one conditional subtraction restores t < n.
+        conditional_sub(&t[..k + 1], n, out);
+    }
+
+    /// Dedicated Montgomery squaring: `out = a²·R^{-1} mod n`.
+    ///
+    /// Computes the full 2k-limb square with the triangle trick (each
+    /// cross product once, doubled in a shift pass) and then runs one
+    /// reduction sweep — `≈1.5k²` word multiplies versus the `2k²` of
+    /// [`Self::mont_mul`]. Squarings dominate every exponentiation, so
+    /// this is the single hottest loop in the crypto stack.
+    ///
+    /// `scratch` must provide at least `2k+2` limbs.
+    fn mont_sq(&self, a: &[u64], scratch: &mut [u64], out: &mut [u64]) {
+        ops_trace::record_mont_mul();
+        let k = self.k;
+        let n = &self.n_limbs[..k];
+        let a = &a[..k];
+        // p holds the full product then the reduction tail; one extra
+        // limb for the final carry.
+        let p = &mut scratch[..2 * k + 1];
+        p.fill(0);
+
+        // Cross products a[i]·a[j], j > i, each computed once.
+        for i in 0..k {
+            let ai = a[i] as u128;
+            let mut carry: u64 = 0;
+            for j in i + 1..k {
+                let s = p[i + j] as u128 + ai * a[j] as u128 + carry as u128;
+                p[i + j] = s as u64;
+                carry = (s >> 64) as u64;
+            }
+            // Row i first touches p[i+k] here; no prior content.
+            p[i + k] = carry;
+        }
+
+        // Double the cross products: p <<= 1 (top limb p[2k] absorbs
+        // the carry; it was zero).
+        let mut msb: u64 = 0;
+        for limb in p.iter_mut() {
+            let new_msb = *limb >> 63;
+            *limb = (*limb << 1) | msb;
+            msb = new_msb;
+        }
+
+        // Add the diagonal a[i]² terms.
+        let mut carry: u64 = 0;
+        for i in 0..k {
+            let sq = a[i] as u128 * a[i] as u128;
+            let s = p[2 * i] as u128 + (sq as u64) as u128 + carry as u128;
+            p[2 * i] = s as u64;
+            let s2 = p[2 * i + 1] as u128 + ((sq >> 64) as u64) as u128 + (s >> 64);
+            p[2 * i + 1] = s2 as u64;
+            carry = (s2 >> 64) as u64;
+        }
+        if carry > 0 {
+            p[2 * k] += carry;
+        }
+
+        // Montgomery reduction sweep: k times, clear the lowest live
+        // limb by adding m·n, then conceptually shift.
+        for i in 0..k {
+            let m = p[i].wrapping_mul(self.n0inv) as u128;
+            let mut carry: u64 = 0;
+            for j in 0..k {
+                let s = p[i + j] as u128 + m * n[j] as u128 + carry as u128;
+                p[i + j] = s as u64;
+                carry = (s >> 64) as u64;
+            }
+            // Ripple the row carry into the untouched high limbs.
+            let mut idx = i + k;
+            while carry > 0 {
+                let (s, overflow) = p[idx].overflowing_add(carry);
+                p[idx] = s;
+                carry = overflow as u64;
+                idx += 1;
+            }
+        }
+
+        // Result is p[k..2k] with a possible top bit in p[2k].
+        let (_, hi) = p.split_at(k);
+        conditional_sub(hi, n, out);
+    }
+}
+
+/// Fixed-base exponentiation table: all powers `base^(j·16^i)` in
+/// Montgomery form, so `base^exp` needs **no squarings** — just one
+/// Montgomery multiply per non-zero nibble of the exponent.
+///
+/// Sized by `max_exp_bits`; for a 2048-bit group this is 512 windows ×
+/// 15 entries × 256 bytes ≈ 2 MB, built once per (group, generator)
+/// and reused for every key generation in the cohort. Exponents longer
+/// than the table fall back to [`MontgomeryCtx::modpow`].
+#[derive(Clone, Debug)]
+pub struct FixedBaseTable {
+    ctx: Arc<MontgomeryCtx>,
+    base: UBig,
+    /// `rows[i][j]` = Montgomery form of `base^((j+1)·16^i)`.
+    rows: Vec<Vec<Vec<u64>>>,
+    max_exp_bits: usize,
+}
+
+impl FixedBaseTable {
+    /// Precomputes the window table for `base` (reduced mod `ctx`'s
+    /// modulus) covering exponents up to `max_exp_bits` bits. The
+    /// context is shared, not copied — table and callers see one set
+    /// of precomputed constants.
+    pub fn new(ctx: Arc<MontgomeryCtx>, base: &UBig, max_exp_bits: usize) -> Self {
+        let k = ctx.k;
+        let base = if base >= &ctx.n {
+            base.rem_ref(&ctx.n)
+        } else {
+            base.clone()
+        };
+        let windows = max_exp_bits.div_ceil(4).max(1);
+        let mut scratch = vec![0u64; 2 * k + 2];
+        // cur = Montgomery form of base^(16^i).
+        let mut cur = vec![0u64; k];
+        ctx.mont_mul(&pad_limbs(&base, k), &ctx.r2, &mut scratch, &mut cur);
+        let mut rows = Vec::with_capacity(windows);
+        for _ in 0..windows {
+            let mut row = Vec::with_capacity(15);
+            row.push(cur.clone());
+            for j in 1..15 {
+                let mut next = vec![0u64; k];
+                ctx.mont_mul(&row[j - 1], &cur, &mut scratch, &mut next);
+                row.push(next);
+            }
+            // base^(16^(i+1)) = (base^(8·16^i))².
+            let mut next_cur = vec![0u64; k];
+            ctx.mont_sq(&row[7], &mut scratch, &mut next_cur);
+            cur = next_cur;
+            rows.push(row);
+        }
+        FixedBaseTable {
+            ctx,
+            base,
+            rows,
+            max_exp_bits,
+        }
+    }
+
+    /// The base this table exponentiates.
+    pub fn base(&self) -> &UBig {
+        &self.base
+    }
+
+    /// The modulus context this table is bound to.
+    pub fn ctx(&self) -> &MontgomeryCtx {
+        &self.ctx
+    }
+
+    /// `base^exp mod n` — one Montgomery multiply per non-zero nibble
+    /// of `exp`, zero squarings, zero divisions.
+    pub fn pow(&self, exp: &UBig) -> UBig {
+        if exp.is_zero() {
+            return UBig::one();
+        }
+        if exp.bit_len() > self.max_exp_bits {
+            // Exponent outside the precomputed range: generic path.
+            return self.ctx.modpow(&self.base, exp);
+        }
+        if self.base.is_zero() {
+            return UBig::zero();
+        }
+        let k = self.ctx.k;
+        let mut scratch = vec![0u64; 2 * k + 2];
+        let mut acc = self.ctx.r1.clone();
+        let mut out = vec![0u64; k];
+        let windows = exp.bit_len().div_ceil(4);
+        for (w, row) in self.rows.iter().enumerate().take(windows) {
+            let nibble = exp_nibble(exp, w);
+            if nibble != 0 {
+                self.ctx
+                    .mont_mul(&acc, &row[nibble - 1], &mut scratch, &mut out);
+                std::mem::swap(&mut acc, &mut out);
+            }
+        }
+        let one = one_limbs(k);
+        self.ctx.mont_mul(&acc, &one, &mut scratch, &mut out);
+        to_ubig(&out)
+    }
+}
+
+/// The `w`-th 4-bit window of `exp`, least-significant window first.
+fn exp_nibble(exp: &UBig, w: usize) -> usize {
+    let mut nibble = 0usize;
+    for b in 0..4 {
+        let bit_index = w * 4 + (3 - b);
+        nibble <<= 1;
+        if exp.bit(bit_index) {
+            nibble |= 1;
+        }
+    }
+    nibble
+}
+
+/// `out = t mod n` given `t < 2n`, where `t` carries one extra limb
+/// beyond `n`'s `k`: a compare and at most one subtraction.
+fn conditional_sub(t: &[u64], n: &[u64], out: &mut [u64]) {
+    let k = n.len();
+    debug_assert_eq!(t.len(), k + 1);
+    debug_assert_eq!(out.len(), k);
+    let needs_sub = t[k] != 0 || ge_limbs(&t[..k], n);
+    if needs_sub {
+        let mut borrow: u64 = 0;
+        for j in 0..k {
+            let (d1, b1) = t[j].overflowing_sub(n[j]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[j] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+    } else {
+        out.copy_from_slice(&t[..k]);
+    }
+}
+
+/// `x^{-1} mod 2^64` for odd `x`, by Newton–Hensel lifting (each step
+/// doubles the number of correct low bits; 6 steps from 3 bits > 64).
+fn word_inverse(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    let mut inv = x; // 3 correct bits: x·x ≡ 1 (mod 8) for odd x.
+    for _ in 0..6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv
+}
+
+/// `a >= b` over equal-length little-endian limb slices.
+fn ge_limbs(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for j in (0..a.len()).rev() {
+        if a[j] != b[j] {
+            return a[j] > b[j];
+        }
+    }
+    true
+}
+
+/// Limbs of `v` zero-padded to exactly `k` words.
+fn pad_limbs(v: &UBig, k: usize) -> Vec<u64> {
+    debug_assert!(v.limb_count() <= k);
+    let mut out = v.limbs.clone();
+    out.resize(k, 0);
+    out
+}
+
+/// The value 1 as a `k`-limb buffer.
+fn one_limbs(k: usize) -> Vec<u64> {
+    let mut out = vec![0u64; k];
+    out[0] = 1;
+    out
+}
+
+/// Normalized [`UBig`] from a padded limb buffer.
+fn to_ubig(limbs: &[u64]) -> UBig {
+    let mut v = UBig {
+        limbs: limbs.to_vec(),
+    };
+    v.normalize();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_below, random_odd_bits};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn n(v: u64) -> UBig {
+        UBig::from_u64(v)
+    }
+
+    #[test]
+    fn word_inverse_odd_values() {
+        for x in [1u64, 3, 5, 0xFFFF_FFFF_FFFF_FFFF, 0x1234_5678_9ABC_DEF1] {
+            assert_eq!(x.wrapping_mul(word_inverse(x)), 1, "x={x}");
+        }
+    }
+
+    #[test]
+    fn modpow_matches_generic_small() {
+        let m = n(1_000_003); // odd prime
+        let ctx = MontgomeryCtx::new(&m);
+        for base in [0u64, 1, 2, 12345, 1_000_002] {
+            for exp in [0u64, 1, 2, 3, 65_537, u64::MAX] {
+                assert_eq!(
+                    ctx.modpow(&n(base), &n(exp)),
+                    n(base).modpow_generic(&n(exp), &m),
+                    "base={base} exp={exp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modpow_matches_generic_multi_limb() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for bits in [65usize, 128, 192, 512] {
+            let m = random_odd_bits(&mut rng, bits);
+            let ctx = MontgomeryCtx::new(&m);
+            for _ in 0..5 {
+                let base = random_below(&mut rng, &m);
+                let exp = random_below(&mut rng, &m);
+                assert_eq!(
+                    ctx.modpow(&base, &exp),
+                    base.modpow_generic(&exp, &m),
+                    "bits={bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modpow_reduces_oversized_base() {
+        let m = n(10_007);
+        let ctx = MontgomeryCtx::new(&m);
+        let big_base = n(10_007 * 3 + 17);
+        assert_eq!(
+            ctx.modpow(&big_base, &n(12)),
+            n(17).modpow_generic(&n(12), &m)
+        );
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        let p = n(1_000_000_007);
+        let ctx = MontgomeryCtx::new(&p);
+        for a in [2u64, 3, 999_999_999] {
+            assert_eq!(ctx.modpow(&n(a), &n(1_000_000_006)), UBig::one());
+        }
+    }
+
+    #[test]
+    fn mulmod_matches_plain() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let m = random_odd_bits(&mut rng, 256);
+        let ctx = MontgomeryCtx::new(&m);
+        for _ in 0..20 {
+            let a = random_below(&mut rng, &m);
+            let b = random_below(&mut rng, &m);
+            assert_eq!(ctx.mulmod(&a, &b), a.mulmod(&b, &m));
+        }
+    }
+
+    #[test]
+    fn no_divrem_after_setup() {
+        let mut rng = StdRng::seed_from_u64(79);
+        let m = random_odd_bits(&mut rng, 256);
+        let base = random_below(&mut rng, &m);
+        let exp = random_below(&mut rng, &m);
+        let ctx = MontgomeryCtx::new(&m);
+        let table = FixedBaseTable::new(Arc::new(ctx.clone()), &base, 256);
+        let before = ops_trace::divrem_calls();
+        let _ = ctx.modpow(&base, &exp);
+        let _ = ctx.mulmod(&base, &exp);
+        let _ = table.pow(&exp);
+        assert_eq!(
+            ops_trace::divrem_calls(),
+            before,
+            "Montgomery path must not divide after context setup"
+        );
+    }
+
+    #[test]
+    fn fixed_base_matches_modpow() {
+        let mut rng = StdRng::seed_from_u64(82);
+        for bits in [64usize, 192, 320] {
+            let m = random_odd_bits(&mut rng, bits);
+            let ctx = MontgomeryCtx::new(&m);
+            let base = random_below(&mut rng, &m);
+            let table = FixedBaseTable::new(Arc::new(ctx.clone()), &base, bits);
+            for _ in 0..8 {
+                let exp = random_below(&mut rng, &m);
+                assert_eq!(table.pow(&exp), ctx.modpow(&base, &exp), "bits={bits}");
+            }
+            assert_eq!(table.pow(&UBig::zero()), UBig::one());
+            assert_eq!(table.pow(&UBig::one()), base);
+        }
+    }
+
+    #[test]
+    fn fixed_base_oversized_exponent_falls_back() {
+        let m = n(1_000_003);
+        let ctx = MontgomeryCtx::new(&m);
+        let table = FixedBaseTable::new(Arc::new(ctx.clone()), &n(5), 16);
+        let big_exp = &UBig::one() << 40;
+        assert_eq!(table.pow(&big_exp), ctx.modpow(&n(5), &big_exp));
+    }
+
+    #[test]
+    fn batch_inv_matches_individual() {
+        let mut rng = StdRng::seed_from_u64(80);
+        let m = random_odd_bits(&mut rng, 128);
+        let ctx = MontgomeryCtx::new(&m);
+        let values: Vec<UBig> = (0..9)
+            .map(|_| loop {
+                let v = random_below(&mut rng, &m);
+                if !v.is_zero() && v.gcd(&m).is_one() {
+                    break v;
+                }
+            })
+            .collect();
+        let inverses = ctx.batch_inv(&values).expect("all invertible");
+        for (v, inv) in values.iter().zip(&inverses) {
+            assert_eq!(v.mulmod(inv, &m), UBig::one());
+        }
+    }
+
+    #[test]
+    fn batch_inv_uses_one_modinv() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let p = crate::gen_prime(&mut rng, 96);
+        let ctx = MontgomeryCtx::new(&p);
+        for len in [1usize, 2, 7, 32] {
+            let values: Vec<UBig> = (1..=len as u64).map(|i| n(i * 3 + 1)).collect();
+            let before = ops_trace::modinv_calls();
+            ctx.batch_inv(&values).expect("prime modulus");
+            assert_eq!(
+                ops_trace::modinv_calls() - before,
+                1,
+                "len={len}: exactly one inversion regardless of batch size"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_inv_rejects_non_invertible() {
+        let m = n(9); // odd, composite
+        let ctx = MontgomeryCtx::new(&m);
+        assert!(ctx.batch_inv(&[n(2), n(3)]).is_none(), "3 divides 9");
+        assert_eq!(ctx.batch_inv(&[]), Some(Vec::new()));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn even_modulus_rejected() {
+        MontgomeryCtx::new(&n(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn modulus_one_rejected() {
+        MontgomeryCtx::new(&UBig::one());
+    }
+}

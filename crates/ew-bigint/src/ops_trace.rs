@@ -1,0 +1,64 @@
+//! Thread-local operation counters for the expensive primitives.
+//!
+//! The performance contract of the Montgomery subsystem is structural:
+//! *zero* long divisions after context setup, and *one* extended-GCD
+//! inversion per batch regardless of batch size. Counters make those
+//! contracts testable instead of aspirational — the differential
+//! proptests snapshot them around hot-path calls and assert the deltas.
+//!
+//! Counters are thread-local so concurrently running tests cannot
+//! disturb each other's measurements, and cheap enough (one `Cell`
+//! increment) to stay enabled in release builds.
+
+use std::cell::Cell;
+
+thread_local! {
+    static DIVREM: Cell<u64> = const { Cell::new(0) };
+    static MODINV: Cell<u64> = const { Cell::new(0) };
+    static MONT_MUL: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total [`crate::UBig::divrem`] calls on this thread.
+pub fn divrem_calls() -> u64 {
+    DIVREM.with(|c| c.get())
+}
+
+/// Total [`crate::UBig::modinv`] calls on this thread.
+pub fn modinv_calls() -> u64 {
+    MODINV.with(|c| c.get())
+}
+
+/// Total CIOS Montgomery multiplications on this thread.
+pub fn mont_mul_calls() -> u64 {
+    MONT_MUL.with(|c| c.get())
+}
+
+pub(crate) fn record_divrem() {
+    DIVREM.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn record_modinv() {
+    MODINV.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn record_mont_mul() {
+    MONT_MUL.with(|c| c.set(c.get() + 1));
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::UBig;
+
+    #[test]
+    fn counters_track_calls() {
+        let a = UBig::from_u64(1_000_000);
+        let b = UBig::from_u64(997);
+        let before = super::divrem_calls();
+        let _ = a.divrem(&b);
+        assert_eq!(super::divrem_calls(), before + 1);
+
+        let before = super::modinv_calls();
+        let _ = b.modinv(&a);
+        assert_eq!(super::modinv_calls(), before + 1);
+    }
+}

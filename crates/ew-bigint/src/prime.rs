@@ -7,9 +7,9 @@ use rand::RngCore;
 
 /// Small primes used for trial division before the expensive MR rounds.
 const SMALL_PRIMES: [u64; 46] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199,
 ];
 
 /// Tuning for the Miller–Rabin primality test.
@@ -101,14 +101,9 @@ fn mr_round(n: &UBig, n_minus_1: &UBig, d: &UBig, s: usize, a: &UBig) -> bool {
 
 fn trailing_zeros(v: &UBig) -> usize {
     debug_assert!(!v.is_zero());
-    let mut count = 0;
-    for i in 0.. {
-        if v.bit(i) {
-            return count;
-        }
-        count += 1;
-    }
-    unreachable!("non-zero value has a set bit")
+    (0..)
+        .find(|&i| v.bit(i))
+        .expect("non-zero value has a set bit")
 }
 
 /// Generates a random prime with exactly `bits` bits.
@@ -150,11 +145,7 @@ mod tests {
 
     fn prime(n: u64) -> bool {
         let mut rng = StdRng::seed_from_u64(1);
-        is_probable_prime(
-            &UBig::from_u64(n),
-            &mut rng,
-            MillerRabinConfig::default(),
-        )
+        is_probable_prime(&UBig::from_u64(n), &mut rng, MillerRabinConfig::default())
     }
 
     #[test]
@@ -233,6 +224,10 @@ mod tests {
         let p = gen_safe_prime(&mut rng, 40);
         assert_eq!(p.bit_len(), 40);
         let q = p.sub_ref(&UBig::one()).shr_bits(1);
-        assert!(is_probable_prime(&q, &mut rng, MillerRabinConfig::default()));
+        assert!(is_probable_prime(
+            &q,
+            &mut rng,
+            MillerRabinConfig::default()
+        ));
     }
 }

@@ -1,8 +1,11 @@
 //! Property-based tests for the big-integer substrate: ring axioms,
-//! division invariants, shift/serialization round-trips and modular
-//! arithmetic identities.
+//! division invariants, shift/serialization round-trips, modular
+//! arithmetic identities, and the differential properties pinning the
+//! Montgomery fast path to the generic reference ladder.
 
+use crate::montgomery::MontgomeryCtx;
 use crate::ubig::UBig;
+use crate::{ext_gcd, ops_trace};
 use proptest::prelude::*;
 
 /// Strategy producing UBig values of up to ~256 bits from raw bytes.
@@ -13,6 +16,19 @@ fn ubig() -> impl Strategy<Value = UBig> {
 /// Strategy producing non-zero UBig values.
 fn ubig_nonzero() -> impl Strategy<Value = UBig> {
     ubig().prop_map(|v| if v.is_zero() { UBig::one() } else { v })
+}
+
+/// Strategy producing odd moduli `>= 3` (the Montgomery domain).
+fn ubig_odd_modulus() -> impl Strategy<Value = UBig> {
+    ubig().prop_map(|v| {
+        let mut v = v;
+        v.set_bit(0);
+        if v.is_one() {
+            UBig::from_u64(3)
+        } else {
+            v
+        }
+    })
 }
 
 proptest! {
@@ -117,6 +133,89 @@ proptest! {
                 prop_assert_eq!(a.mulmod(&inv, &m), UBig::one());
             }
         }
+    }
+
+    // ---- Montgomery differential properties ------------------------
+
+    #[test]
+    fn montgomery_modpow_equals_generic_ladder(
+        base in ubig(),
+        exp in ubig(),
+        m in ubig_odd_modulus(),
+    ) {
+        // Bases both below and above m (ubig() is unconstrained), every
+        // exponent, every odd modulus: the dispatched fast path and the
+        // reference ladder must agree bit for bit.
+        prop_assert_eq!(base.modpow(&exp, &m), base.modpow_generic(&exp, &m));
+        prop_assert_eq!(
+            MontgomeryCtx::new(&m).modpow(&base, &exp),
+            base.modpow_generic(&exp, &m)
+        );
+    }
+
+    #[test]
+    fn montgomery_modpow_edge_exponents(base in ubig(), m in ubig_odd_modulus()) {
+        // exp = 0 and exp = 1 through the dispatcher.
+        prop_assert_eq!(base.modpow(&UBig::zero(), &m), UBig::one());
+        prop_assert_eq!(base.modpow(&UBig::one(), &m), base.rem_ref(&m));
+    }
+
+    #[test]
+    fn modpow_dispatch_even_modulus_falls_back(
+        base in ubig(),
+        exp in ubig(),
+        m in ubig_nonzero(),
+    ) {
+        // Even moduli (and m = 1) take the generic path; the dispatcher
+        // must stay observably identical to the reference either way.
+        let m = if m.is_odd() { m.add_ref(&UBig::one()) } else { m };
+        prop_assert_eq!(base.modpow(&exp, &m), base.modpow_generic(&exp, &m));
+        prop_assert_eq!(base.modpow(&exp, &UBig::one()), UBig::zero());
+    }
+
+    #[test]
+    fn montgomery_modpow_no_divrem_after_setup(
+        base in ubig(),
+        exp in ubig(),
+        m in ubig_odd_modulus(),
+    ) {
+        // The performance contract of the acceptance criteria: with the
+        // context built and the base already reduced, exponentiation
+        // performs zero long divisions.
+        let ctx = MontgomeryCtx::new(&m);
+        let base = base.rem_ref(&m);
+        let before = ops_trace::divrem_calls();
+        let got = ctx.modpow(&base, &exp);
+        prop_assert_eq!(ops_trace::divrem_calls(), before);
+        prop_assert_eq!(got, base.modpow_generic(&exp, &m));
+    }
+
+    #[test]
+    fn binary_modinv_equals_ext_gcd_inverse(a in ubig_nonzero(), m in ubig_odd_modulus()) {
+        // modinv dispatches odd moduli to the division-free binary
+        // extended GCD; it must agree with the signed extended Euclid
+        // on both existence and value.
+        let a = a.rem_ref(&m);
+        let binary = a.modinv(&m);
+        let reference = if a.is_zero() {
+            None
+        } else {
+            let (g, x, _) = ext_gcd(&a, &m);
+            if g.is_one() { Some(x) } else { None }
+        };
+        prop_assert_eq!(binary, reference);
+    }
+
+    #[test]
+    fn batch_inv_equals_pointwise_inversion(
+        values in proptest::collection::vec(ubig_nonzero(), 0..12),
+        m in ubig_odd_modulus(),
+    ) {
+        let ctx = MontgomeryCtx::new(&m);
+        let values: Vec<UBig> = values.iter().map(|v| v.rem_ref(&m)).collect();
+        let pointwise: Option<Vec<UBig>> =
+            values.iter().map(|v| v.modinv(&m)).collect();
+        prop_assert_eq!(ctx.batch_inv(&values), pointwise);
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl UserCounters {
 
     /// The per-user `#Domains(u, ·)` distribution (one sample per ad).
     pub fn domain_distribution(&self) -> Vec<f64> {
-        self.domains_per_ad.values().map(|s| s.len() as f64).collect()
+        self.domains_per_ad
+            .values()
+            .map(|s| s.len() as f64)
+            .collect()
     }
 
     /// `Domains_th(u)` under `policy` — recomputable in real time inside
@@ -105,9 +108,7 @@ mod tests {
         }
         // Distribution: [4, 1, 1, 1, 1] — mean 1.6, median 1.
         assert!((c.domains_threshold(ThresholdPolicy::Mean) - 1.6).abs() < 1e-12);
-        assert!(
-            (c.domains_threshold(ThresholdPolicy::MeanPlusMedian) - 2.6).abs() < 1e-12
-        );
+        assert!((c.domains_threshold(ThresholdPolicy::MeanPlusMedian) - 2.6).abs() < 1e-12);
         // Ad 1 crosses the Mean threshold, the singletons don't.
         assert!(c.domain_count(1) as f64 > 1.6);
         assert!((c.domain_count(2) as f64) < 1.6);

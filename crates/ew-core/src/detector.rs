@@ -115,7 +115,10 @@ mod tests {
     #[test]
     fn detects_chasing_niche_ad() {
         let det = Detector::default();
-        assert_eq!(det.classify(&chased_user(), 1, &global()), Verdict::Targeted);
+        assert_eq!(
+            det.classify(&chased_user(), 1, &global()),
+            Verdict::Targeted
+        );
     }
 
     #[test]
@@ -151,16 +154,10 @@ mod tests {
         u.observe(1, 2);
         u.observe(2, 3);
         let det = Detector::default();
-        assert_eq!(
-            det.classify(&u, 1, &global()),
-            Verdict::InsufficientData
-        );
+        assert_eq!(det.classify(&u, 1, &global()), Verdict::InsufficientData);
         // A fourth domain unlocks classification.
         u.observe(3, 4);
-        assert_ne!(
-            det.classify(&u, 1, &global()),
-            Verdict::InsufficientData
-        );
+        assert_ne!(det.classify(&u, 1, &global()), Verdict::InsufficientData);
     }
 
     #[test]

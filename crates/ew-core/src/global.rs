@@ -32,10 +32,8 @@ impl GlobalView {
     where
         I: IntoIterator<Item = (AdKey, f64)>,
     {
-        let users_per_ad: HashMap<AdKey, f64> = estimates
-            .into_iter()
-            .filter(|(_, c)| *c > 0.0)
-            .collect();
+        let users_per_ad: HashMap<AdKey, f64> =
+            estimates.into_iter().filter(|(_, c)| *c > 0.0).collect();
         let dist: Vec<f64> = users_per_ad.values().copied().collect();
         let threshold = policy.compute(&dist);
         GlobalView {
@@ -120,10 +118,7 @@ mod tests {
     #[test]
     fn segmented_views_have_independent_thresholds() {
         let seg = SegmentedGlobalView::from_group_estimates(
-            vec![
-                vec![(1u64, 2.0), (2, 4.0)],
-                vec![(1, 10.0), (3, 20.0)],
-            ],
+            vec![vec![(1u64, 2.0), (2, 4.0)], vec![(1, 10.0), (3, 20.0)]],
             ThresholdPolicy::Mean,
         );
         assert_eq!(seg.num_groups(), 2);

@@ -245,10 +245,7 @@ mod tests {
             num_cells: 16,
         };
         // A single user's blinding must look random, not zero.
-        assert!(gens[0]
-            .blinding_vector(params)
-            .iter()
-            .any(|&c| c != 0));
+        assert!(gens[0].blinding_vector(params).iter().any(|&c| c != 0));
     }
 
     #[test]
@@ -268,10 +265,7 @@ mod tests {
         for &i in &reporting {
             apply_blinding(&mut agg, &gens[i].blinding_vector(params));
         }
-        assert!(
-            agg.iter().any(|&c| c != 0),
-            "missing clients leave residue"
-        );
+        assert!(agg.iter().any(|&c| c != 0), "missing clients leave residue");
 
         // Round 2: reporting clients send adjustments; server subtracts.
         for &i in &reporting {

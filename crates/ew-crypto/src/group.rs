@@ -6,7 +6,7 @@
 //! (1536/2048-bit) for deployment-scale parameters, plus generated
 //! safe-prime groups of arbitrary size so the test suite stays fast.
 
-use ew_bigint::{gen_safe_prime, random_range, UBig};
+use ew_bigint::{gen_safe_prime, random_range, FixedBaseTable, MontgomeryCtx, UBig};
 use rand::RngCore;
 use std::sync::Arc;
 
@@ -15,6 +15,13 @@ use std::sync::Arc;
 ///
 /// The generator is chosen as a quadratic residue so the subgroup it
 /// generates has prime order `q`, which makes exponent arithmetic clean.
+///
+/// Construction precomputes a shared [`MontgomeryCtx`] for `p` (every
+/// [`Self::pow`] is division-free) and a [`FixedBaseTable`] for the
+/// generator, so [`Self::pow_g`] — the key-generation hot path run once
+/// per user in a cohort — costs one multiply per exponent nibble and no
+/// squarings. Both are behind `Arc`s: cloning a group is cheap and all
+/// clones share the tables.
 #[derive(Debug, Clone)]
 pub struct ModpGroup {
     /// Safe prime modulus `p`.
@@ -23,6 +30,10 @@ pub struct ModpGroup {
     q: Arc<UBig>,
     /// Generator of the order-`q` subgroup.
     g: Arc<UBig>,
+    /// Montgomery context for `p`, shared by all exponentiations.
+    ctx: Arc<MontgomeryCtx>,
+    /// Fixed-base window table for `g`, covering exponents up to `q`.
+    g_table: Arc<FixedBaseTable>,
 }
 
 /// RFC 3526 group 14 (2048-bit MODP), hex from the RFC.
@@ -81,10 +92,16 @@ impl ModpGroup {
         let q = p.sub_ref(&UBig::one()).shr_bits(1);
         let g = candidate.mulmod(&candidate, &p);
         assert!(!g.is_one() && !g.is_zero(), "degenerate generator");
+        let ctx = Arc::new(MontgomeryCtx::new(&p));
+        // Exponents live in [1, q); the table covers q's full width
+        // and shares the group's context rather than copying it.
+        let g_table = FixedBaseTable::new(Arc::clone(&ctx), &g, q.bit_len());
         ModpGroup {
             p: Arc::new(p),
             q: Arc::new(q),
             g: Arc::new(g),
+            ctx,
+            g_table: Arc::new(g_table),
         }
     }
 
@@ -115,14 +132,25 @@ impl ModpGroup {
         self.p.bit_len().div_ceil(8)
     }
 
-    /// `g^exp mod p`.
-    pub fn pow_g(&self, exp: &UBig) -> UBig {
-        self.g.modpow(exp, &self.p)
+    /// The shared Montgomery context for `p`.
+    pub fn ctx(&self) -> &MontgomeryCtx {
+        &self.ctx
     }
 
-    /// `base^exp mod p`.
+    /// `g^exp mod p` through the precomputed fixed-base table.
+    pub fn pow_g(&self, exp: &UBig) -> UBig {
+        self.g_table.pow(exp)
+    }
+
+    /// `base^exp mod p` through the shared Montgomery context.
     pub fn pow(&self, base: &UBig, exp: &UBig) -> UBig {
-        base.modpow(exp, &self.p)
+        self.ctx.modpow(base, exp)
+    }
+
+    /// `a·b mod p` through the shared Montgomery context (operands must
+    /// be reduced).
+    pub fn mul(&self, a: &UBig, b: &UBig) -> UBig {
+        self.ctx.mulmod(a, b)
     }
 
     /// Uniformly random exponent in `[1, q)`.
@@ -189,6 +217,27 @@ mod tests {
             assert!(!e.is_zero());
             assert!(&e < grp.order());
         }
+    }
+
+    #[test]
+    fn fixed_base_and_ctx_match_generic_ladder() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let grp = ModpGroup::generate(&mut rng, 64);
+        for _ in 0..20 {
+            let e = grp.random_exponent(&mut rng);
+            let expected = grp.generator().modpow_generic(&e, grp.modulus());
+            assert_eq!(grp.pow_g(&e), expected, "fixed-base table");
+            assert_eq!(grp.pow(grp.generator(), &e), expected, "shared ctx");
+        }
+    }
+
+    #[test]
+    fn group_mul_matches_plain() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let grp = ModpGroup::generate(&mut rng, 64);
+        let a = grp.pow_g(&grp.random_exponent(&mut rng));
+        let b = grp.pow_g(&grp.random_exponent(&mut rng));
+        assert_eq!(grp.mul(&a, &b), a.mulmod(&b, grp.modulus()));
     }
 
     #[test]

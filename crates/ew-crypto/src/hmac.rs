@@ -81,7 +81,10 @@ mod tests {
     fn rfc4231_long_key() {
         // Test case 6: key longer than the block size is hashed first.
         let key = [0xaau8; 131];
-        let digest = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let digest = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             to_hex(&digest),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"

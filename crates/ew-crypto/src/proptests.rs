@@ -10,6 +10,8 @@ use crate::dh::DhKeyPair;
 use crate::directory::KeyDirectory;
 use crate::group::ModpGroup;
 use crate::oprf::{hash_to_zn, OprfClient, OprfServerKey};
+use crate::rsa::RsaKeyPair;
+use ew_bigint::{random_below, UBig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,6 +25,19 @@ fn shared_group() -> &'static ModpGroup {
 fn shared_oprf() -> &'static OprfServerKey {
     static KEY: OnceLock<OprfServerKey> = OnceLock::new();
     KEY.get_or_init(|| OprfServerKey::generate(&mut StdRng::seed_from_u64(1001), 96))
+}
+
+/// A small pool of RSA keys of assorted sizes, generated once; the CRT
+/// differential property samples across all of them.
+fn shared_rsa_keys() -> &'static [RsaKeyPair] {
+    static KEYS: OnceLock<Vec<RsaKeyPair>> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(1002);
+        [64usize, 96, 128, 192]
+            .into_iter()
+            .map(|bits| RsaKeyPair::generate(&mut rng, bits))
+            .collect()
+    })
 }
 
 proptest! {
@@ -101,6 +116,47 @@ proptest! {
             client.finalize(&pending, &resp).unwrap(),
             server.evaluate_direct(&input)
         );
+    }
+
+    #[test]
+    fn crt_private_op_matches_plain_modpow(key_idx in 0usize..4, seed in any::<u64>()) {
+        // The CRT fast path (two half-width Montgomery exponentiations
+        // + Garner) must agree with x^d mod N computed directly, for
+        // random keys and inputs including the degenerate corners.
+        let key = &shared_rsa_keys()[key_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = random_below(&mut rng, &key.public().n);
+        prop_assert_eq!(key.private_op(&x), key.private_op_no_crt(&x));
+        prop_assert_eq!(key.private_op(&UBig::zero()), UBig::zero());
+        prop_assert_eq!(key.private_op(&UBig::one()), UBig::one());
+    }
+
+    #[test]
+    fn batch_blinding_equals_single_blinding_protocol(
+        count in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        // blind_batch must produce pendings that unblind to the same
+        // PRF outputs the one-at-a-time protocol yields.
+        let server = shared_oprf();
+        let client = OprfClient::new(server.public().clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs: Vec<Vec<u8>> = (0..count)
+            .map(|i| format!("ad-{seed}-{i}").into_bytes())
+            .collect();
+        let input_refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let pendings = client.blind_batch(&mut rng, &input_refs).unwrap();
+        let responses = server
+            .evaluate_blinded_batch(
+                &pendings.iter().map(|p| p.blinded.clone()).collect::<Vec<_>>(),
+            )
+            .unwrap();
+        for ((input, pending), response) in inputs.iter().zip(&pendings).zip(&responses) {
+            prop_assert_eq!(
+                client.finalize(pending, response).unwrap(),
+                server.evaluate_direct(input)
+            );
+        }
     }
 
     #[test]

@@ -1,10 +1,23 @@
-//! RSA key generation for the oblivious PRF server.
+//! RSA key generation and raw operations for the oblivious PRF server.
 //!
 //! The oprf-server of the paper holds an RSA triple `(N, d, e)` with
 //! `N = p·q` and `e·d ≡ 1 (mod φ(N))`; it publishes `(N, e)` and keeps
 //! `d` private (§6, "OPRF" paragraph).
+//!
+//! ## Performance
+//!
+//! The private operation is the server's per-request cost and the
+//! paper's §7.1 latency bottleneck, so it runs on the CRT fast path:
+//! keygen stores `(p, q, d_p = d mod p−1, d_q = d mod q−1,
+//! q⁻¹ mod p)` and `private_op` performs two half-width Montgomery
+//! exponentiations plus a Garner recombination — about 4× fewer word
+//! multiplications than one full-width exponentiation, on top of the
+//! Montgomery savings themselves. The per-prime and per-modulus
+//! [`MontgomeryCtx`]s are cached in the key, so repeated evaluations
+//! (`evaluate_blinded` on millions of requests) never re-derive
+//! constants.
 
-use ew_bigint::{gen_prime, UBig};
+use ew_bigint::{gen_prime, MontgomeryCtx, UBig};
 use rand::RngCore;
 
 /// Public half of an RSA key: `(N, e)`.
@@ -28,12 +41,38 @@ impl RsaPublicKey {
     }
 }
 
+/// CRT secret material: the factors of `N` plus the reduced private
+/// exponents and the Garner coefficient, with cached Montgomery
+/// contexts for both primes.
+#[derive(Debug, Clone)]
+struct CrtKey {
+    /// First prime factor.
+    p: UBig,
+    /// Second prime factor.
+    q: UBig,
+    /// `d mod (p-1)`.
+    d_p: UBig,
+    /// `d mod (q-1)`.
+    d_q: UBig,
+    /// `q^{-1} mod p` (Garner's recombination coefficient).
+    q_inv: UBig,
+    /// Montgomery context for `p`.
+    ctx_p: MontgomeryCtx,
+    /// Montgomery context for `q`.
+    ctx_q: MontgomeryCtx,
+}
+
 /// Full RSA key pair held by the oprf-server.
 #[derive(Debug, Clone)]
 pub struct RsaKeyPair {
     public: RsaPublicKey,
-    /// Private exponent `d`.
+    /// Private exponent `d` (kept for the non-CRT reference path).
     d: UBig,
+    /// CRT fast-path material.
+    crt: CrtKey,
+    /// Montgomery context for `N`, shared by the public operation and
+    /// any caller-side modular arithmetic on `Z_N`.
+    ctx_n: MontgomeryCtx,
 }
 
 /// Standard public exponent 2^16 + 1.
@@ -54,14 +93,34 @@ impl RsaKeyPair {
             if p == q {
                 continue;
             }
-            let n = p.mul_ref(&q);
-            let phi = p.sub_ref(&UBig::one()).mul_ref(&q.sub_ref(&UBig::one()));
+            let one = UBig::one();
+            let p1 = p.sub_ref(&one);
+            let q1 = q.sub_ref(&one);
+            let phi = p1.mul_ref(&q1);
             let Some(d) = e.modinv(&phi) else {
                 continue;
             };
+            let Some(q_inv) = q.modinv(&p) else {
+                // p == q is excluded above, so q is always invertible;
+                // defensive regardless.
+                continue;
+            };
+            let n = p.mul_ref(&q);
+            let crt = CrtKey {
+                d_p: d.rem_ref(&p1),
+                d_q: d.rem_ref(&q1),
+                q_inv,
+                ctx_p: MontgomeryCtx::new(&p),
+                ctx_q: MontgomeryCtx::new(&q),
+                p,
+                q,
+            };
+            let ctx_n = MontgomeryCtx::new(&n);
             return RsaKeyPair {
                 public: RsaPublicKey { n, e },
                 d,
+                crt,
+                ctx_n,
             };
         }
     }
@@ -71,14 +130,36 @@ impl RsaKeyPair {
         &self.public
     }
 
-    /// Raw RSA private operation `x^d mod N` — the oprf-server's "sign".
+    /// The cached Montgomery context for `N` (shared with protocol
+    /// layers doing arithmetic in `Z_N`).
+    pub fn ctx_n(&self) -> &MontgomeryCtx {
+        &self.ctx_n
+    }
+
+    /// Raw RSA private operation `x^d mod N` — the oprf-server's
+    /// "sign" — on the CRT fast path: `m_p = x^{d_p} mod p`,
+    /// `m_q = x^{d_q} mod q`, recombined via Garner as
+    /// `m_q + q·(q_inv·(m_p − m_q) mod p)`.
     pub fn private_op(&self, x: &UBig) -> UBig {
-        x.modpow(&self.d, &self.public.n)
+        let crt = &self.crt;
+        let m_p = crt.ctx_p.modpow(x, &crt.d_p);
+        let m_q = crt.ctx_q.modpow(x, &crt.d_q);
+        // h = q_inv · (m_p − m_q) mod p.
+        let diff = m_p.submod(&m_q, &crt.p);
+        let h = crt.ctx_p.mulmod(&crt.q_inv, &diff);
+        m_q.add_ref(&h.mul_ref(&crt.q))
+    }
+
+    /// Reference (non-CRT) private operation: one full-width
+    /// exponentiation by `d`. Kept for differential testing of the CRT
+    /// path.
+    pub fn private_op_no_crt(&self, x: &UBig) -> UBig {
+        self.ctx_n.modpow(x, &self.d)
     }
 
     /// Raw RSA public operation `x^e mod N`.
     pub fn public_op(&self, x: &UBig) -> UBig {
-        x.modpow(&self.public.e, &self.public.n)
+        self.ctx_n.modpow(x, &self.public.e)
     }
 }
 
@@ -98,6 +179,26 @@ mod tests {
             assert_eq!(key.private_op(&key.public_op(&x)), x);
             assert_eq!(key.public_op(&key.private_op(&x)), x);
         }
+    }
+
+    #[test]
+    fn crt_matches_full_width() {
+        let mut rng = StdRng::seed_from_u64(24);
+        for bits in [64usize, 128, 256] {
+            let key = RsaKeyPair::generate(&mut rng, bits);
+            for _ in 0..5 {
+                let x = random_below(&mut rng, &key.public().n);
+                assert_eq!(key.private_op(&x), key.private_op_no_crt(&x), "bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn crt_handles_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let key = RsaKeyPair::generate(&mut rng, 128);
+        assert_eq!(key.private_op(&UBig::zero()), UBig::zero());
+        assert_eq!(key.private_op(&UBig::one()), UBig::one());
     }
 
     #[test]

@@ -98,6 +98,31 @@ pub fn get_user_list(buf: &mut impl Buf) -> Result<Vec<u32>, CodecError> {
     get_u32_vec(buf)
 }
 
+/// Reads a count-prefixed list of length-prefixed byte strings (the
+/// batch-OPRF element lists).
+pub fn get_bytes_list(buf: &mut impl Buf) -> Result<Vec<Vec<u8>>, CodecError> {
+    let count = get_u32(buf)? as usize;
+    // Every element carries at least its own 4-byte length prefix, so a
+    // hostile count cannot force a huge allocation.
+    if count.saturating_mul(4) > MAX_FIELD_LEN {
+        return Err(CodecError::FieldTooLarge(count));
+    }
+    need(buf, count * 4)?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(get_bytes(buf)?);
+    }
+    Ok(out)
+}
+
+/// Writes a count-prefixed list of length-prefixed byte strings.
+pub fn put_bytes_list(buf: &mut impl BufMut, items: &[Vec<u8>]) {
+    buf.put_u32_le(items.len() as u32);
+    for item in items {
+        put_bytes(buf, item);
+    }
+}
+
 /// Writes a length-prefixed byte slice.
 pub fn put_bytes(buf: &mut impl BufMut, data: &[u8]) {
     debug_assert!(data.len() <= MAX_FIELD_LEN);

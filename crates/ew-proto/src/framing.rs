@@ -79,46 +79,44 @@ impl FrameDecoder {
     /// * `Err(e)` — a corrupted frame was consumed; calling again
     ///   continues after resynchronization.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
-        loop {
-            // Hunt for the magic.
-            match find_magic(&self.buf) {
-                None => {
-                    // Keep at most one dangling byte (could be half a magic).
-                    let keep = self.buf.len().min(1);
-                    self.buf.drain(..self.buf.len() - keep);
-                    return Ok(None);
-                }
-                Some(pos) if pos > 0 => {
-                    self.buf.drain(..pos);
-                }
-                Some(_) => {}
-            }
-
-            if self.buf.len() < HEADER_LEN {
+        // Hunt for the magic.
+        match find_magic(&self.buf) {
+            None => {
+                // Keep at most one dangling byte (could be half a magic).
+                let keep = self.buf.len().min(1);
+                self.buf.drain(..self.buf.len() - keep);
                 return Ok(None);
             }
-            let len = u32::from_le_bytes(
-                self.buf[2..6].try_into().expect("4 bytes"),
-            ) as usize;
-            if len > MAX_FRAME_PAYLOAD {
-                // Drop the bogus magic and resync.
-                self.buf.drain(..2);
-                return Err(FrameError::Oversize(len));
+            Some(pos) if pos > 0 => {
+                self.buf.drain(..pos);
             }
-            let total = HEADER_LEN + len + TRAILER_LEN;
-            if self.buf.len() < total {
-                return Ok(None);
-            }
-            let payload = self.buf[HEADER_LEN..HEADER_LEN + len].to_vec();
-            let declared = u32::from_le_bytes(
-                self.buf[HEADER_LEN + len..total].try_into().expect("4 bytes"),
-            );
-            self.buf.drain(..total);
-            if crc32(&payload) != declared {
-                return Err(FrameError::BadChecksum);
-            }
-            return Ok(Some(payload));
+            Some(_) => {}
         }
+
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[2..6].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            // Drop the bogus magic and resync.
+            self.buf.drain(..2);
+            return Err(FrameError::Oversize(len));
+        }
+        let total = HEADER_LEN + len + TRAILER_LEN;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[HEADER_LEN..HEADER_LEN + len].to_vec();
+        let declared = u32::from_le_bytes(
+            self.buf[HEADER_LEN + len..total]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        self.buf.drain(..total);
+        if crc32(&payload) != declared {
+            return Err(FrameError::BadChecksum);
+        }
+        Ok(Some(payload))
     }
 }
 

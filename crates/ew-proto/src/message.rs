@@ -3,8 +3,8 @@
 //! fault-tolerance exchange of §6).
 
 use crate::codec::{
-    get_bytes, get_f64, get_u32, get_u32_vec, get_u64, get_u8, get_user_list, put_bytes,
-    put_u32_vec, CodecError,
+    get_bytes, get_bytes_list, get_f64, get_u32, get_u32_vec, get_u64, get_u8, get_user_list,
+    put_bytes, put_bytes_list, put_u32_vec, CodecError,
 };
 use bytes::BufMut;
 
@@ -33,6 +33,24 @@ pub enum Message {
         request_id: u64,
         /// `(blinded)^d mod N`.
         element: Vec<u8>,
+    },
+    /// Client → oprf-server: a whole batch of blinded elements in one
+    /// message (the weekly wake-up maps every new ad URL at once; one
+    /// message amortizes framing and lets the server keep its CRT
+    /// context hot).
+    OprfBatchRequest {
+        /// Client-chosen correlation id.
+        request_id: u64,
+        /// Blinded elements, in order.
+        blinded: Vec<Vec<u8>>,
+    },
+    /// oprf-server → client: the signed batch, positionally matching
+    /// the request.
+    OprfBatchResponse {
+        /// Echoed correlation id.
+        request_id: u64,
+        /// `(blinded_i)^d mod N` for each request element.
+        elements: Vec<Vec<u8>>,
     },
     /// Client → backend: the weekly blinded CMS report.
     Report {
@@ -105,6 +123,8 @@ mod tag {
     pub const THRESHOLD_BROADCAST: u8 = 0x07;
     pub const USERS_QUERY: u8 = 0x08;
     pub const USERS_REPLY: u8 = 0x09;
+    pub const OPRF_BATCH_REQUEST: u8 = 0x0A;
+    pub const OPRF_BATCH_RESPONSE: u8 = 0x0B;
 }
 
 impl Message {
@@ -132,6 +152,22 @@ impl Message {
                 buf.put_u8(tag::OPRF_RESPONSE);
                 buf.put_u64_le(*request_id);
                 put_bytes(&mut buf, element);
+            }
+            Message::OprfBatchRequest {
+                request_id,
+                blinded,
+            } => {
+                buf.put_u8(tag::OPRF_BATCH_REQUEST);
+                buf.put_u64_le(*request_id);
+                put_bytes_list(&mut buf, blinded);
+            }
+            Message::OprfBatchResponse {
+                request_id,
+                elements,
+            } => {
+                buf.put_u8(tag::OPRF_BATCH_RESPONSE);
+                buf.put_u64_le(*request_id);
+                put_bytes_list(&mut buf, elements);
             }
             Message::Report {
                 user,
@@ -205,6 +241,14 @@ impl Message {
                 request_id: get_u64(buf)?,
                 element: get_bytes(buf)?,
             },
+            tag::OPRF_BATCH_REQUEST => Message::OprfBatchRequest {
+                request_id: get_u64(buf)?,
+                blinded: get_bytes_list(buf)?,
+            },
+            tag::OPRF_BATCH_RESPONSE => Message::OprfBatchResponse {
+                request_id: get_u64(buf)?,
+                elements: get_bytes_list(buf)?,
+            },
             tag::REPORT => Message::Report {
                 user: get_u32(buf)?,
                 round: get_u64(buf)?,
@@ -261,6 +305,14 @@ mod tests {
             Message::OprfResponse {
                 request_id: 42,
                 element: vec![0xee; 16],
+            },
+            Message::OprfBatchRequest {
+                request_id: 43,
+                blinded: vec![vec![0x11; 16], vec![], vec![0x22; 3]],
+            },
+            Message::OprfBatchResponse {
+                request_id: 43,
+                elements: vec![vec![0x33; 16], vec![0x44; 16]],
             },
             Message::Report {
                 user: 3,

@@ -10,10 +10,34 @@ fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..64))
             .prop_map(|(user, public_key)| Message::PublishKey { user, public_key }),
-        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
-            .prop_map(|(request_id, blinded)| Message::OprfRequest { request_id, blinded }),
-        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
-            .prop_map(|(request_id, element)| Message::OprfResponse { request_id, element }),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(
+            |(request_id, blinded)| Message::OprfRequest {
+                request_id,
+                blinded
+            }
+        ),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(
+            |(request_id, element)| Message::OprfResponse {
+                request_id,
+                element
+            }
+        ),
+        (
+            any::<u64>(),
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 0..8)
+        )
+            .prop_map(|(request_id, blinded)| Message::OprfBatchRequest {
+                request_id,
+                blinded
+            }),
+        (
+            any::<u64>(),
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 0..8)
+        )
+            .prop_map(|(request_id, elements)| Message::OprfBatchResponse {
+                request_id,
+                elements
+            }),
         (
             any::<u32>(),
             any::<u64>(),
@@ -32,7 +56,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
             }),
         (any::<u64>(), proptest::collection::vec(any::<u32>(), 0..32))
             .prop_map(|(round, users)| Message::MissingClients { round, users }),
-        (any::<u32>(), any::<u64>(), proptest::collection::vec(any::<u32>(), 0..256))
+        (
+            any::<u32>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u32>(), 0..256)
+        )
             .prop_map(|(user, round, cells)| Message::Adjustment { user, round, cells }),
         (any::<u64>(), any::<f64>()).prop_map(|(round, users_threshold)| {
             Message::ThresholdBroadcast {
@@ -41,8 +69,13 @@ fn arb_message() -> impl Strategy<Value = Message> {
             }
         }),
         (any::<u64>(), any::<u64>()).prop_map(|(round, ad)| Message::UsersQuery { round, ad }),
-        (any::<u64>(), any::<u64>(), any::<u32>())
-            .prop_map(|(round, ad, estimate)| Message::UsersReply { round, ad, estimate }),
+        (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(|(round, ad, estimate)| {
+            Message::UsersReply {
+                round,
+                ad,
+                estimate,
+            }
+        }),
     ]
 }
 
@@ -111,13 +144,10 @@ proptest! {
         // back clean must checksum-match, i.e. the flip was in header
         // padding that resynced to a valid frame (impossible for a
         // single frame) or in the *length/magic* region causing resync.
-        match dec.next_frame() {
-            Ok(Some(payload)) => {
-                // If a payload decodes, it must decode as *some* valid
-                // message or error out cleanly — never panic.
-                let _ = Message::decode(&payload);
-            }
-            Ok(None) | Err(_) => {}
+        if let Ok(Some(payload)) = dec.next_frame() {
+            // If a payload decodes, it must decode as *some* valid
+            // message or error out cleanly — never panic.
+            let _ = Message::decode(&payload);
         }
     }
 

@@ -181,7 +181,10 @@ mod tests {
         // payload/CRC and are caught; flips in the header surface as
         // resync (also counted as loss here).
         assert!(corrupt > 0, "corruption must be observed");
-        assert!(msgs.len() < 20, "not everything can survive 100% corruption");
+        assert!(
+            msgs.len() < 20,
+            "not everything can survive 100% corruption"
+        );
     }
 
     #[test]

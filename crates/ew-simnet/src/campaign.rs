@@ -114,12 +114,14 @@ impl Campaign {
     /// Whether this targeted campaign's audience includes a user with the
     /// given interests / visit history. Non-targeted campaigns return
     /// `false` (they don't select users — delivery handles them by site).
-    pub fn audience_includes(&self, interests: &[TopicId], visited: &dyn Fn(SiteId) -> bool) -> bool {
+    pub fn audience_includes(
+        &self,
+        interests: &[TopicId],
+        visited: &dyn Fn(SiteId) -> bool,
+    ) -> bool {
         match &self.kind {
             CampaignKind::DirectOba { audience_topic }
-            | CampaignKind::IndirectOba { audience_topic } => {
-                interests.contains(audience_topic)
-            }
+            | CampaignKind::IndirectOba { audience_topic } => interests.contains(audience_topic),
             CampaignKind::Retargeting { trigger_site } => visited(*trigger_site),
             CampaignKind::Static { .. } | CampaignKind::Contextual => false,
         }
@@ -130,9 +132,7 @@ impl Campaign {
     /// construction) and retargeting-by-site.
     pub fn content_matches_audience(&self) -> bool {
         match &self.kind {
-            CampaignKind::DirectOba { audience_topic } => {
-                *audience_topic == self.ad.content_topic
-            }
+            CampaignKind::DirectOba { audience_topic } => *audience_topic == self.ad.content_topic,
             _ => false,
         }
     }

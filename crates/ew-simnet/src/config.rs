@@ -188,20 +188,28 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_params() {
-        let mut c = ScenarioConfig::default();
-        c.pct_targeted_ads = 1.5;
+        let c = ScenarioConfig {
+            pct_targeted_ads: 1.5,
+            ..ScenarioConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = ScenarioConfig::default();
-        c.targeted_kind_mix = (0.5, 0.2, 0.2);
+        let c = ScenarioConfig {
+            targeted_kind_mix: (0.5, 0.2, 0.2),
+            ..ScenarioConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = ScenarioConfig::default();
-        c.num_users = 0;
+        let c = ScenarioConfig {
+            num_users: 0,
+            ..ScenarioConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = ScenarioConfig::default();
-        c.slots_per_visit = 0;
+        let c = ScenarioConfig {
+            slots_per_visit: 0,
+            ..ScenarioConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -112,9 +112,7 @@ impl Scenario {
             };
             let content_topic = match &kind {
                 CampaignKind::DirectOba { audience_topic } => *audience_topic,
-                CampaignKind::Retargeting { trigger_site } => {
-                    sites[*trigger_site as usize].topic
-                }
+                CampaignKind::Retargeting { trigger_site } => sites[*trigger_site as usize].topic,
                 CampaignKind::IndirectOba { audience_topic } => {
                     // Pick a content topic guaranteed disjoint from the
                     // audience topic — that's what makes it "indirect".
@@ -141,8 +139,7 @@ impl Scenario {
         // Non-targeted inventory: broad static campaigns + per-site
         // contextual pool ads.
         let num_nontargeted = config.total_inventory().saturating_sub(num_targeted);
-        let num_static =
-            (num_nontargeted as f64 * config.pct_static_campaigns).round() as usize;
+        let num_static = (num_nontargeted as f64 * config.pct_static_campaigns).round() as usize;
         let num_contextual = num_nontargeted - num_static;
 
         for _ in 0..num_static {
@@ -307,8 +304,7 @@ impl Scenario {
                         .iter()
                         .copied()
                         .filter(|id| {
-                            served.get(id).copied().unwrap_or(0)
-                                < self.campaigns[*id].frequency_cap
+                            served.get(id).copied().unwrap_or(0) < self.campaigns[*id].frequency_cap
                         })
                         .collect();
                     if let Some(&cid) = eligible.as_slice().choose(rng) {
@@ -532,7 +528,7 @@ mod tests {
     fn pursuing_campaign_budgeting() {
         let cfg = ScenarioConfig::table1(1);
         let k = cfg.pursuing_campaigns_per_user();
-        assert!(k >= 2 && k <= 40, "k={k}");
+        assert!((2..=40).contains(&k), "k={k}");
         // Higher caps mean fewer pursuing campaigns (budget splits).
         let mut high_cap = ScenarioConfig::table1(1);
         high_cap.frequency_cap = 12;

@@ -197,7 +197,9 @@ mod tests {
                 "income level {level:?} never sampled"
             );
         }
-        assert!(users.iter().any(|u| u.demographics.gender == Gender::Female));
+        assert!(users
+            .iter()
+            .any(|u| u.demographics.gender == Gender::Female));
         assert!(users.iter().any(|u| u.demographics.gender == Gender::Male));
         for level in EMPLOYMENT_LEVELS {
             assert!(

@@ -19,11 +19,7 @@ pub struct BlindedSketch {
 
 impl BlindedSketch {
     /// Blinds `sketch` with the user's blinding vector for `round`.
-    pub fn from_sketch(
-        sketch: &CountMinSketch,
-        generator: &BlindingGenerator,
-        round: u64,
-    ) -> Self {
+    pub fn from_sketch(sketch: &CountMinSketch, generator: &BlindingGenerator, round: u64) -> Self {
         let params = sketch.params();
         let bp = BlindingParams {
             round,

@@ -240,9 +240,7 @@ mod tests {
             cms.update(i);
         }
         let bound = cms.error_bound().ceil() as u32;
-        let violations = (0..2000u64)
-            .filter(|&i| cms.query(i) > 1 + bound)
-            .count();
+        let violations = (0..2000u64).filter(|&i| cms.query(i) > 1 + bound).count();
         // delta = 1% of 2000 = 20 expected; allow generous slack.
         assert!(violations <= 60, "violations={violations}");
     }

@@ -165,12 +165,7 @@ mod tests {
             b.update(item);
             combined.update(item);
         }
-        let summed: Vec<u32> = a
-            .cells
-            .iter()
-            .zip(&b.cells)
-            .map(|(x, y)| x + y)
-            .collect();
+        let summed: Vec<u32> = a.cells.iter().zip(&b.cells).map(|(x, y)| x + y).collect();
         assert_ne!(
             summed, combined.cells,
             "conservative update must not be additive (else the protocol could use it)"

@@ -25,17 +25,39 @@ impl RowHash {
             &seed.to_be_bytes(),
             &(row as u64).to_be_bytes(),
         ]);
-        let a = u64::from_be_bytes(digest[0..8].try_into().expect("8 bytes")) % ((P61 as u64) - 1) + 1;
+        let a =
+            u64::from_be_bytes(digest[0..8].try_into().expect("8 bytes")) % ((P61 as u64) - 1) + 1;
         let b = u64::from_be_bytes(digest[8..16].try_into().expect("8 bytes")) % (P61 as u64);
         RowHash { a, b }
     }
 
     /// Maps a 64-bit item to a column in `[0, width)`.
+    ///
+    /// This runs once per row for every CMS update — the per-impression
+    /// hot loop — so the reduction modulo the Mersenne prime uses
+    /// shift-and-add folding (`2^61 ≡ 1 (mod p)` ⇒ fold the high bits
+    /// onto the low) instead of a 128-bit division; only the final
+    /// `% width` remains a real division.
     pub fn column(&self, item: u64, width: usize) -> usize {
         debug_assert!(width >= 1);
-        let v = (self.a as u128 * item as u128 + self.b as u128) % P61;
-        (v % width as u128) as usize
+        let v = self.a as u128 * item as u128 + self.b as u128; // < 2^125
+                                                                // First fold: v = hi·2^61 + lo ≡ hi + lo (mod p).
+        let folded = (v & P61) + (v >> 61); // < 2^64 + 2^61
+                                            // Second fold leaves at most p + 16.
+        let mut r = (folded & P61) + (folded >> 61);
+        if r >= P61 {
+            r -= P61;
+        }
+        (r % width as u128) as usize
     }
+}
+
+/// Reference reduction by the `%` operator — kept (test-only) as the
+/// ground truth the folded fast path must match bit for bit.
+#[cfg(test)]
+fn column_by_division(h: &RowHash, item: u64, width: usize) -> usize {
+    let v = (h.a as u128 * item as u128 + h.b as u128) % P61;
+    (v % width as u128) as usize
 }
 
 /// Folds arbitrary bytes (e.g. a 32-byte OPRF output or an ad URL) into
@@ -72,6 +94,58 @@ mod tests {
     }
 
     #[test]
+    fn folded_reduction_is_bit_identical_to_division() {
+        // Derived rows plus adversarial coefficient corners; every
+        // (item, width) must agree exactly with the `%` formula.
+        let mut hashes: Vec<RowHash> = (0..8).map(|r| RowHash::derive(123, r)).collect();
+        hashes.extend([
+            RowHash { a: 1, b: 0 },
+            RowHash {
+                a: 1,
+                b: (P61 as u64) - 1,
+            },
+            RowHash {
+                a: (P61 as u64) - 1,
+                b: (P61 as u64) - 1,
+            },
+        ]);
+        let items = [
+            0u64,
+            1,
+            2,
+            (1 << 61) - 2,
+            (1 << 61) - 1,
+            1 << 61,
+            u64::MAX - 1,
+            u64::MAX,
+            0x9e37_79b9_7f4a_7c15,
+        ];
+        for h in &hashes {
+            for &item in &items {
+                for width in [1usize, 2, 37, 64, 2719, usize::MAX >> 1] {
+                    assert_eq!(
+                        h.column(item, width),
+                        column_by_division(h, item, width),
+                        "a={} b={} item={item} width={width}",
+                        h.a,
+                        h.b
+                    );
+                }
+            }
+        }
+        // And a broad pseudo-random sweep.
+        let mut x = 0x0123_4567_89ab_cdefu64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(0x9E37);
+            let h = RowHash::derive(x, (x % 13) as usize);
+            assert_eq!(
+                h.column(x, 1 + (x % 5000) as usize),
+                column_by_division(&h, x, 1 + (x % 5000) as usize)
+            );
+        }
+    }
+
+    #[test]
     fn rows_spread_items() {
         // Different rows should disagree on at least some items
         // (pairwise independence sanity check, not a strict proof).
@@ -80,7 +154,10 @@ mod tests {
         let disagreements = (0..1000u64)
             .filter(|&i| h0.column(i, 101) != h1.column(i, 101))
             .count();
-        assert!(disagreements > 900, "rows nearly identical: {disagreements}");
+        assert!(
+            disagreements > 900,
+            "rows nearly identical: {disagreements}"
+        );
     }
 
     #[test]

@@ -28,8 +28,8 @@
 //! * [`ExactCounter`] — hash-map ground truth for accuracy experiments.
 
 pub mod blinded;
-pub mod conservative;
 pub mod cms;
+pub mod conservative;
 pub mod exact;
 pub mod hashing;
 pub mod params;

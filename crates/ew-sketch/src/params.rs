@@ -30,7 +30,12 @@ impl CmsParams {
     /// With `(ε, δ) = (0.001, 0.001)` this yields sketch sizes of 185,
     /// 196 and 207 KB for `T` of 10k, 50k and 100k — exactly the numbers
     /// reported in §7.1.
-    pub fn from_error_bounds(epsilon: f64, delta: f64, expected_items: usize, hash_seed: u64) -> Self {
+    pub fn from_error_bounds(
+        epsilon: f64,
+        delta: f64,
+        expected_items: usize,
+        hash_seed: u64,
+    ) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
         assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
         assert!(expected_items >= 1, "need at least one expected item");

@@ -8,8 +8,7 @@ use crate::params::CmsParams;
 use proptest::prelude::*;
 
 fn small_params() -> impl Strategy<Value = CmsParams> {
-    (1usize..6, 4usize..64, any::<u64>())
-        .prop_map(|(d, w, seed)| CmsParams::new(d, w, seed))
+    (1usize..6, 4usize..64, any::<u64>()).prop_map(|(d, w, seed)| CmsParams::new(d, w, seed))
 }
 
 proptest! {
@@ -101,7 +100,7 @@ proptest! {
         for _ in 0..5 {
             cms.update(item);
             let now = cms.query(item);
-            prop_assert!(now >= last + 1, "each update raises the estimate");
+            prop_assert!(now > last, "each update raises the estimate");
             last = now;
         }
     }

@@ -133,10 +133,7 @@ mod tests {
             .map(|(&item, &c)| spectral.query(item) as u64 - c)
             .sum();
         // Loose sanity bound: average overestimate stays small.
-        assert!(
-            total_err < 600,
-            "overestimate too large: {total_err}"
-        );
+        assert!(total_err < 600, "overestimate too large: {total_err}");
     }
 
     #[test]

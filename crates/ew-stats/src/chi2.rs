@@ -11,14 +11,14 @@
 pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma domain");
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     let x = x - 1.0;
@@ -109,7 +109,10 @@ pub struct LrTest {
 /// (`ll_null`, `p_null` parameters)? This is R's `anova(m0, m1,
 /// test="LRT")` — the §8.1 procedure that dropped employment status.
 pub fn likelihood_ratio_test(ll_null: f64, p_null: usize, ll_alt: f64, p_alt: usize) -> LrTest {
-    assert!(p_alt > p_null, "models must be nested (alt strictly larger)");
+    assert!(
+        p_alt > p_null,
+        "models must be nested (alt strictly larger)"
+    );
     let statistic = (2.0 * (ll_alt - ll_null)).max(0.0);
     let df = p_alt - p_null;
     LrTest {

@@ -71,7 +71,11 @@ pub fn histogram_pdf(data: &[f64], bins: usize) -> (Vec<f64>, Vec<f64>) {
     }
     let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+    let width = if hi > lo {
+        (hi - lo) / bins as f64
+    } else {
+        1.0
+    };
     let mut counts = vec![0usize; bins];
     for &x in data {
         let mut idx = ((x - lo) / width) as usize;
@@ -81,13 +85,8 @@ pub fn histogram_pdf(data: &[f64], bins: usize) -> (Vec<f64>, Vec<f64>) {
         counts[idx] += 1;
     }
     let n = data.len() as f64;
-    let centers = (0..bins)
-        .map(|i| lo + width * (i as f64 + 0.5))
-        .collect();
-    let densities = counts
-        .iter()
-        .map(|&c| c as f64 / (n * width))
-        .collect();
+    let centers = (0..bins).map(|i| lo + width * (i as f64 + 0.5)).collect();
+    let densities = counts.iter().map(|&c| c as f64 / (n * width)).collect();
     (centers, densities)
 }
 

@@ -53,11 +53,7 @@ impl Matrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "dimension mismatch");
         (0..self.rows)
-            .map(|r| {
-                (0..self.cols)
-                    .map(|c| self[(r, c)] * v[c])
-                    .sum()
-            })
+            .map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum())
             .collect()
     }
 

@@ -200,11 +200,7 @@ impl LogitFit {
     /// Predicted probability for one design row.
     pub fn predict(&self, row: &[f64]) -> f64 {
         assert_eq!(row.len(), self.coefficients.len(), "dimension mismatch");
-        let eta: f64 = row
-            .iter()
-            .zip(&self.coefficients)
-            .map(|(x, b)| x * b)
-            .sum();
+        let eta: f64 = row.iter().zip(&self.coefficients).map(|(x, b)| x * b).sum();
         sigmoid(eta)
     }
 
@@ -255,7 +251,11 @@ mod tests {
                 row.push(rng.gen_range(-1.0..1.0));
             }
             let eta: f64 = row.iter().zip(beta_true).map(|(x, b)| x * b).sum();
-            y.push(if rng.gen::<f64>() < sigmoid(eta) { 1.0 } else { 0.0 });
+            y.push(if rng.gen::<f64>() < sigmoid(eta) {
+                1.0
+            } else {
+                0.0
+            });
             data.extend_from_slice(&row);
         }
         (Matrix::from_rows(n, p, data), y)
@@ -267,10 +267,7 @@ mod tests {
         let (x, y) = synthetic(20_000, &beta_true, 42);
         let fit = LogisticModel::default().fit(&x, &y).unwrap();
         for (got, want) in fit.coefficients.iter().zip(&beta_true) {
-            assert!(
-                (got - want).abs() < 0.15,
-                "coef {got} vs planted {want}"
-            );
+            assert!((got - want).abs() < 0.15, "coef {got} vs planted {want}");
         }
     }
 

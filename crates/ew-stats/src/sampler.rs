@@ -176,12 +176,12 @@ mod tests {
         let z = Zipf::new(20, 1.0);
         let mut rng = StdRng::seed_from_u64(1);
         let n = 100_000;
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..20 {
-            let emp = counts[k] as f64 / n as f64;
+        for (k, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
             assert!(
                 (emp - z.pmf(k)).abs() < 0.01,
                 "rank {k}: emp={emp} pmf={}",
@@ -223,8 +223,14 @@ mod tests {
             let samples: Vec<f64> = (0..n).map(|_| poisson(&mut rng, lambda) as f64).collect();
             let mean = samples.iter().sum::<f64>() / n as f64;
             let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
-            assert!((mean - lambda).abs() < lambda.sqrt() * 0.1 + 0.1, "lambda={lambda} mean={mean}");
-            assert!((var - lambda).abs() < lambda * 0.15 + 0.2, "lambda={lambda} var={var}");
+            assert!(
+                (mean - lambda).abs() < lambda.sqrt() * 0.1 + 0.1,
+                "lambda={lambda} mean={mean}"
+            );
+            assert!(
+                (var - lambda).abs() < lambda * 0.15 + 0.2,
+                "lambda={lambda} var={var}"
+            );
         }
     }
 

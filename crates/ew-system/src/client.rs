@@ -15,7 +15,11 @@ use ew_crypto::oprf::{OprfClient, PendingRequest};
 use ew_sketch::{BlindedSketch, CmsParams, CountMinSketch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A batch of in-flight OPRF requests: per-URL unblinding state plus
+/// the blinded wire bytes, positionally matched.
+pub type PendingBatch = (Vec<(String, PendingRequest)>, Vec<Vec<u8>>);
 
 /// One eyeWnder client (user + extension).
 #[derive(Debug)]
@@ -112,6 +116,71 @@ impl Client {
         ad
     }
 
+    /// Blinds every *uncached* URL (first-seen order, duplicates
+    /// collapsed) with one shared modular inversion. Empty if
+    /// everything was already cached.
+    fn blind_fresh_urls(&mut self, urls: &[&str]) -> Vec<(String, PendingRequest)> {
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut fresh: Vec<&str> = Vec::new();
+        for &url in urls {
+            if !self.id_cache.contains_key(url) && seen.insert(url) {
+                fresh.push(url);
+            }
+        }
+        if fresh.is_empty() {
+            return Vec::new();
+        }
+        let inputs: Vec<&[u8]> = fresh.iter().map(|u| u.as_bytes()).collect();
+        let pendings = self
+            .oprf
+            .blind_batch(&mut self.rng, &inputs)
+            .expect("blinding is always invertible for valid N");
+        fresh
+            .into_iter()
+            .map(str::to_string)
+            .zip(pendings)
+            .collect()
+    }
+
+    /// Batched step 1: blinds every *uncached* URL (first-seen order,
+    /// duplicates collapsed) with one shared modular inversion, and
+    /// returns the per-URL pending state plus the wire bytes for an
+    /// `OprfBatchRequest`. `None` if everything was already cached.
+    pub fn oprf_blind_batch(&mut self, urls: &[&str]) -> Option<PendingBatch> {
+        let pendings = self.blind_fresh_urls(urls);
+        if pendings.is_empty() {
+            return None;
+        }
+        let wire = pendings
+            .iter()
+            .map(|(_, p)| p.blinded.to_bytes_be())
+            .collect();
+        Some((pendings, wire))
+    }
+
+    /// Batched step 3: unblinds a positionally matching batch response
+    /// and caches every resulting ad ID.
+    pub fn oprf_finish_batch(
+        &mut self,
+        pendings: &[(String, PendingRequest)],
+        responses: &[Vec<u8>],
+    ) -> Vec<AdKey> {
+        assert_eq!(pendings.len(), responses.len(), "batch length mismatch");
+        pendings
+            .iter()
+            .zip(responses)
+            .map(|((url, pending), response)| {
+                let out = self
+                    .oprf
+                    .finalize(pending, &UBig::from_bytes_be(response))
+                    .expect("response in range");
+                let ad = self.mapper.to_ad_id(&out);
+                self.id_cache.insert(url.clone(), ad);
+                ad
+            })
+            .collect()
+    }
+
     /// Resolves a URL to an ad ID via a direct call to the service
     /// (the fast path used by the simulation harness; the wire path is
     /// exercised by the system-level tests).
@@ -119,9 +188,7 @@ impl Client {
         if let Some(&ad) = self.id_cache.get(url) {
             return ad;
         }
-        let (pending, wire) = self
-            .oprf_blind(url)
-            .expect("uncached URL yields a request");
+        let (pending, wire) = self.oprf_blind(url).expect("uncached URL yields a request");
         let response = service
             .evaluate(&UBig::from_bytes_be(&wire))
             .expect("in-range element");
@@ -130,6 +197,32 @@ impl Client {
             &pending,
             &response.to_bytes_be_padded(self.oprf.public().element_len()),
         )
+    }
+
+    /// Resolves a slice of URLs to ad IDs via one batched round trip to
+    /// the service: cached URLs are answered locally, the rest are
+    /// blinded together (one modular inversion for the whole batch —
+    /// Montgomery's trick) and evaluated on the server's cached
+    /// CRT/Montgomery path.
+    pub fn map_ads_batch(&mut self, urls: &[&str], service: &mut OprfService) -> Vec<AdKey> {
+        // Direct path: stay on `UBig`s end to end — serialization is
+        // only for the wire ([`Self::oprf_blind_batch`]).
+        let pendings = self.blind_fresh_urls(urls);
+        if !pendings.is_empty() {
+            let blinded: Vec<UBig> = pendings.iter().map(|(_, p)| p.blinded.clone()).collect();
+            let responses = service.evaluate_batch(&blinded).expect("in-range batch");
+            for ((url, pending), response) in pendings.iter().zip(&responses) {
+                let out = self
+                    .oprf
+                    .finalize(pending, response)
+                    .expect("response in range");
+                let ad = self.mapper.to_ad_id(&out);
+                self.id_cache.insert(url.clone(), ad);
+            }
+        }
+        urls.iter()
+            .map(|url| *self.id_cache.get(*url).expect("resolved just above"))
+            .collect()
     }
 
     /// Records one rendered impression.
@@ -216,6 +309,35 @@ mod tests {
         assert_eq!(service.requests_served(), 1, "second lookup is cached");
         let b = c.map_ad("https://x.example/2", &mut service);
         assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn batch_mapping_matches_single_and_caches() {
+        let (group, mut service, mapper, _) = setup();
+        let mut single = Client::new(1, &group, service.public().clone(), mapper, 7);
+        let mut batched = Client::new(2, &group, service.public().clone(), mapper, 8);
+        let urls = [
+            "https://x.example/1",
+            "https://x.example/2",
+            "https://x.example/1", // duplicate inside the batch
+            "https://x.example/3",
+        ];
+        let expected: Vec<_> = urls
+            .iter()
+            .map(|u| single.map_ad(u, &mut service))
+            .collect();
+        let served_before = service.requests_served();
+        let got = batched.map_ads_batch(&urls, &mut service);
+        assert_eq!(got, expected, "same PRF, same IDs");
+        assert_eq!(
+            service.requests_served() - served_before,
+            3,
+            "duplicates collapse inside the batch"
+        );
+        // Second batch is fully cached: zero server traffic.
+        let served_before = service.requests_served();
+        assert_eq!(batched.map_ads_batch(&urls, &mut service), expected);
+        assert_eq!(service.requests_served(), served_before);
     }
 
     #[test]

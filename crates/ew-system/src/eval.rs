@@ -263,7 +263,14 @@ mod tests {
     use ew_core::DetectorConfig;
     use ew_simnet::ScenarioConfig;
 
-    fn setup() -> (Scenario, ImpressionLog, Vec<(u32, u64, Verdict)>, BTreeSet<u64>) {
+    type SetupWorld = (
+        Scenario,
+        ImpressionLog,
+        Vec<(u32, u64, Verdict)>,
+        BTreeSet<u64>,
+    );
+
+    fn setup() -> SetupWorld {
         let scenario = Scenario::build(ScenarioConfig::small(33));
         let log = scenario.run_week(0);
         let result = run_cleartext_pipeline(&log, DetectorConfig::default());

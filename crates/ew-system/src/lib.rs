@@ -44,6 +44,9 @@ pub use crawler::Crawler;
 pub use eval::{EvalOracles, EvalTree};
 pub use ids::AdIdMapper;
 pub use oprf_server::OprfService;
-pub use pipeline::{cms_user_distribution, run_cleartext_pipeline, run_segmented_pipeline, PipelineResult};
+pub use pipeline::{
+    cms_user_distribution, resolve_ad_ids_batched, run_cleartext_pipeline, run_segmented_pipeline,
+    PipelineResult,
+};
 pub use store::{RoundRecord, Store, UserRecord};
 pub use system::{EyewnderSystem, RoundOutcome, SystemConfig};

@@ -36,6 +36,15 @@ impl OprfService {
         Ok(out)
     }
 
+    /// Blind-evaluates a whole batch (direct-call path); every element
+    /// counts towards the request total. All-or-nothing: an out-of-range
+    /// element fails the batch before any work is done.
+    pub fn evaluate_batch(&mut self, blinded: &[UBig]) -> Result<Vec<UBig>, OprfError> {
+        let out = self.key.evaluate_blinded_batch(blinded)?;
+        self.requests_served += blinded.len() as u64;
+        Ok(out)
+    }
+
     /// Handles a wire message; returns the response (or `None` for
     /// messages this server ignores, including malformed elements —
     /// a real service would log and drop them).
@@ -50,6 +59,22 @@ impl OprfService {
                     Ok(signed) => Some(Message::OprfResponse {
                         request_id: *request_id,
                         element: signed.to_bytes_be_padded(self.public().element_len()),
+                    }),
+                    Err(_) => None,
+                }
+            }
+            Message::OprfBatchRequest {
+                request_id,
+                blinded,
+            } => {
+                let elements: Vec<UBig> = blinded.iter().map(|b| UBig::from_bytes_be(b)).collect();
+                match self.evaluate_batch(&elements) {
+                    Ok(signed) => Some(Message::OprfBatchResponse {
+                        request_id: *request_id,
+                        elements: signed
+                            .iter()
+                            .map(|s| s.to_bytes_be_padded(self.public().element_len()))
+                            .collect(),
                     }),
                     Err(_) => None,
                 }
@@ -106,14 +131,45 @@ mod tests {
     }
 
     #[test]
+    fn wire_batch_roundtrip_matches_direct() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut service = OprfService::generate(&mut rng, 128);
+        let client = OprfClient::new(service.public().clone());
+
+        let urls: Vec<&[u8]> = vec![
+            b"https://adnet1.example/creative/a",
+            b"https://adnet2.example/creative/b",
+            b"https://adnet3.example/creative/c",
+        ];
+        let pendings = client.blind_batch(&mut rng, &urls).unwrap();
+        let req = Message::OprfBatchRequest {
+            request_id: 77,
+            blinded: pendings.iter().map(|p| p.blinded.to_bytes_be()).collect(),
+        };
+        let resp = service.handle(&req).expect("valid batch served");
+        let Message::OprfBatchResponse {
+            request_id,
+            elements,
+        } = resp
+        else {
+            panic!("wrong response type");
+        };
+        assert_eq!(request_id, 77);
+        assert_eq!(elements.len(), urls.len());
+        for ((url, pending), element) in urls.iter().zip(&pendings).zip(&elements) {
+            let out = client
+                .finalize(pending, &UBig::from_bytes_be(element))
+                .unwrap();
+            assert_eq!(out, service.evaluate_direct(url));
+        }
+        assert_eq!(service.requests_served(), urls.len() as u64);
+    }
+
+    #[test]
     fn out_of_range_request_dropped() {
         let mut rng = StdRng::seed_from_u64(51);
         let mut service = OprfService::generate(&mut rng, 128);
-        let too_big = service
-            .public()
-            .n
-            .add_ref(&UBig::one())
-            .to_bytes_be();
+        let too_big = service.public().n.add_ref(&UBig::one()).to_bytes_be();
         let req = Message::OprfRequest {
             request_id: 1,
             blinded: too_big,

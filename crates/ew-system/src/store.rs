@@ -77,7 +77,7 @@ impl Store {
     pub fn stale_users(&self, round: u64) -> Vec<u32> {
         self.users
             .values()
-            .filter(|r| r.last_report_round.map_or(true, |lr| lr < round))
+            .filter(|r| r.last_report_round.is_none_or(|lr| lr < round))
             .map(|r| r.user)
             .collect()
     }

@@ -12,9 +12,11 @@ use eyewnder::stats::{LogisticModel, Matrix};
 
 fn main() {
     // Plant a strong, simple bias: women targeted ~2x as much as men.
-    let mut bias = TargetingBias::default();
-    bias.female = 1.2;
-    bias.male = 0.55;
+    let bias = TargetingBias {
+        female: 1.2,
+        male: 0.55,
+        ..TargetingBias::default()
+    };
 
     let scenario = Scenario::build(ScenarioConfig {
         num_users: 250,
@@ -31,13 +33,19 @@ fn main() {
         let user = &scenario.users[r.user as usize];
         let female = matches!(user.demographics.gender, Gender::Female);
         design.extend_from_slice(&[1.0, if female { 1.0 } else { 0.0 }]);
-        outcome.push(if r.truth == AdClass::Targeted { 1.0 } else { 0.0 });
+        outcome.push(if r.truth == AdClass::Targeted {
+            1.0
+        } else {
+            0.0
+        });
     }
     let n = outcome.len();
     println!("{n} delivered ads observed");
 
     let x = Matrix::from_rows(n, 2, design);
-    let fit = LogisticModel::default().fit(&x, &outcome).expect("converges");
+    let fit = LogisticModel::default()
+        .fit(&x, &outcome)
+        .expect("converges");
     let rows = fit.summary(&["female"], 1);
     let female = &rows[0];
 

@@ -7,7 +7,9 @@
 //! cargo run --release --example campaign_audit
 //! ```
 
-use eyewnder::core::{Detector, DetectorConfig, GlobalView, ThresholdPolicy, UserCounters, Verdict};
+use eyewnder::core::{
+    Detector, DetectorConfig, GlobalView, ThresholdPolicy, UserCounters, Verdict,
+};
 use eyewnder::simnet::topics::topic_name;
 use eyewnder::simnet::{CampaignKind, Scenario, ScenarioConfig};
 
@@ -48,7 +50,10 @@ fn main() {
     );
     println!(
         "interests: {:?}",
-        user.interests.iter().map(|&t| topic_name(t)).collect::<Vec<_>>()
+        user.interests
+            .iter()
+            .map(|&t| topic_name(t))
+            .collect::<Vec<_>>()
     );
     println!(
         "local Domains_th = {:.2}   global Users_th = {:.2}\n",

@@ -26,9 +26,7 @@ fn main() {
 
     println!("== enrolment ==");
     let mut system = EyewnderSystem::new(SystemConfig::default(), 30);
-    println!(
-        "30 clients generated DH key pairs and published them on the bulletin board;"
-    );
+    println!("30 clients generated DH key pairs and published them on the bulletin board;");
     println!("pairwise blinding secrets precomputed (one modexp per peer).\n");
 
     println!("== week 0: browsing ==");
@@ -83,9 +81,7 @@ fn main() {
         .iter()
         .find(|r| r.truth == eyewnder::simnet::AdClass::Targeted)
         .expect("some targeted ad exists");
-    let key = system
-        .ad_key_of(targeted_ad.ad)
-        .expect("ad was ingested");
+    let key = system.ad_key_of(targeted_ad.ad).expect("ad was ingested");
     let verdict = {
         use eyewnder::core::Detector;
         let det = Detector::new(system.config.detector);

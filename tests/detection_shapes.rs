@@ -40,7 +40,10 @@ fn fig3_fn_decreases_with_frequency_cap() {
     let at_4 = fnr(4, ThresholdPolicy::Mean);
     let at_8 = fnr(8, ThresholdPolicy::Mean);
     assert!(at_1 > 0.9, "cap 1 is undetectable (got FNR {at_1:.2})");
-    assert!(at_4 < at_1, "more repetitions must help ({at_4:.2} vs {at_1:.2})");
+    assert!(
+        at_4 < at_1,
+        "more repetitions must help ({at_4:.2} vs {at_1:.2})"
+    );
     assert!(
         at_8 < 0.45,
         "by cap 8 the Mean policy detects most targeting (FNR {at_8:.2})"

@@ -48,7 +48,10 @@ fn three_week_deployment_with_store_history() {
 
     // Clients 2 and 9 last reported in round 3 (they came back).
     assert!(store.stale_users(4).len() == 14, "round 4 not run yet");
-    assert!(store.stale_users(3).is_empty(), "everyone reported in round 3");
+    assert!(
+        store.stale_users(3).is_empty(),
+        "everyone reported in round 3"
+    );
 
     // Weekly thresholds are in a stable band (same ecosystem).
     let max = thresholds.iter().cloned().fold(0.0f64, f64::max);

@@ -189,9 +189,6 @@ fn public_keys_on_the_board_are_group_elements() {
         assert!(kp.public() < group.modulus());
         assert!(kp.public() > &UBig::one());
         // Member of the order-q subgroup: y^q == 1.
-        assert_eq!(
-            group.pow(kp.public(), group.order()),
-            UBig::one()
-        );
+        assert_eq!(group.pow(kp.public(), group.order()), UBig::one());
     }
 }
