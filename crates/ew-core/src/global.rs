@@ -14,7 +14,7 @@ use std::collections::HashMap;
 /// they are exact. Either way the type is the same — the detector does
 /// not care where the numbers came from (that is the point of the
 /// "black box" design).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GlobalView {
     users_per_ad: HashMap<AdKey, f64>,
     threshold: f64,
@@ -64,8 +64,25 @@ impl GlobalView {
     }
 
     /// The raw distribution (for Figure 2 style plots).
+    ///
+    /// Ordering is unspecified (backing-map iteration order); use
+    /// [`Self::sorted_estimates`] when a canonical order matters.
     pub fn distribution(&self) -> Vec<f64> {
         self.users_per_ad.values().copied().collect()
+    }
+
+    /// Every positive `(ad, estimate)` pair sorted by ad key — the
+    /// canonical, reproducible representation of the view. Two views
+    /// built from the same aggregate compare equal entry-for-entry,
+    /// which is what the parallel-round determinism tests pin.
+    pub fn sorted_estimates(&self) -> Vec<(AdKey, f64)> {
+        let mut v: Vec<(AdKey, f64)> = self
+            .users_per_ad
+            .iter()
+            .map(|(&ad, &est)| (ad, est))
+            .collect();
+        v.sort_by_key(|&(ad, _)| ad);
+        v
     }
 }
 

@@ -34,6 +34,7 @@ pub mod crc32;
 pub mod fault;
 pub mod framing;
 pub mod message;
+pub mod shard;
 pub mod transport;
 
 #[cfg(test)]
@@ -42,4 +43,5 @@ mod proptests;
 pub use fault::{FaultConfig, FaultyLink};
 pub use framing::{FrameDecoder, FrameError, MAGIC};
 pub use message::Message;
+pub use shard::{split_shards, ShardAssembler, ShardError, MAX_SHARD_COUNT};
 pub use transport::{channel_pair, Endpoint};

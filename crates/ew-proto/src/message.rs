@@ -52,6 +52,37 @@ pub enum Message {
         /// `(blinded_i)^d mod N` for each request element.
         elements: Vec<Vec<u8>>,
     },
+    /// Client → oprf-server: one **shard** of a large blinded batch.
+    ///
+    /// The parallel weekly round splits a batch into `shard_count`
+    /// contiguous shards so every frame stays shard-sized (bounded
+    /// memory per frame, one frame per worker thread) and the server can
+    /// evaluate shards independently; `(request_id, shard_index)`
+    /// identifies the shard for in-order reassembly at the receiver
+    /// (see [`crate::shard::ShardAssembler`]).
+    OprfShardRequest {
+        /// Client-chosen correlation id, shared by all shards of one
+        /// logical batch.
+        request_id: u64,
+        /// This shard's position in `[0, shard_count)`.
+        shard_index: u32,
+        /// Total number of shards in the logical batch.
+        shard_count: u32,
+        /// The shard's blinded elements, in batch order.
+        blinded: Vec<Vec<u8>>,
+    },
+    /// oprf-server → client: the signed shard, positionally matching the
+    /// corresponding [`Message::OprfShardRequest`].
+    OprfShardResponse {
+        /// Echoed correlation id.
+        request_id: u64,
+        /// Echoed shard position.
+        shard_index: u32,
+        /// Echoed shard total.
+        shard_count: u32,
+        /// `(blinded_i)^d mod N` for each shard element.
+        elements: Vec<Vec<u8>>,
+    },
     /// Client → backend: the weekly blinded CMS report.
     Report {
         /// Sender's user id.
@@ -125,6 +156,8 @@ mod tag {
     pub const USERS_REPLY: u8 = 0x09;
     pub const OPRF_BATCH_REQUEST: u8 = 0x0A;
     pub const OPRF_BATCH_RESPONSE: u8 = 0x0B;
+    pub const OPRF_SHARD_REQUEST: u8 = 0x0C;
+    pub const OPRF_SHARD_RESPONSE: u8 = 0x0D;
 }
 
 impl Message {
@@ -167,6 +200,30 @@ impl Message {
             } => {
                 buf.put_u8(tag::OPRF_BATCH_RESPONSE);
                 buf.put_u64_le(*request_id);
+                put_bytes_list(&mut buf, elements);
+            }
+            Message::OprfShardRequest {
+                request_id,
+                shard_index,
+                shard_count,
+                blinded,
+            } => {
+                buf.put_u8(tag::OPRF_SHARD_REQUEST);
+                buf.put_u64_le(*request_id);
+                buf.put_u32_le(*shard_index);
+                buf.put_u32_le(*shard_count);
+                put_bytes_list(&mut buf, blinded);
+            }
+            Message::OprfShardResponse {
+                request_id,
+                shard_index,
+                shard_count,
+                elements,
+            } => {
+                buf.put_u8(tag::OPRF_SHARD_RESPONSE);
+                buf.put_u64_le(*request_id);
+                buf.put_u32_le(*shard_index);
+                buf.put_u32_le(*shard_count);
                 put_bytes_list(&mut buf, elements);
             }
             Message::Report {
@@ -249,6 +306,18 @@ impl Message {
                 request_id: get_u64(buf)?,
                 elements: get_bytes_list(buf)?,
             },
+            tag::OPRF_SHARD_REQUEST => Message::OprfShardRequest {
+                request_id: get_u64(buf)?,
+                shard_index: get_u32(buf)?,
+                shard_count: get_u32(buf)?,
+                blinded: get_bytes_list(buf)?,
+            },
+            tag::OPRF_SHARD_RESPONSE => Message::OprfShardResponse {
+                request_id: get_u64(buf)?,
+                shard_index: get_u32(buf)?,
+                shard_count: get_u32(buf)?,
+                elements: get_bytes_list(buf)?,
+            },
             tag::REPORT => Message::Report {
                 user: get_u32(buf)?,
                 round: get_u64(buf)?,
@@ -313,6 +382,18 @@ mod tests {
             Message::OprfBatchResponse {
                 request_id: 43,
                 elements: vec![vec![0x33; 16], vec![0x44; 16]],
+            },
+            Message::OprfShardRequest {
+                request_id: 44,
+                shard_index: 1,
+                shard_count: 3,
+                blinded: vec![vec![0x55; 16], vec![0x66; 16]],
+            },
+            Message::OprfShardResponse {
+                request_id: 44,
+                shard_index: 2,
+                shard_count: 3,
+                elements: vec![vec![0x77; 16]],
             },
             Message::Report {
                 user: 3,

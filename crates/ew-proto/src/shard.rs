@@ -1,0 +1,361 @@
+//! Shard-sized batch framing for the parallel weekly round.
+//!
+//! A large OPRF batch crossing the wire as one frame couples frame size
+//! to batch size and serializes the server's work behind one message.
+//! The parallel pipeline instead splits a batch into `shard_count`
+//! contiguous shards — one frame per worker thread — and the receiver
+//! reassembles them **in shard order**, so the reassembled batch is
+//! byte-identical to the unsharded one regardless of arrival order.
+//!
+//! [`ShardAssembler`] is the defensive receive half: it rejects
+//! shard-count mismatches between frames, duplicate-shard replays,
+//! out-of-range shard indices, cross-batch correlation-id mixups and
+//! premature assembly, all without panicking — a hostile or faulty peer
+//! can at worst waste its own frames.
+
+use crate::message::Message;
+
+/// Upper bound on `shard_count` accepted by the assembler, so a hostile
+/// header cannot force a huge table allocation (mirrors the codec's
+/// [`crate::codec::MAX_FIELD_LEN`] philosophy).
+pub const MAX_SHARD_COUNT: u32 = 4096;
+
+/// Rejection reasons for shard frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// `shard_count` of zero — a batch with no shards is malformed.
+    ZeroShardCount,
+    /// `shard_count` exceeded [`MAX_SHARD_COUNT`].
+    TooManyShards(u32),
+    /// A frame declared a different `shard_count` than the first frame.
+    CountMismatch {
+        /// The count every frame of this batch must declare.
+        expected: u32,
+        /// The count the offending frame declared.
+        got: u32,
+    },
+    /// A frame declared a different `request_id` than this batch.
+    WrongRequest {
+        /// This batch's correlation id.
+        expected: u64,
+        /// The id the offending frame carried.
+        got: u64,
+    },
+    /// `shard_index` outside `[0, shard_count)`.
+    IndexOutOfRange {
+        /// The offending index.
+        index: u32,
+        /// The declared shard total.
+        count: u32,
+    },
+    /// The same `shard_index` arrived twice (replay or duplication).
+    DuplicateShard(u32),
+    /// Assembly was attempted before every shard arrived.
+    Incomplete {
+        /// How many shards are still missing.
+        missing: u32,
+    },
+    /// The message was not a shard frame at all.
+    NotAShardFrame,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::ZeroShardCount => write!(f, "shard count of zero"),
+            ShardError::TooManyShards(n) => write!(f, "shard count {n} exceeds limit"),
+            ShardError::CountMismatch { expected, got } => {
+                write!(f, "shard count mismatch: expected {expected}, got {got}")
+            }
+            ShardError::WrongRequest { expected, got } => {
+                write!(f, "request id mismatch: expected {expected}, got {got}")
+            }
+            ShardError::IndexOutOfRange { index, count } => {
+                write!(f, "shard index {index} out of range for count {count}")
+            }
+            ShardError::DuplicateShard(i) => write!(f, "duplicate shard {i}"),
+            ShardError::Incomplete { missing } => {
+                write!(f, "batch incomplete: {missing} shards missing")
+            }
+            ShardError::NotAShardFrame => write!(f, "message is not a shard frame"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Splits `items` into **exactly** `min(shard_count.max(1), items.len())`
+/// contiguous shards of balanced size (remainder spread over the leading
+/// shards), returning `(shard_index, shard_items)` pairs in shard order.
+///
+/// An empty batch yields one empty shard so the frame sequence is never
+/// empty. Concatenating the shards in index order reproduces `items`
+/// exactly, and the returned length is always the count to declare in
+/// the frames / size a [`ShardAssembler`] with.
+pub fn split_shards(items: &[Vec<u8>], shard_count: u32) -> Vec<(u32, Vec<Vec<u8>>)> {
+    if items.is_empty() {
+        return vec![(0, Vec::new())];
+    }
+    let count = (shard_count.max(1) as usize).min(items.len());
+    let base = items.len() / count;
+    let extra = items.len() % count;
+    let mut out = Vec::with_capacity(count);
+    let mut start = 0;
+    for i in 0..count {
+        let len = base + usize::from(i < extra);
+        out.push((i as u32, items[start..start + len].to_vec()));
+        start += len;
+    }
+    out
+}
+
+/// Reassembles the shards of one logical batch, in any arrival order.
+#[derive(Debug)]
+pub struct ShardAssembler {
+    request_id: u64,
+    shard_count: u32,
+    shards: Vec<Option<Vec<Vec<u8>>>>,
+    received: u32,
+}
+
+impl ShardAssembler {
+    /// New assembler for the batch `request_id`, expecting
+    /// `shard_count` shards.
+    pub fn new(request_id: u64, shard_count: u32) -> Result<Self, ShardError> {
+        if shard_count == 0 {
+            return Err(ShardError::ZeroShardCount);
+        }
+        if shard_count > MAX_SHARD_COUNT {
+            return Err(ShardError::TooManyShards(shard_count));
+        }
+        Ok(ShardAssembler {
+            request_id,
+            shard_count,
+            shards: (0..shard_count).map(|_| None).collect(),
+            received: 0,
+        })
+    }
+
+    /// Accepts one shard frame's fields. Rejects wrong correlation ids,
+    /// count mismatches, out-of-range indices and duplicate replays;
+    /// a rejected frame leaves the assembler unchanged.
+    pub fn accept(
+        &mut self,
+        request_id: u64,
+        shard_index: u32,
+        shard_count: u32,
+        items: Vec<Vec<u8>>,
+    ) -> Result<(), ShardError> {
+        if request_id != self.request_id {
+            return Err(ShardError::WrongRequest {
+                expected: self.request_id,
+                got: request_id,
+            });
+        }
+        if shard_count != self.shard_count {
+            return Err(ShardError::CountMismatch {
+                expected: self.shard_count,
+                got: shard_count,
+            });
+        }
+        if shard_index >= self.shard_count {
+            return Err(ShardError::IndexOutOfRange {
+                index: shard_index,
+                count: self.shard_count,
+            });
+        }
+        let slot = &mut self.shards[shard_index as usize];
+        if slot.is_some() {
+            return Err(ShardError::DuplicateShard(shard_index));
+        }
+        *slot = Some(items);
+        self.received += 1;
+        Ok(())
+    }
+
+    /// Accepts a shard message ([`Message::OprfShardRequest`] or
+    /// [`Message::OprfShardResponse`]); anything else is
+    /// [`ShardError::NotAShardFrame`].
+    pub fn accept_message(&mut self, msg: &Message) -> Result<(), ShardError> {
+        match msg {
+            Message::OprfShardRequest {
+                request_id,
+                shard_index,
+                shard_count,
+                blinded,
+            } => self.accept(*request_id, *shard_index, *shard_count, blinded.clone()),
+            Message::OprfShardResponse {
+                request_id,
+                shard_index,
+                shard_count,
+                elements,
+            } => self.accept(*request_id, *shard_index, *shard_count, elements.clone()),
+            _ => Err(ShardError::NotAShardFrame),
+        }
+    }
+
+    /// True once every shard has arrived.
+    pub fn is_complete(&self) -> bool {
+        self.received == self.shard_count
+    }
+
+    /// Number of shards still outstanding.
+    pub fn missing(&self) -> u32 {
+        self.shard_count - self.received
+    }
+
+    /// Concatenates the shards in index order into the original batch.
+    /// Fails (returning the assembler untouched is impossible — it is
+    /// consumed — but no partial batch is ever visible) while shards are
+    /// outstanding.
+    pub fn assemble(self) -> Result<Vec<Vec<u8>>, ShardError> {
+        if !self.is_complete() {
+            return Err(ShardError::Incomplete {
+                missing: self.missing(),
+            });
+        }
+        Ok(self
+            .shards
+            .into_iter()
+            .flat_map(|s| s.expect("complete batch has every shard"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![i as u8; 3]).collect()
+    }
+
+    #[test]
+    fn split_yields_exactly_the_clamped_count() {
+        for (len, requested, expected) in
+            [(6usize, 4u32, 4usize), (11, 3, 3), (5, 64, 5), (8, 1, 1)]
+        {
+            let shards = split_shards(&items(len), requested);
+            assert_eq!(shards.len(), expected, "len={len} requested={requested}");
+            // Balanced: shard sizes differ by at most one, largest first.
+            let sizes: Vec<usize> = shards.iter().map(|(_, s)| s.len()).collect();
+            assert!(sizes.windows(2).all(|w| w[0] >= w[1] && w[0] - w[1] <= 1));
+            assert_eq!(sizes.iter().sum::<usize>(), len);
+        }
+    }
+
+    #[test]
+    fn split_then_assemble_roundtrips_in_any_order() {
+        let batch = items(11);
+        for count in [1u32, 2, 3, 11, 64] {
+            let shards = split_shards(&batch, count);
+            let declared = shards.len() as u32;
+            let mut asm = ShardAssembler::new(7, declared).unwrap();
+            // Deliver in reverse order: reassembly must still be in
+            // shard order.
+            for (idx, shard) in shards.into_iter().rev() {
+                asm.accept(7, idx, declared, shard).unwrap();
+            }
+            assert!(asm.is_complete());
+            assert_eq!(asm.assemble().unwrap(), batch, "count={count}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_one_empty_shard() {
+        let shards = split_shards(&[], 4);
+        assert_eq!(shards, vec![(0, Vec::new())]);
+        let mut asm = ShardAssembler::new(1, 1).unwrap();
+        asm.accept(1, 0, 1, Vec::new()).unwrap();
+        assert!(asm.assemble().unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_shard_replay_rejected() {
+        let mut asm = ShardAssembler::new(9, 2).unwrap();
+        asm.accept(9, 0, 2, items(2)).unwrap();
+        assert_eq!(
+            asm.accept(9, 0, 2, items(2)),
+            Err(ShardError::DuplicateShard(0))
+        );
+        // The replay left the assembler intact: the batch completes.
+        asm.accept(9, 1, 2, items(1)).unwrap();
+        assert_eq!(asm.assemble().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn shard_count_mismatch_rejected() {
+        let mut asm = ShardAssembler::new(9, 3).unwrap();
+        asm.accept(9, 0, 3, items(1)).unwrap();
+        assert_eq!(
+            asm.accept(9, 1, 4, items(1)),
+            Err(ShardError::CountMismatch {
+                expected: 3,
+                got: 4
+            })
+        );
+    }
+
+    #[test]
+    fn wrong_request_and_bad_index_rejected() {
+        let mut asm = ShardAssembler::new(9, 2).unwrap();
+        assert_eq!(
+            asm.accept(8, 0, 2, items(1)),
+            Err(ShardError::WrongRequest {
+                expected: 9,
+                got: 8
+            })
+        );
+        assert_eq!(
+            asm.accept(9, 2, 2, items(1)),
+            Err(ShardError::IndexOutOfRange { index: 2, count: 2 })
+        );
+    }
+
+    #[test]
+    fn premature_assembly_rejected() {
+        let mut asm = ShardAssembler::new(9, 3).unwrap();
+        asm.accept(9, 1, 3, items(1)).unwrap();
+        assert_eq!(asm.missing(), 2);
+        assert_eq!(
+            asm.assemble().unwrap_err(),
+            ShardError::Incomplete { missing: 2 }
+        );
+    }
+
+    #[test]
+    fn hostile_shard_count_bounded() {
+        assert_eq!(
+            ShardAssembler::new(1, 0).unwrap_err(),
+            ShardError::ZeroShardCount
+        );
+        assert_eq!(
+            ShardAssembler::new(1, u32::MAX).unwrap_err(),
+            ShardError::TooManyShards(u32::MAX)
+        );
+    }
+
+    #[test]
+    fn accept_message_covers_both_directions() {
+        let mut asm = ShardAssembler::new(5, 2).unwrap();
+        asm.accept_message(&Message::OprfShardRequest {
+            request_id: 5,
+            shard_index: 0,
+            shard_count: 2,
+            blinded: items(1),
+        })
+        .unwrap();
+        asm.accept_message(&Message::OprfShardResponse {
+            request_id: 5,
+            shard_index: 1,
+            shard_count: 2,
+            elements: items(1),
+        })
+        .unwrap();
+        assert_eq!(
+            asm.accept_message(&Message::UsersQuery { round: 1, ad: 2 }),
+            Err(ShardError::NotAShardFrame)
+        );
+        assert!(asm.is_complete());
+    }
+}

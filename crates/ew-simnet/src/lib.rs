@@ -37,6 +37,7 @@
 
 pub mod campaign;
 pub mod config;
+pub mod driver;
 pub mod engine;
 pub mod log;
 pub mod topics;
@@ -45,6 +46,7 @@ pub mod web;
 
 pub use campaign::{Ad, AdClass, AdId, Campaign, CampaignKind};
 pub use config::{ScenarioConfig, TargetingBias};
+pub use driver::{DriverScale, WeeklyDriver};
 pub use engine::{simulate_week, Scenario};
 pub use log::{Impression, ImpressionLog};
 pub use topics::{semantic_overlap, TopicId, NUM_TOPICS, TOPIC_NAMES};

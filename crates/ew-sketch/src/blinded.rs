@@ -89,9 +89,32 @@ impl SketchAccumulator {
         subtract_vector(&mut self.cells, adjustment);
     }
 
+    /// Folds another accumulator into this one (cell-wise wrapping add,
+    /// report counts summed).
+    ///
+    /// Addition in `Z_{2^32}` is associative and commutative, so a round
+    /// aggregated as per-shard partial accumulators merged in any order
+    /// is **bit-identical** to the same reports added one by one — the
+    /// determinism guarantee the parallel round pipeline relies on.
+    ///
+    /// # Panics
+    /// Panics if the accumulators' dimensions don't match.
+    pub fn merge(&mut self, other: &SketchAccumulator) {
+        assert_eq!(self.params, other.params, "report dimension mismatch");
+        for (c, o) in self.cells.iter_mut().zip(&other.cells) {
+            *c = c.wrapping_add(*o);
+        }
+        self.reports += other.reports;
+    }
+
     /// Number of reports folded in so far.
     pub fn reports(&self) -> usize {
         self.reports
+    }
+
+    /// The sketch dimensions this accumulator was opened with.
+    pub fn params(&self) -> CmsParams {
+        self.params
     }
 
     /// Finalizes into a queryable aggregate sketch.
@@ -208,6 +231,57 @@ mod tests {
         let params = CmsParams::new(17, 2719, 0);
         let b = BlindedSketch::from_raw(params, vec![0u32; params.num_cells()]);
         assert_eq!((b.size_bytes() as f64 / 1000.0).round() as usize, 185);
+    }
+
+    #[test]
+    fn sharded_merge_equals_sequential_accumulation() {
+        let gens = cohort(6, 203);
+        let params = CmsParams::new(3, 32, 4);
+        let round = 8;
+        let reports: Vec<BlindedSketch> = gens
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let mut sketch = CountMinSketch::new(params);
+                sketch.update(i as u64);
+                sketch.update(55);
+                BlindedSketch::from_sketch(&sketch, g, round)
+            })
+            .collect();
+
+        let mut sequential = SketchAccumulator::new(params);
+        for r in &reports {
+            sequential.add(r);
+        }
+
+        // Shard the reports unevenly, accumulate per shard, merge in
+        // reverse shard order: the result must still be bit-identical.
+        for shards in [vec![2usize, 4], vec![1, 2, 3], vec![6], vec![5, 1]] {
+            let mut partials = Vec::new();
+            let mut start = 0;
+            for len in shards {
+                let mut acc = SketchAccumulator::new(params);
+                for r in &reports[start..start + len] {
+                    acc.add(r);
+                }
+                partials.push(acc);
+                start += len;
+            }
+            let mut merged = SketchAccumulator::new(params);
+            for p in partials.iter().rev() {
+                merged.merge(p);
+            }
+            assert_eq!(merged.cells(), sequential.cells());
+            assert_eq!(merged.reports(), sequential.reports());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn accumulator_rejects_mismatched_merge() {
+        let mut acc = SketchAccumulator::new(CmsParams::new(2, 16, 1));
+        let other = SketchAccumulator::new(CmsParams::new(2, 16, 2));
+        acc.merge(&other);
     }
 
     #[test]

@@ -144,6 +144,60 @@ impl BackendServer {
         Ok(())
     }
 
+    /// Accepts one **shard** of reports pre-accumulated by a parallel
+    /// round worker: `users` lists the shard's reporting clients (in
+    /// shard order) and `shard` holds the cell-wise sum of their blinded
+    /// reports.
+    ///
+    /// Validation is per-user exactly as in [`Self::receive_report`]
+    /// (round, enrolment, duplicates, dimensions) and runs *before* the
+    /// merge, so a bad shard is rejected whole and leaves the round
+    /// untouched. Because cell addition in `Z_{2^32}` is associative and
+    /// commutative, merging per-shard partial accumulators produces an
+    /// aggregate **bit-identical** to receiving the same reports one by
+    /// one — the parallel round's determinism guarantee.
+    pub fn receive_shard(
+        &mut self,
+        users: &[u32],
+        round: u64,
+        shard: &SketchAccumulator,
+    ) -> Result<(), RoundError> {
+        let state = self.current.as_mut().ok_or(RoundError::NoOpenRound)?;
+        if state.round != round {
+            return Err(RoundError::WrongRound {
+                expected: state.round,
+                got: round,
+            });
+        }
+        // Full-params equality (not just cell count): a same-sized shard
+        // built under different dimensions must be a clean error here,
+        // never a panic inside `merge` after state was touched.
+        if shard.params() != self.params || shard.reports() != users.len() {
+            return Err(RoundError::DimensionMismatch);
+        }
+        for &user in users {
+            if self.directory.get(user).is_none() {
+                return Err(RoundError::UnknownUser(user));
+            }
+            if state.reported.contains(&user) {
+                return Err(RoundError::DuplicateReport(user));
+            }
+        }
+        // A user listed twice within the shard is a duplicate too.
+        let distinct: BTreeSet<u32> = users.iter().copied().collect();
+        if distinct.len() != users.len() {
+            let dup = users
+                .iter()
+                .copied()
+                .find(|u| users.iter().filter(|v| *v == u).count() > 1)
+                .expect("a duplicate exists");
+            return Err(RoundError::DuplicateReport(dup));
+        }
+        state.reported.extend(distinct);
+        state.accumulator.merge(shard);
+        Ok(())
+    }
+
     /// After the report deadline: the list of enrolled users whose
     /// reports never arrived. Broadcast to the cohort, whose members
     /// answer with adjustments (§6 "Fault-tolerance").
@@ -311,6 +365,98 @@ mod tests {
         srv.receive_report(0, 2, &raw_report(p, &[1])).unwrap();
         srv.receive_report(2, 2, &raw_report(p, &[1])).unwrap();
         assert_eq!(srv.missing_clients().unwrap(), vec![1, 3]);
+    }
+
+    #[test]
+    fn shard_path_equals_per_report_path() {
+        let p = CmsParams::new(2, 32, 3);
+        let reports: Vec<BlindedSketch> =
+            (0..5u64).map(|i| raw_report(p, &[i, 40 + i % 2])).collect();
+
+        let mut seq = server();
+        let mut sharded = server();
+        for u in 0..5 {
+            seq.enroll(u, UBig::from_u64(u as u64 + 1));
+            sharded.enroll(u, UBig::from_u64(u as u64 + 1));
+        }
+        seq.open_round(1);
+        sharded.open_round(1);
+        for (u, r) in reports.iter().enumerate() {
+            seq.receive_report(u as u32, 1, r).unwrap();
+        }
+        // Two uneven shards, delivered out of order.
+        let mut shard_a = SketchAccumulator::new(p);
+        for r in &reports[..2] {
+            shard_a.add(r);
+        }
+        let mut shard_b = SketchAccumulator::new(p);
+        for r in &reports[2..] {
+            shard_b.add(r);
+        }
+        sharded.receive_shard(&[2, 3, 4], 1, &shard_b).unwrap();
+        sharded.receive_shard(&[0, 1], 1, &shard_a).unwrap();
+        assert_eq!(sharded.missing_clients().unwrap(), Vec::<u32>::new());
+        assert_eq!(seq.missing_clients().unwrap(), Vec::<u32>::new());
+        let v1 = seq.finalize_round().unwrap().clone();
+        let v2 = sharded.finalize_round().unwrap().clone();
+        assert_eq!(v1, v2, "shard-merged view identical to per-report view");
+        assert_eq!(v1.sorted_estimates(), v2.sorted_estimates());
+    }
+
+    #[test]
+    fn shard_rejections_leave_round_untouched() {
+        let mut srv = server();
+        for u in 0..3 {
+            srv.enroll(u, UBig::from_u64(u as u64 + 1));
+        }
+        srv.open_round(1);
+        let p = srv.params();
+        let mut shard = SketchAccumulator::new(p);
+        shard.add(&raw_report(p, &[1]));
+        shard.add(&raw_report(p, &[2]));
+
+        // Report-count / user-list mismatch.
+        assert_eq!(
+            srv.receive_shard(&[0], 1, &shard),
+            Err(RoundError::DimensionMismatch)
+        );
+        // Same cell count, different dimensions: a clean error, not a
+        // panic inside the merge (and no user marked reported).
+        let mut wrong_params = SketchAccumulator::new(CmsParams::new(2, 32, 9));
+        wrong_params.add(&raw_report(CmsParams::new(2, 32, 9), &[1]));
+        wrong_params.add(&raw_report(CmsParams::new(2, 32, 9), &[2]));
+        assert_eq!(
+            srv.receive_shard(&[0, 1], 1, &wrong_params),
+            Err(RoundError::DimensionMismatch)
+        );
+        // Unknown user.
+        assert_eq!(
+            srv.receive_shard(&[0, 9], 1, &shard),
+            Err(RoundError::UnknownUser(9))
+        );
+        // Duplicate within the shard.
+        assert_eq!(
+            srv.receive_shard(&[0, 0], 1, &shard),
+            Err(RoundError::DuplicateReport(0))
+        );
+        // Wrong round.
+        assert_eq!(
+            srv.receive_shard(&[0, 1], 2, &shard),
+            Err(RoundError::WrongRound {
+                expected: 1,
+                got: 2
+            })
+        );
+        // After all those rejections the round is still pristine.
+        srv.receive_shard(&[0, 1], 1, &shard).unwrap();
+        // Cross-shard duplicate.
+        let mut again = SketchAccumulator::new(p);
+        again.add(&raw_report(p, &[3]));
+        assert_eq!(
+            srv.receive_shard(&[1], 1, &again),
+            Err(RoundError::DuplicateReport(1))
+        );
+        assert_eq!(srv.missing_clients().unwrap(), vec![2]);
     }
 
     #[test]

@@ -184,7 +184,7 @@ impl Client {
     /// Resolves a URL to an ad ID via a direct call to the service
     /// (the fast path used by the simulation harness; the wire path is
     /// exercised by the system-level tests).
-    pub fn map_ad(&mut self, url: &str, service: &mut OprfService) -> AdKey {
+    pub fn map_ad(&mut self, url: &str, service: &OprfService) -> AdKey {
         if let Some(&ad) = self.id_cache.get(url) {
             return ad;
         }
@@ -204,7 +204,7 @@ impl Client {
     /// blinded together (one modular inversion for the whole batch —
     /// Montgomery's trick) and evaluated on the server's cached
     /// CRT/Montgomery path.
-    pub fn map_ads_batch(&mut self, urls: &[&str], service: &mut OprfService) -> Vec<AdKey> {
+    pub fn map_ads_batch(&mut self, urls: &[&str], service: &OprfService) -> Vec<AdKey> {
         // Direct path: stay on `UBig`s end to end — serialization is
         // only for the wire ([`Self::oprf_blind_batch`]).
         let pendings = self.blind_fresh_urls(urls);
@@ -301,19 +301,19 @@ mod tests {
 
     #[test]
     fn url_mapping_cached() {
-        let (group, mut service, mapper, _) = setup();
+        let (group, service, mapper, _) = setup();
         let mut c = Client::new(1, &group, service.public().clone(), mapper, 7);
-        let a1 = c.map_ad("https://x.example/1", &mut service);
-        let a2 = c.map_ad("https://x.example/1", &mut service);
+        let a1 = c.map_ad("https://x.example/1", &service);
+        let a2 = c.map_ad("https://x.example/1", &service);
         assert_eq!(a1, a2);
         assert_eq!(service.requests_served(), 1, "second lookup is cached");
-        let b = c.map_ad("https://x.example/2", &mut service);
+        let b = c.map_ad("https://x.example/2", &service);
         assert_ne!(a1, b);
     }
 
     #[test]
     fn batch_mapping_matches_single_and_caches() {
-        let (group, mut service, mapper, _) = setup();
+        let (group, service, mapper, _) = setup();
         let mut single = Client::new(1, &group, service.public().clone(), mapper, 7);
         let mut batched = Client::new(2, &group, service.public().clone(), mapper, 8);
         let urls = [
@@ -322,12 +322,9 @@ mod tests {
             "https://x.example/1", // duplicate inside the batch
             "https://x.example/3",
         ];
-        let expected: Vec<_> = urls
-            .iter()
-            .map(|u| single.map_ad(u, &mut service))
-            .collect();
+        let expected: Vec<_> = urls.iter().map(|u| single.map_ad(u, &service)).collect();
         let served_before = service.requests_served();
-        let got = batched.map_ads_batch(&urls, &mut service);
+        let got = batched.map_ads_batch(&urls, &service);
         assert_eq!(got, expected, "same PRF, same IDs");
         assert_eq!(
             service.requests_served() - served_before,
@@ -336,7 +333,7 @@ mod tests {
         );
         // Second batch is fully cached: zero server traffic.
         let served_before = service.requests_served();
-        assert_eq!(batched.map_ads_batch(&urls, &mut service), expected);
+        assert_eq!(batched.map_ads_batch(&urls, &service), expected);
         assert_eq!(service.requests_served(), served_before);
     }
 
@@ -344,11 +341,11 @@ mod tests {
     fn mapping_consistent_across_clients() {
         // Two clients mapping the same URL must land on the same ad ID —
         // otherwise the crowd can't count users per ad.
-        let (group, mut service, mapper, _) = setup();
+        let (group, service, mapper, _) = setup();
         let mut c1 = Client::new(1, &group, service.public().clone(), mapper, 7);
         let mut c2 = Client::new(2, &group, service.public().clone(), mapper, 8);
         let url = "https://adnet.example/shared";
-        assert_eq!(c1.map_ad(url, &mut service), c2.map_ad(url, &mut service));
+        assert_eq!(c1.map_ad(url, &service), c2.map_ad(url, &service));
     }
 
     #[test]

@@ -45,8 +45,8 @@ pub use eval::{EvalOracles, EvalTree};
 pub use ids::AdIdMapper;
 pub use oprf_server::OprfService;
 pub use pipeline::{
-    cms_user_distribution, resolve_ad_ids_batched, run_cleartext_pipeline, run_segmented_pipeline,
-    PipelineResult,
+    cms_user_distribution, resolve_ad_ids_batched, resolve_ad_ids_batched_par,
+    run_cleartext_pipeline, run_segmented_pipeline, PipelineResult,
 };
 pub use store::{RoundRecord, Store, UserRecord};
-pub use system::{EyewnderSystem, RoundOutcome, SystemConfig};
+pub use system::{EyewnderSystem, ParallelConfig, RoundOutcome, SystemConfig};

@@ -1,18 +1,38 @@
 //! The oprf-server (§6): holds the RSA secret `d` and blind-evaluates
 //! client requests. "The server is 'oblivious' to the input of the PRF
 //! so that x remains private to the user."
+//!
+//! ## Concurrency
+//!
+//! Evaluation is read-only over the key, so every entry point takes
+//! `&self` and the service can be shared across worker threads without
+//! locking. Request accounting is an atomic saturating counter: exact
+//! under the parallel ingest path (each worker adds its shard's count
+//! once) and incapable of wrapping back to small values near `u64::MAX`
+//! — a saturated counter reads as "at least this many", never as a
+//! freshly reset one.
 
 use ew_bigint::UBig;
 use ew_crypto::oprf::{OprfError, OprfServerKey};
 use ew_crypto::rsa::RsaPublicKey;
 use ew_proto::Message;
 use rand::RngCore;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The OPRF service, wrapping the key with request accounting.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct OprfService {
     key: OprfServerKey,
-    requests_served: u64,
+    requests_served: AtomicU64,
+}
+
+impl Clone for OprfService {
+    fn clone(&self) -> Self {
+        OprfService {
+            key: self.key.clone(),
+            requests_served: AtomicU64::new(self.requests_served.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl OprfService {
@@ -20,7 +40,7 @@ impl OprfService {
     pub fn generate<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> Self {
         OprfService {
             key: OprfServerKey::generate(rng, bits),
-            requests_served: 0,
+            requests_served: AtomicU64::new(0),
         }
     }
 
@@ -29,26 +49,54 @@ impl OprfService {
         self.key.public()
     }
 
+    /// Adds `n` served requests to the counter, saturating at
+    /// `u64::MAX` instead of wrapping.
+    fn record_served(&self, n: u64) {
+        // fetch_update never fails with an always-Some closure; the CAS
+        // loop keeps concurrent shard updates exact.
+        let _ = self
+            .requests_served
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(n))
+            });
+    }
+
     /// Blind-evaluates one element (direct-call path).
-    pub fn evaluate(&mut self, blinded: &UBig) -> Result<UBig, OprfError> {
+    pub fn evaluate(&self, blinded: &UBig) -> Result<UBig, OprfError> {
         let out = self.key.evaluate_blinded(blinded)?;
-        self.requests_served += 1;
+        self.record_served(1);
         Ok(out)
     }
 
     /// Blind-evaluates a whole batch (direct-call path); every element
     /// counts towards the request total. All-or-nothing: an out-of-range
     /// element fails the batch before any work is done.
-    pub fn evaluate_batch(&mut self, blinded: &[UBig]) -> Result<Vec<UBig>, OprfError> {
+    pub fn evaluate_batch(&self, blinded: &[UBig]) -> Result<Vec<UBig>, OprfError> {
         let out = self.key.evaluate_blinded_batch(blinded)?;
-        self.requests_served += blinded.len() as u64;
+        self.record_served(blinded.len() as u64);
+        Ok(out)
+    }
+
+    /// Multi-threaded batch evaluation
+    /// ([`OprfServerKey::evaluate_blinded_batch_par`]): contiguous
+    /// shards on scoped threads, results reassembled in input order —
+    /// bit-identical to [`Self::evaluate_batch`] for every thread count.
+    /// Accounting is identical too: the batch total is added once, after
+    /// the whole batch succeeds.
+    pub fn evaluate_batch_par(
+        &self,
+        blinded: &[UBig],
+        threads: usize,
+    ) -> Result<Vec<UBig>, OprfError> {
+        let out = self.key.evaluate_blinded_batch_par(blinded, threads)?;
+        self.record_served(blinded.len() as u64);
         Ok(out)
     }
 
     /// Handles a wire message; returns the response (or `None` for
     /// messages this server ignores, including malformed elements —
     /// a real service would log and drop them).
-    pub fn handle(&mut self, msg: &Message) -> Option<Message> {
+    pub fn handle(&self, msg: &Message) -> Option<Message> {
         match msg {
             Message::OprfRequest {
                 request_id,
@@ -71,10 +119,34 @@ impl OprfService {
                 match self.evaluate_batch(&elements) {
                     Ok(signed) => Some(Message::OprfBatchResponse {
                         request_id: *request_id,
-                        elements: signed
-                            .iter()
-                            .map(|s| s.to_bytes_be_padded(self.public().element_len()))
-                            .collect(),
+                        elements: self.serialize_batch(&signed),
+                    }),
+                    Err(_) => None,
+                }
+            }
+            // One shard of a parallel batch: evaluated independently —
+            // the server needs no reassembly state; the *client* merges
+            // responses with `ew_proto::ShardAssembler`. A shard index
+            // out of range is dropped like any other malformed request.
+            Message::OprfShardRequest {
+                request_id,
+                shard_index,
+                shard_count,
+                blinded,
+            } => {
+                if *shard_count == 0
+                    || *shard_count > ew_proto::MAX_SHARD_COUNT
+                    || *shard_index >= *shard_count
+                {
+                    return None;
+                }
+                let elements: Vec<UBig> = blinded.iter().map(|b| UBig::from_bytes_be(b)).collect();
+                match self.evaluate_batch(&elements) {
+                    Ok(signed) => Some(Message::OprfShardResponse {
+                        request_id: *request_id,
+                        shard_index: *shard_index,
+                        shard_count: *shard_count,
+                        elements: self.serialize_batch(&signed),
                     }),
                     Err(_) => None,
                 }
@@ -83,15 +155,26 @@ impl OprfService {
         }
     }
 
+    fn serialize_batch(&self, signed: &[UBig]) -> Vec<Vec<u8>> {
+        let len = self.public().element_len();
+        signed.iter().map(|s| s.to_bytes_be_padded(len)).collect()
+    }
+
     /// Total blind evaluations performed (the "once per unique ad"
-    /// overhead the paper measures in §7.1).
+    /// overhead the paper measures in §7.1). Saturates at `u64::MAX`.
     pub fn requests_served(&self) -> u64 {
-        self.requests_served
+        self.requests_served.load(Ordering::Relaxed)
     }
 
     /// Ground-truth evaluation for tests/crawler (non-oblivious).
     pub fn evaluate_direct(&self, input: &[u8]) -> [u8; ew_crypto::oprf::OPRF_OUTPUT_LEN] {
         self.key.evaluate_direct(input)
+    }
+
+    /// Test hook: presets the served counter (overflow regression tests).
+    #[cfg(test)]
+    fn preset_requests_served(&self, n: u64) {
+        self.requests_served.store(n, Ordering::Relaxed);
     }
 }
 
@@ -105,7 +188,7 @@ mod tests {
     #[test]
     fn wire_roundtrip_matches_direct() {
         let mut rng = StdRng::seed_from_u64(50);
-        let mut service = OprfService::generate(&mut rng, 128);
+        let service = OprfService::generate(&mut rng, 128);
         let client = OprfClient::new(service.public().clone());
 
         let url = b"https://adnet0.example/creative/0000002a";
@@ -133,7 +216,7 @@ mod tests {
     #[test]
     fn wire_batch_roundtrip_matches_direct() {
         let mut rng = StdRng::seed_from_u64(53);
-        let mut service = OprfService::generate(&mut rng, 128);
+        let service = OprfService::generate(&mut rng, 128);
         let client = OprfClient::new(service.public().clone());
 
         let urls: Vec<&[u8]> = vec![
@@ -166,9 +249,119 @@ mod tests {
     }
 
     #[test]
+    fn sharded_wire_batch_reassembles_to_direct_results() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let service = OprfService::generate(&mut rng, 128);
+        let client = OprfClient::new(service.public().clone());
+
+        let urls: Vec<Vec<u8>> = (0..7)
+            .map(|i| format!("https://adnet.example/shardwire/{i}").into_bytes())
+            .collect();
+        let url_refs: Vec<&[u8]> = urls.iter().map(|u| u.as_slice()).collect();
+        let pendings = client.blind_batch(&mut rng, &url_refs).unwrap();
+        let wire: Vec<Vec<u8>> = pendings.iter().map(|p| p.blinded.to_bytes_be()).collect();
+
+        let shards = ew_proto::split_shards(&wire, 3);
+        let shard_count = shards.len() as u32;
+        let mut asm = ew_proto::ShardAssembler::new(11, shard_count).unwrap();
+        // Serve the shards out of order, as independent frames.
+        for (idx, shard) in shards.into_iter().rev() {
+            let resp = service
+                .handle(&Message::OprfShardRequest {
+                    request_id: 11,
+                    shard_index: idx,
+                    shard_count,
+                    blinded: shard,
+                })
+                .expect("valid shard served");
+            asm.accept_message(&resp).unwrap();
+        }
+        let elements = asm.assemble().unwrap();
+        assert_eq!(elements.len(), urls.len());
+        for ((url, pending), element) in urls.iter().zip(&pendings).zip(&elements) {
+            let out = client
+                .finalize(pending, &UBig::from_bytes_be(element))
+                .unwrap();
+            assert_eq!(out, service.evaluate_direct(url));
+        }
+        assert_eq!(service.requests_served(), urls.len() as u64);
+    }
+
+    #[test]
+    fn malformed_shard_header_dropped() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let service = OprfService::generate(&mut rng, 128);
+        let client = OprfClient::new(service.public().clone());
+        let pending = client.blind(&mut rng, b"x").unwrap();
+        let blinded = vec![pending.blinded.to_bytes_be()];
+        for (index, count) in [(0u32, 0u32), (2, 2), (0, ew_proto::MAX_SHARD_COUNT + 1)] {
+            assert!(
+                service
+                    .handle(&Message::OprfShardRequest {
+                        request_id: 1,
+                        shard_index: index,
+                        shard_count: count,
+                        blinded: blinded.clone(),
+                    })
+                    .is_none(),
+                "index={index} count={count}"
+            );
+        }
+        assert_eq!(service.requests_served(), 0);
+    }
+
+    #[test]
+    fn parallel_batch_counts_every_element_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(56);
+        let service = OprfService::generate(&mut rng, 128);
+        let client = OprfClient::new(service.public().clone());
+        let urls: Vec<Vec<u8>> = (0..9)
+            .map(|i| format!("https://adnet.example/acct/{i}").into_bytes())
+            .collect();
+        let url_refs: Vec<&[u8]> = urls.iter().map(|u| u.as_slice()).collect();
+        let pendings = client.blind_batch(&mut rng, &url_refs).unwrap();
+        let blinded: Vec<UBig> = pendings.iter().map(|p| p.blinded.clone()).collect();
+        let seq = service.evaluate_batch(&blinded).unwrap();
+        let par = service.evaluate_batch_par(&blinded, 4).unwrap();
+        assert_eq!(par, seq);
+        assert_eq!(service.requests_served(), 18, "9 sequential + 9 parallel");
+    }
+
+    #[test]
+    fn requests_served_saturates_instead_of_wrapping() {
+        let mut rng = StdRng::seed_from_u64(57);
+        let service = OprfService::generate(&mut rng, 128);
+        let client = OprfClient::new(service.public().clone());
+        let pending = client.blind(&mut rng, b"overflow").unwrap();
+
+        service.preset_requests_served(u64::MAX - 1);
+        // A 3-element batch would wrap a naive `+=`; the saturating
+        // counter pins at MAX and stays there.
+        let blinded = vec![pending.blinded.clone(); 3];
+        service.evaluate_batch(&blinded).unwrap();
+        assert_eq!(service.requests_served(), u64::MAX);
+        service.evaluate_batch_par(&blinded, 2).unwrap();
+        assert_eq!(service.requests_served(), u64::MAX);
+        service.evaluate(&pending.blinded).unwrap();
+        assert_eq!(service.requests_served(), u64::MAX);
+    }
+
+    #[test]
+    fn failed_batch_counts_nothing() {
+        let mut rng = StdRng::seed_from_u64(58);
+        let service = OprfService::generate(&mut rng, 128);
+        let too_big = service.public().n.add_ref(&UBig::one());
+        assert!(service
+            .evaluate_batch(std::slice::from_ref(&too_big))
+            .is_err());
+        assert!(service.evaluate_batch_par(&[too_big], 4).is_err());
+        assert_eq!(service.requests_served(), 0);
+    }
+
+    #[test]
     fn out_of_range_request_dropped() {
         let mut rng = StdRng::seed_from_u64(51);
-        let mut service = OprfService::generate(&mut rng, 128);
+        let service = OprfService::generate(&mut rng, 128);
         let too_big = service.public().n.add_ref(&UBig::one()).to_bytes_be();
         let req = Message::OprfRequest {
             request_id: 1,
@@ -181,7 +374,7 @@ mod tests {
     #[test]
     fn ignores_unrelated_messages() {
         let mut rng = StdRng::seed_from_u64(52);
-        let mut service = OprfService::generate(&mut rng, 128);
+        let service = OprfService::generate(&mut rng, 128);
         assert!(service
             .handle(&Message::UsersQuery { round: 1, ad: 2 })
             .is_none());

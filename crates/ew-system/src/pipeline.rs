@@ -47,30 +47,62 @@ pub struct PipelineResult {
 pub fn resolve_ad_ids_batched(
     scenario: &Scenario,
     log: &ImpressionLog,
-    service: &mut OprfService,
+    service: &OprfService,
     mapper: AdIdMapper,
     seed: u64,
 ) -> BTreeMap<u64, AdKey> {
-    let ads = log.distinct_ads();
+    resolve_ad_ids_batched_par(scenario, log, service, mapper, seed, 1)
+}
+
+/// Multi-threaded [`resolve_ad_ids_batched`]: the distinct-ad batch is
+/// fanned out over `threads` contiguous shards, each blinded (one
+/// shared inversion per shard — the PR 1 contract holds per client-side
+/// shard), evaluated and unblinded on its own scoped worker, and the
+/// per-shard mappings are merged after the join.
+///
+/// The resulting map is identical for every thread count: the PRF
+/// output for an ad depends only on the server key and the URL, never
+/// on the blinding randomness, so sharding the blinding RNG cannot
+/// change a single ad ID.
+pub fn resolve_ad_ids_batched_par(
+    scenario: &Scenario,
+    log: &ImpressionLog,
+    service: &OprfService,
+    mapper: AdIdMapper,
+    seed: u64,
+    threads: usize,
+) -> BTreeMap<u64, AdKey> {
+    let ads: Vec<u64> = log.distinct_ads().into_iter().collect();
     let urls: Vec<String> = ads
         .iter()
         .map(|&ad| scenario.campaigns[ad as usize].ad.url())
         .collect();
     let client = OprfClient::new(service.public().clone());
-    let mut rng = StdRng::seed_from_u64(seed);
-    let inputs: Vec<&[u8]> = urls.iter().map(|u| u.as_bytes()).collect();
-    let pendings = client
-        .blind_batch(&mut rng, &inputs)
-        .expect("blinding always invertible for a valid modulus");
-    let blinded: Vec<_> = pendings.iter().map(|p| p.blinded.clone()).collect();
-    let responses = service.evaluate_batch(&blinded).expect("in-range batch");
-    ads.into_iter()
-        .zip(pendings.iter().zip(&responses))
-        .map(|(ad, (pending, response))| {
-            let out = client.finalize(pending, response).expect("in range");
-            (ad, mapper.to_ad_id(&out))
-        })
-        .collect()
+    let work: Vec<(u64, &str)> = ads
+        .iter()
+        .copied()
+        .zip(urls.iter().map(String::as_str))
+        .collect();
+    let shards = crossbeam::thread::map_shards(&work, threads.max(1), |shard| {
+        // Per-shard RNG: blinding randomness may differ between thread
+        // counts, the unblinded PRF outputs cannot.
+        let mut rng = StdRng::seed_from_u64(seed ^ shard.first().map_or(0, |&(ad, _)| ad << 1));
+        let inputs: Vec<&[u8]> = shard.iter().map(|&(_, url)| url.as_bytes()).collect();
+        let pendings = client
+            .blind_batch(&mut rng, &inputs)
+            .expect("blinding always invertible for a valid modulus");
+        let blinded: Vec<_> = pendings.iter().map(|p| p.blinded.clone()).collect();
+        let responses = service.evaluate_batch(&blinded).expect("in-range batch");
+        shard
+            .iter()
+            .zip(pendings.iter().zip(&responses))
+            .map(|(&(ad, _), (pending, response))| {
+                let out = client.finalize(pending, response).expect("in range");
+                (ad, mapper.to_ad_id(&out))
+            })
+            .collect::<Vec<_>>()
+    });
+    shards.into_iter().flatten().collect()
 }
 
 /// Runs the detector over a cleartext impression log: every user audits
@@ -284,14 +316,30 @@ mod tests {
         let scenario = Scenario::build(ScenarioConfig::small(42));
         let log = scenario.run_week(0);
         let mut rng = StdRng::seed_from_u64(90);
-        let mut service = crate::oprf_server::OprfService::generate(&mut rng, 128);
+        let service = crate::oprf_server::OprfService::generate(&mut rng, 128);
         let mapper = crate::ids::AdIdMapper::new(1 << 16);
-        let mapping = resolve_ad_ids_batched(&scenario, &log, &mut service, mapper, 91);
+        let mapping = resolve_ad_ids_batched(&scenario, &log, &service, mapper, 91);
         assert_eq!(mapping.len(), log.distinct_ads().len());
         for (&ad, &key) in &mapping {
             let url = scenario.campaigns[ad as usize].ad.url();
             let direct = mapper.to_ad_id(&service.evaluate_direct(url.as_bytes()));
             assert_eq!(key, direct, "ad {ad}");
+        }
+    }
+
+    #[test]
+    fn parallel_ad_resolution_identical_for_any_thread_count() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let scenario = Scenario::build(ScenarioConfig::small(42));
+        let log = scenario.run_week(0);
+        let mut rng = StdRng::seed_from_u64(92);
+        let service = crate::oprf_server::OprfService::generate(&mut rng, 128);
+        let mapper = crate::ids::AdIdMapper::new(1 << 16);
+        let baseline = resolve_ad_ids_batched(&scenario, &log, &service, mapper, 93);
+        for threads in [2usize, 4, 7] {
+            let par = resolve_ad_ids_batched_par(&scenario, &log, &service, mapper, 93, threads);
+            assert_eq!(par, baseline, "threads={threads}");
         }
     }
 

@@ -2,6 +2,30 @@
 //! oprf-server running weekly aggregation rounds — by direct calls for
 //! experiment throughput, or over `ew-proto` framed transports with
 //! fault injection for the full-stack tests.
+//!
+//! ## Parallel rounds and determinism
+//!
+//! The weekly round is embarrassingly parallel: each client's OPRF
+//! batch, report blinding and adjustment derivation is independent of
+//! every other client's. With [`ParallelConfig::threads`] > 1 the
+//! cohort is split into contiguous shards of clients, each processed on
+//! its own scoped worker thread.
+//!
+//! The parallel path is **bit-identical** to the sequential one for
+//! every thread count, by construction rather than by luck:
+//!
+//! * every client's work (RNG draws, blinding, caching) happens wholly
+//!   on one worker, in the same per-client order as the sequential loop;
+//! * OPRF evaluation is a pure function of `(key, element)`;
+//! * per-shard sketch accumulation merges with cell-wise wrapping
+//!   addition in `Z_{2^32}`, which is associative and commutative, so
+//!   shard merge order cannot change the aggregate
+//!   ([`SketchAccumulator::merge`]);
+//! * shard outputs are reassembled in shard (= client) order before any
+//!   order-sensitive consumer sees them.
+//!
+//! `tests/parallel_determinism.rs` pins the guarantee end to end for
+//! thread counts {1, 2, 4, 7}.
 
 use crate::backend::BackendServer;
 use crate::client::Client;
@@ -12,11 +36,36 @@ use ew_core::{AdKey, Detector, DetectorConfig, GlobalView, ThresholdPolicy, Verd
 use ew_crypto::group::ModpGroup;
 use ew_proto::{channel_pair, FaultConfig, Message};
 use ew_simnet::{AdClass, ImpressionLog, Scenario};
-use ew_sketch::{BlindedSketch, CmsParams};
+use ew_sketch::{BlindedSketch, CmsParams, SketchAccumulator};
 use ew_stats::ConfusionMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+
+/// Parallel execution settings for the system layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads for sharded ingest / round execution. `1` (the
+    /// default) runs everything on the calling thread; higher values
+    /// split the cohort into that many contiguous shards. Results are
+    /// bit-identical for every value (see the module docs).
+    pub threads: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig { threads: 1 }
+    }
+}
+
+impl ParallelConfig {
+    /// Convenience constructor.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads: threads.max(1),
+        }
+    }
+}
 
 /// System-wide parameters.
 #[derive(Debug, Clone)]
@@ -36,6 +85,8 @@ pub struct SystemConfig {
     pub policy: ThresholdPolicy,
     /// Detector settings for audits.
     pub detector: DetectorConfig,
+    /// Parallel execution settings (sharded ingest / rounds).
+    pub parallel: ParallelConfig,
 }
 
 impl Default for SystemConfig {
@@ -48,7 +99,16 @@ impl Default for SystemConfig {
             ad_capacity: 1 << 18,
             policy: ThresholdPolicy::Mean,
             detector: DetectorConfig::default(),
+            parallel: ParallelConfig::default(),
         }
+    }
+}
+
+impl SystemConfig {
+    /// Returns the config with `threads` parallel workers.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.parallel = ParallelConfig::with_threads(threads);
+        self
     }
 }
 
@@ -164,6 +224,13 @@ impl EyewnderSystem {
     /// Only impressions of users with ids below the cohort size are
     /// ingested (the scenario may simulate more users than enrolled —
     /// the paper's panel was 100 out of a larger population).
+    ///
+    /// With [`ParallelConfig::threads`] > 1 the cohort is split into
+    /// contiguous client shards, each ingested on its own worker
+    /// thread; each client's whole batch (blinding, one shared
+    /// inversion, evaluation, caching, counter updates) stays on one
+    /// worker, so per-client state — and therefore every downstream
+    /// aggregate — is bit-identical to the sequential path.
     pub fn ingest(&mut self, scenario: &Scenario, log: &ImpressionLog) {
         // Group this week's impressions by enrolled client, keeping the
         // log's order within each group.
@@ -176,49 +243,96 @@ impl EyewnderSystem {
                     .push((r.ad, r.site as u64));
             }
         }
-        let mut users: Vec<u32> = per_client.keys().copied().collect();
-        users.sort_unstable();
-        for user in users {
-            let impressions = &per_client[&user];
-            let client = &mut self.clients[user as usize];
-            let urls: Vec<String> = impressions
-                .iter()
-                .map(|&(ad, _)| scenario.campaigns[ad as usize].ad.url())
-                .collect();
-            let url_refs: Vec<&str> = urls.iter().map(String::as_str).collect();
-            let keys = client.map_ads_batch(&url_refs, &mut self.oprf);
-            for (&(ad, site), key) in impressions.iter().zip(keys) {
-                self.sim_ad_to_key.insert(ad, key);
-                client.observe(key, site);
-            }
+        let threads = self.config.parallel.threads.max(1);
+        let oprf = &self.oprf;
+        // Clients are indexed by id, so contiguous `chunks_mut` shards
+        // partition the cohort; the simulator-ad → ad-ID pairs each
+        // worker learns are merged after the join (the PRF is
+        // deterministic, so every worker learns the same key for a
+        // given ad and merge order is irrelevant).
+        let learned_per_shard =
+            crossbeam::thread::map_shards_mut(&mut self.clients, threads, |shard| {
+                let mut learned: Vec<(u64, AdKey)> = Vec::new();
+                for client in shard {
+                    let Some(impressions) = per_client.get(&client.id()) else {
+                        continue;
+                    };
+                    let urls: Vec<String> = impressions
+                        .iter()
+                        .map(|&(ad, _)| scenario.campaigns[ad as usize].ad.url())
+                        .collect();
+                    let url_refs: Vec<&str> = urls.iter().map(String::as_str).collect();
+                    let keys = client.map_ads_batch(&url_refs, oprf);
+                    for (&(ad, site), key) in impressions.iter().zip(keys) {
+                        learned.push((ad, key));
+                        client.observe(key, site);
+                    }
+                }
+                learned
+            });
+        for (ad, key) in learned_per_shard.into_iter().flatten() {
+            self.sim_ad_to_key.insert(ad, key);
         }
     }
 
     /// Runs an aggregation round by direct calls. `silent` lists client
     /// ids that fail to report (the fault-tolerance path).
+    ///
+    /// With [`ParallelConfig::threads`] > 1, report building (the
+    /// per-client blinding-vector derivation — the round's hot loop) and
+    /// adjustment derivation run on sharded worker threads; each shard
+    /// pre-accumulates its reports and the backend merges the partial
+    /// accumulators ([`BackendServer::receive_shard`]). Wrapping cell
+    /// addition is associative, so the finalized view is bit-identical
+    /// to the sequential path.
     pub fn run_round(&mut self, round: u64, silent: &[u32]) -> RoundOutcome {
         self.backend.open_round(round);
         let params = self.config.cms;
+        let threads = self.config.parallel.threads.max(1);
         let mut reports = 0usize;
-        for c in &self.clients {
-            if silent.contains(&c.id()) {
-                continue;
-            }
-            let report = c.build_report(params, round);
-            self.backend
-                .receive_report(c.id(), round, &report)
-                .expect("well-formed report accepted");
-            reports += 1;
-        }
-        let missing = self.backend.missing_clients().expect("round open");
-        if !missing.is_empty() {
+        if threads <= 1 {
             for c in &self.clients {
                 if silent.contains(&c.id()) {
                     continue;
                 }
-                let adj = c.adjustment(params, round, &missing);
+                let report = c.build_report(params, round);
                 self.backend
-                    .receive_adjustment(c.id(), round, &adj)
+                    .receive_report(c.id(), round, &report)
+                    .expect("well-formed report accepted");
+                reports += 1;
+            }
+        } else {
+            let shards = crossbeam::thread::map_shards(&self.clients, threads, |shard| {
+                let mut users = Vec::new();
+                let mut acc = SketchAccumulator::new(params);
+                for c in shard {
+                    if silent.contains(&c.id()) {
+                        continue;
+                    }
+                    acc.add(&c.build_report(params, round));
+                    users.push(c.id());
+                }
+                (users, acc)
+            });
+            for (users, acc) in &shards {
+                self.backend
+                    .receive_shard(users, round, acc)
+                    .expect("well-formed shard accepted");
+                reports += users.len();
+            }
+        }
+        let missing = self.backend.missing_clients().expect("round open");
+        if !missing.is_empty() {
+            let adjustments = crossbeam::thread::map_shards(&self.clients, threads, |shard| {
+                shard
+                    .iter()
+                    .filter(|c| !silent.contains(&c.id()))
+                    .map(|c| (c.id(), c.adjustment(params, round, &missing)))
+                    .collect::<Vec<_>>()
+            });
+            for (user, adj) in adjustments.into_iter().flatten() {
+                self.backend
+                    .receive_adjustment(user, round, &adj)
                     .expect("adjustment accepted");
             }
         }

@@ -1,0 +1,114 @@
+//! The parallel weekly-round pipeline's load-bearing property: for any
+//! worker-thread count, the full round (`ingest` + `run_round`,
+//! including the fault-tolerance adjustment path) produces
+//! **bit-identical** outcomes to the sequential path on the same seed.
+//!
+//! Sharding only changes *where* work runs, never *what* is computed:
+//! each client's batch stays on one worker, OPRF evaluation is pure,
+//! and per-shard sketch accumulation merges with associative wrapping
+//! addition (see the `ew_system::system` module docs).
+
+use eyewnder::simnet::{DriverScale, ImpressionLog, Scenario, WeeklyDriver};
+use eyewnder::system::{EyewnderSystem, RoundOutcome, SystemConfig};
+
+const SEED: u64 = 0x00D0_0D1E;
+const THREAD_COUNTS: [usize; 3] = [2, 4, 7];
+
+fn driver() -> WeeklyDriver {
+    // A multi-client slice of the Table 1 world: 14 users, 28 sites,
+    // full per-user visit rate — enough clients that every thread count
+    // above gets multi-client shards, small enough for debug-build CI.
+    WeeklyDriver::new(SEED, DriverScale::Fraction(35), 14)
+}
+
+fn run_rounds(
+    scenario: &Scenario,
+    weeks: &[ImpressionLog],
+    cohort: usize,
+    threads: usize,
+    silent: &[u32],
+) -> (Vec<RoundOutcome>, u64, EyewnderSystem) {
+    let config = SystemConfig {
+        seed: SEED,
+        ..SystemConfig::default()
+    }
+    .with_threads(threads);
+    let mut sys = EyewnderSystem::new(config, cohort);
+    let mut outcomes = Vec::new();
+    for (week, log) in weeks.iter().enumerate() {
+        sys.ingest(scenario, log);
+        outcomes.push(sys.run_round(week as u64 + 1, silent));
+    }
+    (outcomes, sys.oprf_requests(), sys)
+}
+
+fn assert_outcomes_identical(a: &[RoundOutcome], b: &[RoundOutcome], threads: usize) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.round, y.round, "threads={threads}");
+        assert_eq!(x.reports, y.reports, "threads={threads}");
+        assert_eq!(x.missing, y.missing, "threads={threads}");
+        assert_eq!(x.corrupt_frames, y.corrupt_frames, "threads={threads}");
+        // Bit-identical views: exact f64 equality on the canonical
+        // (ad, estimate) representation, plus full struct equality.
+        assert_eq!(
+            x.view.sorted_estimates(),
+            y.view.sorted_estimates(),
+            "threads={threads} round={}",
+            x.round
+        );
+        assert_eq!(x.view, y.view, "threads={threads}");
+        assert_eq!(
+            x.view.users_threshold().to_bits(),
+            y.view.users_threshold().to_bits(),
+            "threads={threads}: Users_th must match to the last bit"
+        );
+    }
+}
+
+#[test]
+fn weekly_rounds_bit_identical_for_all_thread_counts() {
+    let driver = driver();
+    let weeks = driver.weeks(2);
+    let cohort = driver.cohort();
+
+    let (baseline, baseline_requests, baseline_sys) =
+        run_rounds(driver.scenario(), &weeks, cohort, 1, &[]);
+    for threads in THREAD_COUNTS {
+        let (outcomes, requests, sys) = run_rounds(driver.scenario(), &weeks, cohort, threads, &[]);
+        assert_outcomes_identical(&baseline, &outcomes, threads);
+        assert_eq!(
+            requests, baseline_requests,
+            "threads={threads}: parallel accounting must stay exact"
+        );
+        // Identical ad keys: every simulator ad maps to the same
+        // protocol ad ID regardless of which worker resolved it.
+        for log in &weeks {
+            for sim_ad in log.distinct_ads() {
+                assert_eq!(
+                    sys.ad_key_of(sim_ad),
+                    baseline_sys.ad_key_of(sim_ad),
+                    "threads={threads} ad={sim_ad}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn recovery_round_bit_identical_under_parallelism() {
+    // Silent clients force the two-round fault-tolerance path: the
+    // adjustment vectors are derived on worker shards and must cancel
+    // to the same aggregate for every thread count.
+    let driver = driver();
+    let weeks = driver.weeks(1);
+    let cohort = driver.cohort();
+    let silent = [3u32, 7, 11];
+
+    let (baseline, _, _) = run_rounds(driver.scenario(), &weeks, cohort, 1, &silent);
+    assert_eq!(baseline[0].missing, silent, "the silent clients go missing");
+    for threads in THREAD_COUNTS {
+        let (outcomes, _, _) = run_rounds(driver.scenario(), &weeks, cohort, threads, &silent);
+        assert_outcomes_identical(&baseline, &outcomes, threads);
+    }
+}
