@@ -15,6 +15,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use ew_crypto::oprf::{OprfClient, OprfServerKey};
+use ew_proto::FaultConfig;
 use ew_simnet::{DriverScale, WeeklyDriver};
 use ew_system::{EyewnderSystem, SystemConfig};
 use rand::rngs::StdRng;
@@ -119,10 +120,61 @@ fn bench_round_par(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_round_bus(c: &mut Criterion) {
+    // Envelope + framing overhead of the unified bus round: the same
+    // typestate machine drives both entries, so `round_bus_wire` minus
+    // `round_bus_inproc` is pure serialization/framing/CRC cost (the
+    // in-proc bus moves envelopes without touching their bytes; target:
+    // in-proc within 10% of the PR 2 direct-call round).
+    let driver = WeeklyDriver::new(15, DriverScale::Fraction(20), 25);
+    let log = driver.week(0);
+    let scenario = driver.scenario().clone();
+    let cohort = driver.cohort();
+
+    let mut group = c.benchmark_group("round_bus");
+    group.sample_size(10);
+    {
+        let mut sys = EyewnderSystem::new(
+            SystemConfig {
+                seed: 15,
+                ..SystemConfig::default()
+            },
+            cohort,
+        );
+        sys.ingest(&scenario, &log);
+        let mut round = 0u64;
+        group.bench_function("round_bus_inproc", |b| {
+            b.iter(|| {
+                round += 1;
+                black_box(sys.run_round(round, &[]))
+            })
+        });
+    }
+    {
+        let mut sys = EyewnderSystem::new(
+            SystemConfig {
+                seed: 15,
+                ..SystemConfig::default()
+            },
+            cohort,
+        );
+        sys.ingest(&scenario, &log);
+        let mut round = 0u64;
+        group.bench_function("round_bus_wire", |b| {
+            b.iter(|| {
+                round += 1;
+                black_box(sys.run_round_over_wire(round, FaultConfig::perfect()))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_oprf_batch_par,
     bench_ingest_par,
-    bench_round_par
+    bench_round_par,
+    bench_round_bus
 );
 criterion_main!(benches);

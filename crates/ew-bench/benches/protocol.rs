@@ -55,7 +55,7 @@ fn bench_transport_roundtrip(c: &mut Criterion) {
     c.bench_function("transport_roundtrip_185KB", |b| {
         b.iter(|| {
             let (mut tx, mut rx) = channel_pair(None);
-            tx.send(&msg);
+            tx.send(&msg).expect("peer alive");
             black_box(rx.try_recv().expect("no error").expect("delivered"))
         })
     });

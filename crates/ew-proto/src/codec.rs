@@ -20,6 +20,10 @@ pub enum CodecError {
     BadTag(u8),
     /// A length prefix exceeded [`MAX_FIELD_LEN`].
     FieldTooLarge(usize),
+    /// An envelope carried an unsupported version byte.
+    BadVersion(u8),
+    /// A string field was not valid UTF-8.
+    BadString,
 }
 
 impl std::fmt::Display for CodecError {
@@ -28,6 +32,8 @@ impl std::fmt::Display for CodecError {
             CodecError::UnexpectedEof => write!(f, "unexpected end of payload"),
             CodecError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
             CodecError::FieldTooLarge(n) => write!(f, "field length {n} exceeds limit"),
+            CodecError::BadVersion(v) => write!(f, "unsupported envelope version {v}"),
+            CodecError::BadString => write!(f, "string field is not valid UTF-8"),
         }
     }
 }
@@ -113,6 +119,16 @@ pub fn get_bytes_list(buf: &mut impl Buf) -> Result<Vec<Vec<u8>>, CodecError> {
         out.push(get_bytes(buf)?);
     }
     Ok(out)
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn get_string(buf: &mut impl Buf) -> Result<String, CodecError> {
+    String::from_utf8(get_bytes(buf)?).map_err(|_| CodecError::BadString)
+}
+
+/// Writes a length-prefixed UTF-8 string.
+pub fn put_string(buf: &mut impl BufMut, s: &str) {
+    put_bytes(buf, s.as_bytes());
 }
 
 /// Writes a count-prefixed list of length-prefixed byte strings.

@@ -31,6 +31,7 @@
 
 pub mod codec;
 pub mod crc32;
+pub mod envelope;
 pub mod fault;
 pub mod framing;
 pub mod message;
@@ -40,8 +41,9 @@ pub mod transport;
 #[cfg(test)]
 mod proptests;
 
+pub use envelope::{Envelope, NodeId, ENVELOPE_VERSION};
 pub use fault::{FaultConfig, FaultyLink};
 pub use framing::{FrameDecoder, FrameError, MAGIC};
-pub use message::Message;
+pub use message::{error_code, Message};
 pub use shard::{split_shards, ShardAssembler, ShardError, MAX_SHARD_COUNT};
-pub use transport::{channel_pair, Endpoint};
+pub use transport::{channel_pair, Endpoint, TransportError};

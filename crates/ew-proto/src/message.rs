@@ -3,10 +3,26 @@
 //! fault-tolerance exchange of §6).
 
 use crate::codec::{
-    get_bytes, get_bytes_list, get_f64, get_u32, get_u32_vec, get_u64, get_u8, get_user_list,
-    put_bytes, put_bytes_list, put_u32_vec, CodecError,
+    get_bytes, get_bytes_list, get_f64, get_string, get_u32, get_u32_vec, get_u64, get_u8,
+    get_user_list, put_bytes, put_bytes_list, put_string, put_u32_vec, CodecError,
 };
 use bytes::BufMut;
+
+/// Well-known [`Message::Error`] codes. Codes are append-only, like wire
+/// tags; `detail` is free-form human-readable context.
+pub mod error_code {
+    /// The receiving node does not serve this message type.
+    pub const UNSUPPORTED_MESSAGE: u32 = 1;
+    /// A request element was outside the valid range (e.g. a blinded
+    /// OPRF element not below the RSA modulus).
+    pub const OUT_OF_RANGE: u32 = 2;
+    /// A shard header was malformed (zero / oversized shard count, index
+    /// out of range).
+    pub const BAD_SHARD_HEADER: u32 = 3;
+    /// The node cannot answer yet (e.g. a `#Users` query before any
+    /// round has been finalized).
+    pub const NOT_READY: u32 = 4;
+}
 
 /// All protocol messages. Group elements travel as big-endian byte
 /// strings (the crypto layer's canonical serialization).
@@ -141,6 +157,16 @@ pub enum Message {
         /// CMS estimate of `#Users(ad)`.
         estimate: u32,
     },
+    /// Any node → peer: an explicit rejection, so peers can distinguish
+    /// "the network dropped my request" from "the service refused it".
+    /// Nodes never reply to an `Error` with another `Error` (that would
+    /// ping-pong forever).
+    Error {
+        /// One of the [`error_code`] constants.
+        code: u32,
+        /// Human-readable context (never parsed by peers).
+        detail: String,
+    },
 }
 
 /// Wire tags (stable; append-only).
@@ -158,9 +184,31 @@ mod tag {
     pub const OPRF_BATCH_RESPONSE: u8 = 0x0B;
     pub const OPRF_SHARD_REQUEST: u8 = 0x0C;
     pub const OPRF_SHARD_RESPONSE: u8 = 0x0D;
+    pub const ERROR: u8 = 0x0E;
 }
 
 impl Message {
+    /// A short, stable name for the message kind (for diagnostics and
+    /// [`Message::Error`] details — never parsed).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::PublishKey { .. } => "PublishKey",
+            Message::OprfRequest { .. } => "OprfRequest",
+            Message::OprfResponse { .. } => "OprfResponse",
+            Message::OprfBatchRequest { .. } => "OprfBatchRequest",
+            Message::OprfBatchResponse { .. } => "OprfBatchResponse",
+            Message::OprfShardRequest { .. } => "OprfShardRequest",
+            Message::OprfShardResponse { .. } => "OprfShardResponse",
+            Message::Report { .. } => "Report",
+            Message::MissingClients { .. } => "MissingClients",
+            Message::Adjustment { .. } => "Adjustment",
+            Message::ThresholdBroadcast { .. } => "ThresholdBroadcast",
+            Message::UsersQuery { .. } => "UsersQuery",
+            Message::UsersReply { .. } => "UsersReply",
+            Message::Error { .. } => "Error",
+        }
+    }
+
     /// Encodes to a payload (no framing).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(64);
@@ -276,6 +324,11 @@ impl Message {
                 buf.put_u64_le(*ad);
                 buf.put_u32_le(*estimate);
             }
+            Message::Error { code, detail } => {
+                buf.put_u8(tag::ERROR);
+                buf.put_u32_le(*code);
+                put_string(&mut buf, detail);
+            }
         }
         buf
     }
@@ -347,6 +400,10 @@ impl Message {
                 round: get_u64(buf)?,
                 ad: get_u64(buf)?,
                 estimate: get_u32(buf)?,
+            },
+            tag::ERROR => Message::Error {
+                code: get_u32(buf)?,
+                detail: get_string(buf)?,
             },
             other => return Err(CodecError::BadTag(other)),
         };
@@ -422,6 +479,14 @@ mod tests {
                 ad: 555,
                 estimate: 9,
             },
+            Message::Error {
+                code: error_code::OUT_OF_RANGE,
+                detail: "blinded element ≥ modulus".to_string(),
+            },
+            Message::Error {
+                code: error_code::UNSUPPORTED_MESSAGE,
+                detail: String::new(),
+            },
         ]
     }
 
@@ -449,6 +514,27 @@ mod tests {
         let mut encoded = Message::UsersQuery { round: 1, ad: 2 }.encode();
         encoded.push(0);
         assert!(Message::decode(&encoded).is_err());
+    }
+
+    #[test]
+    fn error_reply_roundtrips_and_rejects_bad_utf8() {
+        let msg = Message::Error {
+            code: error_code::BAD_SHARD_HEADER,
+            detail: "shard 7 of 3".to_string(),
+        };
+        let encoded = msg.encode();
+        assert_eq!(Message::decode(&encoded).unwrap(), msg);
+
+        // A corrupted detail that is no longer UTF-8 must be a clean
+        // decode error, not a panic or lossy garbage.
+        let mut bad = Message::Error {
+            code: 1,
+            detail: "ab".to_string(),
+        }
+        .encode();
+        let n = bad.len();
+        bad[n - 1] = 0xFF; // invalid UTF-8 continuation byte
+        assert_eq!(Message::decode(&bad), Err(CodecError::BadString));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! would impose. Endpoints are cheap and the channel is unbounded, so a
 //! simulated cohort of hundreds of clients runs in one process.
 
+use crate::envelope::Envelope;
 use crate::fault::{FaultConfig, FaultyLink};
 use crate::framing::{encode_frame, FrameDecoder, FrameError};
 use crate::message::Message;
@@ -67,36 +68,65 @@ pub fn channel_pair(fault_left_to_right: Option<FaultConfig>) -> (Endpoint, Endp
 }
 
 impl Endpoint {
-    /// Sends one message (fire and forget, like a datagram over TCP
-    /// framing). Returns `false` if the peer is gone.
-    pub fn send(&mut self, msg: &Message) -> bool {
-        let frame = encode_frame(&msg.encode());
+    /// Frames and sends one raw payload (fire and forget, like a
+    /// datagram over TCP framing).
+    pub fn send_payload(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        let frame = encode_frame(payload);
         match &mut self.fault {
             Some(link) => {
                 for f in link.transmit(frame) {
                     if self.tx.send(f).is_err() {
-                        return false;
+                        return Err(TransportError::Disconnected);
                     }
                 }
-                true
+                Ok(())
             }
-            None => self.tx.send(frame).is_ok(),
+            None => self
+                .tx
+                .send(frame)
+                .map_err(|_| TransportError::Disconnected),
         }
     }
 
-    /// Non-blocking receive of the next complete message.
+    /// Sends one message.
     ///
-    /// `Ok(None)` means no complete message is available right now.
-    pub fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
+    /// `Err(TransportError::Disconnected)` means the peer endpoint is
+    /// gone — the message cannot have arrived (a fault link may still
+    /// drop it silently; that is the *link's* failure model, not the
+    /// peer's). Call sites must not ignore the result: a silently
+    /// dropped send makes fault diagnosis guesswork.
+    pub fn send(&mut self, msg: &Message) -> Result<(), TransportError> {
+        self.send_payload(&msg.encode())
+    }
+
+    /// Sends one [`Envelope`] (the node-service interaction unit).
+    pub fn send_envelope(&mut self, env: &Envelope) -> Result<(), TransportError> {
+        self.send_payload(&env.encode())
+    }
+
+    /// Flushes a frame the fault link held back for reordering (end of
+    /// a send burst). Reordering swaps frames; it must not *lose* the
+    /// tail frame of a burst — that would be a drop in disguise.
+    pub fn flush(&mut self) -> Result<(), TransportError> {
+        if let Some(link) = &mut self.fault {
+            if let Some(frame) = link.flush() {
+                return self
+                    .tx
+                    .send(frame)
+                    .map_err(|_| TransportError::Disconnected);
+            }
+        }
+        Ok(())
+    }
+
+    /// Non-blocking receive of the next complete frame payload.
+    ///
+    /// `Ok(None)` means no complete frame is available right now.
+    fn try_recv_payload(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
         loop {
             // First, drain whatever the decoder can already produce.
             match self.decoder.next_frame() {
-                Ok(Some(payload)) => {
-                    return match Message::decode(&payload) {
-                        Ok(msg) => Ok(Some(msg)),
-                        Err(_) => Err(TransportError::BadMessage),
-                    };
-                }
+                Ok(Some(payload)) => return Ok(Some(payload)),
                 Ok(None) => {}
                 Err(FrameError::BadChecksum) | Err(FrameError::Oversize(_)) => {
                     return Err(TransportError::CorruptFrame);
@@ -109,13 +139,33 @@ impl Endpoint {
                 Err(TryRecvError::Disconnected) => {
                     // Drain any remaining buffered frames first.
                     return match self.decoder.next_frame() {
-                        Ok(Some(payload)) => Message::decode(&payload)
-                            .map(Some)
-                            .map_err(|_| TransportError::BadMessage),
+                        Ok(Some(payload)) => Ok(Some(payload)),
                         _ => Err(TransportError::Disconnected),
                     };
                 }
             }
+        }
+    }
+
+    /// Non-blocking receive of the next complete message.
+    ///
+    /// `Ok(None)` means no complete message is available right now.
+    pub fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
+        match self.try_recv_payload()? {
+            Some(payload) => Message::decode(&payload)
+                .map(Some)
+                .map_err(|_| TransportError::BadMessage),
+            None => Ok(None),
+        }
+    }
+
+    /// Non-blocking receive of the next complete [`Envelope`].
+    pub fn try_recv_envelope(&mut self) -> Result<Option<Envelope>, TransportError> {
+        match self.try_recv_payload()? {
+            Some(payload) => Envelope::decode(&payload)
+                .map(Some)
+                .map_err(|_| TransportError::BadMessage),
+            None => Ok(None),
         }
     }
 
@@ -136,6 +186,24 @@ impl Endpoint {
         }
         (msgs, corrupt)
     }
+
+    /// Receives every currently deliverable [`Envelope`], skipping
+    /// corrupt frames and undecodable envelopes (counted, not returned).
+    pub fn drain_envelopes(&mut self) -> (Vec<Envelope>, usize) {
+        let mut envs = Vec::new();
+        let mut corrupt = 0;
+        loop {
+            match self.try_recv_envelope() {
+                Ok(Some(e)) => envs.push(e),
+                Ok(None) => break,
+                Err(TransportError::CorruptFrame) | Err(TransportError::BadMessage) => {
+                    corrupt += 1;
+                }
+                Err(TransportError::Disconnected) => break,
+            }
+        }
+        (envs, corrupt)
+    }
 }
 
 #[cfg(test)]
@@ -149,8 +217,8 @@ mod tests {
     #[test]
     fn roundtrip_over_perfect_link() {
         let (mut a, mut b) = channel_pair(None);
-        assert!(a.send(&msg(1)));
-        assert!(a.send(&msg(2)));
+        a.send(&msg(1)).unwrap();
+        a.send(&msg(2)).unwrap();
         assert_eq!(b.try_recv().unwrap(), Some(msg(1)));
         assert_eq!(b.try_recv().unwrap(), Some(msg(2)));
         assert_eq!(b.try_recv().unwrap(), None);
@@ -159,10 +227,44 @@ mod tests {
     #[test]
     fn bidirectional() {
         let (mut a, mut b) = channel_pair(None);
-        a.send(&msg(10));
-        b.send(&msg(20));
+        a.send(&msg(10)).unwrap();
+        b.send(&msg(20)).unwrap();
         assert_eq!(b.try_recv().unwrap(), Some(msg(10)));
         assert_eq!(a.try_recv().unwrap(), Some(msg(20)));
+    }
+
+    #[test]
+    fn envelopes_roundtrip_over_the_link() {
+        use crate::envelope::NodeId;
+        let (mut a, mut b) = channel_pair(None);
+        let envs = [
+            Envelope::new(NodeId::Client(3), 1, msg(10)),
+            Envelope::new(NodeId::Backend, 1, msg(11)),
+        ];
+        for e in &envs {
+            a.send_envelope(e).unwrap();
+        }
+        let (got, corrupt) = b.drain_envelopes();
+        assert_eq!(corrupt, 0);
+        assert_eq!(got, envs);
+    }
+
+    #[test]
+    fn message_frame_is_not_a_valid_envelope() {
+        // A bare Message frame on an envelope link is flagged as a bad
+        // payload, not misparsed: message tags (append-only from 0x01)
+        // and envelope versions (0xE0..) are disjoint byte ranges, so
+        // the version gate rejects every message tag structurally.
+        let (mut a, mut b) = channel_pair(None);
+        a.send(&msg(1)).unwrap();
+        a.send(&Message::PublishKey {
+            user: 1,
+            public_key: vec![1, 2, 3],
+        })
+        .unwrap();
+        let (got, corrupt) = b.drain_envelopes();
+        assert!(got.is_empty());
+        assert_eq!(corrupt, 2);
     }
 
     #[test]
@@ -174,7 +276,7 @@ mod tests {
         };
         let (mut a, mut b) = channel_pair(Some(cfg));
         for i in 0..20 {
-            a.send(&msg(i));
+            a.send(&msg(i)).unwrap();
         }
         let (msgs, corrupt) = b.drain();
         // All frames were corrupted somewhere; most flips land in the
@@ -196,7 +298,7 @@ mod tests {
         };
         let (mut a, mut b) = channel_pair(Some(cfg));
         for i in 0..100 {
-            a.send(&msg(i));
+            a.send(&msg(i)).unwrap();
         }
         let (msgs, corrupt) = b.drain();
         assert_eq!(corrupt, 0);
@@ -216,7 +318,8 @@ mod tests {
     fn disconnect_detected() {
         let (mut a, b) = channel_pair(None);
         drop(b);
-        assert!(!a.send(&msg(1)) || a.try_recv() == Err(TransportError::Disconnected));
+        assert_eq!(a.send(&msg(1)), Err(TransportError::Disconnected));
+        assert_eq!(a.try_recv(), Err(TransportError::Disconnected));
     }
 
     #[test]
@@ -230,7 +333,7 @@ mod tests {
             seed: 0,
             cells: vec![0xABCD_EF01; 17 * 2719],
         };
-        a.send(&big);
+        a.send(&big).unwrap();
         assert_eq!(b.try_recv().unwrap(), Some(big));
     }
 }

@@ -79,6 +79,13 @@ impl WeeklyDriver {
     pub fn weeks(&self, n: u64) -> Vec<ImpressionLog> {
         (0..n).map(|w| self.week(w)).collect()
     }
+
+    /// The recurring test/bench bundle in one call: the built scenario,
+    /// the first `weeks` logs and the cohort size — everything a
+    /// consuming system needs to enroll, ingest and run rounds.
+    pub fn workload(&self, weeks: u64) -> (&Scenario, Vec<ImpressionLog>, usize) {
+        (self.scenario(), self.weeks(weeks), self.cohort())
+    }
 }
 
 #[cfg(test)]

@@ -46,6 +46,12 @@ impl BlindedSketch {
         &self.cells
     }
 
+    /// Consumes the report, yielding its cells without a copy (the
+    /// encode path of the wire `Report` message).
+    pub fn into_cells(self) -> Vec<u32> {
+        self.cells
+    }
+
     /// Serialized size in bytes (what travels on the wire).
     pub fn size_bytes(&self) -> usize {
         self.params.size_bytes()

@@ -3,9 +3,11 @@
 //! enumeration and `Users_th` computation.
 
 use crate::ids::AdIdMapper;
+use crate::node::AggregationBackend;
 use ew_bigint::UBig;
 use ew_core::{GlobalView, ThresholdPolicy};
 use ew_crypto::directory::KeyDirectory;
+use ew_proto::{error_code, Envelope, Message, NodeId};
 use ew_sketch::{BlindedSketch, CmsParams, SketchAccumulator};
 use std::collections::BTreeSet;
 
@@ -49,6 +51,9 @@ pub enum RoundError {
     DuplicateReport(u32),
     /// The report's sketch dimensions don't match the cohort parameters.
     DimensionMismatch,
+    /// An envelope's header (sender, round) disagrees with its payload —
+    /// a spoofed or corrupted message, rejected before any state change.
+    EnvelopeMismatch,
 }
 
 impl std::fmt::Display for RoundError {
@@ -61,6 +66,9 @@ impl std::fmt::Display for RoundError {
             RoundError::UnknownUser(u) => write!(f, "report from unenrolled user {u}"),
             RoundError::DuplicateReport(u) => write!(f, "duplicate report from user {u}"),
             RoundError::DimensionMismatch => write!(f, "sketch dimension mismatch"),
+            RoundError::EnvelopeMismatch => {
+                write!(f, "envelope header disagrees with message payload")
+            }
         }
     }
 }
@@ -271,6 +279,93 @@ impl BackendServer {
     }
 }
 
+/// The backend as a message-driven role service: reports, adjustments
+/// and `#Users` queries arrive as [`Envelope`]s; the envelope header is
+/// cross-checked against the payload (spoofed sender or mismatched
+/// round is a clean rejection) before any state changes.
+impl AggregationBackend for BackendServer {
+    fn open_round(&mut self, round: u64) {
+        BackendServer::open_round(self, round);
+    }
+
+    fn on_envelope(&mut self, env: Envelope) -> Result<Option<Envelope>, RoundError> {
+        let Envelope {
+            round: env_round,
+            sender,
+            msg,
+            ..
+        } = env;
+        match msg {
+            Message::Report {
+                user,
+                round,
+                depth,
+                width,
+                seed,
+                cells,
+            } => {
+                if sender != NodeId::Client(user) || env_round != round {
+                    return Err(RoundError::EnvelopeMismatch);
+                }
+                // Full-header *and* cell-count check against the raw
+                // fields (never through `CmsParams::new`, whose
+                // degenerate-dimension assert a hostile depth/width of 0
+                // would trip): a corrupted or hostile frame that still
+                // decoded must be a clean error, never a panic.
+                if depth as usize != self.params.depth
+                    || width as usize != self.params.width
+                    || seed != self.params.hash_seed
+                    || cells.len() != self.params.num_cells()
+                {
+                    return Err(RoundError::DimensionMismatch);
+                }
+                let report = BlindedSketch::from_raw(self.params, cells);
+                self.receive_report(user, round, &report)?;
+                Ok(None)
+            }
+            Message::Adjustment { user, round, cells } => {
+                if sender != NodeId::Client(user) || env_round != round {
+                    return Err(RoundError::EnvelopeMismatch);
+                }
+                self.receive_adjustment(user, round, &cells)?;
+                Ok(None)
+            }
+            Message::UsersQuery { round, ad } => {
+                let reply = match self.latest_view() {
+                    Some(view) => Message::UsersReply {
+                        round,
+                        ad,
+                        estimate: view.users(ad) as u32,
+                    },
+                    None => Message::Error {
+                        code: error_code::NOT_READY,
+                        detail: format!("no finalized round to answer #Users({ad})"),
+                    },
+                };
+                Ok(Some(Envelope::new(NodeId::Backend, env_round, reply)))
+            }
+            // Never answer an error with an error.
+            Message::Error { .. } => Ok(None),
+            other => Ok(Some(Envelope::new(
+                NodeId::Backend,
+                env_round,
+                Message::Error {
+                    code: error_code::UNSUPPORTED_MESSAGE,
+                    detail: format!("backend does not serve {}", other.kind()),
+                },
+            ))),
+        }
+    }
+
+    fn missing_clients(&mut self) -> Result<Vec<u32>, RoundError> {
+        BackendServer::missing_clients(self)
+    }
+
+    fn finalize(&mut self) -> Result<GlobalView, RoundError> {
+        self.finalize_round().cloned()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,6 +552,83 @@ mod tests {
             Err(RoundError::DuplicateReport(1))
         );
         assert_eq!(srv.missing_clients().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn hostile_report_envelope_rejected_without_panicking() {
+        let mut srv = server();
+        srv.enroll(0, UBig::from_u64(1));
+        srv.open_round(1);
+        // Zero depth/width decodes fine at the message layer but would
+        // trip `CmsParams::new`'s degenerate-dimension assert — the
+        // node API must reject it cleanly instead.
+        let degenerate = Envelope::new(
+            NodeId::Client(0),
+            1,
+            Message::Report {
+                user: 0,
+                round: 1,
+                depth: 0,
+                width: 0,
+                seed: 0,
+                cells: Vec::new(),
+            },
+        );
+        assert_eq!(
+            AggregationBackend::on_envelope(&mut srv, degenerate),
+            Err(RoundError::DimensionMismatch)
+        );
+        // Spoofed sender and mismatched envelope round are rejected
+        // before any state change.
+        let p = srv.params();
+        let good_cells = raw_report(p, &[1]).into_cells();
+        let spoofed = Envelope::new(
+            NodeId::Client(7),
+            1,
+            Message::Report {
+                user: 0,
+                round: 1,
+                depth: p.depth as u32,
+                width: p.width as u32,
+                seed: p.hash_seed,
+                cells: good_cells.clone(),
+            },
+        );
+        assert_eq!(
+            AggregationBackend::on_envelope(&mut srv, spoofed),
+            Err(RoundError::EnvelopeMismatch)
+        );
+        let wrong_round = Envelope::new(
+            NodeId::Client(0),
+            2,
+            Message::Report {
+                user: 0,
+                round: 1,
+                depth: p.depth as u32,
+                width: p.width as u32,
+                seed: p.hash_seed,
+                cells: good_cells.clone(),
+            },
+        );
+        assert_eq!(
+            AggregationBackend::on_envelope(&mut srv, wrong_round),
+            Err(RoundError::EnvelopeMismatch)
+        );
+        // The genuine envelope still lands.
+        let genuine = Envelope::new(
+            NodeId::Client(0),
+            1,
+            Message::Report {
+                user: 0,
+                round: 1,
+                depth: p.depth as u32,
+                width: p.width as u32,
+                seed: p.hash_seed,
+                cells: good_cells,
+            },
+        );
+        assert_eq!(AggregationBackend::on_envelope(&mut srv, genuine), Ok(None));
+        assert_eq!(srv.missing_clients().unwrap(), Vec::<u32>::new());
     }
 
     #[test]

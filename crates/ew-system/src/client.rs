@@ -4,6 +4,7 @@
 //! report and classifies audited ads with the `ew-core` detector.
 
 use crate::ids::AdIdMapper;
+use crate::node::ClientNode;
 use crate::oprf_server::OprfService;
 use ew_bigint::UBig;
 use ew_core::{AdKey, Detector, DomainKey, GlobalView, UserCounters, Verdict};
@@ -12,6 +13,7 @@ use ew_crypto::dh::DhKeyPair;
 use ew_crypto::directory::KeyDirectory;
 use ew_crypto::group::ModpGroup;
 use ew_crypto::oprf::{OprfClient, PendingRequest};
+use ew_proto::{Envelope, Message, NodeId};
 use ew_sketch::{BlindedSketch, CmsParams, CountMinSketch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -199,6 +201,40 @@ impl Client {
         )
     }
 
+    /// Resolves a slice of URLs to ad IDs through a
+    /// [`ServiceBus`](crate::node::ServiceBus): the
+    /// uncached remainder travels as **one** `OprfBatchRequest` envelope
+    /// (one shared blinding inversion), the front-end answers with one
+    /// `OprfBatchResponse` envelope, and every resolved ID is cached.
+    ///
+    /// This is the node-API path `EyewnderSystem::ingest` drives; the
+    /// direct-call [`Self::map_ads_batch`] remains for harnesses that
+    /// bypass the bus.
+    ///
+    /// # Panics
+    /// Panics if the front-end rejects the batch or the bus loses it —
+    /// ingestion runs over lossless links (in-proc, or wire transports
+    /// whose faults target the report path).
+    pub fn map_ads_on<F, B>(&mut self, urls: &[&str], frontend: &F, bus: &mut B) -> Vec<AdKey>
+    where
+        F: crate::node::OprfFrontend,
+        B: crate::node::ServiceBus,
+    {
+        if let Some((pendings, wire)) = self.oprf_blind_batch(urls) {
+            let elements = crate::node::oprf_batch_exchange(
+                frontend,
+                bus,
+                NodeId::Client(self.id),
+                self.id as u64,
+                wire,
+            );
+            self.oprf_finish_batch(&pendings, &elements);
+        }
+        urls.iter()
+            .map(|url| self.cached_ad(url).expect("resolved just above"))
+            .collect()
+    }
+
     /// Resolves a slice of URLs to ad IDs via one batched round trip to
     /// the service: cached URLs are answered locally, the rest are
     /// blinded together (one modular inversion for the whole batch —
@@ -223,6 +259,11 @@ impl Client {
         urls.iter()
             .map(|url| *self.id_cache.get(*url).expect("resolved just above"))
             .collect()
+    }
+
+    /// The cached ad ID for a URL, if it was resolved before.
+    pub fn cached_ad(&self, url: &str) -> Option<AdKey> {
+        self.id_cache.get(url).copied()
     }
 
     /// Records one rendered impression.
@@ -283,6 +324,51 @@ impl Client {
     pub fn reset_window(&mut self) {
         self.counters.reset();
         self.seen_ads.clear();
+    }
+}
+
+/// The client as a message-driven role service: its weekly report and
+/// its recovery adjustment leave as [`Envelope`]s, and the only thing
+/// it accepts from the backend is an envelope.
+impl ClientNode for Client {
+    fn client_id(&self) -> u32 {
+        self.id
+    }
+
+    fn report_envelope(&self, params: CmsParams, round: u64) -> Envelope {
+        let report = self.build_report(params, round);
+        Envelope::new(
+            NodeId::Client(self.id),
+            round,
+            Message::Report {
+                user: self.id,
+                round,
+                depth: params.depth as u32,
+                width: params.width as u32,
+                seed: params.hash_seed,
+                cells: report.into_cells(),
+            },
+        )
+    }
+
+    fn on_envelope(&self, params: CmsParams, env: &Envelope) -> Option<Envelope> {
+        match &env.msg {
+            Message::MissingClients { round, users }
+                if env.sender == NodeId::Backend && env.round == *round =>
+            {
+                let cells = self.adjustment(params, *round, users);
+                Some(Envelope::new(
+                    NodeId::Client(self.id),
+                    *round,
+                    Message::Adjustment {
+                        user: self.id,
+                        round: *round,
+                        cells,
+                    },
+                ))
+            }
+            _ => None,
+        }
     }
 }
 

@@ -19,8 +19,15 @@
 //!   non-targeted with high probability.
 //! * [`store`] — the Figure 1 metadata database (active users, round
 //!   aggregates, crawler datasets), in memory.
-//! * [`system`] — end-to-end orchestration of weekly rounds, both by
-//!   direct calls and over `ew-proto` transports with fault injection.
+//! * [`node`] — the role-service API: [`node::ClientNode`],
+//!   [`node::OprfFrontend`] and [`node::AggregationBackend`] interact
+//!   only through versioned `Envelope`s over a [`node::ServiceBus`]
+//!   ([`node::InProcBus`] for direct dispatch, [`node::WireBus`] for the
+//!   framed transport with fault injection), driven by one typestate
+//!   round machine.
+//! * [`system`] — end-to-end orchestration of weekly rounds: thin
+//!   drivers over the node bus, in-proc or over the wire with fault
+//!   injection — both executing the same round state machine.
 //! * [`pipeline`] — the §7.2 controlled-study pipeline: impression log →
 //!   detector verdicts → confusion matrices (Figure 3, the FP sweep) and
 //!   the Figure 2 cleartext-vs-CMS distribution comparison.
@@ -33,6 +40,7 @@ pub mod client;
 pub mod crawler;
 pub mod eval;
 pub mod ids;
+pub mod node;
 pub mod oprf_server;
 pub mod pipeline;
 pub mod store;
@@ -43,10 +51,14 @@ pub use client::Client;
 pub use crawler::Crawler;
 pub use eval::{EvalOracles, EvalTree};
 pub use ids::AdIdMapper;
+pub use node::{
+    drive_round, AggregationBackend, ClientNode, DrivenRound, InProcBus, OprfFrontend, RoundPhase,
+    ServiceBus, WireBus,
+};
 pub use oprf_server::OprfService;
 pub use pipeline::{
     cms_user_distribution, resolve_ad_ids_batched, resolve_ad_ids_batched_par,
-    run_cleartext_pipeline, run_segmented_pipeline, PipelineResult,
+    resolve_ad_ids_on_bus, run_cleartext_pipeline, run_segmented_pipeline, PipelineResult,
 };
 pub use store::{RoundRecord, Store, UserRecord};
 pub use system::{EyewnderSystem, ParallelConfig, RoundOutcome, SystemConfig};

@@ -1,0 +1,862 @@
+//! Role services and the service bus: the node-level API of the system.
+//!
+//! The paper's deployment is distributed — browser clients, an OPRF
+//! front-end and an aggregation backend exchanging messages over a
+//! network. This module carves the system layer along exactly those
+//! seams:
+//!
+//! * [`ClientNode`], [`OprfFrontend`] and [`AggregationBackend`] are the
+//!   three roles of Figure 1. Their **only interaction surface is the
+//!   versioned [`Envelope`]** over [`ew_proto::Message`] — a node never
+//!   calls another node's methods; it answers envelopes.
+//! * [`ServiceBus`] abstracts how envelopes travel. [`InProcBus`]
+//!   dispatches them directly (zero-copy moves, for experiment
+//!   throughput); [`WireBus`] pushes every envelope through the framed,
+//!   checksummed `ew-proto` transport with optional [`FaultConfig`]
+//!   injection. Drivers are generic over the bus, so the in-proc and
+//!   wire paths execute the *same* code — proven bit-identical by
+//!   `tests/bus_parity.rs`.
+//! * The weekly aggregation round is a **typestate machine**:
+//!   [`RoundOpen`] → [`RoundReports`] → [`RoundRecovery`] →
+//!   [`DrivenRound`]. Each transition method exists only on the phase it
+//!   leaves, so an illegal order (recovery before reports, finalizing
+//!   twice, …) does not compile. [`RoundPhase`] is the runtime label of
+//!   the same sequence, handed to [`ServiceBus::on_phase`] so transports
+//!   can react to phase boundaries (the wire bus re-establishes a clean
+//!   backend link for the recovery retry, as the paper's second
+//!   round-trip would).
+//!
+//! ## Determinism
+//!
+//! `threads` shards only the *compute* (report building, adjustment
+//! derivation) via `crossbeam::thread::map_shards`; envelopes always
+//! cross the bus in client order on the driving thread. Together with
+//! the associative cell-wise accumulation at the backend this keeps
+//! every [`DrivenRound`] bit-identical across thread counts and across
+//! bus implementations (for a lossless link).
+//!
+//! ## Migration from the `EyewnderSystem` monolith
+//!
+//! `EyewnderSystem::{ingest, run_round, run_round_over_wire,
+//! audit_over_wire}` survive with unchanged signatures but are now thin
+//! drivers over this module — see `crate::system` for the mapping and
+//! the `*_on` generic entry points that accept any [`ServiceBus`].
+
+use crate::backend::RoundError;
+use ew_core::GlobalView;
+use ew_proto::transport::TransportError;
+use ew_proto::{channel_pair, Endpoint, Envelope, FaultConfig, NodeId};
+use ew_sketch::CmsParams;
+use std::collections::HashMap;
+
+/// The phases of one aggregation round, in protocol order. The
+/// typestate structs below make illegal transitions uncompilable; this
+/// enum is the runtime label shown to transports and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundPhase {
+    /// The backend opened the round; no report accepted yet.
+    Open,
+    /// Clients ship their blinded reports.
+    Reports,
+    /// Missing clients are broadcast; survivors answer with adjustments
+    /// (the paper's §6 second round-trip, on a fresh link).
+    Recovery,
+    /// The backend unblinds and publishes the global view.
+    Finalize,
+}
+
+impl RoundPhase {
+    /// The phase that legally follows this one (`Finalize` is terminal).
+    pub fn next(self) -> Option<RoundPhase> {
+        match self {
+            RoundPhase::Open => Some(RoundPhase::Reports),
+            RoundPhase::Reports => Some(RoundPhase::Recovery),
+            RoundPhase::Recovery => Some(RoundPhase::Finalize),
+            RoundPhase::Finalize => None,
+        }
+    }
+}
+
+/// A browser-extension client as a message-driven service.
+///
+/// Implementations own their keys, counters and blinding state; the
+/// round driver only ever asks for envelopes.
+pub trait ClientNode {
+    /// This node's wire identity is `NodeId::Client(client_id())`.
+    fn client_id(&self) -> u32;
+
+    /// Phase `Reports`: the weekly blinded report, already enveloped.
+    fn report_envelope(&self, params: CmsParams, round: u64) -> Envelope;
+
+    /// Reacts to a backend→client envelope. `MissingClients` yields the
+    /// `Adjustment` reply; anything unexpected yields `None` (clients
+    /// are passive — they never send unsolicited errors upstream).
+    fn on_envelope(&self, params: CmsParams, env: &Envelope) -> Option<Envelope>;
+}
+
+/// The OPRF front-end as a message-driven service: blind-evaluates
+/// whatever request envelopes arrive.
+pub trait OprfFrontend {
+    /// Answers one envelope. Well-formed requests get their response;
+    /// malformed or unsupported ones get a [`ew_proto::Message::Error`]
+    /// reply; only incoming `Error` messages go unanswered (a node never
+    /// replies to an error with an error).
+    fn on_envelope(&self, env: Envelope) -> Option<Envelope>;
+}
+
+/// The aggregation backend as a message-driven service plus the round
+/// lifecycle the driver steers (opening, missing-set computation,
+/// finalization are control-plane calls — everything data-plane is an
+/// envelope).
+pub trait AggregationBackend {
+    /// Opens aggregation round `round`.
+    fn open_round(&mut self, round: u64);
+
+    /// Handles one envelope. `Ok(None)` means absorbed (report or
+    /// adjustment accepted); `Ok(Some(_))` is a reply to route back to
+    /// the sender (query answers, error replies); `Err(_)` is a
+    /// rejection the driver may tolerate (duplicates on a faulty link)
+    /// or escalate (on the clean recovery link).
+    fn on_envelope(&mut self, env: Envelope) -> Result<Option<Envelope>, RoundError>;
+
+    /// The enrolled users whose reports have not arrived this round.
+    fn missing_clients(&mut self) -> Result<Vec<u32>, RoundError>;
+
+    /// Closes the round and returns the finalized global view.
+    fn finalize(&mut self) -> Result<GlobalView, RoundError>;
+}
+
+/// How envelopes travel between nodes. Implementations are mailbox
+/// routers: `send` queues an envelope for `dest`, `drain` delivers
+/// everything queued for `dest` in arrival order plus the count of
+/// frames lost to corruption on the way.
+pub trait ServiceBus {
+    /// Queues one envelope for `dest`. An error means the destination
+    /// mailbox is gone (a driver bug, not a protocol condition — both
+    /// provided buses own their endpoints).
+    fn send(&mut self, dest: NodeId, env: Envelope) -> Result<(), TransportError>;
+
+    /// Delivers every envelope currently queued for `dest`, in order,
+    /// plus the number of frames rejected as corrupt (always 0 in-proc).
+    fn drain(&mut self, dest: NodeId) -> (Vec<Envelope>, usize);
+
+    /// Phase-boundary hook; transports may re-establish links (the wire
+    /// bus re-connects the backend uplink cleanly for `Recovery`).
+    fn on_phase(&mut self, phase: RoundPhase) {
+        let _ = phase;
+    }
+}
+
+/// Direct in-process dispatch: envelopes are moved into per-destination
+/// queues, never serialized. The zero-cost bus for experiments and the
+/// reference behavior the wire bus must match on a lossless link.
+#[derive(Debug, Default)]
+pub struct InProcBus {
+    queues: HashMap<NodeId, Vec<Envelope>>,
+}
+
+impl InProcBus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ServiceBus for InProcBus {
+    fn send(&mut self, dest: NodeId, env: Envelope) -> Result<(), TransportError> {
+        self.queues.entry(dest).or_default().push(env);
+        Ok(())
+    }
+
+    fn drain(&mut self, dest: NodeId) -> (Vec<Envelope>, usize) {
+        (self.queues.remove(&dest).unwrap_or_default(), 0)
+    }
+}
+
+/// Framed-transport dispatch: every envelope is encoded, framed,
+/// checksummed and pushed through an [`Endpoint`] pair per destination
+/// mailbox — exactly what a socket deployment would impose, runnable in
+/// one process.
+///
+/// The configured [`FaultConfig`] applies to the **backend uplink**
+/// (client → backend, the paper's lossy report path) during the
+/// `Reports` phase; every other mailbox is clean. At the `Recovery`
+/// boundary the backend link is re-established without faults — the §6
+/// recovery round is a fresh round-trip, "in practice a retry".
+/// `Open` drops all links, so a reused bus re-arms its fault profile
+/// per round.
+#[derive(Debug)]
+pub struct WireBus {
+    fault: Option<FaultConfig>,
+    uplink_clean: bool,
+    links: HashMap<NodeId, (Endpoint, Endpoint)>,
+}
+
+impl WireBus {
+    /// A wire bus with the given fault profile on the backend uplink
+    /// (`None` for a perfect link).
+    pub fn new(fault: Option<FaultConfig>) -> Self {
+        WireBus {
+            fault,
+            uplink_clean: false,
+            links: HashMap::new(),
+        }
+    }
+
+    /// A lossless wire bus (framing and checksums still apply).
+    pub fn perfect() -> Self {
+        Self::new(None)
+    }
+
+    fn link(&mut self, dest: NodeId) -> &mut (Endpoint, Endpoint) {
+        let fault = match dest {
+            NodeId::Backend if !self.uplink_clean => self.fault,
+            _ => None,
+        };
+        self.links
+            .entry(dest)
+            .or_insert_with(|| channel_pair(fault))
+    }
+}
+
+impl ServiceBus for WireBus {
+    fn send(&mut self, dest: NodeId, env: Envelope) -> Result<(), TransportError> {
+        self.link(dest).0.send_envelope(&env)
+    }
+
+    fn drain(&mut self, dest: NodeId) -> (Vec<Envelope>, usize) {
+        match self.links.get_mut(&dest) {
+            Some((tx, rx)) => {
+                // End of burst: a fault link may hold one frame back for
+                // reordering; deliver it before draining, so reordering
+                // stays a reordering (never a tail-frame drop).
+                tx.flush().expect("peer endpoint alive");
+                rx.drain_envelopes()
+            }
+            None => (Vec::new(), 0),
+        }
+    }
+
+    fn on_phase(&mut self, phase: RoundPhase) {
+        match phase {
+            RoundPhase::Open => {
+                self.links.clear();
+                self.uplink_clean = false;
+            }
+            RoundPhase::Recovery => {
+                // Fresh, clean backend link for the retry round-trip.
+                self.links.remove(&NodeId::Backend);
+                self.uplink_clean = true;
+            }
+            RoundPhase::Reports | RoundPhase::Finalize => {}
+        }
+    }
+}
+
+/// The finalized result of one driven round (the bus-level analogue of
+/// `crate::system::RoundOutcome`, without the store bookkeeping).
+#[derive(Debug, Clone)]
+pub struct DrivenRound {
+    /// The round index.
+    pub round: u64,
+    /// The finalized global view.
+    pub view: GlobalView,
+    /// Reports accepted by the backend.
+    pub reports: usize,
+    /// Clients declared missing (recovery ran if non-empty).
+    pub missing: Vec<u32>,
+    /// Frames lost to corruption on the bus (0 in-proc).
+    pub corrupt_frames: usize,
+}
+
+/// Typestate: the round is open, no report collected yet. The only exit
+/// is [`RoundOpen::collect_reports`].
+#[derive(Debug)]
+#[must_use = "an opened round must collect reports"]
+pub struct RoundOpen {
+    round: u64,
+}
+
+/// Typestate: reports are in. The only exit is [`RoundReports::recover`].
+#[derive(Debug)]
+#[must_use = "collected reports must go through recovery"]
+pub struct RoundReports {
+    round: u64,
+    reports: usize,
+    corrupt_frames: usize,
+}
+
+/// Typestate: the missing set is resolved. The only exit is
+/// [`RoundRecovery::finalize`].
+#[derive(Debug)]
+#[must_use = "a recovered round must be finalized"]
+pub struct RoundRecovery {
+    round: u64,
+    reports: usize,
+    corrupt_frames: usize,
+    missing: Vec<u32>,
+}
+
+impl RoundOpen {
+    /// Opens round `round` at the backend — the machine's only entry.
+    pub fn open<A, B>(backend: &mut A, bus: &mut B, round: u64) -> RoundOpen
+    where
+        A: AggregationBackend,
+        B: ServiceBus,
+    {
+        bus.on_phase(RoundPhase::Open);
+        backend.open_round(round);
+        RoundOpen { round }
+    }
+
+    /// The round index.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Phase `Open` → `Reports`: every non-silent client's report
+    /// crosses the bus to the backend. Report *building* (the blinding
+    /// hot loop) is sharded over `threads` workers; envelopes are sent
+    /// in client order, so the backend sees the same stream for every
+    /// thread count. Backend rejections (duplicates or mismatched
+    /// headers from a faulty link) are skipped, not fatal — the sender
+    /// simply goes missing.
+    pub fn collect_reports<C, A, B>(
+        self,
+        clients: &[C],
+        silent: &[u32],
+        params: CmsParams,
+        threads: usize,
+        backend: &mut A,
+        bus: &mut B,
+    ) -> RoundReports
+    where
+        C: ClientNode + Sync,
+        A: AggregationBackend,
+        B: ServiceBus,
+    {
+        bus.on_phase(RoundPhase::Reports);
+        let round = self.round;
+        let shards = crossbeam::thread::map_shards(clients, threads.max(1), |shard| {
+            shard
+                .iter()
+                .filter(|c| !silent.contains(&c.client_id()))
+                .map(|c| c.report_envelope(params, round))
+                .collect::<Vec<_>>()
+        });
+        for env in shards.into_iter().flatten() {
+            bus.send(NodeId::Backend, env)
+                .expect("backend mailbox open");
+        }
+        let (envelopes, corrupt_frames) = bus.drain(NodeId::Backend);
+        let mut reports = 0usize;
+        for env in envelopes {
+            // Only a Report that the backend absorbed counts — other
+            // envelope kinds can also come back Ok(None) (an absorbed
+            // peer Error, say) and must not inflate the tally. Err(_)
+            // = rejected (duplicate, wrong params, spoofed sender):
+            // doesn't count, doesn't abort the round. Replies (a query
+            // that was already queued when the round started, say) are
+            // routed back to their senders, per the backend contract.
+            let is_report = matches!(env.msg, ew_proto::Message::Report { .. });
+            let requester = env.sender;
+            match backend.on_envelope(env) {
+                Ok(None) if is_report => reports += 1,
+                Ok(Some(reply)) => {
+                    bus.send(requester, reply).expect("requester mailbox open");
+                }
+                Ok(None) | Err(_) => {}
+            }
+        }
+        RoundReports {
+            round,
+            reports,
+            corrupt_frames,
+        }
+    }
+}
+
+impl RoundReports {
+    /// The round index.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Reports accepted so far.
+    pub fn reports(&self) -> usize {
+        self.reports
+    }
+
+    /// Phase `Reports` → `Recovery`: the backend names the missing
+    /// clients; every surviving client is notified over the (now clean)
+    /// bus and answers with its adjustment. Adjustment *derivation* is
+    /// sharded over `threads` workers; envelopes cross the bus in
+    /// client order.
+    ///
+    /// # Panics
+    /// Panics if an adjustment is rejected — on the clean recovery link
+    /// every surviving, enrolled client's adjustment must be accepted,
+    /// so a rejection is a driver or backend bug, never a network
+    /// condition.
+    pub fn recover<C, A, B>(
+        self,
+        clients: &[C],
+        params: CmsParams,
+        threads: usize,
+        backend: &mut A,
+        bus: &mut B,
+    ) -> RoundRecovery
+    where
+        C: ClientNode + Sync,
+        A: AggregationBackend,
+        B: ServiceBus,
+    {
+        bus.on_phase(RoundPhase::Recovery);
+        let round = self.round;
+        let missing = backend.missing_clients().expect("round open");
+        if !missing.is_empty() {
+            let notice = Envelope::new(
+                NodeId::Backend,
+                round,
+                ew_proto::Message::MissingClients {
+                    round,
+                    users: missing.clone(),
+                },
+            );
+            for c in clients {
+                if missing.contains(&c.client_id()) {
+                    continue; // unreachable by definition of "missing"
+                }
+                bus.send(NodeId::Client(c.client_id()), notice.clone())
+                    .expect("client mailbox open");
+            }
+            let mut deliveries: Vec<(&C, Envelope)> = Vec::new();
+            for c in clients {
+                if missing.contains(&c.client_id()) {
+                    continue;
+                }
+                let (envs, _) = bus.drain(NodeId::Client(c.client_id()));
+                deliveries.extend(envs.into_iter().map(|env| (c, env)));
+            }
+            let replies = crossbeam::thread::map_shards(&deliveries, threads.max(1), |shard| {
+                shard
+                    .iter()
+                    .filter_map(|(c, env)| c.on_envelope(params, env))
+                    .collect::<Vec<_>>()
+            });
+            for env in replies.into_iter().flatten() {
+                bus.send(NodeId::Backend, env)
+                    .expect("backend mailbox open");
+            }
+            let (envelopes, _) = bus.drain(NodeId::Backend);
+            for env in envelopes {
+                let requester = env.sender;
+                if let Some(reply) = backend
+                    .on_envelope(env)
+                    .expect("adjustment accepted on the clean recovery link")
+                {
+                    bus.send(requester, reply).expect("requester mailbox open");
+                }
+            }
+        }
+        RoundRecovery {
+            round,
+            reports: self.reports,
+            corrupt_frames: self.corrupt_frames,
+            missing,
+        }
+    }
+}
+
+impl RoundRecovery {
+    /// The round index.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The clients declared missing this round.
+    pub fn missing(&self) -> &[u32] {
+        &self.missing
+    }
+
+    /// Phase `Recovery` → `Finalize`: unblinds and closes the round,
+    /// consuming the machine.
+    ///
+    /// # Panics
+    /// Panics if the backend cannot finalize (no open round would mean
+    /// the typestate was forged).
+    pub fn finalize<A, B>(self, backend: &mut A, bus: &mut B) -> DrivenRound
+    where
+        A: AggregationBackend,
+        B: ServiceBus,
+    {
+        bus.on_phase(RoundPhase::Finalize);
+        let view = backend.finalize().expect("finalizable round");
+        DrivenRound {
+            round: self.round,
+            view,
+            reports: self.reports,
+            missing: self.missing,
+            corrupt_frames: self.corrupt_frames,
+        }
+    }
+}
+
+/// Runs one complete round through the typestate machine — the shared
+/// engine behind `EyewnderSystem::run_round` and
+/// `EyewnderSystem::run_round_over_wire`.
+pub fn drive_round<C, A, B>(
+    clients: &[C],
+    backend: &mut A,
+    bus: &mut B,
+    params: CmsParams,
+    round: u64,
+    silent: &[u32],
+    threads: usize,
+) -> DrivenRound
+where
+    C: ClientNode + Sync,
+    A: AggregationBackend,
+    B: ServiceBus,
+{
+    RoundOpen::open(backend, bus, round)
+        .collect_reports(clients, silent, params, threads, backend, bus)
+        .recover(clients, params, threads, backend, bus)
+        .finalize(backend, bus)
+}
+
+/// One complete OPRF batch exchange over the bus: `blinded` leaves as a
+/// single `OprfBatchRequest` envelope from `sender`, the front-end is
+/// pumped, and the positionally matching response elements come back.
+/// The shared protocol step behind `Client::map_ads_on` and
+/// `pipeline::resolve_ad_ids_on_bus`.
+///
+/// # Panics
+/// Panics if the front-end rejects the batch or the bus loses the
+/// exchange — mapping runs over lossless links (in-proc, or wire
+/// transports whose faults target the report path).
+pub fn oprf_batch_exchange<F, B>(
+    frontend: &F,
+    bus: &mut B,
+    sender: NodeId,
+    request_id: u64,
+    blinded: Vec<Vec<u8>>,
+) -> Vec<Vec<u8>>
+where
+    F: OprfFrontend,
+    B: ServiceBus,
+{
+    let expected = blinded.len();
+    bus.send(
+        NodeId::Oprf,
+        Envelope::new(
+            sender,
+            0,
+            ew_proto::Message::OprfBatchRequest {
+                request_id,
+                blinded,
+            },
+        ),
+    )
+    .expect("oprf mailbox open");
+    pump_oprf(frontend, bus);
+    let (replies, _) = bus.drain(sender);
+    for env in replies {
+        match env.msg {
+            ew_proto::Message::OprfBatchResponse {
+                request_id: rid,
+                elements,
+            } if rid == request_id => {
+                // A short (or padded) response would silently truncate
+                // the positional zip at the caller — refuse it here.
+                assert_eq!(
+                    elements.len(),
+                    expected,
+                    "oprf batch {request_id}: {} elements answered, {expected} requested",
+                    elements.len()
+                );
+                return elements;
+            }
+            // An explicit refusal is a different failure than frame
+            // loss — surface the service's own diagnosis.
+            ew_proto::Message::Error { code, detail } => {
+                panic!("oprf front-end rejected batch {request_id}: code {code}: {detail}")
+            }
+            _ => {}
+        }
+    }
+    panic!("oprf batch {request_id} lost on a supposedly lossless bus")
+}
+
+/// Pumps every envelope queued for the OPRF front-end through
+/// `frontend`, routing each reply back to its request's sender. Returns
+/// the number of replies routed.
+pub fn pump_oprf<F, B>(frontend: &F, bus: &mut B) -> usize
+where
+    F: OprfFrontend + ?Sized,
+    B: ServiceBus,
+{
+    let (requests, _corrupt) = bus.drain(NodeId::Oprf);
+    let mut replies = 0usize;
+    for req in requests {
+        let requester = req.sender;
+        if let Some(reply) = frontend.on_envelope(req) {
+            bus.send(requester, reply).expect("requester mailbox open");
+            replies += 1;
+        }
+    }
+    replies
+}
+
+/// Pumps every envelope queued for the backend through `backend`,
+/// routing each reply (query answers, error replies) back to its
+/// sender. Absorbed or rejected envelopes produce no reply. Returns the
+/// number of replies routed.
+pub fn pump_backend<A, B>(backend: &mut A, bus: &mut B) -> usize
+where
+    A: AggregationBackend + ?Sized,
+    B: ServiceBus,
+{
+    let (requests, _corrupt) = bus.drain(NodeId::Backend);
+    let mut replies = 0usize;
+    for req in requests {
+        let requester = req.sender;
+        if let Ok(Some(reply)) = backend.on_envelope(req) {
+            bus.send(requester, reply).expect("requester mailbox open");
+            replies += 1;
+        }
+    }
+    replies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ew_proto::Message;
+
+    fn env(sender: NodeId, round: u64, ad: u64) -> Envelope {
+        Envelope::new(sender, round, Message::UsersQuery { round, ad })
+    }
+
+    #[test]
+    fn inproc_bus_delivers_per_destination_in_order() {
+        let mut bus = InProcBus::new();
+        bus.send(NodeId::Backend, env(NodeId::Client(1), 1, 10))
+            .unwrap();
+        bus.send(NodeId::Oprf, env(NodeId::Client(1), 1, 20))
+            .unwrap();
+        bus.send(NodeId::Backend, env(NodeId::Client(2), 1, 11))
+            .unwrap();
+
+        let (backend_mail, corrupt) = bus.drain(NodeId::Backend);
+        assert_eq!(corrupt, 0);
+        assert_eq!(backend_mail.len(), 2);
+        assert_eq!(backend_mail[0].sender, NodeId::Client(1));
+        assert_eq!(backend_mail[1].sender, NodeId::Client(2));
+
+        let (oprf_mail, _) = bus.drain(NodeId::Oprf);
+        assert_eq!(oprf_mail.len(), 1);
+        // Drained mailboxes are empty.
+        assert!(bus.drain(NodeId::Backend).0.is_empty());
+    }
+
+    #[test]
+    fn wire_bus_roundtrips_envelopes() {
+        let mut bus = WireBus::perfect();
+        for i in 0..5u64 {
+            bus.send(NodeId::Backend, env(NodeId::Client(i as u32), 1, i))
+                .unwrap();
+        }
+        let (mail, corrupt) = bus.drain(NodeId::Backend);
+        assert_eq!(corrupt, 0);
+        assert_eq!(mail.len(), 5);
+        for (i, e) in mail.iter().enumerate() {
+            assert_eq!(e.sender, NodeId::Client(i as u32));
+        }
+    }
+
+    #[test]
+    fn wire_bus_faults_hit_only_the_backend_uplink() {
+        let drop_all = FaultConfig {
+            drop_prob: 1.0,
+            seed: 3,
+            ..FaultConfig::perfect()
+        };
+        let mut bus = WireBus::new(Some(drop_all));
+        bus.on_phase(RoundPhase::Open);
+        bus.on_phase(RoundPhase::Reports);
+        bus.send(NodeId::Backend, env(NodeId::Client(1), 1, 1))
+            .unwrap();
+        bus.send(NodeId::Client(7), env(NodeId::Backend, 1, 2))
+            .unwrap();
+        bus.send(NodeId::Oprf, env(NodeId::Client(1), 1, 3))
+            .unwrap();
+        assert!(bus.drain(NodeId::Backend).0.is_empty(), "uplink drops");
+        assert_eq!(bus.drain(NodeId::Client(7)).0.len(), 1, "downlink clean");
+        assert_eq!(bus.drain(NodeId::Oprf).0.len(), 1, "oprf link clean");
+    }
+
+    #[test]
+    fn wire_bus_recovery_link_is_clean_and_open_rearms() {
+        let drop_all = FaultConfig {
+            drop_prob: 1.0,
+            seed: 4,
+            ..FaultConfig::perfect()
+        };
+        let mut bus = WireBus::new(Some(drop_all));
+        bus.on_phase(RoundPhase::Open);
+        bus.on_phase(RoundPhase::Reports);
+        bus.send(NodeId::Backend, env(NodeId::Client(1), 1, 1))
+            .unwrap();
+        assert!(bus.drain(NodeId::Backend).0.is_empty());
+
+        // Recovery re-establishes a clean uplink.
+        bus.on_phase(RoundPhase::Recovery);
+        bus.send(NodeId::Backend, env(NodeId::Client(1), 1, 2))
+            .unwrap();
+        assert_eq!(bus.drain(NodeId::Backend).0.len(), 1);
+
+        // A new round re-arms the fault profile.
+        bus.on_phase(RoundPhase::Open);
+        bus.on_phase(RoundPhase::Reports);
+        bus.send(NodeId::Backend, env(NodeId::Client(1), 2, 3))
+            .unwrap();
+        assert!(bus.drain(NodeId::Backend).0.is_empty());
+    }
+
+    #[test]
+    fn wire_bus_counts_corrupt_frames() {
+        let corrupt_all = FaultConfig {
+            corrupt_prob: 1.0,
+            seed: 5,
+            ..FaultConfig::perfect()
+        };
+        let mut bus = WireBus::new(Some(corrupt_all));
+        for i in 0..20u64 {
+            bus.send(NodeId::Backend, env(NodeId::Client(1), 1, i))
+                .unwrap();
+        }
+        let (mail, corrupt) = bus.drain(NodeId::Backend);
+        assert!(corrupt > 0, "single-bit flips are caught by the CRC");
+        assert!(mail.len() < 20);
+    }
+
+    /// A cohort type for driving the round machine with no clients.
+    struct NoClient;
+    impl ClientNode for NoClient {
+        fn client_id(&self) -> u32 {
+            unreachable!("empty cohort")
+        }
+        fn report_envelope(&self, _: CmsParams, _: u64) -> Envelope {
+            unreachable!("empty cohort")
+        }
+        fn on_envelope(&self, _: CmsParams, _: &Envelope) -> Option<Envelope> {
+            None
+        }
+    }
+
+    #[test]
+    fn absorbed_error_envelopes_do_not_count_as_reports() {
+        use crate::backend::BackendServer;
+        use crate::ids::AdIdMapper;
+        use ew_core::ThresholdPolicy;
+        use ew_sketch::CmsParams;
+
+        let params = CmsParams::new(2, 32, 3);
+        let mut backend = BackendServer::new(8, params, AdIdMapper::new(64), ThresholdPolicy::Mean);
+        let mut bus = InProcBus::new();
+        // A hostile peer parks Error envelopes in the backend mailbox;
+        // the backend absorbs them (Ok(None), never error-for-error)
+        // but they must not inflate the round's report tally.
+        for i in 0..3 {
+            bus.send(
+                NodeId::Backend,
+                Envelope::new(
+                    NodeId::Client(i),
+                    1,
+                    Message::Error {
+                        code: 1,
+                        detail: "spoof".to_string(),
+                    },
+                ),
+            )
+            .unwrap();
+        }
+        let open = RoundOpen::open(&mut backend, &mut bus, 1);
+        let collected =
+            open.collect_reports(&[] as &[NoClient], &[], params, 1, &mut backend, &mut bus);
+        assert_eq!(collected.reports(), 0, "errors are not reports");
+        let recovered = collected.recover(&[] as &[NoClient], params, 1, &mut backend, &mut bus);
+        let driven = recovered.finalize(&mut backend, &mut bus);
+        assert_eq!(driven.reports, 0);
+    }
+
+    #[test]
+    fn queued_query_gets_its_reply_routed_during_the_round() {
+        use crate::backend::BackendServer;
+        use crate::ids::AdIdMapper;
+        use ew_core::ThresholdPolicy;
+        use ew_proto::error_code;
+        use ew_sketch::CmsParams;
+
+        let params = CmsParams::new(2, 32, 3);
+        let mut backend = BackendServer::new(8, params, AdIdMapper::new(64), ThresholdPolicy::Mean);
+        let mut bus = InProcBus::new();
+        // A query already sitting in the backend mailbox when the round
+        // starts is consumed by the Reports drain — its reply must be
+        // routed back to the querier, never silently swallowed (and it
+        // must not count as a report).
+        bus.send(
+            NodeId::Backend,
+            Envelope::new(
+                NodeId::Client(4),
+                0,
+                Message::UsersQuery { round: 0, ad: 1 },
+            ),
+        )
+        .unwrap();
+        let open = RoundOpen::open(&mut backend, &mut bus, 1);
+        let collected =
+            open.collect_reports(&[] as &[NoClient], &[], params, 1, &mut backend, &mut bus);
+        assert_eq!(collected.reports(), 0, "a query is not a report");
+        let (mail, _) = bus.drain(NodeId::Client(4));
+        assert_eq!(mail.len(), 1, "the reply reaches the querier");
+        assert!(
+            matches!(
+                mail[0].msg,
+                Message::Error {
+                    code: error_code::NOT_READY,
+                    ..
+                }
+            ),
+            "no finalized view yet: an explicit NOT_READY, not silence"
+        );
+        collected
+            .recover(&[] as &[NoClient], params, 1, &mut backend, &mut bus)
+            .finalize(&mut backend, &mut bus);
+    }
+
+    #[test]
+    #[should_panic(expected = "oprf front-end rejected batch")]
+    fn batch_exchange_surfaces_explicit_rejection_not_frame_loss() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let service = crate::oprf_server::OprfService::generate(&mut rng, 128);
+        let too_big = service
+            .public()
+            .n
+            .add_ref(&ew_bigint::UBig::one())
+            .to_bytes_be();
+        let mut bus = InProcBus::new();
+        oprf_batch_exchange(&service, &mut bus, NodeId::Client(1), 5, vec![too_big]);
+    }
+
+    #[test]
+    fn phase_order_is_linear() {
+        assert_eq!(RoundPhase::Open.next(), Some(RoundPhase::Reports));
+        assert_eq!(RoundPhase::Reports.next(), Some(RoundPhase::Recovery));
+        assert_eq!(RoundPhase::Recovery.next(), Some(RoundPhase::Finalize));
+        assert_eq!(RoundPhase::Finalize.next(), None);
+    }
+}

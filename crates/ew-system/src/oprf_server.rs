@@ -12,10 +12,11 @@
 //! — a saturated counter reads as "at least this many", never as a
 //! freshly reset one.
 
+use crate::node::OprfFrontend;
 use ew_bigint::UBig;
 use ew_crypto::oprf::{OprfError, OprfServerKey};
 use ew_crypto::rsa::RsaPublicKey;
-use ew_proto::Message;
+use ew_proto::{error_code, Envelope, Message, NodeId};
 use rand::RngCore;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -93,10 +94,14 @@ impl OprfService {
         Ok(out)
     }
 
-    /// Handles a wire message; returns the response (or `None` for
-    /// messages this server ignores, including malformed elements —
-    /// a real service would log and drop them).
+    /// Handles a wire message; every request gets an answer — the
+    /// response for well-formed requests, a [`Message::Error`] for
+    /// malformed or unsupported ones, so peers can distinguish "the
+    /// network dropped it" from "the service refused it". The single
+    /// exception is an incoming `Error`, which is never answered (no
+    /// error ping-pong).
     pub fn handle(&self, msg: &Message) -> Option<Message> {
+        let reject = |code: u32, detail: String| Some(Message::Error { code, detail });
         match msg {
             Message::OprfRequest {
                 request_id,
@@ -108,7 +113,10 @@ impl OprfService {
                         request_id: *request_id,
                         element: signed.to_bytes_be_padded(self.public().element_len()),
                     }),
-                    Err(_) => None,
+                    Err(e) => reject(
+                        error_code::OUT_OF_RANGE,
+                        format!("request {request_id}: {e}"),
+                    ),
                 }
             }
             Message::OprfBatchRequest {
@@ -121,13 +129,12 @@ impl OprfService {
                         request_id: *request_id,
                         elements: self.serialize_batch(&signed),
                     }),
-                    Err(_) => None,
+                    Err(e) => reject(error_code::OUT_OF_RANGE, format!("batch {request_id}: {e}")),
                 }
             }
             // One shard of a parallel batch: evaluated independently —
             // the server needs no reassembly state; the *client* merges
-            // responses with `ew_proto::ShardAssembler`. A shard index
-            // out of range is dropped like any other malformed request.
+            // responses with `ew_proto::ShardAssembler`.
             Message::OprfShardRequest {
                 request_id,
                 shard_index,
@@ -138,7 +145,10 @@ impl OprfService {
                     || *shard_count > ew_proto::MAX_SHARD_COUNT
                     || *shard_index >= *shard_count
                 {
-                    return None;
+                    return reject(
+                        error_code::BAD_SHARD_HEADER,
+                        format!("shard {shard_index} of {shard_count}"),
+                    );
                 }
                 let elements: Vec<UBig> = blinded.iter().map(|b| UBig::from_bytes_be(b)).collect();
                 match self.evaluate_batch(&elements) {
@@ -148,10 +158,15 @@ impl OprfService {
                         shard_count: *shard_count,
                         elements: self.serialize_batch(&signed),
                     }),
-                    Err(_) => None,
+                    Err(e) => reject(error_code::OUT_OF_RANGE, format!("shard {request_id}: {e}")),
                 }
             }
-            _ => None,
+            // Never answer an error with an error.
+            Message::Error { .. } => None,
+            other => reject(
+                error_code::UNSUPPORTED_MESSAGE,
+                format!("oprf-server does not serve {}", other.kind()),
+            ),
         }
     }
 
@@ -175,6 +190,16 @@ impl OprfService {
     #[cfg(test)]
     fn preset_requests_served(&self, n: u64) {
         self.requests_served.store(n, Ordering::Relaxed);
+    }
+}
+
+/// The OPRF service as a message-driven role service: requests arrive
+/// enveloped, answers (including explicit error replies) leave
+/// enveloped, echoing the request's round.
+impl OprfFrontend for OprfService {
+    fn on_envelope(&self, env: Envelope) -> Option<Envelope> {
+        let reply = self.handle(&env.msg)?;
+        Some(Envelope::new(NodeId::Oprf, env.round, reply))
     }
 }
 
@@ -295,16 +320,23 @@ mod tests {
         let pending = client.blind(&mut rng, b"x").unwrap();
         let blinded = vec![pending.blinded.to_bytes_be()];
         for (index, count) in [(0u32, 0u32), (2, 2), (0, ew_proto::MAX_SHARD_COUNT + 1)] {
+            let reply = service
+                .handle(&Message::OprfShardRequest {
+                    request_id: 1,
+                    shard_index: index,
+                    shard_count: count,
+                    blinded: blinded.clone(),
+                })
+                .expect("malformed requests get an explicit reject");
             assert!(
-                service
-                    .handle(&Message::OprfShardRequest {
-                        request_id: 1,
-                        shard_index: index,
-                        shard_count: count,
-                        blinded: blinded.clone(),
-                    })
-                    .is_none(),
-                "index={index} count={count}"
+                matches!(
+                    reply,
+                    Message::Error {
+                        code: ew_proto::error_code::BAD_SHARD_HEADER,
+                        ..
+                    }
+                ),
+                "index={index} count={count}: {reply:?}"
             );
         }
         assert_eq!(service.requests_served(), 0);
@@ -359,7 +391,7 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_request_dropped() {
+    fn out_of_range_request_rejected_explicitly() {
         let mut rng = StdRng::seed_from_u64(51);
         let service = OprfService::generate(&mut rng, 128);
         let too_big = service.public().n.add_ref(&UBig::one()).to_bytes_be();
@@ -367,16 +399,40 @@ mod tests {
             request_id: 1,
             blinded: too_big,
         };
-        assert!(service.handle(&req).is_none());
+        let reply = service.handle(&req).expect("explicit reject");
+        assert!(matches!(
+            reply,
+            Message::Error {
+                code: ew_proto::error_code::OUT_OF_RANGE,
+                ..
+            }
+        ));
+        // The reject must round-trip the wire like any other message.
+        assert_eq!(Message::decode(&reply.encode()).unwrap(), reply);
         assert_eq!(service.requests_served(), 0);
     }
 
     #[test]
-    fn ignores_unrelated_messages() {
+    fn unrelated_messages_get_unsupported_reply() {
         let mut rng = StdRng::seed_from_u64(52);
         let service = OprfService::generate(&mut rng, 128);
-        assert!(service
+        let reply = service
             .handle(&Message::UsersQuery { round: 1, ad: 2 })
+            .expect("explicit reject");
+        assert!(matches!(
+            reply,
+            Message::Error {
+                code: ew_proto::error_code::UNSUPPORTED_MESSAGE,
+                ..
+            }
+        ));
+        // ...but an incoming Error is never answered (no ping-pong).
+        assert!(service
+            .handle(&Message::Error {
+                code: 1,
+                detail: "peer rejected us".to_string(),
+            })
             .is_none());
+        assert_eq!(service.requests_served(), 0);
     }
 }

@@ -10,11 +10,14 @@
 //! comparison of the two.
 
 use crate::ids::AdIdMapper;
+use crate::node::{oprf_batch_exchange, ServiceBus};
 use crate::oprf_server::OprfService;
+use ew_bigint::UBig;
 use ew_core::{
     AdKey, Detector, DetectorConfig, GlobalView, SegmentedGlobalView, UserCounters, Verdict,
 };
 use ew_crypto::oprf::OprfClient;
+use ew_proto::NodeId;
 use ew_simnet::{AdClass, ImpressionLog, Scenario};
 use ew_sketch::{CmsParams, CountMinSketch};
 use ew_stats::ConfusionMatrix;
@@ -103,6 +106,55 @@ pub fn resolve_ad_ids_batched_par(
             .collect::<Vec<_>>()
     });
     shards.into_iter().flatten().collect()
+}
+
+/// [`resolve_ad_ids_batched`] over a [`ServiceBus`]: the whole distinct-
+/// ad batch crosses the bus as one `OprfBatchRequest` envelope and the
+/// service answers through its [`crate::node::OprfFrontend`] surface —
+/// the node-API version of the mapping step, usable with the in-proc or
+/// the wire bus interchangeably.
+///
+/// The resulting map is identical to the direct-call resolvers for any
+/// bus that loses nothing: the PRF output depends only on the server
+/// key and the URL.
+pub fn resolve_ad_ids_on_bus<B: ServiceBus>(
+    scenario: &Scenario,
+    log: &ImpressionLog,
+    service: &OprfService,
+    mapper: AdIdMapper,
+    seed: u64,
+    bus: &mut B,
+) -> BTreeMap<u64, AdKey> {
+    let ads: Vec<u64> = log.distinct_ads().into_iter().collect();
+    let urls: Vec<String> = ads
+        .iter()
+        .map(|&ad| scenario.campaigns[ad as usize].ad.url())
+        .collect();
+    let client = OprfClient::new(service.public().clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inputs: Vec<&[u8]> = urls.iter().map(|u| u.as_bytes()).collect();
+    let pendings = client
+        .blind_batch(&mut rng, &inputs)
+        .expect("blinding always invertible for a valid modulus");
+    if pendings.is_empty() {
+        return BTreeMap::new();
+    }
+    let elements = oprf_batch_exchange(
+        service,
+        bus,
+        NodeId::Client(0), // the evaluation harness's identity
+        seed,
+        pendings.iter().map(|p| p.blinded.to_bytes_be()).collect(),
+    );
+    ads.iter()
+        .zip(pendings.iter().zip(&elements))
+        .map(|(&ad, (pending, element))| {
+            let out = client
+                .finalize(pending, &UBig::from_bytes_be(element))
+                .expect("response in range");
+            (ad, mapper.to_ad_id(&out))
+        })
+        .collect()
 }
 
 /// Runs the detector over a cleartext impression log: every user audits
@@ -325,6 +377,31 @@ mod tests {
             let direct = mapper.to_ad_id(&service.evaluate_direct(url.as_bytes()));
             assert_eq!(key, direct, "ad {ad}");
         }
+    }
+
+    #[test]
+    fn bus_ad_resolution_identical_on_inproc_and_wire() {
+        use crate::node::{InProcBus, WireBus};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let scenario = Scenario::build(ScenarioConfig::small(42));
+        let log = scenario.run_week(0);
+        let mut rng = StdRng::seed_from_u64(95);
+        let service = crate::oprf_server::OprfService::generate(&mut rng, 128);
+        let mapper = crate::ids::AdIdMapper::new(1 << 16);
+        let baseline = resolve_ad_ids_batched(&scenario, &log, &service, mapper, 96);
+        let inproc =
+            resolve_ad_ids_on_bus(&scenario, &log, &service, mapper, 96, &mut InProcBus::new());
+        assert_eq!(inproc, baseline);
+        let wire = resolve_ad_ids_on_bus(
+            &scenario,
+            &log,
+            &service,
+            mapper,
+            96,
+            &mut WireBus::perfect(),
+        );
+        assert_eq!(wire, baseline, "framing must not change a single ad ID");
     }
 
     #[test]

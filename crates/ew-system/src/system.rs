@@ -1,7 +1,23 @@
 //! End-to-end orchestration: a cohort of clients, the backend and the
-//! oprf-server running weekly aggregation rounds — by direct calls for
-//! experiment throughput, or over `ew-proto` framed transports with
-//! fault injection for the full-stack tests.
+//! oprf-server running weekly aggregation rounds.
+//!
+//! Every entry point is a **thin driver over the node bus**
+//! ([`crate::node`]): `ingest`, `run_round`, `run_round_over_wire` and
+//! `audit_over_wire` all route versioned envelopes through a
+//! [`ServiceBus`] and execute the *same* typestate round machine. The
+//! only difference between the in-proc and wire paths is the bus handed
+//! to the `*_on` generic methods:
+//!
+//! | legacy entry point            | equivalent bus call                               |
+//! |-------------------------------|---------------------------------------------------|
+//! | `run_round(round, silent)`    | `run_round_on(&mut InProcBus::new(), round, silent)` |
+//! | `run_round_over_wire(round, f)` | `run_round_on(&mut WireBus::new(Some(f)), round, &[])` |
+//! | `ingest(scenario, log)`       | `ingest_on(scenario, log, InProcBus::new)`        |
+//! | `audit_over_wire(user, ad)`   | `audit_on(&mut WireBus::perfect(), user, ad)`     |
+//!
+//! The signatures of the legacy entry points are unchanged, so existing
+//! callers migrate by doing nothing — or by picking their own bus.
+//! `tests/bus_parity.rs` pins the in-proc and wire paths bit-identical.
 //!
 //! ## Parallel rounds and determinism
 //!
@@ -17,26 +33,34 @@
 //! * every client's work (RNG draws, blinding, caching) happens wholly
 //!   on one worker, in the same per-client order as the sequential loop;
 //! * OPRF evaluation is a pure function of `(key, element)`;
-//! * per-shard sketch accumulation merges with cell-wise wrapping
-//!   addition in `Z_{2^32}`, which is associative and commutative, so
-//!   shard merge order cannot change the aggregate
-//!   ([`SketchAccumulator::merge`]);
-//! * shard outputs are reassembled in shard (= client) order before any
-//!   order-sensitive consumer sees them.
+//! * workers only *build* envelopes (reports, adjustments); shard
+//!   outputs are reassembled in shard (= client) order and cross the
+//!   bus on the driving thread, so the backend sees one well-ordered
+//!   envelope stream regardless of thread count — and its cell-wise
+//!   accumulation in `Z_{2^32}` is order-insensitive anyway (wrapping
+//!   addition is associative and commutative).
 //!
 //! `tests/parallel_determinism.rs` pins the guarantee end to end for
-//! thread counts {1, 2, 4, 7}.
+//! thread counts {1, 2, 4, 7}; `tests/bus_parity.rs` pins the bus axis.
+//!
+//! (PR 2's per-shard [`ew_sketch::SketchAccumulator`] pre-merge no
+//! longer runs inside the round — absorption is serial on the driving
+//! thread, a deliberate trade for one round code path on every bus.
+//! `BackendServer::receive_shard` stays public for direct aggregation
+//! users and for the multi-backend sharding follow-up, where per-shard
+//! merge returns at the backend boundary.)
 
 use crate::backend::BackendServer;
 use crate::client::Client;
 use crate::ids::AdIdMapper;
+use crate::node::{drive_round, pump_backend, InProcBus, ServiceBus, WireBus};
 use crate::oprf_server::OprfService;
 use crate::store::{RoundRecord, Store};
 use ew_core::{AdKey, Detector, DetectorConfig, GlobalView, ThresholdPolicy, Verdict};
 use ew_crypto::group::ModpGroup;
-use ew_proto::{channel_pair, FaultConfig, Message};
+use ew_proto::{Envelope, FaultConfig, Message, NodeId};
 use ew_simnet::{AdClass, ImpressionLog, Scenario};
-use ew_sketch::{BlindedSketch, CmsParams, SketchAccumulator};
+use ew_sketch::CmsParams;
 use ew_stats::ConfusionMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -232,6 +256,23 @@ impl EyewnderSystem {
     /// worker, so per-client state — and therefore every downstream
     /// aggregate — is bit-identical to the sequential path.
     pub fn ingest(&mut self, scenario: &Scenario, log: &ImpressionLog) {
+        self.ingest_on(scenario, log, InProcBus::new);
+    }
+
+    /// [`Self::ingest`] over an arbitrary [`ServiceBus`]: each worker
+    /// thread gets its own bus from `make_bus` (client ↔ oprf-server
+    /// traffic is per-client, so a bus per worker keeps the envelope
+    /// streams independent), and every OPRF batch crosses it as one
+    /// `OprfBatchRequest` envelope.
+    ///
+    /// The resolved mapping is identical for every bus and thread
+    /// count: the PRF output depends only on the server key and the
+    /// URL, never on transport or blinding randomness.
+    pub fn ingest_on<B, F>(&mut self, scenario: &Scenario, log: &ImpressionLog, make_bus: F)
+    where
+        B: ServiceBus,
+        F: Fn() -> B + Sync,
+    {
         // Group this week's impressions by enrolled client, keeping the
         // log's order within each group.
         let mut per_client: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
@@ -245,6 +286,7 @@ impl EyewnderSystem {
         }
         let threads = self.config.parallel.threads.max(1);
         let oprf = &self.oprf;
+        let make_bus = &make_bus;
         // Clients are indexed by id, so contiguous `chunks_mut` shards
         // partition the cohort; the simulator-ad → ad-ID pairs each
         // worker learns are merged after the join (the PRF is
@@ -252,6 +294,7 @@ impl EyewnderSystem {
         // given ad and merge order is irrelevant).
         let learned_per_shard =
             crossbeam::thread::map_shards_mut(&mut self.clients, threads, |shard| {
+                let mut bus = make_bus();
                 let mut learned: Vec<(u64, AdKey)> = Vec::new();
                 for client in shard {
                     let Some(impressions) = per_client.get(&client.id()) else {
@@ -262,7 +305,7 @@ impl EyewnderSystem {
                         .map(|&(ad, _)| scenario.campaigns[ad as usize].ad.url())
                         .collect();
                     let url_refs: Vec<&str> = urls.iter().map(String::as_str).collect();
-                    let keys = client.map_ads_batch(&url_refs, oprf);
+                    let keys = client.map_ads_on(&url_refs, oprf, &mut bus);
                     for (&(ad, site), key) in impressions.iter().zip(keys) {
                         learned.push((ad, key));
                         client.observe(key, site);
@@ -275,156 +318,63 @@ impl EyewnderSystem {
         }
     }
 
-    /// Runs an aggregation round by direct calls. `silent` lists client
-    /// ids that fail to report (the fault-tolerance path).
+    /// Runs an aggregation round in-process. `silent` lists client ids
+    /// that fail to report (the fault-tolerance path).
     ///
-    /// With [`ParallelConfig::threads`] > 1, report building (the
-    /// per-client blinding-vector derivation — the round's hot loop) and
-    /// adjustment derivation run on sharded worker threads; each shard
-    /// pre-accumulates its reports and the backend merges the partial
-    /// accumulators ([`BackendServer::receive_shard`]). Wrapping cell
-    /// addition is associative, so the finalized view is bit-identical
-    /// to the sequential path.
+    /// Equivalent to [`Self::run_round_on`] with an [`InProcBus`]: the
+    /// same typestate machine as the wire path, with envelopes moved
+    /// instead of framed.
     pub fn run_round(&mut self, round: u64, silent: &[u32]) -> RoundOutcome {
-        self.backend.open_round(round);
-        let params = self.config.cms;
-        let threads = self.config.parallel.threads.max(1);
-        let mut reports = 0usize;
-        if threads <= 1 {
-            for c in &self.clients {
-                if silent.contains(&c.id()) {
-                    continue;
-                }
-                let report = c.build_report(params, round);
-                self.backend
-                    .receive_report(c.id(), round, &report)
-                    .expect("well-formed report accepted");
-                reports += 1;
-            }
-        } else {
-            let shards = crossbeam::thread::map_shards(&self.clients, threads, |shard| {
-                let mut users = Vec::new();
-                let mut acc = SketchAccumulator::new(params);
-                for c in shard {
-                    if silent.contains(&c.id()) {
-                        continue;
-                    }
-                    acc.add(&c.build_report(params, round));
-                    users.push(c.id());
-                }
-                (users, acc)
-            });
-            for (users, acc) in &shards {
-                self.backend
-                    .receive_shard(users, round, acc)
-                    .expect("well-formed shard accepted");
-                reports += users.len();
-            }
-        }
-        let missing = self.backend.missing_clients().expect("round open");
-        if !missing.is_empty() {
-            let adjustments = crossbeam::thread::map_shards(&self.clients, threads, |shard| {
-                shard
-                    .iter()
-                    .filter(|c| !silent.contains(&c.id()))
-                    .map(|c| (c.id(), c.adjustment(params, round, &missing)))
-                    .collect::<Vec<_>>()
-            });
-            for (user, adj) in adjustments.into_iter().flatten() {
-                self.backend
-                    .receive_adjustment(user, round, &adj)
-                    .expect("adjustment accepted");
-            }
-        }
-        let view = self
-            .backend
-            .finalize_round()
-            .expect("finalizable round")
-            .clone();
-        self.record_round(round, reports, &missing, &view);
-        RoundOutcome {
-            round,
-            view,
-            reports,
-            missing,
-            corrupt_frames: 0,
-        }
+        self.run_round_on(&mut InProcBus::new(), round, silent)
     }
 
     /// Runs an aggregation round **over the wire**: every report crosses
     /// a framed, checksummed transport with the given fault profile.
     /// Reports lost to drops or corruption make their senders "missing";
     /// the recovery round then runs over a clean link (in practice a
-    /// retry/second round-trip).
+    /// retry/second round-trip — [`WireBus`] re-establishes it at the
+    /// `Recovery` phase boundary).
+    ///
+    /// Equivalent to [`Self::run_round_on`] with a [`WireBus`].
     pub fn run_round_over_wire(&mut self, round: u64, fault: FaultConfig) -> RoundOutcome {
-        self.backend.open_round(round);
+        self.run_round_on(&mut WireBus::new(Some(fault)), round, &[])
+    }
+
+    /// Runs one aggregation round over an arbitrary [`ServiceBus`] —
+    /// the single round code path behind [`Self::run_round`] and
+    /// [`Self::run_round_over_wire`] (the typestate machine of
+    /// [`crate::node`]: Open → Reports → Recovery → Finalize).
+    ///
+    /// With [`ParallelConfig::threads`] > 1, report building (the
+    /// per-client blinding-vector derivation — the round's hot loop) and
+    /// adjustment derivation run on sharded worker threads; envelopes
+    /// cross the bus in client order regardless, and the backend's
+    /// cell-wise accumulation is associative, so the finalized view is
+    /// bit-identical for every thread count and every lossless bus.
+    pub fn run_round_on<B: ServiceBus>(
+        &mut self,
+        bus: &mut B,
+        round: u64,
+        silent: &[u32],
+    ) -> RoundOutcome {
         let params = self.config.cms;
-
-        let (mut client_side, mut server_side) = channel_pair(Some(fault));
-        for c in &self.clients {
-            let report = c.build_report(params, round);
-            let msg = Message::Report {
-                user: c.id(),
-                round,
-                depth: params.depth as u32,
-                width: params.width as u32,
-                seed: params.hash_seed,
-                cells: report.cells().to_vec(),
-            };
-            client_side.send(&msg);
-        }
-        drop(client_side);
-
-        let (messages, corrupt_frames) = server_side.drain();
-        let mut reports = 0usize;
-        for msg in messages {
-            let Message::Report {
-                user,
-                round: r,
-                depth,
-                width,
-                seed,
-                cells,
-            } = msg
-            else {
-                continue;
-            };
-            let rx_params = CmsParams::new(depth as usize, width as usize, seed);
-            if rx_params != params {
-                continue; // corrupted header that still framed+decoded
-            }
-            let report = BlindedSketch::from_raw(params, cells);
-            // Duplicates (from the fault link) are rejected by the
-            // backend; that's expected, not an error here.
-            if self.backend.receive_report(user, r, &report).is_ok() {
-                reports += 1;
-            }
-        }
-
-        let missing = self.backend.missing_clients().expect("round open");
-        if !missing.is_empty() {
-            for c in &self.clients {
-                if missing.contains(&c.id()) {
-                    continue;
-                }
-                let adj = c.adjustment(params, round, &missing);
-                self.backend
-                    .receive_adjustment(c.id(), round, &adj)
-                    .expect("adjustment accepted");
-            }
-        }
-        let view = self
-            .backend
-            .finalize_round()
-            .expect("finalizable round")
-            .clone();
-        self.record_round(round, reports, &missing, &view);
-        RoundOutcome {
+        let threads = self.config.parallel.threads.max(1);
+        let driven = drive_round(
+            &self.clients,
+            &mut self.backend,
+            bus,
+            params,
             round,
-            view,
-            reports,
-            missing,
-            corrupt_frames,
+            silent,
+            threads,
+        );
+        self.record_round(driven.round, driven.reports, &driven.missing, &driven.view);
+        RoundOutcome {
+            round: driven.round,
+            view: driven.view,
+            reports: driven.reports,
+            missing: driven.missing,
+            corrupt_frames: driven.corrupt_frames,
         }
     }
 
@@ -446,33 +396,42 @@ impl EyewnderSystem {
     }
 
     /// The real-time audit path **over the wire** (Figure 1, arrow 5 +
-    /// the per-ad query): the client sends a `UsersQuery` for the ad's
-    /// ID, the backend answers a `UsersReply` from its latest finalized
-    /// view, and the client combines the estimate with its local
-    /// counters and the broadcast `Users_th`. Returns `None` if no
-    /// round has been finalized yet or the user id is unknown.
+    /// the per-ad query). Equivalent to [`Self::audit_on`] with a
+    /// lossless [`WireBus`].
     pub fn audit_over_wire(&mut self, user: u32, sim_ad: u64) -> Option<Verdict> {
+        self.audit_on(&mut WireBus::perfect(), user, sim_ad)
+    }
+
+    /// The real-time audit over an arbitrary [`ServiceBus`]: the client
+    /// sends a `UsersQuery` envelope for the ad's ID, the backend
+    /// answers a `UsersReply` envelope from its latest finalized view,
+    /// and the client combines the estimate with its local counters and
+    /// the broadcast `Users_th`. Returns `None` if no round has been
+    /// finalized yet, the user id is unknown, or the bus lost the
+    /// exchange.
+    pub fn audit_on<B: ServiceBus>(
+        &mut self,
+        bus: &mut B,
+        user: u32,
+        sim_ad: u64,
+    ) -> Option<Verdict> {
         let client = self.clients.get(user as usize)?;
         let ad = self.sim_ad_to_key.get(&sim_ad).copied()?;
-        let view = self.backend.latest_view()?;
+        let users_th = self.backend.latest_view()?.users_threshold();
 
-        // Client -> backend query, backend -> client reply, framed.
-        let (mut client_ep, mut server_ep) = channel_pair(None);
-        client_ep.send(&Message::UsersQuery { round: 0, ad });
-        let (queries, _) = server_ep.drain();
-        for q in queries {
-            if let Message::UsersQuery { round, ad } = q {
-                server_ep.send(&Message::UsersReply {
-                    round,
-                    ad,
-                    estimate: view.users(ad) as u32,
-                });
-            }
-        }
-        let (replies, _) = client_ep.drain();
-        let Message::UsersReply { estimate, .. } = replies.into_iter().next()? else {
-            return None;
-        };
+        // Client -> backend query, backend -> client reply, enveloped.
+        let me = NodeId::Client(client.id());
+        bus.send(
+            NodeId::Backend,
+            Envelope::new(me, 0, Message::UsersQuery { round: 0, ad }),
+        )
+        .ok()?;
+        pump_backend(&mut self.backend, bus);
+        let (replies, _) = bus.drain(me);
+        let estimate = replies.into_iter().find_map(|env| match env.msg {
+            Message::UsersReply { estimate, .. } => Some(estimate),
+            _ => None,
+        })?;
 
         // Local half of the decision: the client's own counters plus the
         // broadcast threshold.
@@ -482,13 +441,11 @@ impl EyewnderSystem {
         }
         let domains = counters.domain_count(ad) as f64;
         let domains_th = counters.domains_threshold(self.config.detector.policy);
-        Some(
-            if domains > domains_th && (estimate as f64) < view.users_threshold() {
-                Verdict::Targeted
-            } else {
-                Verdict::NonTargeted
-            },
-        )
+        Some(if domains > domains_th && (estimate as f64) < users_th {
+            Verdict::Targeted
+        } else {
+            Verdict::NonTargeted
+        })
     }
 
     /// Clears every client's window (after a completed round).

@@ -5,7 +5,7 @@
 //! * [`strategy::Strategy`] with `prop_map`, ranges, tuples, unions;
 //! * [`arbitrary::any`] for primitive types (with edge-case biasing);
 //! * [`collection::vec`];
-//! * the [`proptest!`], [`prop_oneof!`] and `prop_assert*` macros.
+//! * the [`proptest!`], `prop_oneof!` and `prop_assert*` macros.
 //!
 //! Differences from real proptest: no shrinking (a failing case panics
 //! with its generated inputs visible via the assertion message), and a
@@ -69,7 +69,7 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
-        /// Type-erases the strategy (used by [`prop_oneof!`]).
+        /// Type-erases the strategy (used by `prop_oneof!`).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -112,7 +112,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among boxed strategies (the [`prop_oneof!`] core).
+    /// Uniform choice among boxed strategies (the `prop_oneof!` core).
     pub struct Union<V> {
         options: Vec<BoxedStrategy<V>>,
     }

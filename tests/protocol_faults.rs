@@ -101,7 +101,7 @@ fn corruption_storm_never_wedges_the_receiver() {
     };
     let (mut tx, mut rx) = channel_pair(Some(cfg));
     for i in 0..200u64 {
-        tx.send(&Message::UsersQuery { round: 1, ad: i });
+        tx.send(&Message::UsersQuery { round: 1, ad: i }).unwrap();
     }
     drop(tx);
     let (msgs, corrupt) = rx.drain();
@@ -231,7 +231,8 @@ fn shard_frames_survive_a_duplicating_reordering_link() {
             shard_index: idx,
             shard_count,
             blinded: shard,
-        });
+        })
+        .unwrap();
     }
     drop(tx);
     let (msgs, corrupt) = rx.drain();
@@ -253,14 +254,18 @@ fn shard_frames_survive_a_duplicating_reordering_link() {
 fn query_reply_flow_over_wire() {
     // The real-time audit path: client asks #Users for an ad id.
     let (mut client, mut server) = channel_pair(None);
-    client.send(&Message::UsersQuery { round: 3, ad: 77 });
+    client
+        .send(&Message::UsersQuery { round: 3, ad: 77 })
+        .unwrap();
     let (msgs, _) = server.drain();
     assert_eq!(msgs, vec![Message::UsersQuery { round: 3, ad: 77 }]);
-    server.send(&Message::UsersReply {
-        round: 3,
-        ad: 77,
-        estimate: 4,
-    });
+    server
+        .send(&Message::UsersReply {
+            round: 3,
+            ad: 77,
+            estimate: 4,
+        })
+        .unwrap();
     let (replies, _) = client.drain();
     assert_eq!(
         replies,

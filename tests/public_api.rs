@@ -1,0 +1,166 @@
+//! Public-API surface snapshot: a generated listing of every `pub` item
+//! declaration per workspace crate, diffed against a checked-in file so
+//! API changes are explicit in review — adding, removing or re-signing
+//! a public item fails CI until the snapshot is regenerated.
+//!
+//! Regenerate after an intentional API change:
+//!
+//! ```text
+//! EW_UPDATE_API=1 cargo test --test public_api
+//! ```
+//!
+//! The extraction is deliberately simple — line-based, first line of
+//! each declaration, cut at the body — which is stable for this
+//! codebase's rustfmt-formatted style. It lists `pub` items found
+//! anywhere in `src/` (including ones inside private modules, which
+//! are conservative extras; shim crates are skipped, they mimic
+//! external APIs).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const SNAPSHOT: &str = "tests/public_api_snapshot.txt";
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("readable dir {}: {e}", dir.display()))
+        .map(|e| e.expect("readable entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The first line of a `pub` declaration, cut at the body/terminator.
+fn pub_decl(line: &str) -> Option<String> {
+    let trimmed = line.trim_start();
+    let is_item = ["pub fn", "pub struct", "pub enum", "pub trait", "pub mod"]
+        .iter()
+        .chain(&[
+            "pub const",
+            "pub static",
+            "pub type",
+            "pub use",
+            "pub unsafe fn",
+        ])
+        .any(|prefix| {
+            trimmed.starts_with(prefix)
+                && trimmed[prefix.len()..]
+                    .chars()
+                    .next()
+                    .is_none_or(|c| c.is_whitespace())
+        });
+    if !is_item {
+        return None;
+    }
+    let cut = trimmed.find(['{', ';']).unwrap_or(trimmed.len());
+    Some(trimmed[..cut].trim_end().to_string())
+}
+
+fn surface(root: &Path) -> String {
+    let mut files = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(root.join("crates"))
+        .expect("crates/ exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.is_dir() && !p.ends_with("shims"))
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            rust_sources(&src, &mut files);
+        }
+    }
+    rust_sources(&root.join("src"), &mut files);
+
+    let mut out = String::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .expect("file under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(&file).expect("readable source");
+        let mut decls = Vec::new();
+        // Skip `#[cfg(test)]`-gated *bodies*: test helpers are not API.
+        // `pending` covers the attribute-to-item gap; a semicolon item
+        // (`#[cfg(test)] mod proptests;`) has no body to skip.
+        let mut pending_cfg_test = false;
+        let mut in_tests = false;
+        let mut depth_at_tests = 0usize;
+        let mut depth = 0usize;
+        for line in text.lines() {
+            let trimmed = line.trim_start();
+            if !in_tests && trimmed.starts_with("#[cfg(test)]") {
+                pending_cfg_test = true;
+                depth_at_tests = depth;
+            } else if pending_cfg_test && !trimmed.starts_with("#[") && !trimmed.is_empty() {
+                pending_cfg_test = false;
+                let brace = trimmed.find('{');
+                let semi = trimmed.find(';');
+                if brace.is_some() && (semi.is_none() || brace < semi) {
+                    in_tests = true; // a braced item: skip its body
+                }
+            }
+            depth += line.matches('{').count();
+            depth = depth.saturating_sub(line.matches('}').count());
+            if in_tests {
+                if depth <= depth_at_tests && line.contains('}') {
+                    in_tests = false;
+                }
+                continue;
+            }
+            if let Some(decl) = pub_decl(line) {
+                decls.push(decl);
+            }
+        }
+        if !decls.is_empty() {
+            writeln!(out, "# {rel}").unwrap();
+            for d in decls {
+                writeln!(out, "{d}").unwrap();
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn public_api_surface_matches_snapshot() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let current = surface(&root);
+    let snapshot_path = root.join(SNAPSHOT);
+
+    if std::env::var_os("EW_UPDATE_API").is_some() {
+        fs::write(&snapshot_path, &current).expect("snapshot writable");
+        return;
+    }
+
+    let recorded = fs::read_to_string(&snapshot_path).unwrap_or_default();
+    if current == recorded {
+        return;
+    }
+    let cur: Vec<&str> = current.lines().collect();
+    let rec: Vec<&str> = recorded.lines().collect();
+    let mut diff = String::new();
+    for line in &rec {
+        if !cur.contains(line) {
+            writeln!(diff, "- {line}").unwrap();
+        }
+    }
+    for line in &cur {
+        if !rec.contains(line) {
+            writeln!(diff, "+ {line}").unwrap();
+        }
+    }
+    panic!(
+        "public API surface changed:\n{diff}\nIf intentional, regenerate with:\n    \
+         EW_UPDATE_API=1 cargo test --test public_api"
+    );
+}
