@@ -27,24 +27,44 @@
 //! **odd** moduli [`UBig::modpow`] dispatches to a Montgomery-form
 //! ladder ([`MontgomeryCtx`]):
 //!
-//! * **CIOS multiplication** — `a·b·R⁻¹ mod n` with `R = 2^(64k)` in
-//!   `2k² + k` word multiplications and *zero* divisions, versus
-//!   multiply-plus-Knuth-division (`~2k²` multiplications *and* a
-//!   quotient-estimation pass with per-step allocations) for the
-//!   generic ladder, which remains available as
-//!   [`UBig::modpow_generic`] for even moduli and differential tests.
+//! * **Fused CIOS multiplication** — `a·b·R⁻¹ mod n` with
+//!   `R = 2^(64k)` in `2k² + k` word multiplications, *zero* divisions
+//!   and a single accumulator pass per operand word (the
+//!   multiply-accumulate and reduction loops are fused), versus
+//!   multiply-plus-Knuth-division for the generic ladder, which
+//!   remains available as [`UBig::modpow_generic`] for even moduli and
+//!   differential tests.
 //! * **Dedicated squaring** — the `≈4/5` of ladder steps that square
-//!   use the triangle trick plus one reduction sweep: `≈1.5k²` word
-//!   multiplications.
+//!   use the triangle trick plus one paired-row reduction sweep:
+//!   `≈1.5k²` word multiplications with the sweep's carry chains
+//!   interleaved two rows at a time.
+//! * **5-bit sliding-window exponentiation** — [`MontgomeryCtx::modpow`]
+//!   recodes the exponent once, up front, into windows over *odd*
+//!   digits: a 16-entry odd-power table (one squaring + 15 multiplies
+//!   to build) and `≈bits/6` window multiplies, ~20% fewer multiplies
+//!   than the 4-bit fixed-window ladder (kept as
+//!   [`MontgomeryCtx::modpow_fixed_window`] for differential tests).
+//! * **Zero-allocation steady state** — every hot operation works out
+//!   of a [`MontScratch`] arena (explicit via `modpow_into` /
+//!   `mulmod_into`, or the persistent per-thread arena behind the
+//!   convenience calls); buffers grow monotonically, so steady-state
+//!   exponentiation allocates nothing but results (pinned by a
+//!   counting-allocator test).
+//! * **Montgomery-domain pipelines** — [`MontElem`] values stay in
+//!   form across chained operations (`to_mont`, `modpow_mont`,
+//!   `mont_mul_elem`), and [`MontgomeryCtx::mont_mul_mixed`] fuses a
+//!   plain×Montgomery product with the domain exit into one CIOS pass
+//!   (the OPRF unblinding and RSA-CRT Garner multiplies).
 //! * **Fixed-base tables** — [`FixedBaseTable`] precomputes
 //!   `base^(j·16^i)` so a fixed-generator exponentiation (DH keygen)
 //!   needs one multiply per non-zero exponent nibble and **no
 //!   squarings**: ~`bits/4` CIOS passes instead of `bits` squarings
 //!   plus `bits/4` multiplies.
 //! * **Batch inversion** — [`MontgomeryCtx::batch_inv`] inverts `n`
-//!   elements with one extended GCD plus `3(n−1)` multiplications
-//!   (Montgomery's trick), which the OPRF client uses to blind a whole
-//!   batch of URLs with a single inversion.
+//!   elements with one extended GCD (Montgomery's trick), walking the
+//!   prefix products wholly in the Montgomery domain (`≈4n` CIOS
+//!   passes); the OPRF client blinds a whole batch of URLs with a
+//!   single inversion this way.
 //! * **Binary extended GCD** — [`UBig::modinv`] for odd moduli runs a
 //!   division-free binary inverse; the signed extended Euclid
 //!   ([`ext_gcd`]) covers the general case.
@@ -55,7 +75,11 @@
 //! split (two half-width exponentiations + Garner) for another ~4×.
 //! The [`ops_trace`] thread-local counters make these contracts
 //! testable: the proptests assert *zero* `divrem` calls after context
-//! setup and *one* `modinv` per blinded batch.
+//! setup, *one* `modinv` per blinded batch, and a sliding-window
+//! multiply count strictly below the fixed-window ladder's. The
+//! counters themselves compile to no-ops unless the `ops-trace`
+//! feature (or `cfg(test)`) is active, so release and bench builds pay
+//! nothing for them.
 //!
 //! This crate is **not** constant-time and must not be used to protect
 //! real-world secrets; it exists to make the reproduced protocol fully
@@ -82,7 +106,7 @@ mod random;
 mod ubig;
 
 pub use modular::ext_gcd;
-pub use montgomery::{FixedBaseTable, MontgomeryCtx};
+pub use montgomery::{FixedBaseTable, MontElem, MontScratch, MontgomeryCtx};
 pub use prime::{gen_prime, gen_safe_prime, is_probable_prime, MillerRabinConfig};
 pub use random::{random_below, random_bits, random_odd_bits, random_range};
 pub use ubig::{ParseUBigError, UBig};

@@ -6,43 +6,103 @@
 //! contracts testable instead of aspirational — the differential
 //! proptests snapshot them around hot-path calls and assert the deltas.
 //!
+//! ## Compiled away in release
+//!
+//! Counting is live only under `cfg(test)` (this crate's own unit
+//! tests) or the `ops-trace` cargo feature (enabled by the dev-builds
+//! of dependent crates whose tests assert on the counters). Everywhere
+//! else — release builds, benches — the recorders are `#[inline]`
+//! empty functions and the readers constant zero, so instrumentation
+//! costs literally nothing on the hot path. The public API is
+//! identical in both configurations; only tests that assert non-zero
+//! deltas need the live configuration.
+//!
 //! Counters are thread-local so concurrently running tests cannot
-//! disturb each other's measurements, and cheap enough (one `Cell`
-//! increment) to stay enabled in release builds.
+//! disturb each other's measurements.
 
-use std::cell::Cell;
-
-thread_local! {
-    static DIVREM: Cell<u64> = const { Cell::new(0) };
-    static MODINV: Cell<u64> = const { Cell::new(0) };
-    static MONT_MUL: Cell<u64> = const { Cell::new(0) };
-}
-
-/// Total [`crate::UBig::divrem`] calls on this thread.
+/// Total [`crate::UBig::divrem`] calls on this thread (always 0 when
+/// counting is compiled out — see the module docs).
+#[inline(always)]
 pub fn divrem_calls() -> u64 {
-    DIVREM.with(|c| c.get())
+    live::divrem_calls()
 }
 
-/// Total [`crate::UBig::modinv`] calls on this thread.
+/// Total [`crate::UBig::modinv`] calls on this thread (always 0 when
+/// counting is compiled out — see the module docs).
+#[inline(always)]
 pub fn modinv_calls() -> u64 {
-    MODINV.with(|c| c.get())
+    live::modinv_calls()
 }
 
-/// Total CIOS Montgomery multiplications on this thread.
+/// Total CIOS Montgomery multiplications on this thread (always 0 when
+/// counting is compiled out — see the module docs).
+#[inline(always)]
 pub fn mont_mul_calls() -> u64 {
-    MONT_MUL.with(|c| c.get())
+    live::mont_mul_calls()
 }
 
-pub(crate) fn record_divrem() {
-    DIVREM.with(|c| c.set(c.get() + 1));
+pub(crate) use live::{record_divrem, record_modinv, record_mont_mul};
+
+#[cfg(any(test, feature = "ops-trace"))]
+mod live {
+    use std::cell::Cell;
+
+    thread_local! {
+        static DIVREM: Cell<u64> = const { Cell::new(0) };
+        static MODINV: Cell<u64> = const { Cell::new(0) };
+        static MONT_MUL: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(crate) fn divrem_calls() -> u64 {
+        DIVREM.with(|c| c.get())
+    }
+
+    pub(crate) fn modinv_calls() -> u64 {
+        MODINV.with(|c| c.get())
+    }
+
+    pub(crate) fn mont_mul_calls() -> u64 {
+        MONT_MUL.with(|c| c.get())
+    }
+
+    pub(crate) fn record_divrem() {
+        DIVREM.with(|c| c.set(c.get() + 1));
+    }
+
+    pub(crate) fn record_modinv() {
+        MODINV.with(|c| c.set(c.get() + 1));
+    }
+
+    pub(crate) fn record_mont_mul() {
+        MONT_MUL.with(|c| c.set(c.get() + 1));
+    }
 }
 
-pub(crate) fn record_modinv() {
-    MODINV.with(|c| c.set(c.get() + 1));
-}
+#[cfg(not(any(test, feature = "ops-trace")))]
+mod live {
+    #[inline(always)]
+    pub(crate) fn divrem_calls() -> u64 {
+        0
+    }
 
-pub(crate) fn record_mont_mul() {
-    MONT_MUL.with(|c| c.set(c.get() + 1));
+    #[inline(always)]
+    pub(crate) fn modinv_calls() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub(crate) fn mont_mul_calls() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub(crate) fn record_divrem() {}
+
+    #[inline(always)]
+    pub(crate) fn record_modinv() {}
+
+    #[inline(always)]
+    pub(crate) fn record_mont_mul() {}
 }
 
 #[cfg(test)]

@@ -144,13 +144,35 @@ proptest! {
         m in ubig_odd_modulus(),
     ) {
         // Bases both below and above m (ubig() is unconstrained), every
-        // exponent, every odd modulus: the dispatched fast path and the
-        // reference ladder must agree bit for bit.
-        prop_assert_eq!(base.modpow(&exp, &m), base.modpow_generic(&exp, &m));
-        prop_assert_eq!(
-            MontgomeryCtx::new(&m).modpow(&base, &exp),
-            base.modpow_generic(&exp, &m)
-        );
+        // exponent, every odd modulus: the dispatched fast path, the
+        // sliding-window context path, the 4-bit fixed-window reference
+        // and the generic ladder must all agree bit for bit.
+        let reference = base.modpow_generic(&exp, &m);
+        prop_assert_eq!(base.modpow(&exp, &m), reference.clone());
+        let ctx = MontgomeryCtx::new(&m);
+        prop_assert_eq!(ctx.modpow(&base, &exp), reference.clone());
+        prop_assert_eq!(ctx.modpow_fixed_window(&base, &exp), reference);
+    }
+
+    #[test]
+    fn modpow_into_scratch_reuse_is_transparent(
+        pairs in proptest::collection::vec((ubig(), ubig()), 1..5),
+        m in ubig_odd_modulus(),
+    ) {
+        // One scratch arena and one output buffer across a mixed bag of
+        // (base, exp) shapes — including base >= m and exp = 0 — must
+        // leave no residue between calls.
+        let ctx = MontgomeryCtx::new(&m);
+        let mut scratch = crate::MontScratch::new();
+        let mut out = UBig::zero();
+        for (base, exp) in &pairs {
+            ctx.modpow_into(base, exp, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &base.modpow_generic(exp, &m));
+            let a = base.rem_ref(&m);
+            let b = exp.rem_ref(&m);
+            ctx.mulmod_into(&a, &b, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &a.mulmod(&b, &m));
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@
 
 use crate::rsa::{RsaKeyPair, RsaPublicKey};
 use crate::sha256::Sha256;
-use ew_bigint::{random_range, MontgomeryCtx, UBig};
+use ew_bigint::{random_range, MontElem, MontgomeryCtx, UBig};
 use rand::RngCore;
 
 /// Length in bytes of the OPRF output `G(y)`.
@@ -179,8 +179,10 @@ impl OprfServerKey {
 /// sending `x'` and receiving `y'`.
 #[derive(Debug, Clone)]
 pub struct PendingRequest {
-    /// `r^{-1} mod N`, kept to unblind the response.
-    r_inv: UBig,
+    /// `r^{-1} mod N` in **Montgomery form**, so unblinding the
+    /// response (`y'·r^{-1}`) costs a single CIOS pass
+    /// (`CIOS(y', r̂^{-1}) = y'·r^{-1} mod N`).
+    r_inv: MontElem,
     /// The blinded element sent to the server.
     pub blinded: UBig,
 }
@@ -190,7 +192,10 @@ pub struct PendingRequest {
 /// Construction caches a [`MontgomeryCtx`] for `N`, so every blinding
 /// and unblinding multiply/exponentiation is division-free; batch
 /// blinding ([`Self::blind_batch`]) additionally shares one modular
-/// inversion across the whole batch.
+/// inversion across the whole batch. Blinding runs in the Montgomery
+/// domain end to end (one conversion in per element, the domain exit
+/// fused into the final product), and the unblinding factor is stored
+/// in Montgomery form so [`Self::finalize`] is a single CIOS pass.
 #[derive(Debug, Clone)]
 pub struct OprfClient {
     public: RsaPublicKey,
@@ -212,6 +217,11 @@ impl OprfClient {
 
     /// Step 1: blind `input`, producing the request to send and the
     /// secret unblinding state.
+    ///
+    /// The whole computation runs in the Montgomery domain: `r` is
+    /// converted once, `r^e` stays in form, and the blinding product
+    /// `H(x)·r^e` exits the domain fused into its final multiply —
+    /// no per-operation conversion round-trips.
     pub fn blind<R: RngCore + ?Sized>(
         &self,
         rng: &mut R,
@@ -224,9 +234,12 @@ impl OprfClient {
             let Some(r_inv) = r.modinv(&self.public.n) else {
                 continue;
             };
-            let r_e = self.ctx.modpow(&r, &self.public.e);
-            let blinded = self.ctx.mulmod(&h, &r_e);
-            return Ok(PendingRequest { r_inv, blinded });
+            let r_e = self.ctx.modpow_mont(&self.ctx.to_mont(&r), &self.public.e);
+            let blinded = self.ctx.mont_mul_mixed(&h, &r_e);
+            return Ok(PendingRequest {
+                r_inv: self.ctx.to_mont(&r_inv),
+                blinded,
+            });
         }
         Err(OprfError::BlindingNotInvertible)
     }
@@ -261,9 +274,12 @@ impl OprfClient {
                 .zip(rs.iter().zip(r_invs))
                 .map(|(input, (r, r_inv))| {
                     let h = hash_to_zn(input, &self.public);
-                    let r_e = self.ctx.modpow(r, &self.public.e);
-                    let blinded = self.ctx.mulmod(&h, &r_e);
-                    PendingRequest { r_inv, blinded }
+                    let r_e = self.ctx.modpow_mont(&self.ctx.to_mont(r), &self.public.e);
+                    let blinded = self.ctx.mont_mul_mixed(&h, &r_e);
+                    PendingRequest {
+                        r_inv: self.ctx.to_mont(&r_inv),
+                        blinded,
+                    }
                 })
                 .collect());
         }
@@ -283,7 +299,7 @@ impl OprfClient {
         if response >= &self.public.n {
             return Err(OprfError::ElementOutOfRange);
         }
-        let y = self.ctx.mulmod(response, &pending.r_inv);
+        let y = self.ctx.mont_mul_mixed(response, &pending.r_inv);
         Ok(output_hash(&y, &self.public))
     }
 
@@ -298,7 +314,7 @@ impl OprfClient {
         if response >= &self.public.n {
             return Err(OprfError::ElementOutOfRange);
         }
-        let y = self.ctx.mulmod(response, &pending.r_inv);
+        let y = self.ctx.mont_mul_mixed(response, &pending.r_inv);
         let expected_h = hash_to_zn(input, &self.public);
         if self.ctx.modpow(&y, &self.public.e) != expected_h {
             return Err(OprfError::ElementOutOfRange);

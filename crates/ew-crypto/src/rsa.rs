@@ -15,9 +15,13 @@
 //! Montgomery savings themselves. The per-prime and per-modulus
 //! [`MontgomeryCtx`]s are cached in the key, so repeated evaluations
 //! (`evaluate_blinded` on millions of requests) never re-derive
-//! constants.
+//! constants; exponentiation scratch comes from `ew-bigint`'s
+//! persistent per-thread arena, so steady-state evaluation allocates
+//! only its results. The Garner coefficient `q⁻¹ mod p` is cached **in
+//! Montgomery form**, which turns the recombination multiply into a
+//! single CIOS pass (`CIOS(diff, q̂⁻¹) = diff·q⁻¹ mod p`).
 
-use ew_bigint::{gen_prime, MontgomeryCtx, UBig};
+use ew_bigint::{gen_prime, MontElem, MontgomeryCtx, UBig};
 use rand::RngCore;
 
 /// Public half of an RSA key: `(N, e)`.
@@ -54,8 +58,9 @@ struct CrtKey {
     d_p: UBig,
     /// `d mod (q-1)`.
     d_q: UBig,
-    /// `q^{-1} mod p` (Garner's recombination coefficient).
-    q_inv: UBig,
+    /// `q^{-1} mod p` (Garner's recombination coefficient), cached in
+    /// Montgomery form so the recombination multiply is one CIOS pass.
+    q_inv_mont: MontElem,
     /// Montgomery context for `p`.
     ctx_p: MontgomeryCtx,
     /// Montgomery context for `q`.
@@ -106,12 +111,13 @@ impl RsaKeyPair {
                 continue;
             };
             let n = p.mul_ref(&q);
+            let ctx_p = MontgomeryCtx::new(&p);
             let crt = CrtKey {
                 d_p: d.rem_ref(&p1),
                 d_q: d.rem_ref(&q1),
-                q_inv,
-                ctx_p: MontgomeryCtx::new(&p),
+                q_inv_mont: ctx_p.to_mont(&q_inv),
                 ctx_q: MontgomeryCtx::new(&q),
+                ctx_p,
                 p,
                 q,
             };
@@ -139,14 +145,16 @@ impl RsaKeyPair {
     /// Raw RSA private operation `x^d mod N` — the oprf-server's
     /// "sign" — on the CRT fast path: `m_p = x^{d_p} mod p`,
     /// `m_q = x^{d_q} mod q`, recombined via Garner as
-    /// `m_q + q·(q_inv·(m_p − m_q) mod p)`.
+    /// `m_q + q·(q_inv·(m_p − m_q) mod p)`. The Garner multiply uses
+    /// the cached Montgomery-form `q⁻¹`, so it costs a single CIOS
+    /// pass instead of a full `mulmod` round-trip.
     pub fn private_op(&self, x: &UBig) -> UBig {
         let crt = &self.crt;
         let m_p = crt.ctx_p.modpow(x, &crt.d_p);
         let m_q = crt.ctx_q.modpow(x, &crt.d_q);
-        // h = q_inv · (m_p − m_q) mod p.
+        // h = q_inv · (m_p − m_q) mod p, one CIOS pass.
         let diff = m_p.submod(&m_q, &crt.p);
-        let h = crt.ctx_p.mulmod(&crt.q_inv, &diff);
+        let h = crt.ctx_p.mont_mul_mixed(&diff, &crt.q_inv_mont);
         m_q.add_ref(&h.mul_ref(&crt.q))
     }
 

@@ -119,6 +119,29 @@ pub trait AggregationBackend {
     /// or escalate (on the clean recovery link).
     fn on_envelope(&mut self, env: Envelope) -> Result<Option<Envelope>, RoundError>;
 
+    /// Absorbs one full mailbox drain, in stream order, returning one
+    /// result per envelope (index-aligned with the input, with exactly
+    /// the values a serial [`Self::on_envelope`] walk would produce).
+    ///
+    /// The default implementation *is* that serial walk. Backends with
+    /// a parallel ingestion path override it — `BackendServer` shards
+    /// report envelopes into per-worker sketch accumulators and merges
+    /// them through its `receive_shard` seam — so the round driver
+    /// stays a thin, transport-agnostic loop either way. `threads` is
+    /// purely a performance hint: results and final backend state must
+    /// be **bit-identical** for every value.
+    fn absorb_batch(
+        &mut self,
+        envelopes: Vec<Envelope>,
+        threads: usize,
+    ) -> Vec<Result<Option<Envelope>, RoundError>> {
+        let _ = threads;
+        envelopes
+            .into_iter()
+            .map(|env| self.on_envelope(env))
+            .collect()
+    }
+
     /// The enrolled users whose reports have not arrived this round.
     fn missing_clients(&mut self) -> Result<Vec<u32>, RoundError>;
 
@@ -349,8 +372,24 @@ impl RoundOpen {
                 .expect("backend mailbox open");
         }
         let (envelopes, corrupt_frames) = bus.drain(NodeId::Backend);
+        // The whole drain goes to the backend as one batch: with
+        // `threads` > 1 a backend that supports it absorbs report
+        // envelopes through its sharded pre-merge instead of one at a
+        // time, with bit-identical results (see
+        // `AggregationBackend::absorb_batch`).
+        let routing: Vec<(bool, NodeId)> = envelopes
+            .iter()
+            .map(|env| {
+                (
+                    matches!(env.msg, ew_proto::Message::Report { .. }),
+                    env.sender,
+                )
+            })
+            .collect();
+        let results = backend.absorb_batch(envelopes, threads.max(1));
+        debug_assert_eq!(routing.len(), results.len(), "one result per envelope");
         let mut reports = 0usize;
-        for env in envelopes {
+        for ((is_report, requester), result) in routing.into_iter().zip(results) {
             // Only a Report that the backend absorbed counts — other
             // envelope kinds can also come back Ok(None) (an absorbed
             // peer Error, say) and must not inflate the tally. Err(_)
@@ -358,9 +397,7 @@ impl RoundOpen {
             // doesn't count, doesn't abort the round. Replies (a query
             // that was already queued when the round started, say) are
             // routed back to their senders, per the backend contract.
-            let is_report = matches!(env.msg, ew_proto::Message::Report { .. });
-            let requester = env.sender;
-            match backend.on_envelope(env) {
+            match result {
                 Ok(None) if is_report => reports += 1,
                 Ok(Some(reply)) => {
                     bus.send(requester, reply).expect("requester mailbox open");

@@ -41,14 +41,16 @@
 //!   addition is associative and commutative).
 //!
 //! `tests/parallel_determinism.rs` pins the guarantee end to end for
-//! thread counts {1, 2, 4, 7}; `tests/bus_parity.rs` pins the bus axis.
+//! thread counts {1, 2, 4, 7}, in-proc and over the wire;
+//! `tests/bus_parity.rs` pins the bus axis.
 //!
-//! (PR 2's per-shard [`ew_sketch::SketchAccumulator`] pre-merge no
-//! longer runs inside the round — absorption is serial on the driving
-//! thread, a deliberate trade for one round code path on every bus.
-//! `BackendServer::receive_shard` stays public for direct aggregation
-//! users and for the multi-backend sharding follow-up, where per-shard
-//! merge returns at the backend boundary.)
+//! The per-shard [`ew_sketch::SketchAccumulator`] pre-merge runs
+//! **behind the bus**: the round driver hands each full mailbox drain
+//! to [`crate::node::AggregationBackend::absorb_batch`], and
+//! `BackendServer` shards the drained report envelopes into
+//! per-worker accumulators merged through its public `receive_shard`
+//! seam — closing the serial-absorb trade PR 3 documented, without
+//! touching the round machine or the party traits.
 
 use crate::backend::BackendServer;
 use crate::client::Client;

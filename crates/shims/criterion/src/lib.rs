@@ -8,8 +8,11 @@
 //! and the ROADMAP.
 //!
 //! Tuning: `EW_BENCH_MS` (default 300) bounds the measurement time per
-//! benchmark in milliseconds.
+//! benchmark in milliseconds. If `EW_BENCH_JSON` names a file, every
+//! benchmark also appends one JSON line `{"name": …, "ns_per_iter": …}`
+//! to it — the machine-readable perf trajectory CI records per PR.
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier preventing the optimizer from deleting work.
@@ -197,6 +200,24 @@ impl Bencher {
         if self.ns_per_iter.is_nan() {
             println!("{name:<48} (no measurement — closure never called iter)");
             return;
+        }
+        if let Some(path) = std::env::var_os("EW_BENCH_JSON") {
+            // One JSON object per line, appended: independent bench
+            // binaries in one run share the file. Failures to record
+            // are reported but never fail the benchmark itself.
+            let line = format!(
+                "{{\"name\": \"{}\", \"ns_per_iter\": {:.1}}}\n",
+                name.replace('"', "'"),
+                self.ns_per_iter
+            );
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+            if let Err(e) = written {
+                eprintln!("EW_BENCH_JSON: could not record {name}: {e}");
+            }
         }
         let per_iter = format_ns(self.ns_per_iter);
         match throughput {

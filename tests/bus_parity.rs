@@ -81,11 +81,15 @@ fn ingested_pair(
 }
 
 #[test]
-fn lossless_wire_round_bit_identical_to_inproc_for_thread_counts_1_and_4() {
+fn lossless_wire_round_bit_identical_to_inproc_for_thread_counts_1_2_4_7() {
+    // Threads > 1 also exercise the backend-side sharded absorb (the
+    // per-shard sketch pre-merge behind the bus): outcomes must stay
+    // bit-identical to the single-threaded serial absorb, in-proc and
+    // over the wire alike.
     let driver = driver();
     let (scenario, weeks, cohort) = driver.workload(2);
 
-    for threads in [1usize, 4] {
+    for threads in [1usize, 2, 4, 7] {
         let (mut inproc, mut wire) = ingested_pair(scenario, &weeks[0], cohort, threads);
         for (week, log) in weeks.iter().enumerate() {
             if week > 0 {

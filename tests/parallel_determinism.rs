@@ -96,6 +96,37 @@ fn weekly_rounds_bit_identical_for_all_thread_counts() {
 }
 
 #[test]
+fn weekly_rounds_over_wire_bit_identical_for_all_thread_counts() {
+    // The wire twin of the test above, pinning the backend-side
+    // sharded absorb (per-shard sketch pre-merge behind the bus): for
+    // every thread count the framed round must match the threads=1
+    // serial-absorb baseline bit for bit.
+    use eyewnder::proto::FaultConfig;
+
+    let driver = driver();
+    let weeks = driver.weeks(1);
+    let cohort = driver.cohort();
+
+    let run_wire = |threads: usize| {
+        let config = SystemConfig {
+            seed: SEED,
+            ..SystemConfig::default()
+        }
+        .with_threads(threads);
+        let mut sys = EyewnderSystem::new(config, cohort);
+        sys.ingest(driver.scenario(), &weeks[0]);
+        vec![sys.run_round_over_wire(1, FaultConfig::perfect())]
+    };
+
+    let baseline = run_wire(1);
+    assert_eq!(baseline[0].reports, cohort, "lossless wire delivers all");
+    for threads in THREAD_COUNTS {
+        let outcomes = run_wire(threads);
+        assert_outcomes_identical(&baseline, &outcomes, threads);
+    }
+}
+
+#[test]
 fn recovery_round_bit_identical_under_parallelism() {
     // Silent clients force the two-round fault-tolerance path: the
     // adjustment vectors are derived on worker shards and must cancel
