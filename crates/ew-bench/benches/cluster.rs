@@ -1,0 +1,49 @@
+//! Benchmarks for the multi-backend aggregation cluster: the full
+//! weekly round against N backend shards behind the routing bus.
+//!
+//! `round_cluster_1` measures pure cluster-plumbing overhead — one
+//! shard, so routing, journaling and the view merge buy nothing — and
+//! should stay within ~10% of `round_bus_inproc` (the single-backend bus
+//! round in the `parallel` bench). `round_cluster_{2,4}` split the
+//! cohort's reports over 2 and 4 shard backends; outcomes are
+//! bit-identical across all sizes (pinned by `tests/cluster_parity.rs`),
+//! so the numbers compare scheduling and merge cost only. On a
+//! multi-core runner the shard fan-out in `absorb_batch` runs the
+//! backends concurrently; this CI container is single-core, so parity is
+//! the expectation here, not speedup.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ew_simnet::{DriverScale, WeeklyDriver};
+use ew_system::{EyewnderSystem, SystemConfig};
+
+fn bench_round_cluster(c: &mut Criterion) {
+    let driver = WeeklyDriver::new(16, DriverScale::Fraction(20), 25);
+    let log = driver.week(0);
+    let scenario = driver.scenario().clone();
+    let cohort = driver.cohort();
+
+    let mut group = c.benchmark_group("round_cluster");
+    group.sample_size(10);
+    for backends in [1usize, 2, 4] {
+        let mut sys = EyewnderSystem::new(
+            SystemConfig {
+                seed: 16,
+                ..SystemConfig::default()
+            }
+            .with_cluster_backends(backends),
+            cohort,
+        );
+        sys.ingest(&scenario, &log);
+        let mut round = 0u64;
+        group.bench_function(format!("round_cluster_{backends}"), |b| {
+            b.iter(|| {
+                round += 1;
+                black_box(sys.run_round_clustered(round, &[]))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_cluster);
+criterion_main!(benches);

@@ -29,6 +29,7 @@
 //! Payloads are [`Message`]s encoded with explicit little-endian codecs
 //! ([`codec`]).
 
+pub mod cluster;
 pub mod codec;
 pub mod crc32;
 pub mod envelope;
@@ -41,6 +42,7 @@ pub mod transport;
 #[cfg(test)]
 mod proptests;
 
+pub use cluster::{ShardMap, ShardMapError, MAX_CLUSTER_SHARDS, SLOTS_PER_SHARD};
 pub use envelope::{Envelope, NodeId, ENVELOPE_VERSION};
 pub use fault::{FaultConfig, FaultyLink};
 pub use framing::{FrameDecoder, FrameError, MAGIC};

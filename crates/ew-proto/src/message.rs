@@ -22,6 +22,20 @@ pub mod error_code {
     /// The node cannot answer yet (e.g. a `#Users` query before any
     /// round has been finalized).
     pub const NOT_READY: u32 = 4;
+    /// A report or adjustment reached a cluster shard that does not own
+    /// its sender's key range under the current shard map.
+    pub const WRONG_SHARD: u32 = 5;
+    /// A `ShardMapUpdate` carried an older version than the receiver
+    /// already holds (a replayed or out-of-date broadcast).
+    pub const STALE_SHARD_MAP: u32 = 6;
+    /// A report envelope was rejected by round validation (duplicate,
+    /// unknown user, wrong round, mismatched dimensions or header) —
+    /// the explicit reply that replaces silently dropping it.
+    pub const REJECTED_REPORT: u32 = 7;
+    /// A `ShardMapUpdate` was structurally invalid (empty owner ring,
+    /// out-of-range shard ids, or an id space that does not match the
+    /// receiving cluster).
+    pub const MALFORMED_SHARD_MAP: u32 = 8;
 }
 
 /// All protocol messages. Group elements travel as big-endian byte
@@ -157,6 +171,21 @@ pub enum Message {
         /// CMS estimate of `#Users(ad)`.
         estimate: u32,
     },
+    /// Cluster control plane → backends: the current shard-ownership
+    /// map, broadcast whenever a failover reassigns a key range so the
+    /// transport and compute layers re-agree on report routing (see
+    /// [`crate::cluster::ShardMap`]). Versions only ever grow; receivers
+    /// adopt newer maps, ignore re-broadcasts and answer older ones with
+    /// [`error_code::STALE_SHARD_MAP`].
+    ShardMapUpdate {
+        /// The map version (bumped by every reassignment).
+        version: u32,
+        /// One past the highest addressable shard id.
+        shard_ids: u32,
+        /// Slot-ownership ring: `owners[user % owners.len()]` is the
+        /// shard owning `user`'s reports.
+        owners: Vec<u32>,
+    },
     /// Any node → peer: an explicit rejection, so peers can distinguish
     /// "the network dropped my request" from "the service refused it".
     /// Nodes never reply to an `Error` with another `Error` (that would
@@ -185,6 +214,7 @@ mod tag {
     pub const OPRF_SHARD_REQUEST: u8 = 0x0C;
     pub const OPRF_SHARD_RESPONSE: u8 = 0x0D;
     pub const ERROR: u8 = 0x0E;
+    pub const SHARD_MAP_UPDATE: u8 = 0x0F;
 }
 
 impl Message {
@@ -205,6 +235,7 @@ impl Message {
             Message::ThresholdBroadcast { .. } => "ThresholdBroadcast",
             Message::UsersQuery { .. } => "UsersQuery",
             Message::UsersReply { .. } => "UsersReply",
+            Message::ShardMapUpdate { .. } => "ShardMapUpdate",
             Message::Error { .. } => "Error",
         }
     }
@@ -324,6 +355,16 @@ impl Message {
                 buf.put_u64_le(*ad);
                 buf.put_u32_le(*estimate);
             }
+            Message::ShardMapUpdate {
+                version,
+                shard_ids,
+                owners,
+            } => {
+                buf.put_u8(tag::SHARD_MAP_UPDATE);
+                buf.put_u32_le(*version);
+                buf.put_u32_le(*shard_ids);
+                put_u32_vec(&mut buf, owners);
+            }
             Message::Error { code, detail } => {
                 buf.put_u8(tag::ERROR);
                 buf.put_u32_le(*code);
@@ -400,6 +441,11 @@ impl Message {
                 round: get_u64(buf)?,
                 ad: get_u64(buf)?,
                 estimate: get_u32(buf)?,
+            },
+            tag::SHARD_MAP_UPDATE => Message::ShardMapUpdate {
+                version: get_u32(buf)?,
+                shard_ids: get_u32(buf)?,
+                owners: get_u32_vec(buf)?,
             },
             tag::ERROR => Message::Error {
                 code: get_u32(buf)?,
@@ -479,6 +525,11 @@ mod tests {
                 ad: 555,
                 estimate: 9,
             },
+            Message::ShardMapUpdate {
+                version: 3,
+                shard_ids: 4,
+                owners: vec![0, 1, 3, 0, 1, 3, 0, 1],
+            },
             Message::Error {
                 code: error_code::OUT_OF_RANGE,
                 detail: "blinded element ≥ modulus".to_string(),
@@ -535,6 +586,48 @@ mod tests {
         let n = bad.len();
         bad[n - 1] = 0xFF; // invalid UTF-8 continuation byte
         assert_eq!(Message::decode(&bad), Err(CodecError::BadString));
+    }
+
+    #[test]
+    fn shard_map_update_and_cluster_errors_roundtrip() {
+        // The failover path depends on both transports decoding the
+        // exact map that was reassigned — pin the full round-trip,
+        // including a map that has been through a reassignment, and the
+        // cluster error codes peers answer mis-routed traffic with.
+        let mut map = crate::cluster::ShardMap::uniform(4);
+        map.reassign(2).unwrap();
+        let update = Message::ShardMapUpdate {
+            version: map.version(),
+            shard_ids: map.shard_ids(),
+            owners: map.owners().to_vec(),
+        };
+        let decoded = Message::decode(&update.encode()).unwrap();
+        assert_eq!(decoded, update);
+        let Message::ShardMapUpdate {
+            version,
+            shard_ids,
+            owners,
+        } = decoded
+        else {
+            unreachable!("just matched");
+        };
+        assert_eq!(
+            crate::cluster::ShardMap::from_wire(version, shard_ids, owners).unwrap(),
+            map
+        );
+
+        for code in [
+            error_code::WRONG_SHARD,
+            error_code::STALE_SHARD_MAP,
+            error_code::REJECTED_REPORT,
+            error_code::MALFORMED_SHARD_MAP,
+        ] {
+            let err = Message::Error {
+                code,
+                detail: format!("cluster rejection {code}"),
+            };
+            assert_eq!(Message::decode(&err.encode()).unwrap(), err);
+        }
     }
 
     #[test]

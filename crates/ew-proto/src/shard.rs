@@ -50,6 +50,23 @@ pub enum ShardError {
     },
     /// The same `shard_index` arrived twice (replay or duplication).
     DuplicateShard(u32),
+    /// A frame's element count disagrees with an already-seen sibling:
+    /// [`split_shards`] produces balanced shards (sizes differ by at
+    /// most one, larger shards first), so a frame violating that
+    /// contract against any accepted sibling is a padded or truncated
+    /// shard. It used to surface only after reassembly, as a mis-sized
+    /// batch at the caller — rejected at insert time instead, leaving
+    /// the assembler untouched.
+    SiblingSizeMismatch {
+        /// The offending frame's shard index.
+        index: u32,
+        /// The offending frame's element count.
+        len: usize,
+        /// The already-accepted sibling it disagrees with.
+        sibling: u32,
+        /// That sibling's element count.
+        sibling_len: usize,
+    },
     /// Assembly was attempted before every shard arrived.
     Incomplete {
         /// How many shards are still missing.
@@ -74,6 +91,16 @@ impl std::fmt::Display for ShardError {
                 write!(f, "shard index {index} out of range for count {count}")
             }
             ShardError::DuplicateShard(i) => write!(f, "duplicate shard {i}"),
+            ShardError::SiblingSizeMismatch {
+                index,
+                len,
+                sibling,
+                sibling_len,
+            } => write!(
+                f,
+                "shard {index} carries {len} elements, inconsistent with \
+                 sibling {sibling}'s {sibling_len} under the balanced split"
+            ),
             ShardError::Incomplete { missing } => {
                 write!(f, "batch incomplete: {missing} shards missing")
             }
@@ -164,11 +191,31 @@ impl ShardAssembler {
                 count: self.shard_count,
             });
         }
-        let slot = &mut self.shards[shard_index as usize];
-        if slot.is_some() {
+        if self.shards[shard_index as usize].is_some() {
             return Err(ShardError::DuplicateShard(shard_index));
         }
-        *slot = Some(items);
+        // Balanced-split contract against every accepted sibling: sizes
+        // differ by at most one, never increasing with the index. A
+        // violating frame (padded or truncated by a hostile or buggy
+        // peer) would otherwise assemble into a silently mis-sized
+        // batch, misaligning the caller's positional zip.
+        for (i, slot) in self.shards.iter().enumerate() {
+            let Some(sibling_items) = slot else { continue };
+            let (lo_len, hi_len) = if (i as u32) < shard_index {
+                (sibling_items.len(), items.len())
+            } else {
+                (items.len(), sibling_items.len())
+            };
+            if lo_len < hi_len || lo_len - hi_len > 1 {
+                return Err(ShardError::SiblingSizeMismatch {
+                    index: shard_index,
+                    len: items.len(),
+                    sibling: i as u32,
+                    sibling_len: sibling_items.len(),
+                });
+            }
+        }
+        self.shards[shard_index as usize] = Some(items);
         self.received += 1;
         Ok(())
     }
@@ -294,6 +341,44 @@ mod tests {
                 got: 4
             })
         );
+    }
+
+    #[test]
+    fn sibling_size_mismatch_rejected_at_insert_time() {
+        // Regression: a shard whose element count disagrees with an
+        // already-seen sibling used to be accepted and only surface
+        // after `assemble()`, as a silently mis-sized batch that
+        // misaligned the caller's positional zip. It must be rejected
+        // when it arrives, leaving the assembler untouched.
+        let mut asm = ShardAssembler::new(9, 3).unwrap();
+        asm.accept(9, 0, 3, items(3)).unwrap();
+        // A later shard larger than an earlier one breaks the balanced
+        // split (sizes never increase with the index)...
+        assert_eq!(
+            asm.accept(9, 1, 3, items(5)),
+            Err(ShardError::SiblingSizeMismatch {
+                index: 1,
+                len: 5,
+                sibling: 0,
+                sibling_len: 3,
+            })
+        );
+        // ...as does any gap of more than one element, in either
+        // direction of arrival order.
+        assert_eq!(
+            asm.accept(9, 2, 3, items(1)),
+            Err(ShardError::SiblingSizeMismatch {
+                index: 2,
+                len: 1,
+                sibling: 0,
+                sibling_len: 3,
+            })
+        );
+        // The rejections left the assembler intact: a conforming batch
+        // still completes (sizes 3, 3, 2 is a legal balanced split).
+        asm.accept(9, 2, 3, items(2)).unwrap();
+        asm.accept(9, 1, 3, items(3)).unwrap();
+        assert_eq!(asm.assemble().unwrap().len(), 8);
     }
 
     #[test]

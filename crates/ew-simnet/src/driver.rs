@@ -86,6 +86,56 @@ impl WeeklyDriver {
     pub fn workload(&self, weeks: u64) -> (&Scenario, Vec<ImpressionLog>, usize) {
         (self.scenario(), self.weeks(weeks), self.cohort())
     }
+
+    /// The multi-backend configurations a cluster parity suite or bench
+    /// should drive this workload through: one [`ClusterScenario`] per
+    /// requested backend count, plus — for every count with more than
+    /// one shard — a variant that kills one shard mid-round (after the
+    /// cohort's first third of report envelopes is in flight), so the
+    /// failover path is exercised at every cluster size.
+    pub fn cluster_matrix(&self, backends: &[usize]) -> Vec<ClusterScenario> {
+        let mut out = Vec::new();
+        for &n in backends {
+            let n = n.max(1);
+            out.push(ClusterScenario {
+                backends: n,
+                failover: None,
+            });
+            if n > 1 {
+                out.push(ClusterScenario {
+                    backends: n,
+                    failover: Some(ShardKill {
+                        shard: (n - 1) as u32,
+                        after_sends: self.cohort / 3,
+                    }),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// One multi-backend configuration of the weekly workload: how many
+/// aggregation shards to run, and an optional scripted mid-round shard
+/// death ([`ShardKill`]) for failover drills. Produced by
+/// [`WeeklyDriver::cluster_matrix`]; the consuming system maps it onto
+/// its cluster driver (shard map size, routing-bus failure plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterScenario {
+    /// Backend shard count.
+    pub backends: usize,
+    /// Scripted mid-round shard death, if any.
+    pub failover: Option<ShardKill>,
+}
+
+/// A scripted shard death: `shard`'s uplink is severed after
+/// `after_sends` backend-bound envelopes have been routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardKill {
+    /// The shard to kill.
+    pub shard: u32,
+    /// Backend-bound envelopes routed before the death.
+    pub after_sends: usize,
 }
 
 #[cfg(test)]
@@ -120,6 +170,27 @@ mod tests {
         let d = WeeklyDriver::new(3, DriverScale::Table1, 100);
         assert_eq!(d.scenario().config.num_users, 500);
         assert_eq!(d.cohort(), 100);
+    }
+
+    #[test]
+    fn cluster_matrix_covers_every_count_and_adds_failover_drills() {
+        let d = WeeklyDriver::new(4, DriverScale::Fraction(25), 12);
+        let matrix = d.cluster_matrix(&[1, 2, 4]);
+        assert_eq!(matrix.len(), 5, "1 plain + (2, 4) × {{plain, failover}}");
+        assert_eq!(
+            matrix[0],
+            ClusterScenario {
+                backends: 1,
+                failover: None
+            },
+            "a single shard has nothing to fail over to"
+        );
+        for s in &matrix {
+            if let Some(kill) = s.failover {
+                assert!((kill.shard as usize) < s.backends);
+                assert!(kill.after_sends < d.cohort(), "the kill lands mid-round");
+            }
+        }
     }
 
     #[test]

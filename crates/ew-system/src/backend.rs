@@ -54,6 +54,22 @@ pub enum RoundError {
     /// An envelope's header (sender, round) disagrees with its payload —
     /// a spoofed or corrupted message, rejected before any state change.
     EnvelopeMismatch,
+    /// A report or adjustment was delivered to a cluster shard that does
+    /// not own its sender's key range under the current shard map.
+    WrongShard {
+        /// The shard that owns the sender's key range.
+        owner: u32,
+        /// The shard the envelope was delivered to.
+        got: u32,
+    },
+    /// A `ShardMapUpdate` carried an older version than the receiver
+    /// already holds.
+    StaleShardMap {
+        /// The version the receiver holds.
+        current: u32,
+        /// The stale version the update carried.
+        got: u32,
+    },
 }
 
 impl std::fmt::Display for RoundError {
@@ -69,11 +85,29 @@ impl std::fmt::Display for RoundError {
             RoundError::EnvelopeMismatch => {
                 write!(f, "envelope header disagrees with message payload")
             }
+            RoundError::WrongShard { owner, got } => {
+                write!(f, "envelope for shard {owner} delivered to shard {got}")
+            }
+            RoundError::StaleShardMap { current, got } => {
+                write!(f, "shard map version {got} is older than current {current}")
+            }
         }
     }
 }
 
 impl std::error::Error for RoundError {}
+
+impl RoundError {
+    /// The [`error_code`] a peer is answered with when this rejection is
+    /// reported back as a [`Message::Error`] instead of silence.
+    pub fn error_code(&self) -> u32 {
+        match self {
+            RoundError::WrongShard { .. } => error_code::WRONG_SHARD,
+            RoundError::StaleShardMap { .. } => error_code::STALE_SHARD_MAP,
+            _ => error_code::REJECTED_REPORT,
+        }
+    }
+}
 
 impl BackendServer {
     /// New server for a cohort with the given sketch parameters and
@@ -376,6 +410,29 @@ impl BackendServer {
             self.receive_shard(&users, round, &partial)
                 .expect("pre-validated shard is always accepted");
         }
+    }
+
+    /// Closes the round **without** computing a view, exporting the
+    /// partial aggregation state instead — the per-shard half of a
+    /// cluster finalize. A shard's accumulator is still blinded (the
+    /// Kursawe terms only cancel over the *whole* cohort), so a shard
+    /// can never finalize alone; its [`crate::cluster::ShardView`] is
+    /// merged with its siblings' through [`crate::cluster::ViewMerger`]
+    /// and only the merged aggregate is unblinded and enumerated.
+    pub fn take_shard_view(&mut self) -> Result<crate::cluster::ShardView, RoundError> {
+        let state = self.current.take().ok_or(RoundError::NoOpenRound)?;
+        Ok(crate::cluster::ShardView::from_parts(
+            state.round,
+            state.accumulator,
+            state.reported,
+        ))
+    }
+
+    /// Publishes an externally finalized view for `round` (the cluster
+    /// driver lands its merged view here so `#Users` queries and audits
+    /// served by this node see cluster rounds exactly like local ones).
+    pub fn install_view(&mut self, round: u64, view: GlobalView) {
+        self.finalized.push((round, view));
     }
 
     /// The most recent finalized view, if any.

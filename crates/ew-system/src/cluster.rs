@@ -1,0 +1,1097 @@
+//! The multi-backend aggregation cluster: shard-routed report absorption
+//! over N backend shards, associative view merging, and mid-round
+//! failover with journal replay.
+//!
+//! The single [`BackendServer`] absorbing every report envelope is the
+//! last single-node bottleneck of the weekly round. This module splits
+//! it along the key-space seam the earlier PRs left open:
+//!
+//! * [`ew_proto::ShardMap`] deterministically partitions report
+//!   ownership by client id; the map is versioned and travels as a
+//!   [`Message::ShardMapUpdate`] so the transport and compute layers
+//!   re-agree through the protocol after a failover.
+//! * [`RoutingBus`] implements [`ServiceBus`] over **per-shard uplinks**
+//!   (any inner bus — [`InProcBus`] moves, [`WireBus`] frames+CRC+faults
+//!   per shard): every backend-bound envelope is routed to its owning
+//!   shard's link; every other destination rides a shared side bus.
+//! * [`ClusterBackend`] implements [`AggregationBackend`] over N inner
+//!   [`BackendServer`]s: reports fan out to their owning shard
+//!   (`absorb_batch` runs the shards on scoped worker threads), and the
+//!   round finalizes by folding every shard's partial state through
+//!   [`ViewMerger`] — built on `SketchAccumulator::merge`, whose
+//!   cell-wise wrapping addition is associative and commutative, so the
+//!   merged view is **bit-identical** to the single-backend round for
+//!   every shard count.
+//! * **Failover**: when a shard's uplink reports a
+//!   [`TransportError`] (or a scripted [`ShardFailure`] severs it)
+//!   mid-round, the bus reassigns the dead shard's key range
+//!   ([`ShardMap::reassign`]), broadcasts the bumped map on every
+//!   surviving uplink and replays its in-flight mailbox journal to the
+//!   new owners; the [`ClusterBackend`], on adopting the update, replays
+//!   its own absorbed-envelope journal for the dead shard the same way.
+//!   Between the two journals every report is re-delivered exactly once,
+//!   so the round still finalizes bit-identically.
+//!
+//! The round machine and the party traits are untouched: a cluster
+//! round is `drive_round(clients, &mut ClusterBackend, &mut RoutingBus,
+//! …)` — the same typestate chain as every other round.
+//!
+//! ## Why shards cannot finalize alone
+//!
+//! A shard's accumulator holds the cell-wise sum of *its* clients'
+//! blinded reports; the Kursawe blinding terms only cancel over the
+//! whole cohort, so any per-shard "view" is cryptographic noise. The
+//! only meaningful per-shard export is the partial [`ShardView`]
+//! (accumulator + reported set), and [`ViewMerger`] is the one place the
+//! cluster unblinds: merge everything, then enumerate once.
+
+use crate::backend::{BackendServer, RoundError};
+use crate::ids::AdIdMapper;
+use crate::node::{AggregationBackend, InProcBus, RoundPhase, ServiceBus, WireBus};
+use ew_bigint::UBig;
+use ew_core::{GlobalView, ThresholdPolicy};
+use ew_proto::transport::TransportError;
+use ew_proto::{Envelope, FaultConfig, Message, NodeId, ShardMap};
+use ew_sketch::{CmsParams, SketchAccumulator};
+use std::collections::BTreeSet;
+
+/// The client id an envelope's shard ownership is decided by: the
+/// payload's `user` for reports and adjustments (the fields validation
+/// trusts), the sending client otherwise; non-client senders fall to
+/// slot 0's owner (control traffic has no key-space home).
+pub fn route_user(env: &Envelope) -> u32 {
+    match &env.msg {
+        Message::Report { user, .. } | Message::Adjustment { user, .. } => *user,
+        _ => match env.sender {
+            NodeId::Client(id) => id,
+            NodeId::Backend | NodeId::Oprf => 0,
+        },
+    }
+}
+
+fn is_data_plane(env: &Envelope) -> bool {
+    matches!(env.msg, Message::Report { .. } | Message::Adjustment { .. })
+}
+
+fn map_update_envelope(map: &ShardMap) -> Envelope {
+    Envelope::new(
+        NodeId::Backend,
+        0,
+        Message::ShardMapUpdate {
+            version: map.version(),
+            shard_ids: map.shard_ids(),
+            owners: map.owners().to_vec(),
+        },
+    )
+}
+
+/// One shard's partial aggregation state: the still-blinded cell-wise
+/// sum of its clients' reports (adjustments already subtracted) plus the
+/// set of users it heard from. The unit [`ViewMerger`] folds.
+#[derive(Debug, Clone)]
+pub struct ShardView {
+    round: u64,
+    accumulator: SketchAccumulator,
+    reported: BTreeSet<u32>,
+}
+
+impl ShardView {
+    /// An empty shard's view (a shard that owned no reporting clients
+    /// this round — merging it is the identity).
+    pub fn empty(params: CmsParams, round: u64) -> Self {
+        ShardView {
+            round,
+            accumulator: SketchAccumulator::new(params),
+            reported: BTreeSet::new(),
+        }
+    }
+
+    pub(crate) fn from_parts(
+        round: u64,
+        accumulator: SketchAccumulator,
+        reported: BTreeSet<u32>,
+    ) -> Self {
+        ShardView {
+            round,
+            accumulator,
+            reported,
+        }
+    }
+
+    /// The round this partial state belongs to.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Reports folded into this shard's accumulator.
+    pub fn reports(&self) -> usize {
+        self.accumulator.reports()
+    }
+
+    /// Folds `other` into `self`. Cell addition in `Z_{2^32}` is
+    /// associative and commutative and the reported sets are disjoint by
+    /// key-space ownership, so any merge order or grouping produces the
+    /// same state — the property `ViewMerger`'s proptest pins.
+    pub fn merge(&mut self, other: &ShardView) -> Result<(), RoundError> {
+        if other.round != self.round {
+            return Err(RoundError::WrongRound {
+                expected: self.round,
+                got: other.round,
+            });
+        }
+        if other.accumulator.params() != self.accumulator.params() {
+            return Err(RoundError::DimensionMismatch);
+        }
+        if let Some(&dup) = self.reported.intersection(&other.reported).next() {
+            return Err(RoundError::DuplicateReport(dup));
+        }
+        self.accumulator.merge(&other.accumulator);
+        self.reported.extend(other.reported.iter().copied());
+        Ok(())
+    }
+}
+
+/// Folds per-shard [`ShardView`]s into the single global view the
+/// cohort's blinding actually cancels over. Built on the
+/// `SketchAccumulator::merge` seam: absorption is associative and
+/// commutative, so shards may arrive in any order or pre-merged in any
+/// grouping, including empty shards, and the finalized view is
+/// bit-identical to the single-backend round's.
+#[derive(Debug)]
+pub struct ViewMerger {
+    merged: ShardView,
+}
+
+impl ViewMerger {
+    /// An empty merger for `round` under the cohort's dimensions.
+    pub fn new(params: CmsParams, round: u64) -> Self {
+        ViewMerger {
+            merged: ShardView::empty(params, round),
+        }
+    }
+
+    /// Folds one shard's partial state in.
+    pub fn absorb(&mut self, view: &ShardView) -> Result<(), RoundError> {
+        self.merged.merge(view)
+    }
+
+    /// Reports folded in so far, across every absorbed shard.
+    pub fn reports(&self) -> usize {
+        self.merged.reports()
+    }
+
+    /// Unblinds (by summation — the merged accumulator is the whole
+    /// cohort's, so the blinding terms cancel), enumerates the ad-ID
+    /// space and computes the global view, exactly as
+    /// `BackendServer::finalize_round` does for one node.
+    pub fn finalize(self, mapper: &AdIdMapper, policy: ThresholdPolicy) -> GlobalView {
+        let reports = self.merged.accumulator.reports();
+        let aggregate = self.merged.accumulator.finalize(reports as u64);
+        let estimates = mapper.all_ids().map(|ad| (ad, aggregate.query(ad) as f64));
+        GlobalView::from_estimates(estimates, policy)
+    }
+}
+
+/// A scripted mid-round shard death for the failover tests and fault
+/// drills: after `after_sends` backend-bound envelopes have been routed,
+/// the next one finds `shard`'s uplink severed and the bus fails it
+/// over. (Un-scripted failover — a genuine [`TransportError`] from an
+/// uplink — takes exactly the same path.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// The shard whose uplink dies.
+    pub shard: u32,
+    /// Backend-bound envelopes routed before it dies.
+    pub after_sends: usize,
+}
+
+/// A [`ServiceBus`] that routes every backend-bound envelope to its
+/// owning shard's uplink — one inner bus per shard, so each shard is its
+/// own failure and fault domain — and everything else over a shared side
+/// bus. Draining the backend concatenates the shard mailboxes in shard
+/// order.
+///
+/// The bus holds the cluster's **authoritative** [`ShardMap`]. On an
+/// uplink failure it reassigns the dead shard's key range, broadcasts
+/// the bumped map as a [`Message::ShardMapUpdate`] on every surviving
+/// uplink (so the [`ClusterBackend`] adopts it in-stream, before any
+/// rerouted envelope), and replays the dead shard's **in-flight
+/// journal** — everything sent since the last drain — to the new
+/// owners.
+#[derive(Debug)]
+pub struct RoutingBus<B: ServiceBus> {
+    map: ShardMap,
+    links: Vec<Option<B>>,
+    side: B,
+    journal: Vec<Vec<Envelope>>,
+    failure: Option<ShardFailure>,
+    backend_sends: usize,
+}
+
+impl RoutingBus<InProcBus> {
+    /// A cluster bus over zero-copy in-process shard links.
+    pub fn in_proc(map: ShardMap, failure: Option<ShardFailure>) -> Self {
+        Self::with_links(map, failure, InProcBus::new)
+    }
+}
+
+impl RoutingBus<WireBus> {
+    /// A cluster bus over framed wire shard links, each uplink with its
+    /// own [`FaultConfig`] instance (faults are per shard — one lossy
+    /// uplink does not perturb its siblings); client and OPRF traffic
+    /// rides a lossless wire side bus.
+    pub fn over_wire(
+        map: ShardMap,
+        fault: Option<FaultConfig>,
+        failure: Option<ShardFailure>,
+    ) -> Self {
+        Self::with_links(map, failure, || WireBus::new(fault))
+    }
+}
+
+impl<B: ServiceBus> RoutingBus<B> {
+    /// A cluster bus with one `make_link()` bus per live shard in `map`
+    /// plus one for the side traffic.
+    pub fn with_links(
+        map: ShardMap,
+        failure: Option<ShardFailure>,
+        mut make_link: impl FnMut() -> B,
+    ) -> Self {
+        let links = (0..map.shard_ids())
+            .map(|s| {
+                if map.is_live(s) {
+                    Some(make_link())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let journal = (0..map.shard_ids()).map(|_| Vec::new()).collect();
+        RoutingBus {
+            map,
+            links,
+            side: make_link(),
+            journal,
+            failure,
+            backend_sends: 0,
+        }
+    }
+
+    /// The bus's current (authoritative) shard map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Uplinks still alive.
+    pub fn live_links(&self) -> usize {
+        self.links.iter().flatten().count()
+    }
+
+    /// Severs `dead`'s uplink and fails its key range over: reassign,
+    /// broadcast the bumped map, replay the in-flight journal.
+    ///
+    /// # Panics
+    /// Panics if `dead` is the last live shard (a whole-cluster outage
+    /// has no failover) or a surviving uplink rejects the replay.
+    fn fail_shard(&mut self, dead: u32) {
+        self.links[dead as usize] = None;
+        self.map
+            .reassign(dead)
+            .expect("failover target is live and not the last shard");
+        let update = map_update_envelope(&self.map);
+        for link in self.links.iter_mut().flatten() {
+            link.send(NodeId::Backend, update.clone())
+                .expect("surviving uplink accepts the map update");
+        }
+        let orphans = std::mem::take(&mut self.journal[dead as usize]);
+        for env in orphans {
+            let owner = self.map.owner_of(route_user(&env)) as usize;
+            self.links[owner]
+                .as_mut()
+                .expect("map routes only to live shards")
+                .send(NodeId::Backend, env.clone())
+                .expect("surviving uplink accepts the replay");
+            self.journal[owner].push(env);
+        }
+    }
+
+    fn send_backend(&mut self, env: Envelope) -> Result<(), TransportError> {
+        self.backend_sends += 1;
+        if let Some(f) = self.failure {
+            if self.backend_sends > f.after_sends
+                && self
+                    .links
+                    .get(f.shard as usize)
+                    .is_some_and(Option::is_some)
+            {
+                self.fail_shard(f.shard);
+            }
+        }
+        let owner = self.map.owner_of(route_user(&env)) as usize;
+        let sent = self.links[owner]
+            .as_mut()
+            .expect("map routes only to live shards")
+            .send(NodeId::Backend, env.clone());
+        match sent {
+            Ok(()) => {
+                self.journal[owner].push(env);
+                Ok(())
+            }
+            Err(_) => {
+                // The uplink died under us: fail it over and re-send on
+                // the range's new owner.
+                self.fail_shard(owner as u32);
+                let owner = self.map.owner_of(route_user(&env)) as usize;
+                self.links[owner]
+                    .as_mut()
+                    .expect("map routes only to live shards")
+                    .send(NodeId::Backend, env.clone())?;
+                self.journal[owner].push(env);
+                Ok(())
+            }
+        }
+    }
+}
+
+impl<B: ServiceBus> ServiceBus for RoutingBus<B> {
+    fn send(&mut self, dest: NodeId, env: Envelope) -> Result<(), TransportError> {
+        match dest {
+            NodeId::Backend => self.send_backend(env),
+            other => self.side.send(other, env),
+        }
+    }
+
+    fn drain(&mut self, dest: NodeId) -> (Vec<Envelope>, usize) {
+        if dest != NodeId::Backend {
+            return self.side.drain(dest);
+        }
+        let mut out = Vec::new();
+        let mut corrupt = 0usize;
+        for (link, journal) in self.links.iter_mut().zip(self.journal.iter_mut()) {
+            if let Some(link) = link {
+                let (envs, c) = link.drain(NodeId::Backend);
+                out.extend(envs);
+                corrupt += c;
+            }
+            // Delivered envelopes are the backend's responsibility now
+            // (it keeps its own journal); in-flight tracking restarts.
+            journal.clear();
+        }
+        (out, corrupt)
+    }
+
+    fn on_phase(&mut self, phase: RoundPhase) {
+        self.side.on_phase(phase);
+        for link in self.links.iter_mut().flatten() {
+            link.on_phase(phase);
+        }
+    }
+}
+
+/// [`AggregationBackend`] over N [`BackendServer`] shards, each owning
+/// the key ranges its [`ShardMap`] assigns it. Every shard holds the
+/// full enrolment directory (the bulletin board is replicated state), so
+/// after a failover any shard can validate any replayed report.
+///
+/// The backend follows the map the bus broadcasts: a
+/// [`Message::ShardMapUpdate`] with a newer version is adopted
+/// in-stream, the shards it removed are dropped, and their
+/// **absorbed-envelope journals** are replayed into the ranges' new
+/// owners — reconstructing exactly the state the dead shard contributed,
+/// because validation and accumulation are deterministic.
+#[derive(Debug)]
+pub struct ClusterBackend {
+    map: ShardMap,
+    shards: Vec<Option<BackendServer>>,
+    journal: Vec<Vec<Envelope>>,
+    round: Option<u64>,
+    params: CmsParams,
+    mapper: AdIdMapper,
+    policy: ThresholdPolicy,
+}
+
+impl ClusterBackend {
+    /// A cluster of one fresh [`BackendServer`] per live shard in `map`,
+    /// all sharing the cohort parameters. Enrolments are broadcast with
+    /// [`Self::enroll`].
+    pub fn new(
+        map: ShardMap,
+        element_len: usize,
+        params: CmsParams,
+        mapper: AdIdMapper,
+        policy: ThresholdPolicy,
+    ) -> Self {
+        let shards: Vec<Option<BackendServer>> = (0..map.shard_ids())
+            .map(|s| {
+                if map.is_live(s) {
+                    Some(BackendServer::new(element_len, params, mapper, policy))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let journal = (0..map.shard_ids()).map(|_| Vec::new()).collect();
+        ClusterBackend {
+            map,
+            shards,
+            journal,
+            round: None,
+            params,
+            mapper,
+            policy,
+        }
+    }
+
+    /// Publishes a user's DH public key on every shard's bulletin board
+    /// (replicated, so failover never strands an enrolment).
+    pub fn enroll(&mut self, user: u32, public_key: UBig) {
+        for shard in self.shards.iter_mut().flatten() {
+            shard.enroll(user, public_key.clone());
+        }
+    }
+
+    /// The map this backend currently routes by.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Shards still alive.
+    pub fn live_backends(&self) -> usize {
+        self.shards.iter().flatten().count()
+    }
+
+    /// Delivers one envelope to a **specific** shard, as a stale router
+    /// would: ownership is validated against the current map, and a
+    /// report or adjustment landing on a shard that does not own its
+    /// sender's key range is a [`RoundError::WrongShard`] rejection (the
+    /// driver answers it with [`ew_proto::error_code::WRONG_SHARD`])
+    /// rather than silent mis-aggregation.
+    pub fn deliver_to_shard(
+        &mut self,
+        shard: u32,
+        env: Envelope,
+    ) -> Result<Option<Envelope>, RoundError> {
+        if is_data_plane(&env) {
+            let owner = self.map.owner_of(route_user(&env));
+            if owner != shard {
+                return Err(RoundError::WrongShard { owner, got: shard });
+            }
+        }
+        let Some(server) = self.shards.get_mut(shard as usize).and_then(Option::as_mut) else {
+            return Err(RoundError::WrongShard {
+                owner: self.map.owner_of(route_user(&env)),
+                got: shard,
+            });
+        };
+        if is_data_plane(&env) {
+            self.journal[shard as usize].push(env.clone());
+        }
+        server.on_envelope(env)
+    }
+
+    /// Adopts (or rejects) a broadcast shard map. Newer versions are
+    /// adopted — dead shards dropped and their journals replayed into
+    /// the new owners; the current version is an expected re-broadcast
+    /// (one copy arrives per surviving uplink); older versions are
+    /// answered with [`ew_proto::error_code::STALE_SHARD_MAP`].
+    fn handle_map_update(
+        &mut self,
+        round: u64,
+        version: u32,
+        shard_ids: u32,
+        owners: Vec<u32>,
+    ) -> Result<Option<Envelope>, RoundError> {
+        let reject = |code: u32, detail: String| {
+            Ok(Some(Envelope::new(
+                NodeId::Backend,
+                round,
+                Message::Error { code, detail },
+            )))
+        };
+        if version < self.map.version() {
+            return reject(
+                ew_proto::error_code::STALE_SHARD_MAP,
+                format!(
+                    "map version {version} is older than current {}",
+                    self.map.version()
+                ),
+            );
+        }
+        if version == self.map.version() {
+            return Ok(None); // re-broadcast of the map we already hold
+        }
+        let new_map = match ShardMap::from_wire(version, shard_ids, owners) {
+            Ok(map) if map.shard_ids() == self.map.shard_ids() => map,
+            Ok(map) => {
+                return reject(
+                    ew_proto::error_code::MALFORMED_SHARD_MAP,
+                    format!(
+                        "map addresses {} shard ids, cluster has {}",
+                        map.shard_ids(),
+                        self.map.shard_ids()
+                    ),
+                )
+            }
+            Err(e) => return reject(ew_proto::error_code::MALFORMED_SHARD_MAP, e.to_string()),
+        };
+        self.map = new_map;
+        // Drop every shard the new map no longer routes to and replay
+        // its absorbed journal into the ranges' new owners. Validation
+        // is deterministic, so the replay reconstructs exactly the
+        // accept/reject decisions — and therefore the partial state —
+        // the dead shard held.
+        for dead in 0..self.shards.len() {
+            if self.shards[dead].is_none() || self.map.is_live(dead as u32) {
+                continue;
+            }
+            self.shards[dead] = None;
+            let orphans = std::mem::take(&mut self.journal[dead]);
+            for env in orphans {
+                let owner = self.map.owner_of(route_user(&env));
+                let _ = self.deliver_to_shard(owner, env);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Routes maximal runs of data-plane envelopes to their owning
+    /// shards and absorbs each shard's run on its own worker thread,
+    /// scattering results back into stream positions.
+    fn absorb_run(
+        &mut self,
+        run: &mut Vec<(usize, Envelope)>,
+        threads: usize,
+        out: &mut [Option<Result<Option<Envelope>, RoundError>>],
+    ) {
+        if run.is_empty() {
+            return;
+        }
+        if run.len() == 1 {
+            let (i, env) = run.pop().expect("length checked");
+            out[i] = Some(AggregationBackend::on_envelope(self, env));
+            return;
+        }
+        let mut groups: Vec<Vec<(usize, Envelope)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (i, env) in run.drain(..) {
+            let shard = self.map.owner_of(route_user(&env)) as usize;
+            if is_data_plane(&env) {
+                self.journal[shard].push(env.clone());
+            }
+            groups[shard].push((i, env));
+        }
+        let mut work: Vec<(Vec<usize>, Vec<Envelope>, &mut BackendServer)> = Vec::new();
+        for (server, group) in self.shards.iter_mut().zip(groups) {
+            if group.is_empty() {
+                continue;
+            }
+            let server = server.as_mut().expect("map routes only to live shards");
+            let (indices, envelopes) = group.into_iter().unzip();
+            work.push((indices, envelopes, server));
+        }
+        // One worker per shard with a batch; each shard splits its
+        // share of the thread budget across its own sharded pre-merge.
+        let inner_threads = (threads / work.len().max(1)).max(1);
+        let fanout = work.len();
+        let results = crossbeam::thread::map_shards_mut(&mut work, fanout, |chunk| {
+            chunk
+                .iter_mut()
+                .map(|(indices, envelopes, server)| {
+                    (
+                        std::mem::take(indices),
+                        server.absorb_batch(std::mem::take(envelopes), inner_threads),
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        for (indices, shard_results) in results.into_iter().flatten() {
+            for (i, result) in indices.into_iter().zip(shard_results) {
+                out[i] = Some(result);
+            }
+        }
+    }
+}
+
+impl AggregationBackend for ClusterBackend {
+    fn open_round(&mut self, round: u64) {
+        self.round = Some(round);
+        for shard in self.shards.iter_mut().flatten() {
+            AggregationBackend::open_round(shard, round);
+        }
+        for journal in &mut self.journal {
+            journal.clear();
+        }
+    }
+
+    fn on_envelope(&mut self, env: Envelope) -> Result<Option<Envelope>, RoundError> {
+        match &env.msg {
+            Message::ShardMapUpdate {
+                version,
+                shard_ids,
+                owners,
+            } => {
+                let (version, shard_ids, owners) = (*version, *shard_ids, owners.clone());
+                self.handle_map_update(env.round, version, shard_ids, owners)
+            }
+            // Never answer an error with an error (and an error carries
+            // no aggregation state worth routing to a shard).
+            Message::Error { .. } => Ok(None),
+            _ => {
+                let shard = self.map.owner_of(route_user(&env));
+                self.deliver_to_shard(shard, env)
+            }
+        }
+    }
+
+    /// The cluster fan-out: the stream is cut at every
+    /// [`Message::ShardMapUpdate`] (routing may change there), each
+    /// segment is grouped by owning shard preserving stream order, and
+    /// the shard groups are absorbed concurrently — each inner
+    /// [`BackendServer::absorb_batch`] already pins bit-identical
+    /// accept/reject decisions, so the scattered results equal the
+    /// serial walk for every `threads` value and shard count.
+    fn absorb_batch(
+        &mut self,
+        envelopes: Vec<Envelope>,
+        threads: usize,
+    ) -> Vec<Result<Option<Envelope>, RoundError>> {
+        if threads <= 1 || envelopes.len() < 2 {
+            return envelopes
+                .into_iter()
+                .map(|env| AggregationBackend::on_envelope(self, env))
+                .collect();
+        }
+        let mut out: Vec<Option<Result<Option<Envelope>, RoundError>>> =
+            (0..envelopes.len()).map(|_| None).collect();
+        let mut run: Vec<(usize, Envelope)> = Vec::new();
+        for (i, env) in envelopes.into_iter().enumerate() {
+            if matches!(env.msg, Message::ShardMapUpdate { .. }) {
+                self.absorb_run(&mut run, threads, &mut out);
+                out[i] = Some(AggregationBackend::on_envelope(self, env));
+            } else {
+                run.push((i, env));
+            }
+        }
+        self.absorb_run(&mut run, threads, &mut out);
+        out.into_iter()
+            .map(|r| r.expect("every stream position filled"))
+            .collect()
+    }
+
+    fn missing_clients(&mut self) -> Result<Vec<u32>, RoundError> {
+        let mut missing = BTreeSet::new();
+        for (id, shard) in self.shards.iter_mut().enumerate() {
+            let Some(shard) = shard else { continue };
+            for user in AggregationBackend::missing_clients(shard)? {
+                // Every shard holds the full directory, so it reports
+                // the whole cohort minus the clients *it* heard from;
+                // only the users this shard owns are its verdict.
+                if self.map.owner_of(user) == id as u32 {
+                    missing.insert(user);
+                }
+            }
+        }
+        Ok(missing.into_iter().collect())
+    }
+
+    fn finalize(&mut self) -> Result<GlobalView, RoundError> {
+        let round = self.round.take().ok_or(RoundError::NoOpenRound)?;
+        let mut merger = ViewMerger::new(self.params, round);
+        for shard in self.shards.iter_mut().flatten() {
+            merger.absorb(&shard.take_shard_view()?)?;
+        }
+        Ok(merger.finalize(&self.mapper, self.policy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ew_proto::error_code;
+    use ew_sketch::BlindedSketch;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn params() -> CmsParams {
+        CmsParams::new(2, 32, 3)
+    }
+
+    fn raw_report(p: CmsParams, ads: &[u64]) -> BlindedSketch {
+        let mut s = ew_sketch::CountMinSketch::new(p);
+        for &a in ads {
+            s.update(a);
+        }
+        BlindedSketch::from_raw(p, s.cells().to_vec())
+    }
+
+    fn report_env(p: CmsParams, user: u32, round: u64, ads: &[u64]) -> Envelope {
+        Envelope::new(
+            NodeId::Client(user),
+            round,
+            Message::Report {
+                user,
+                round,
+                depth: p.depth as u32,
+                width: p.width as u32,
+                seed: p.hash_seed,
+                cells: raw_report(p, ads).into_cells(),
+            },
+        )
+    }
+
+    fn cluster(map: ShardMap, users: u32) -> ClusterBackend {
+        let mut c =
+            ClusterBackend::new(map, 8, params(), AdIdMapper::new(64), ThresholdPolicy::Mean);
+        for u in 0..users {
+            c.enroll(u, UBig::from_u64(u as u64 + 1));
+        }
+        c
+    }
+
+    fn single(users: u32) -> BackendServer {
+        let mut s = BackendServer::new(8, params(), AdIdMapper::new(64), ThresholdPolicy::Mean);
+        for u in 0..users {
+            s.enroll(u, UBig::from_u64(u as u64 + 1));
+        }
+        s
+    }
+
+    /// Ten users' report envelopes with a couple of shared ads.
+    fn reports(p: CmsParams, round: u64) -> Vec<Envelope> {
+        (0..10u32)
+            .map(|u| report_env(p, u, round, &[u as u64, 40 + u as u64 % 3]))
+            .collect()
+    }
+
+    #[test]
+    fn cluster_absorb_and_finalize_match_single_backend() {
+        let p = params();
+        let stream = reports(p, 1);
+        let mut baseline = single(10);
+        baseline.open_round(1);
+        for env in stream.clone() {
+            AggregationBackend::on_envelope(&mut baseline, env).unwrap();
+        }
+        let base_view = baseline.finalize_round().unwrap().clone();
+
+        for shards in [1u32, 2, 3, 4] {
+            for threads in [1usize, 4] {
+                let mut c = cluster(ShardMap::uniform(shards), 10);
+                AggregationBackend::open_round(&mut c, 1);
+                let results = c.absorb_batch(stream.clone(), threads);
+                assert!(results.iter().all(|r| matches!(r, Ok(None))));
+                assert_eq!(
+                    AggregationBackend::missing_clients(&mut c).unwrap(),
+                    Vec::<u32>::new()
+                );
+                let view = AggregationBackend::finalize(&mut c).unwrap();
+                assert_eq!(view, base_view, "shards={shards} threads={threads}");
+                assert_eq!(view.sorted_estimates(), base_view.sorted_estimates());
+                assert_eq!(
+                    view.users_threshold().to_bits(),
+                    base_view.users_threshold().to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_missing_set_is_the_union_of_owned_ranges() {
+        let p = params();
+        let mut c = cluster(ShardMap::uniform(3), 9);
+        AggregationBackend::open_round(&mut c, 1);
+        for u in [0u32, 2, 5, 8] {
+            AggregationBackend::on_envelope(&mut c, report_env(p, u, 1, &[u as u64])).unwrap();
+        }
+        assert_eq!(
+            AggregationBackend::missing_clients(&mut c).unwrap(),
+            vec![1, 3, 4, 6, 7],
+            "sorted union across shards, exactly the non-reporters"
+        );
+    }
+
+    #[test]
+    fn wrong_shard_delivery_rejected_without_state_change() {
+        let p = params();
+        let mut c = cluster(ShardMap::uniform(2), 4);
+        AggregationBackend::open_round(&mut c, 1);
+        let env = report_env(p, 1, 1, &[7]);
+        let owner = c.map().owner_of(1);
+        let wrong = 1 - owner;
+        assert_eq!(
+            c.deliver_to_shard(wrong, env.clone()),
+            Err(RoundError::WrongShard { owner, got: wrong })
+        );
+        // The mis-delivery left no trace: the report still lands once,
+        // and a genuine duplicate is still caught.
+        assert_eq!(c.deliver_to_shard(owner, env.clone()), Ok(None));
+        assert_eq!(
+            c.deliver_to_shard(owner, env),
+            Err(RoundError::DuplicateReport(1))
+        );
+        assert_eq!(
+            RoundError::WrongShard { owner, got: wrong }.error_code(),
+            error_code::WRONG_SHARD
+        );
+    }
+
+    #[test]
+    fn stale_and_malformed_map_updates_answered_explicitly() {
+        let mut c = cluster(ShardMap::uniform(2), 4);
+        AggregationBackend::open_round(&mut c, 1);
+        let mk = |version: u32, shard_ids: u32, owners: Vec<u32>| {
+            Envelope::new(
+                NodeId::Backend,
+                1,
+                Message::ShardMapUpdate {
+                    version,
+                    shard_ids,
+                    owners,
+                },
+            )
+        };
+        // A re-broadcast of the current version is silently absorbed.
+        let current = mk(0, 2, ShardMap::uniform(2).owners().to_vec());
+        assert_eq!(AggregationBackend::on_envelope(&mut c, current), Ok(None));
+
+        // Adopt a newer map, then replay the older one: explicit
+        // STALE_SHARD_MAP, not silence and not an adopted downgrade.
+        let mut newer = ShardMap::uniform(2);
+        newer.reassign(1).unwrap();
+        let adopt = mk(newer.version(), newer.shard_ids(), newer.owners().to_vec());
+        assert_eq!(AggregationBackend::on_envelope(&mut c, adopt), Ok(None));
+        assert_eq!(c.live_backends(), 1);
+        let stale = mk(0, 2, ShardMap::uniform(2).owners().to_vec());
+        let reply = AggregationBackend::on_envelope(&mut c, stale)
+            .unwrap()
+            .expect("stale map gets an explicit reply");
+        assert!(matches!(
+            reply.msg,
+            Message::Error {
+                code: error_code::STALE_SHARD_MAP,
+                ..
+            }
+        ));
+
+        // A malformed map (empty ring) is rejected, never adopted.
+        let malformed = mk(9, 2, Vec::new());
+        let reply = AggregationBackend::on_envelope(&mut c, malformed)
+            .unwrap()
+            .expect("malformed map gets an explicit reply");
+        assert!(matches!(
+            reply.msg,
+            Message::Error {
+                code: error_code::MALFORMED_SHARD_MAP,
+                ..
+            }
+        ));
+        assert_eq!(c.map().version(), newer.version());
+    }
+
+    #[test]
+    fn scripted_failover_replays_in_flight_and_absorbed_state() {
+        let p = params();
+        let stream = reports(p, 1);
+        let mut baseline = single(10);
+        baseline.open_round(1);
+        for env in stream.clone() {
+            AggregationBackend::on_envelope(&mut baseline, env).unwrap();
+        }
+        let base_view = baseline.finalize_round().unwrap().clone();
+
+        for after_sends in [0usize, 3, 7] {
+            let map = ShardMap::uniform(3);
+            let mut bus = RoutingBus::in_proc(
+                map,
+                Some(ShardFailure {
+                    shard: 1,
+                    after_sends,
+                }),
+            );
+            bus.on_phase(RoundPhase::Open);
+            bus.on_phase(RoundPhase::Reports);
+            for env in stream.clone() {
+                bus.send(NodeId::Backend, env).unwrap();
+            }
+            assert_eq!(bus.live_links(), 2, "uplink severed");
+            assert_eq!(bus.map().version(), 1);
+            let (envs, corrupt) = bus.drain(NodeId::Backend);
+            assert_eq!(corrupt, 0);
+            for threads in [1usize, 4] {
+                let mut b = cluster(ShardMap::uniform(3), 10);
+                AggregationBackend::open_round(&mut b, 1);
+                let results = b.absorb_batch(envs.clone(), threads);
+                let accepted = results.iter().filter(|r| matches!(r, Ok(None))).count();
+                assert!(accepted >= stream.len(), "all reports survive the kill");
+                assert_eq!(b.live_backends(), 2, "backend followed the map update");
+                assert_eq!(
+                    AggregationBackend::missing_clients(&mut b).unwrap(),
+                    Vec::<u32>::new(),
+                    "after_sends={after_sends} threads={threads}"
+                );
+                let view = AggregationBackend::finalize(&mut b).unwrap();
+                assert_eq!(
+                    view, base_view,
+                    "after_sends={after_sends} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uplink_transport_error_triggers_the_same_failover() {
+        // A genuine TransportError (peer endpoint gone) on a wire
+        // uplink takes the same fail-over path as the scripted kill.
+        struct DeadBus;
+        impl ServiceBus for DeadBus {
+            fn send(&mut self, _: NodeId, _: Envelope) -> Result<(), TransportError> {
+                Err(TransportError::Disconnected)
+            }
+            fn drain(&mut self, _: NodeId) -> (Vec<Envelope>, usize) {
+                (Vec::new(), 0)
+            }
+        }
+        // Shard 0's link errors on first use; the bus must reassign and
+        // deliver everything over the survivor.
+        enum Either {
+            Dead(DeadBus),
+            Live(InProcBus),
+        }
+        impl ServiceBus for Either {
+            fn send(&mut self, dest: NodeId, env: Envelope) -> Result<(), TransportError> {
+                match self {
+                    Either::Dead(b) => b.send(dest, env),
+                    Either::Live(b) => b.send(dest, env),
+                }
+            }
+            fn drain(&mut self, dest: NodeId) -> (Vec<Envelope>, usize) {
+                match self {
+                    Either::Dead(b) => b.drain(dest),
+                    Either::Live(b) => b.drain(dest),
+                }
+            }
+        }
+        let p = params();
+        let mut made = 0usize;
+        let mut bus = RoutingBus::with_links(ShardMap::uniform(2), None, || {
+            made += 1;
+            if made == 1 {
+                Either::Dead(DeadBus)
+            } else {
+                Either::Live(InProcBus::new())
+            }
+        });
+        // User 0 is owned by shard 0 (the dead link).
+        assert_eq!(bus.map().owner_of(0), 0);
+        bus.send(NodeId::Backend, report_env(p, 0, 1, &[5]))
+            .unwrap();
+        assert_eq!(bus.live_links(), 1);
+        assert_eq!(bus.map().version(), 1);
+        let (envs, _) = bus.drain(NodeId::Backend);
+        // The survivor's mailbox holds the map update plus the re-sent
+        // report, in that order.
+        assert_eq!(envs.len(), 2);
+        assert!(matches!(envs[0].msg, Message::ShardMapUpdate { .. }));
+        assert!(matches!(envs[1].msg, Message::Report { .. }));
+    }
+
+    proptest! {
+        #[test]
+        fn view_merger_is_associative_and_commutative(
+            (num_users, shard_count, order_seed) in (1u32..24, 1usize..7, any::<u64>())
+        ) {
+            // Arbitrary per-user reports, partitioned over
+            // `shard_count` shards by an arbitrary assignment (shards
+            // may end up empty), merged in an arbitrary order with an
+            // arbitrary pairwise grouping: the finalized view must be
+            // bit-identical to the single-backend view every time.
+            let p = params();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(order_seed);
+            let mapper = AdIdMapper::new(64);
+            let policy = ThresholdPolicy::Mean;
+
+            let user_reports: Vec<(u32, BlindedSketch)> = (0..num_users)
+                .map(|u| {
+                    let cells: Vec<u32> =
+                        (0..p.num_cells()).map(|_| rng.gen::<u32>()).collect();
+                    (u, BlindedSketch::from_raw(p, cells))
+                })
+                .collect();
+
+            // The single-backend reference: one accumulator, one view.
+            let mut all = SketchAccumulator::new(p);
+            let mut all_users = BTreeSet::new();
+            for (u, r) in &user_reports {
+                all.add(r);
+                all_users.insert(*u);
+            }
+            let reference = {
+                let mut m = ViewMerger::new(p, 1);
+                m.absorb(&ShardView::from_parts(1, all, all_users)).unwrap();
+                m.finalize(&mapper, policy)
+            };
+
+            // Arbitrary shard assignment (not necessarily contiguous,
+            // some shards possibly empty).
+            let mut shards: Vec<(SketchAccumulator, BTreeSet<u32>)> =
+                (0..shard_count).map(|_| (SketchAccumulator::new(p), BTreeSet::new())).collect();
+            for (u, r) in &user_reports {
+                let s = rng.gen_range(0..shard_count);
+                shards[s].0.add(r);
+                shards[s].1.insert(*u);
+            }
+            let mut views: Vec<ShardView> = shards
+                .into_iter()
+                .map(|(acc, users)| ShardView::from_parts(1, acc, users))
+                .collect();
+
+            // Random pairwise grouping: repeatedly merge one view into
+            // another, both chosen arbitrarily — this exercises both
+            // orderings and groupings of the fold.
+            while views.len() > 1 {
+                let a = rng.gen_range(0..views.len());
+                let absorbed = views.swap_remove(a);
+                let b = rng.gen_range(0..views.len());
+                views[b].merge(&absorbed).unwrap();
+            }
+            let merged = {
+                let mut m = ViewMerger::new(p, 1);
+                m.absorb(&views.pop().expect("one view left")).unwrap();
+                prop_assert_eq!(m.reports(), num_users as usize);
+                m.finalize(&mapper, policy)
+            };
+
+            prop_assert_eq!(&merged, &reference);
+            prop_assert_eq!(merged.sorted_estimates(), reference.sorted_estimates());
+            prop_assert_eq!(
+                merged.users_threshold().to_bits(),
+                reference.users_threshold().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn view_merger_rejects_cross_round_and_overlapping_shards() {
+        let p = params();
+        let mut m = ViewMerger::new(p, 1);
+        m.absorb(&ShardView::empty(p, 1)).unwrap();
+        assert_eq!(
+            m.absorb(&ShardView::empty(p, 2)),
+            Err(RoundError::WrongRound {
+                expected: 1,
+                got: 2
+            })
+        );
+        let mut acc = SketchAccumulator::new(p);
+        acc.add(&raw_report(p, &[1]));
+        let view = ShardView::from_parts(1, acc, BTreeSet::from([4u32]));
+        m.absorb(&view).unwrap();
+        assert_eq!(
+            m.absorb(&view),
+            Err(RoundError::DuplicateReport(4)),
+            "a user cannot report through two shards"
+        );
+        let other_dims = ShardView::empty(CmsParams::new(2, 16, 3), 1);
+        assert_eq!(m.absorb(&other_dims), Err(RoundError::DimensionMismatch));
+    }
+}

@@ -19,6 +19,12 @@
 //!   non-targeted with high probability.
 //! * [`store`] — the Figure 1 metadata database (active users, round
 //!   aggregates, crawler datasets), in memory.
+//! * [`cluster`] — the multi-backend aggregation cluster: a shard map
+//!   partitioning report ownership by client id, a [`cluster::RoutingBus`]
+//!   fanning envelopes out over per-shard uplinks, a
+//!   [`cluster::ClusterBackend`] merging per-shard partials through
+//!   [`cluster::ViewMerger`], and a mid-round failover path that
+//!   reassigns and replays a dead shard's key range.
 //! * [`node`] — the role-service API: [`node::ClientNode`],
 //!   [`node::OprfFrontend`] and [`node::AggregationBackend`] interact
 //!   only through versioned `Envelope`s over a [`node::ServiceBus`]
@@ -37,6 +43,7 @@
 
 pub mod backend;
 pub mod client;
+pub mod cluster;
 pub mod crawler;
 pub mod eval;
 pub mod ids;
@@ -48,6 +55,7 @@ pub mod system;
 
 pub use backend::BackendServer;
 pub use client::Client;
+pub use cluster::{ClusterBackend, RoutingBus, ShardFailure, ShardView, ViewMerger};
 pub use crawler::Crawler;
 pub use eval::{EvalOracles, EvalTree};
 pub use ids::AdIdMapper;

@@ -394,15 +394,30 @@ impl RoundOpen {
             // envelope kinds can also come back Ok(None) (an absorbed
             // peer Error, say) and must not inflate the tally. Err(_)
             // = rejected (duplicate, wrong params, spoofed sender):
-            // doesn't count, doesn't abort the round. Replies (a query
-            // that was already queued when the round started, say) are
-            // routed back to their senders, per the backend contract.
+            // doesn't count, doesn't abort the round — but the sender
+            // is answered with an explicit `Message::Error` (mapped
+            // through `RoundError::error_code`) instead of silence, so
+            // a peer can tell a service rejection from frame loss.
+            // Replies (a query that was already queued when the round
+            // started, say) are routed back to their senders, per the
+            // backend contract.
             match result {
                 Ok(None) if is_report => reports += 1,
                 Ok(Some(reply)) => {
                     bus.send(requester, reply).expect("requester mailbox open");
                 }
-                Ok(None) | Err(_) => {}
+                Ok(None) => {}
+                Err(e) => {
+                    let reply = Envelope::new(
+                        NodeId::Backend,
+                        round,
+                        ew_proto::Message::Error {
+                            code: e.error_code(),
+                            detail: e.to_string(),
+                        },
+                    );
+                    bus.send(requester, reply).expect("requester mailbox open");
+                }
             }
         }
         RoundReports {
@@ -826,6 +841,60 @@ mod tests {
         let recovered = collected.recover(&[] as &[NoClient], params, 1, &mut backend, &mut bus);
         let driven = recovered.finalize(&mut backend, &mut bus);
         assert_eq!(driven.reports, 0);
+    }
+
+    #[test]
+    fn rejected_report_gets_an_explicit_error_reply_not_silence() {
+        use crate::backend::BackendServer;
+        use crate::ids::AdIdMapper;
+        use ew_core::ThresholdPolicy;
+        use ew_proto::error_code;
+        use ew_sketch::CmsParams;
+
+        let params = CmsParams::new(2, 32, 3);
+        let mut backend = BackendServer::new(8, params, AdIdMapper::new(64), ThresholdPolicy::Mean);
+        backend.enroll(1, ew_bigint::UBig::from_u64(2));
+        let mut bus = InProcBus::new();
+        let report = |cells: Vec<u32>| {
+            Envelope::new(
+                NodeId::Client(1),
+                1,
+                Message::Report {
+                    user: 1,
+                    round: 1,
+                    depth: 2,
+                    width: 32,
+                    seed: 3,
+                    cells,
+                },
+            )
+        };
+        let cells: Vec<u32> = vec![0; params.num_cells()];
+        // A duplicate report sits in the mailbox behind the genuine one
+        // (a replaying link): the duplicate's sender must receive a
+        // REJECTED_REPORT error reply, not silence.
+        bus.send(NodeId::Backend, report(cells.clone())).unwrap();
+        bus.send(NodeId::Backend, report(cells)).unwrap();
+        let open = RoundOpen::open(&mut backend, &mut bus, 1);
+        let collected =
+            open.collect_reports(&[] as &[NoClient], &[], params, 1, &mut backend, &mut bus);
+        assert_eq!(collected.reports(), 1, "the genuine report counts once");
+        let (mail, _) = bus.drain(NodeId::Client(1));
+        assert_eq!(mail.len(), 1, "one rejection, one reply");
+        assert!(
+            matches!(
+                &mail[0].msg,
+                Message::Error {
+                    code: error_code::REJECTED_REPORT,
+                    detail,
+                } if detail.contains("duplicate")
+            ),
+            "got {:?}",
+            mail[0].msg
+        );
+        collected
+            .recover(&[] as &[NoClient], params, 1, &mut backend, &mut bus)
+            .finalize(&mut backend, &mut bus);
     }
 
     #[test]

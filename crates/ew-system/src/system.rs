@@ -54,13 +54,14 @@
 
 use crate::backend::BackendServer;
 use crate::client::Client;
+use crate::cluster::{ClusterBackend, RoutingBus};
 use crate::ids::AdIdMapper;
 use crate::node::{drive_round, pump_backend, InProcBus, ServiceBus, WireBus};
 use crate::oprf_server::OprfService;
 use crate::store::{RoundRecord, Store};
 use ew_core::{AdKey, Detector, DetectorConfig, GlobalView, ThresholdPolicy, Verdict};
 use ew_crypto::group::ModpGroup;
-use ew_proto::{Envelope, FaultConfig, Message, NodeId};
+use ew_proto::{Envelope, FaultConfig, Message, NodeId, ShardMap};
 use ew_simnet::{AdClass, ImpressionLog, Scenario};
 use ew_sketch::CmsParams;
 use ew_stats::ConfusionMatrix;
@@ -113,6 +114,11 @@ pub struct SystemConfig {
     pub detector: DetectorConfig,
     /// Parallel execution settings (sharded ingest / rounds).
     pub parallel: ParallelConfig,
+    /// Backend shards for the clustered round entry points (`1`, the
+    /// default, is a single-shard cluster; the clustered round is
+    /// bit-identical to [`EyewnderSystem::run_round`] for every value —
+    /// see `crate::cluster`).
+    pub cluster_backends: usize,
 }
 
 impl Default for SystemConfig {
@@ -126,6 +132,7 @@ impl Default for SystemConfig {
             policy: ThresholdPolicy::Mean,
             detector: DetectorConfig::default(),
             parallel: ParallelConfig::default(),
+            cluster_backends: 1,
         }
     }
 }
@@ -134,6 +141,12 @@ impl SystemConfig {
     /// Returns the config with `threads` parallel workers.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.parallel = ParallelConfig::with_threads(threads);
+        self
+    }
+
+    /// Returns the config with an `n`-shard aggregation cluster.
+    pub fn with_cluster_backends(mut self, n: usize) -> Self {
+        self.cluster_backends = n.max(1);
         self
     }
 }
@@ -371,6 +384,87 @@ impl EyewnderSystem {
             threads,
         );
         self.record_round(driven.round, driven.reports, &driven.missing, &driven.view);
+        RoundOutcome {
+            round: driven.round,
+            view: driven.view,
+            reports: driven.reports,
+            missing: driven.missing,
+            corrupt_frames: driven.corrupt_frames,
+        }
+    }
+
+    /// The key-space partition for this system's configured cluster
+    /// size ([`SystemConfig::cluster_backends`]).
+    pub fn cluster_map(&self) -> ShardMap {
+        ShardMap::uniform(self.config.cluster_backends.max(1) as u32)
+    }
+
+    /// A fresh [`ClusterBackend`] for `map`, with every enrolled
+    /// client's key replicated onto every shard's bulletin board.
+    pub fn new_cluster(&self, map: &ShardMap) -> ClusterBackend {
+        let mut cluster = ClusterBackend::new(
+            map.clone(),
+            self.group.element_len(),
+            self.config.cms,
+            self.backend.mapper(),
+            self.config.policy,
+        );
+        let directory = self.backend.directory();
+        for user in directory.user_ids() {
+            let key = directory.get(user).expect("listed user has a key");
+            cluster.enroll(user, key.clone());
+        }
+        cluster
+    }
+
+    /// Runs an aggregation round against
+    /// [`SystemConfig::cluster_backends`] in-process backend shards
+    /// behind a [`RoutingBus`] — the same typestate round machine as
+    /// [`Self::run_round`], with reports fanned out by key-space
+    /// ownership and per-shard partials merged through
+    /// `crate::cluster::ViewMerger`. Bit-identical to the single-backend
+    /// round for every cluster size.
+    pub fn run_round_clustered(&mut self, round: u64, silent: &[u32]) -> RoundOutcome {
+        let map = self.cluster_map();
+        let mut backend = self.new_cluster(&map);
+        let mut bus = RoutingBus::in_proc(map, None);
+        self.run_round_clustered_on(&mut backend, &mut bus, round, silent)
+    }
+
+    /// The clustered round **over the wire**: every report crosses its
+    /// owning shard's framed, checksummed uplink, each uplink carrying
+    /// its own instance of the given fault profile (one lossy shard does
+    /// not perturb its siblings). Equivalent to
+    /// [`Self::run_round_clustered_on`] with a wire [`RoutingBus`].
+    pub fn run_round_clustered_over_wire(
+        &mut self,
+        round: u64,
+        fault: FaultConfig,
+    ) -> RoundOutcome {
+        let map = self.cluster_map();
+        let mut backend = self.new_cluster(&map);
+        let mut bus = RoutingBus::over_wire(map, Some(fault), None);
+        self.run_round_clustered_on(&mut backend, &mut bus, round, &[])
+    }
+
+    /// Runs one clustered round over a caller-prepared cluster backend
+    /// and bus (the seam the failover drills use: hand in a
+    /// [`RoutingBus`] with a scripted `crate::cluster::ShardFailure`).
+    /// The finalized view is recorded in the metadata store and
+    /// installed on the system's resident backend, so audits and
+    /// `#Users` queries see cluster rounds exactly like local ones.
+    pub fn run_round_clustered_on<B: ServiceBus>(
+        &mut self,
+        backend: &mut ClusterBackend,
+        bus: &mut B,
+        round: u64,
+        silent: &[u32],
+    ) -> RoundOutcome {
+        let params = self.config.cms;
+        let threads = self.config.parallel.threads.max(1);
+        let driven = drive_round(&self.clients, backend, bus, params, round, silent, threads);
+        self.record_round(driven.round, driven.reports, &driven.missing, &driven.view);
+        self.backend.install_view(driven.round, driven.view.clone());
         RoundOutcome {
             round: driven.round,
             view: driven.view,

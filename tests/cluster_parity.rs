@@ -1,0 +1,276 @@
+//! The acceptance property of the multi-backend aggregation cluster:
+//! a weekly round driven against N backend shards behind a routing bus
+//! — in-proc or over per-shard wire uplinks, with or without a
+//! mid-round shard failover — produces a `RoundOutcome` **bit-identical**
+//! to the single-backend round, for every cluster size and thread
+//! count. Blinded cell accumulation is associative and commutative and
+//! key-space ownership partitions the per-user validation state, so
+//! sharding (and re-sharding, mid-round) must be unobservable in the
+//! output.
+//!
+//! Fault coverage: per-shard wire uplinks under drop+corrupt+duplicate+
+//! reorder recover residue-free and deterministically (same seeds →
+//! same outcome), like the single-backend wire round.
+
+use eyewnder::proto::{FaultConfig, ShardMap};
+use eyewnder::simnet::{ClusterScenario, DriverScale, ShardKill, WeeklyDriver};
+use eyewnder::system::cluster::{RoutingBus, ShardFailure};
+use eyewnder::system::{EyewnderSystem, RoundOutcome, SystemConfig};
+
+const fn seed() -> u64 {
+    0xC1A5_0005
+}
+
+fn driver() -> WeeklyDriver {
+    // 12 users, 25 sites, full Table 1 visit rate: every cluster size
+    // in the matrix gets multi-client shards, small enough for debug CI.
+    WeeklyDriver::new(seed(), DriverScale::Fraction(40), 12)
+}
+
+fn system(threads: usize, cohort: usize) -> EyewnderSystem {
+    EyewnderSystem::new(
+        SystemConfig {
+            seed: seed(),
+            // Smaller sketch than the deployment default: the parity
+            // matrix runs many rounds in debug CI, and dimension parity
+            // is independent of the cell count.
+            cms: eyewnder::sketch::CmsParams::new(4, 512, 0xC1A5),
+            ..SystemConfig::default()
+        }
+        .with_threads(threads),
+        cohort,
+    )
+}
+
+fn assert_bit_identical(a: &RoundOutcome, b: &RoundOutcome, label: &str) {
+    assert_eq!(a.round, b.round, "{label}");
+    assert_eq!(a.reports, b.reports, "{label}");
+    assert_eq!(a.missing, b.missing, "{label}");
+    assert_eq!(a.corrupt_frames, b.corrupt_frames, "{label}");
+    assert_eq!(a.view, b.view, "{label}");
+    assert_eq!(
+        a.view.sorted_estimates(),
+        b.view.sorted_estimates(),
+        "{label}"
+    );
+    assert_eq!(
+        a.view.users_threshold().to_bits(),
+        b.view.users_threshold().to_bits(),
+        "{label}: Users_th must match to the last bit"
+    );
+}
+
+fn failure_plan(kill: Option<ShardKill>) -> Option<ShardFailure> {
+    kill.map(|k| ShardFailure {
+        shard: k.shard,
+        after_sends: k.after_sends,
+    })
+}
+
+/// Runs one clustered round per the scenario over the requested
+/// transport, returning the outcome and the routing bus's final map
+/// version (to prove scripted failovers actually fired).
+fn clustered_round(
+    sys: &mut EyewnderSystem,
+    scenario: ClusterScenario,
+    wire: bool,
+    round: u64,
+    silent: &[u32],
+) -> (RoundOutcome, u32) {
+    sys.config.cluster_backends = scenario.backends;
+    let map = sys.cluster_map();
+    let mut backend = sys.new_cluster(&map);
+    if wire {
+        let mut bus = RoutingBus::over_wire(map, None, failure_plan(scenario.failover));
+        let outcome = sys.run_round_clustered_on(&mut backend, &mut bus, round, silent);
+        (outcome, bus.map().version())
+    } else {
+        let mut bus = RoutingBus::in_proc(map, failure_plan(scenario.failover));
+        let outcome = sys.run_round_clustered_on(&mut backend, &mut bus, round, silent);
+        (outcome, bus.map().version())
+    }
+}
+
+#[test]
+fn clustered_round_bit_identical_to_single_backend_for_backends_1_2_4() {
+    // The full matrix: backends {1, 2, 4} (plus a mid-round failover
+    // drill per multi-shard size, killing a shard while the report
+    // stream is in flight) × threads {1, 4} × {in-proc, wire}. Every
+    // cell must reproduce the single-backend round to the last bit.
+    let driver = driver();
+    let (scenario, weeks, cohort) = driver.workload(1);
+    let matrix = driver.cluster_matrix(&[1, 2, 4]);
+
+    for threads in [1usize, 4] {
+        let mut sys = system(threads, cohort);
+        sys.ingest(scenario, &weeks[0]);
+        let baseline = sys.run_round(1, &[]);
+        assert_eq!(baseline.reports, cohort);
+
+        for cluster in &matrix {
+            for wire in [false, true] {
+                let label = format!(
+                    "threads={threads} backends={} failover={:?} wire={wire}",
+                    cluster.backends, cluster.failover
+                );
+                let (outcome, map_version) = clustered_round(&mut sys, *cluster, wire, 1, &[]);
+                assert_bit_identical(&baseline, &outcome, &label);
+                if cluster.failover.is_some() {
+                    assert_eq!(map_version, 1, "{label}: the kill must have fired");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn clustered_recovery_round_bit_identical_to_single_backend() {
+    // Silent clients force the §6 recovery round: adjustments are
+    // routed to each surviving client's owning shard and subtracted
+    // there, and the merged view must still match the single backend's.
+    let driver = driver();
+    let (scenario, weeks, cohort) = driver.workload(1);
+    let silent = [2u32, 9];
+
+    for threads in [1usize, 4] {
+        let mut sys = system(threads, cohort);
+        sys.ingest(scenario, &weeks[0]);
+        let baseline = sys.run_round(1, &silent);
+        assert_eq!(baseline.missing, silent);
+        assert_eq!(baseline.reports, cohort - silent.len());
+
+        for backends in [1usize, 2, 4] {
+            for wire in [false, true] {
+                let cluster = ClusterScenario {
+                    backends,
+                    failover: None,
+                };
+                let label = format!("threads={threads} backends={backends} wire={wire}");
+                let (outcome, _) = clustered_round(&mut sys, cluster, wire, 1, &silent);
+                assert_bit_identical(&baseline, &outcome, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn mid_round_failover_during_recovery_still_finalizes_bit_identically() {
+    // The hardest failover window: the shard dies *after* absorbing its
+    // reports but *while* recovery adjustments are in flight. Its
+    // absorbed state is gone; the cluster backend must rebuild it from
+    // the journal replay and the bus must re-deliver the in-flight
+    // adjustments, so the finalized view still cancels every blinding
+    // term exactly.
+    let driver = driver();
+    let (scenario, weeks, cohort) = driver.workload(1);
+    let silent = [2u32, 9];
+    let reports = cohort - silent.len();
+
+    for threads in [1usize, 4] {
+        let mut sys = system(threads, cohort);
+        sys.ingest(scenario, &weeks[0]);
+        let baseline = sys.run_round(1, &silent);
+
+        for backends in [2usize, 4] {
+            for wire in [false, true] {
+                let cluster = ClusterScenario {
+                    backends,
+                    failover: Some(ShardKill {
+                        shard: (backends - 1) as u32,
+                        // All reports are in flight, plus a few
+                        // adjustments: the kill lands mid-recovery.
+                        after_sends: reports + 3,
+                    }),
+                };
+                let label = format!("threads={threads} backends={backends} wire={wire}");
+                let (outcome, map_version) = clustered_round(&mut sys, cluster, wire, 1, &silent);
+                assert_eq!(map_version, 1, "{label}: the kill must have fired");
+                assert_bit_identical(&baseline, &outcome, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn clustered_wire_round_under_drop_corrupt_recovers_residue_free_and_deterministically() {
+    // Per-shard lossy uplinks: reports lost to drops/corruption make
+    // their senders missing, recovery runs over the re-established
+    // clean links, and the whole faulty path is deterministic — the
+    // same seeds produce the same outcome, run to run.
+    let driver = driver();
+    let (scenario, weeks, cohort) = driver.workload(1);
+    let fault = FaultConfig {
+        drop_prob: 0.25,
+        corrupt_prob: 0.2,
+        duplicate_prob: 0.1,
+        reorder_prob: 0.2,
+        seed: 29,
+    };
+
+    for backends in [2usize, 4] {
+        let mut first: Option<RoundOutcome> = None;
+        for run in 0..2 {
+            let mut sys = system(1, cohort);
+            sys.config.cluster_backends = backends;
+            sys.ingest(scenario, &weeks[0]);
+            let outcome = sys.run_round_clustered_over_wire(1, fault);
+            // The assertion must be falsifiable: with these
+            // probabilities and seeds the faults deterministically fire,
+            // so a regression that silently disables the per-shard
+            // FaultConfig (lossless uplinks) fails here.
+            assert!(
+                outcome.reports < cohort || outcome.corrupt_frames > 0,
+                "backends={backends}: the harsh links must actually bite"
+            );
+            assert!(
+                !outcome.missing.is_empty(),
+                "backends={backends}: lost reports must surface as missing clients"
+            );
+            for est in outcome.view.distribution() {
+                assert!(
+                    est <= cohort as f64 + 5.0,
+                    "backends={backends}: estimate {est} is blinding residue"
+                );
+            }
+            match &first {
+                None => first = Some(outcome),
+                Some(baseline) => assert_bit_identical(
+                    baseline,
+                    &outcome,
+                    &format!("backends={backends} run={run}"),
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn clustered_views_serve_audits_like_local_rounds() {
+    // The clustered round lands its merged view on the system's
+    // resident backend, so `#Users` audits answer from it exactly as
+    // they would after a local round.
+    let driver = driver();
+    let (scenario, weeks, cohort) = driver.workload(1);
+    let mut local = system(1, cohort);
+    local.ingest(scenario, &weeks[0]);
+    local.run_round(1, &[]);
+
+    let mut clustered = system(1, cohort);
+    clustered.config.cluster_backends = 4;
+    clustered.ingest(scenario, &weeks[0]);
+    clustered.run_round_clustered(1, &[]);
+
+    let map = ShardMap::uniform(4);
+    assert_eq!(map.version(), 0, "no failover in this round");
+    let mut audits = 0usize;
+    for record in weeks[0].records() {
+        if (record.user as usize) < cohort && audits < 20 {
+            let a = local.audit_over_wire(record.user, record.ad);
+            let b = clustered.audit_over_wire(record.user, record.ad);
+            assert_eq!(a, b, "user {} ad {}", record.user, record.ad);
+            assert!(b.is_some(), "a finalized cluster view must answer");
+            audits += 1;
+        }
+    }
+    assert!(audits > 0, "the log must exercise some audits");
+}
