@@ -139,6 +139,68 @@ fn bench_blinding_vector(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sha256_multilane(c: &mut Criterion) {
+    // The lane dividend in isolation: eight independent 128-byte
+    // messages hashed one at a time vs. interleaved 8-wide. The laned
+    // path is what the blinding expansion rides on.
+    let msgs: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i.wrapping_mul(37); 128]).collect();
+    let refs: [&[u8]; 8] = std::array::from_fn(|i| msgs[i].as_slice());
+    let mut group = c.benchmark_group("sha256_multilane");
+    group.bench_function("scalar_8x128B", |b| {
+        b.iter(|| {
+            for m in &refs {
+                black_box(Sha256::digest(black_box(m)));
+            }
+        })
+    });
+    group.bench_function("lanes8_8x128B", |b| {
+        b.iter(|| black_box(ew_crypto::sha256::digest_lanes(black_box(&refs))))
+    });
+    group.finish();
+}
+
+fn bench_blinding_multiweek(c: &mut Criterion) {
+    // The multi-week client workload: each iteration runs two weekly
+    // rounds of (report blinding + recovery adjustment for a 10%
+    // dropout) over fresh round numbers. "warm" retains streams in the
+    // per-generator cache, so the adjustment rederivation and any
+    // same-round reuse hit cached bytes; "cold" recomputes everything.
+    let mut rng = StdRng::seed_from_u64(4);
+    let group_small = ModpGroup::generate(&mut rng, 64);
+    let mut dir = KeyDirectory::new(group_small.element_len());
+    let mut pairs = Vec::new();
+    for id in 0..100u32 {
+        let kp = DhKeyPair::generate(&group_small, &mut rng);
+        dir.publish(id, kp.public().clone());
+        pairs.push(kp);
+    }
+    let missing = [3u32, 11, 17, 28, 42, 55, 61, 76, 83, 97];
+    let mut group = c.benchmark_group("blinding_multiweek");
+    group.sample_size(20);
+    for (name, cache_rounds) in [("cold", 0usize), ("warm", 2)] {
+        let mut generator = BlindingGenerator::new(&group_small, 0, &pairs[0], &dir);
+        generator.enable_cache(cache_rounds);
+        let mut blinding = Vec::new();
+        let mut adjustment = Vec::new();
+        group.bench_function(name, |b| {
+            let mut round = 0u64;
+            b.iter(|| {
+                for _ in 0..2 {
+                    round += 1;
+                    let params = BlindingParams {
+                        round,
+                        num_cells: 5_000,
+                    };
+                    generator.blinding_vector_into(params, &mut blinding);
+                    generator.adjustment_vector_into(params, &missing, &mut adjustment);
+                    black_box((&blinding, &adjustment));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sha256,
@@ -147,6 +209,8 @@ criterion_group!(
     bench_oprf_roundtrip,
     bench_oprf_batch,
     bench_dh_modp2048,
-    bench_blinding_vector
+    bench_blinding_vector,
+    bench_sha256_multilane,
+    bench_blinding_multiweek
 );
 criterion_main!(benches);

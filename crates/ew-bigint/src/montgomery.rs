@@ -121,13 +121,46 @@ impl MontScratch {
 
     /// Grows every fixed buffer to cover a `k`-limb modulus.
     fn ensure(&mut self, k: usize) {
-        if self.t.len() < 2 * k + 2 {
-            self.t.resize(2 * k + 2, 0);
+        if self.t.len() < sq_scratch_len(k) {
+            self.t.resize(sq_scratch_len(k), 0);
             self.table.resize(16 * k, 0);
             self.acc.resize(k, 0);
             self.tmp.resize(k, 0);
             self.base.resize(k, 0);
         }
+    }
+}
+
+/// Moduli at least this many limbs wide (4096 bits) square via
+/// Karatsuba; below it the fused schoolbook triangle wins (the
+/// recursion's adds/copies outweigh the saved multiplies).
+const KARATSUBA_SQ_LIMBS: usize = 64;
+
+/// Karatsuba recursion bottoms out on the schoolbook triangle at this
+/// operand width.
+const KARATSUBA_BASE_LIMBS: usize = 32;
+
+/// Scratch limbs `mont_sq` needs for a `k`-limb modulus: the `2k+2`
+/// product/reduction buffer plus, above the Karatsuba threshold, the
+/// recursion's sum/z1 workspace.
+fn sq_scratch_len(k: usize) -> usize {
+    let kara = if k >= KARATSUBA_SQ_LIMBS {
+        kara_scratch_len(k)
+    } else {
+        0
+    };
+    2 * k + 2 + kara
+}
+
+/// Workspace for one full Karatsuba square of `n` limbs: per level,
+/// `m+1` limbs for `a0+a1` and `2(m+1)` for its square, where
+/// `m+1 = n - n/2 + 1` is the largest recursive operand.
+fn kara_scratch_len(n: usize) -> usize {
+    if n <= KARATSUBA_BASE_LIMBS {
+        0
+    } else {
+        let m1 = n - n / 2 + 1;
+        3 * m1 + kara_scratch_len(m1)
     }
 }
 
@@ -620,13 +653,16 @@ impl MontgomeryCtx {
 
     /// Dedicated Montgomery squaring: `out = a²·R^{-1} mod n`.
     ///
-    /// Computes the full 2k-limb square with the triangle trick (each
-    /// cross product once, doubled in a shift pass) and then runs one
-    /// reduction sweep — `≈1.5k²` word multiplies versus the `2k²` of
-    /// [`Self::mont_mul`]. Squarings dominate every exponentiation, so
-    /// this is the single hottest loop in the crypto stack.
+    /// Computes the full 2k-limb square — schoolbook triangle below
+    /// [`KARATSUBA_SQ_LIMBS`] (`≈1.5k²` word multiplies versus the
+    /// `2k²` of [`Self::mont_mul`]), Karatsuba recursion at and above
+    /// it (`O(k^1.58)`) — and then runs one reduction sweep. Both
+    /// paths produce the identical exact product, so the reduced
+    /// result is bit-for-bit the same on either side of the threshold.
+    /// Squarings dominate every exponentiation, so this is the single
+    /// hottest loop in the crypto stack.
     ///
-    /// `scratch` must provide at least `2k+2` limbs.
+    /// `scratch` must provide at least [`sq_scratch_len`]`(k)` limbs.
     fn mont_sq(&self, a: &[u64], scratch: &mut [u64], out: &mut [u64]) {
         ops_trace::record_mont_mul();
         let k = self.k;
@@ -634,86 +670,13 @@ impl MontgomeryCtx {
         let a = &a[..k];
         // p holds the full product then the reduction tail; one extra
         // limb for the final carry.
-        let p = &mut scratch[..2 * k + 1];
-        p.fill(0);
-
-        // Cross products a[i]·a[j], j > i, each computed once. Rows are
-        // processed in pairs (rows i and i+1 interleaved in one fused
-        // loop with independent carry chains), halving the serial
-        // carry-chain latency exactly like the paired reduction sweep.
-        let mut i = 0;
-        while i + 1 < k {
-            let ai = a[i] as u128;
-            let ai1 = a[i + 1] as u128;
-            if i + 3 <= k {
-                // Head: positions 2i+1 and 2i+2 belong to row i alone
-                // (row i+1 starts at 2i+3).
-                let s = p[2 * i + 1] as u128 + ai * a[i + 1] as u128;
-                p[2 * i + 1] = s as u64;
-                let mut c1 = (s >> 64) as u64;
-                let s = p[2 * i + 2] as u128 + ai * a[i + 2] as u128 + c1 as u128;
-                p[2 * i + 2] = s as u64;
-                c1 = (s >> 64) as u64;
-                let mut c2: u64 = 0;
-                // Fused body: row i contributes a[pos-i], row i+1
-                // contributes a[pos-i-1], both at position pos.
-                for pos in 2 * i + 3..i + k {
-                    let s = p[pos] as u128 + ai * a[pos - i] as u128 + c1 as u128;
-                    c1 = (s >> 64) as u64;
-                    let s2 = (s as u64) as u128 + ai1 * a[pos - i - 1] as u128 + c2 as u128;
-                    c2 = (s2 >> 64) as u64;
-                    p[pos] = s2 as u64;
-                }
-                // Tail at position i+k: row i+1's last product plus
-                // both carries (two u128 steps keep sums in range);
-                // the combined overflow ripples from i+k+1 (almost
-                // always one step).
-                let s = p[i + k] as u128 + ai1 * a[k - 1] as u128 + c2 as u128;
-                let s2 = (s as u64) as u128 + c1 as u128;
-                p[i + k] = s2 as u64;
-                let mut carry = (s >> 64) + (s2 >> 64);
-                let mut pos = i + k + 1;
-                while carry > 0 {
-                    let t = p[pos] as u128 + carry;
-                    p[pos] = t as u64;
-                    carry = t >> 64;
-                    pos += 1;
-                }
-            } else {
-                // i == k-2: row i has the single product a[k-2]·a[k-1]
-                // at position 2k-3 and row i+1 is empty.
-                let s = p[2 * k - 3] as u128 + ai * a[k - 1] as u128;
-                p[2 * k - 3] = s as u64;
-                let mut carry = s >> 64;
-                let mut pos = 2 * k - 2;
-                while carry > 0 {
-                    let t = p[pos] as u128 + carry;
-                    p[pos] = t as u64;
-                    carry = t >> 64;
-                    pos += 1;
-                }
-            }
-            i += 2;
+        let (p, kara) = scratch.split_at_mut(2 * k + 1);
+        if k >= KARATSUBA_SQ_LIMBS {
+            sqr_karatsuba(a, &mut p[..2 * k], kara);
+        } else {
+            sqr_schoolbook(a, &mut p[..2 * k]);
         }
-        // Odd k leaves row k-1, which has no cross products.
-
-        // Double the cross products and add the diagonal a[i]² terms in
-        // a single pass (two limbs per i).
-        let mut msb: u64 = 0;
-        let mut carry: u64 = 0;
-        for i in 0..k {
-            let sq = a[i] as u128 * a[i] as u128;
-            let d0 = p[2 * i];
-            let s = (((d0 << 1) | msb) as u128) + (sq as u64) as u128 + carry as u128;
-            p[2 * i] = s as u64;
-            let d1 = p[2 * i + 1];
-            let s2 = (((d1 << 1) | (d0 >> 63)) as u128) + ((sq >> 64) as u64) as u128 + (s >> 64);
-            p[2 * i + 1] = s2 as u64;
-            msb = d1 >> 63;
-            carry = (s2 >> 64) as u64;
-        }
-        // a² < 2^(128k), so the top limb only ever holds defensive bits.
-        p[2 * k] = msb + carry;
+        p[2 * k] = 0;
 
         // Montgomery reduction sweep (paired rows, see `reduce_sweep`).
         reduce_sweep(p, n, self.n0inv);
@@ -811,7 +774,9 @@ impl FixedBaseTable {
             base.clone()
         };
         let windows = max_exp_bits.div_ceil(4).max(1);
-        let mut scratch = vec![0u64; 2 * k + 2];
+        // Sized for mont_sq (Karatsuba scratch included above the
+        // threshold), not just the CIOS multiply.
+        let mut scratch = vec![0u64; sq_scratch_len(k)];
         // cur = Montgomery form of base^(16^i).
         let mut cur = vec![0u64; k];
         ctx.mont_mul(&pad_limbs(&base, k), &ctx.r2, &mut scratch, &mut cur);
@@ -892,6 +857,192 @@ fn exp_nibble(exp: &UBig, w: usize) -> usize {
         }
     }
     nibble
+}
+
+/// Full `2k`-limb square of `a` into `p` by the schoolbook triangle:
+/// each cross product `a[i]·a[j]` (`j > i`) computed once, doubled in a
+/// shift pass that also adds the diagonal `a[i]²` terms.
+///
+/// Rows are processed in pairs (rows `i` and `i+1` interleaved in one
+/// fused loop with independent carry chains), halving the serial
+/// carry-chain latency exactly like the paired reduction sweep.
+///
+/// `p.len()` must be exactly `2·a.len()`; the square fits it exactly
+/// (`a² < 2^(128k)`), so no carry ever escapes.
+fn sqr_schoolbook(a: &[u64], p: &mut [u64]) {
+    let k = a.len();
+    debug_assert_eq!(p.len(), 2 * k);
+    p.fill(0);
+
+    let mut i = 0;
+    while i + 1 < k {
+        let ai = a[i] as u128;
+        let ai1 = a[i + 1] as u128;
+        if i + 3 <= k {
+            // Head: positions 2i+1 and 2i+2 belong to row i alone
+            // (row i+1 starts at 2i+3).
+            let s = p[2 * i + 1] as u128 + ai * a[i + 1] as u128;
+            p[2 * i + 1] = s as u64;
+            let mut c1 = (s >> 64) as u64;
+            let s = p[2 * i + 2] as u128 + ai * a[i + 2] as u128 + c1 as u128;
+            p[2 * i + 2] = s as u64;
+            c1 = (s >> 64) as u64;
+            let mut c2: u64 = 0;
+            // Fused body: row i contributes a[pos-i], row i+1
+            // contributes a[pos-i-1], both at position pos.
+            for pos in 2 * i + 3..i + k {
+                let s = p[pos] as u128 + ai * a[pos - i] as u128 + c1 as u128;
+                c1 = (s >> 64) as u64;
+                let s2 = (s as u64) as u128 + ai1 * a[pos - i - 1] as u128 + c2 as u128;
+                c2 = (s2 >> 64) as u64;
+                p[pos] = s2 as u64;
+            }
+            // Tail at position i+k: row i+1's last product plus
+            // both carries (two u128 steps keep sums in range);
+            // the combined overflow ripples from i+k+1 (almost
+            // always one step). Partial cross sums stay below
+            // 2^(128k-1), so the ripple never leaves p.
+            let s = p[i + k] as u128 + ai1 * a[k - 1] as u128 + c2 as u128;
+            let s2 = (s as u64) as u128 + c1 as u128;
+            p[i + k] = s2 as u64;
+            let mut carry = (s >> 64) + (s2 >> 64);
+            let mut pos = i + k + 1;
+            while carry > 0 {
+                let t = p[pos] as u128 + carry;
+                p[pos] = t as u64;
+                carry = t >> 64;
+                pos += 1;
+            }
+        } else {
+            // i == k-2: row i has the single product a[k-2]·a[k-1]
+            // at position 2k-3 and row i+1 is empty.
+            let s = p[2 * k - 3] as u128 + ai * a[k - 1] as u128;
+            p[2 * k - 3] = s as u64;
+            let mut carry = s >> 64;
+            let mut pos = 2 * k - 2;
+            while carry > 0 {
+                let t = p[pos] as u128 + carry;
+                p[pos] = t as u64;
+                carry = t >> 64;
+                pos += 1;
+            }
+        }
+        i += 2;
+    }
+    // Odd k leaves row k-1, which has no cross products.
+
+    // Double the cross products and add the diagonal a[i]² terms in
+    // a single pass (two limbs per i).
+    let mut msb: u64 = 0;
+    let mut carry: u64 = 0;
+    for i in 0..k {
+        let sq = a[i] as u128 * a[i] as u128;
+        let d0 = p[2 * i];
+        let s = (((d0 << 1) | msb) as u128) + (sq as u64) as u128 + carry as u128;
+        p[2 * i] = s as u64;
+        let d1 = p[2 * i + 1];
+        let s2 = (((d1 << 1) | (d0 >> 63)) as u128) + ((sq >> 64) as u64) as u128 + (s >> 64);
+        p[2 * i + 1] = s2 as u64;
+        msb = d1 >> 63;
+        carry = (s2 >> 64) as u64;
+    }
+    debug_assert_eq!(msb + carry, 0, "a² fits exactly 2k limbs");
+}
+
+/// Full `2n`-limb square of `a` by Karatsuba recursion, bottoming out
+/// on [`sqr_schoolbook`] at [`KARATSUBA_BASE_LIMBS`].
+///
+/// With `a = a1·2^(64h) + a0` (`h = n/2`):
+///
+/// ```text
+/// a² = a1²·2^(128h) + (( a0+a1 )² − a0² − a1²)·2^(64h) + a0²
+/// ```
+///
+/// `a0²` and `a1²` land directly in `out`'s low/high halves; the middle
+/// term (`2·a0·a1`, non-negative by construction) is added at limb
+/// offset `h`. Exact integer arithmetic throughout — the result is
+/// bit-identical to the schoolbook square.
+///
+/// `scratch` must provide [`kara_scratch_len`]`(n)` limbs.
+fn sqr_karatsuba(a: &[u64], out: &mut [u64], scratch: &mut [u64]) {
+    let n = a.len();
+    debug_assert_eq!(out.len(), 2 * n);
+    if n <= KARATSUBA_BASE_LIMBS {
+        sqr_schoolbook(a, out);
+        return;
+    }
+    let h = n / 2;
+    let m = n - h;
+    let (a0, a1) = a.split_at(h);
+    let (sum, rest) = scratch.split_at_mut(m + 1);
+    let (z1, rest) = rest.split_at_mut(2 * (m + 1));
+
+    // z0 = a0², z2 = a1², in place (out's halves are disjoint).
+    {
+        let (lo, hi) = out.split_at_mut(2 * h);
+        sqr_karatsuba(a0, lo, rest);
+        sqr_karatsuba(a1, hi, rest);
+    }
+
+    // sum = a0 + a1 over m+1 limbs (a0 zero-extended, top limb carry).
+    let mut carry = 0u64;
+    for i in 0..m {
+        let x = if i < h { a0[i] } else { 0 };
+        let s = x as u128 + a1[i] as u128 + carry as u128;
+        sum[i] = s as u64;
+        carry = (s >> 64) as u64;
+    }
+    sum[m] = carry;
+
+    // z1 = (a0 + a1)², then z1 −= z0 + z2 — leaving 2·a0·a1, which
+    // cannot underflow at either step ((a0+a1)² ≥ a0² + a1²).
+    sqr_karatsuba(sum, z1, rest);
+    let borrow = sub_in_place(z1, &out[..2 * h]) + sub_in_place(z1, &out[2 * h..]);
+    debug_assert_eq!(borrow, 0, "middle Karatsuba term is non-negative");
+
+    // out += z1 · 2^(64h). 2·a0·a1 < 2^(64(n+1)) so the add region
+    // h..h+2(m+1) stays inside out for every n > base (m+2 ≤ n), and
+    // the final value a² fits 2n limbs, so no carry escapes.
+    add_shifted(out, z1, h);
+}
+
+/// `acc −= sub` over `sub.len()` limbs, borrowing through the rest of
+/// `acc`; returns the final borrow (0 when `acc ≥ sub`).
+fn sub_in_place(acc: &mut [u64], sub: &[u64]) -> u64 {
+    let mut borrow = 0u64;
+    for i in 0..sub.len() {
+        let (d, b1) = acc[i].overflowing_sub(sub[i]);
+        let (d, b2) = d.overflowing_sub(borrow);
+        acc[i] = d;
+        borrow = (b1 || b2) as u64;
+    }
+    for limb in &mut acc[sub.len()..] {
+        if borrow == 0 {
+            break;
+        }
+        let (d, b) = limb.overflowing_sub(borrow);
+        *limb = d;
+        borrow = b as u64;
+    }
+    borrow
+}
+
+/// `out += add · 2^(64·shift)`, rippling the carry until absorbed (the
+/// caller guarantees the sum fits `out`).
+fn add_shifted(out: &mut [u64], add: &[u64], shift: usize) {
+    let mut carry = 0u64;
+    for (i, &v) in add.iter().enumerate() {
+        let s = out[shift + i] as u128 + v as u128 + carry as u128;
+        out[shift + i] = s as u64;
+        carry = (s >> 64) as u64;
+    }
+    let mut pos = shift + add.len();
+    while carry > 0 {
+        let s = out[pos] as u128 + carry as u128;
+        out[pos] = s as u64;
+        carry = (s >> 64) as u64;
+        pos += 1;
+    }
 }
 
 /// The Montgomery reduction sweep shared by the squaring path and the
@@ -1405,6 +1556,75 @@ mod tests {
                 assert_eq!(value, exp, "recoding must reconstruct the exponent");
             }
         }
+    }
+
+    #[test]
+    fn karatsuba_square_matches_schoolbook_exactly() {
+        // The raw kernels, differentially, across the threshold and at
+        // odd/even widths (odd n gives unbalanced splits at every
+        // recursion level), including skewed operands (high/low halves
+        // all-ones or zero) that stress the middle-term carries.
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(0x4A7A);
+        for n_limbs in [33usize, 48, 63, 64, 65, 97, 128] {
+            let mut scratch = vec![0u64; kara_scratch_len(n_limbs)];
+            let mut want = vec![0u64; 2 * n_limbs];
+            let mut got = vec![0u64; 2 * n_limbs];
+            for case in 0..6 {
+                let mut a = vec![0u64; n_limbs];
+                match case {
+                    0 => a.iter_mut().for_each(|l| *l = rng.gen()),
+                    1 => a.iter_mut().for_each(|l| *l = u64::MAX),
+                    2 => a[n_limbs / 2..].iter_mut().for_each(|l| *l = u64::MAX),
+                    3 => a[..n_limbs / 2].iter_mut().for_each(|l| *l = u64::MAX),
+                    4 => a[0] = 1,
+                    _ => {} // zero
+                }
+                sqr_schoolbook(&a, &mut want);
+                sqr_karatsuba(&a, &mut got, &mut scratch);
+                assert_eq!(got, want, "n_limbs={n_limbs} case={case}");
+            }
+        }
+    }
+
+    #[test]
+    fn modpow_above_karatsuba_threshold_matches_generic() {
+        // End-to-end: sliding-window exponentiation over 4032/4096/4160-
+        // bit moduli (one limb below the threshold, at it, and above it
+        // with an odd limb count) against the division-based ladder.
+        // Short-ish exponents keep the generic oracle affordable in
+        // debug builds.
+        let mut rng = StdRng::seed_from_u64(0x4A7B);
+        for bits in [4032usize, 4096, 4160] {
+            let m = random_odd_bits(&mut rng, bits);
+            let ctx = MontgomeryCtx::new(&m);
+            let base = random_below(&mut rng, &m);
+            for exp_bits in [1usize, 64, 160] {
+                let mut exp = random_below(&mut rng, &(&UBig::one() << exp_bits));
+                if exp.is_zero() {
+                    exp = UBig::one();
+                }
+                assert_eq!(
+                    ctx.modpow(&base, &exp),
+                    base.modpow_generic(&exp, &m),
+                    "bits={bits} exp_bits={exp_bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_base_table_works_above_karatsuba_threshold() {
+        // FixedBaseTable::new sizes its own scratch and calls mont_sq
+        // directly; above the threshold that scratch must include the
+        // Karatsuba workspace.
+        let mut rng = StdRng::seed_from_u64(0x4A7C);
+        let m = random_odd_bits(&mut rng, 4096);
+        let ctx = MontgomeryCtx::new(&m);
+        let base = random_below(&mut rng, &m);
+        let table = FixedBaseTable::new(Arc::new(ctx), &base, 64);
+        let exp = UBig::from_u64(0xDEAD_BEEF_1234_5678);
+        assert_eq!(table.pow(&exp), base.modpow_generic(&exp, &m));
     }
 
     #[test]

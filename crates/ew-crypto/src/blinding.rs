@@ -23,12 +23,28 @@
 //! recovery has the server broadcast `M` and each reporting client answer
 //! with exactly that residue — [`BlindingGenerator::adjustment_vector`] —
 //! which the server subtracts to restore a clean aggregate.
+//!
+//! ## Derivation pipeline
+//!
+//! Per peer the generator holds a cached-midstate [`HmacKey`] (the
+//! pairwise secret never changes), and per `(peer, round)` the cell
+//! stream is a [`BlindingStream`]: counter-mode HMAC blocks expanded
+//! through the multi-lane SHA-256 path and extendable in place when the
+//! cell count grows. An optional cross-round cache
+//! ([`BlindingGenerator::enable_cache`]) keeps the most recent rounds'
+//! streams so the recovery round — and repeated derivations in
+//! multi-week campaigns — reuse bytes instead of rehashing them. The
+//! cache is behind a `Mutex`, so generators stay `Sync` and the sharded
+//! parallel round can keep calling `blinding_vector` through `&self`.
+//! Cached and cold derivations are bit-identical (counter blocks are
+//! position-independent), which the determinism suites pin end to end.
 
 use crate::dh::DhKeyPair;
 use crate::directory::{KeyDirectory, UserId};
 use crate::group::ModpGroup;
-use crate::hmac::hmac_expand;
+use crate::hmac::{hmac_expand_multi, hmac_expand_multi_at, HmacKey};
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// Per-round parameters for blinding derivation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,12 +58,157 @@ pub struct BlindingParams {
 /// Domain-separation label for the per-pair cell stream.
 const BLIND_LABEL: &[u8] = b"eyewnder/blinding/v1";
 
-/// Holds one user's pairwise shared secrets and derives blinding vectors.
+/// `info` bytes for one (pair, round) stream: label ‖ be64(round).
+const INFO_LEN: usize = BLIND_LABEL.len() + 8;
+
+fn stream_info(round: u64) -> [u8; INFO_LEN] {
+    let mut info = [0u8; INFO_LEN];
+    info[..BLIND_LABEL.len()].copy_from_slice(BLIND_LABEL);
+    info[BLIND_LABEL.len()..].copy_from_slice(&round.to_be_bytes());
+    info
+}
+
+/// One pair's per-round cell stream, derived lazily and extendable in
+/// place.
+///
+/// Bytes are materialized in whole 32-byte HMAC counter blocks; growing
+/// a stream expands only the missing tail (counter blocks are
+/// independent), so the result is bit-identical to a from-scratch
+/// derivation at the larger length.
+#[derive(Clone, Debug)]
+pub struct BlindingStream {
+    key: HmacKey,
+    info: [u8; INFO_LEN],
+    bytes: Vec<u8>,
+}
+
+impl BlindingStream {
+    /// A fresh, empty stream for `(key, round)`.
+    pub fn new(key: &HmacKey, round: u64) -> Self {
+        BlindingStream {
+            key: key.clone(),
+            info: stream_info(round),
+            bytes: Vec::new(),
+        }
+    }
+
+    /// Returns at least `len` stream bytes, deriving the missing tail.
+    pub fn bytes(&mut self, len: usize) -> &[u8] {
+        if self.bytes.len() < len {
+            let want = len.div_ceil(32) * 32;
+            let have_blocks = self.bytes.len() / 32;
+            self.bytes.resize(want, 0);
+            hmac_expand_multi_at(
+                &self.key,
+                &self.info,
+                have_blocks as u32,
+                &mut self.bytes[have_blocks * 32..],
+            );
+        }
+        &self.bytes[..len]
+    }
+
+    /// Bytes materialized so far (always a multiple of 32).
+    pub fn derived_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// Mutable derivation state: a reusable scratch stream for cold
+/// derivations plus the optional cross-round cache.
+#[derive(Debug)]
+struct GenState {
+    /// Cold-path scratch: reused across peers so the hot loop never
+    /// allocates once it has warmed up to the round's stream length.
+    scratch: Vec<u8>,
+    cache: Option<StreamCache>,
+}
+
+/// Cross-round stream cache, keyed by `(round, peer)` so whole rounds
+/// evict with a range removal.
 #[derive(Debug, Clone)]
+struct StreamCache {
+    retain_rounds: usize,
+    streams: BTreeMap<(u64, UserId), BlindingStream>,
+    /// Byte buffers harvested from evicted streams, recycled into new
+    /// ones so steady-state round turnover stops allocating.
+    pool: Vec<Vec<u8>>,
+}
+
+impl StreamCache {
+    /// Drops entire rounds, oldest first, until at most `retain_rounds`
+    /// distinct rounds remain; evicted buffers land in the pool.
+    fn evict(&mut self) {
+        loop {
+            let mut rounds = 0usize;
+            let mut last = None;
+            for &(round, _) in self.streams.keys() {
+                if last != Some(round) {
+                    rounds += 1;
+                    last = Some(round);
+                }
+            }
+            if rounds <= self.retain_rounds {
+                return;
+            }
+            let oldest = self
+                .streams
+                .keys()
+                .next()
+                .map(|&(round, _)| round)
+                .expect("rounds > retain ≥ 1 implies entries");
+            let newer = self.streams.split_off(&(oldest + 1, UserId::MIN));
+            for (_, stream) in std::mem::replace(&mut self.streams, newer) {
+                self.pool.push(stream.bytes);
+            }
+        }
+    }
+
+    /// The stream for `(round, peer)`, created from a pooled buffer on
+    /// a miss.
+    fn stream(&mut self, round: u64, peer: UserId, key: &HmacKey) -> &mut BlindingStream {
+        let StreamCache { streams, pool, .. } = self;
+        streams.entry((round, peer)).or_insert_with(|| {
+            let mut stream = BlindingStream::new(key, round);
+            if let Some(mut buf) = pool.pop() {
+                buf.clear();
+                stream.bytes = buf;
+            }
+            stream
+        })
+    }
+}
+
+/// Holds one user's pairwise shared secrets and derives blinding vectors.
 pub struct BlindingGenerator {
     user: UserId,
-    /// Peer id → serialized shared secret `y_peer^{x_self}`.
-    shared: BTreeMap<UserId, Vec<u8>>,
+    /// Peer id → HMAC midstates of the shared secret `y_peer^{x_self}`.
+    shared: BTreeMap<UserId, HmacKey>,
+    state: Mutex<GenState>,
+}
+
+impl std::fmt::Debug for BlindingGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlindingGenerator")
+            .field("user", &self.user)
+            .field("peers", &self.shared.len())
+            .field("cache_enabled", &self.cache_enabled())
+            .finish()
+    }
+}
+
+impl Clone for BlindingGenerator {
+    fn clone(&self) -> Self {
+        let state = self.state.lock().expect("blinding state poisoned");
+        BlindingGenerator {
+            user: self.user,
+            shared: self.shared.clone(),
+            state: Mutex::new(GenState {
+                scratch: Vec::new(),
+                cache: state.cache.clone(),
+            }),
+        }
+    }
 }
 
 impl BlindingGenerator {
@@ -68,9 +229,17 @@ impl BlindingGenerator {
             if peer == user {
                 continue;
             }
-            shared.insert(peer, keypair.shared_secret(group, public));
+            let secret = keypair.shared_secret(group, public);
+            shared.insert(peer, HmacKey::new(&secret));
         }
-        BlindingGenerator { user, shared }
+        BlindingGenerator {
+            user,
+            shared,
+            state: Mutex::new(GenState {
+                scratch: Vec::new(),
+                cache: None,
+            }),
+        }
     }
 
     /// The id of the user this generator belongs to.
@@ -83,53 +252,126 @@ impl BlindingGenerator {
         self.shared.len()
     }
 
-    /// Derives the per-cell contribution stream for one peer at `round`.
-    fn pair_stream(&self, peer: UserId, params: BlindingParams) -> Vec<u8> {
-        let secret = self
-            .shared
-            .get(&peer)
-            .expect("peer must be enrolled in the directory");
-        let mut info = Vec::with_capacity(BLIND_LABEL.len() + 8);
-        info.extend_from_slice(BLIND_LABEL);
-        info.extend_from_slice(&params.round.to_be_bytes());
-        hmac_expand(secret, &info, params.num_cells * 4)
+    /// Turns on the cross-round stream cache, retaining the
+    /// `retain_rounds` most recent rounds' streams (`0` disables).
+    ///
+    /// Invalidation rules: streams never go stale — a `(peer, round)`
+    /// stream is a pure function of the immutable pairwise secret — so
+    /// eviction is purely a memory bound, dropping whole rounds oldest
+    /// first once more than `retain_rounds` distinct rounds are held.
+    pub fn enable_cache(&mut self, retain_rounds: usize) {
+        let state = self.state.get_mut().expect("blinding state poisoned");
+        state.cache = if retain_rounds == 0 {
+            None
+        } else {
+            Some(StreamCache {
+                retain_rounds,
+                streams: BTreeMap::new(),
+                pool: Vec::new(),
+            })
+        };
+    }
+
+    /// Whether the cross-round stream cache is on.
+    pub fn cache_enabled(&self) -> bool {
+        self.state
+            .lock()
+            .expect("blinding state poisoned")
+            .cache
+            .is_some()
+    }
+
+    /// Number of `(peer, round)` streams currently cached.
+    pub fn cached_streams(&self) -> usize {
+        self.state
+            .lock()
+            .expect("blinding state poisoned")
+            .cache
+            .as_ref()
+            .map_or(0, |c| c.streams.len())
     }
 
     /// The blinding vector `b_i` for this round: one `u32` per cell.
     pub fn blinding_vector(&self, params: BlindingParams) -> Vec<u32> {
-        self.signed_sum(params, |_peer| true)
+        let mut out = Vec::new();
+        self.blinding_vector_into(params, &mut out);
+        out
+    }
+
+    /// Allocation-aware [`blinding_vector`](Self::blinding_vector):
+    /// reuses `out`'s capacity.
+    pub fn blinding_vector_into(&self, params: BlindingParams, out: &mut Vec<u32>) {
+        self.signed_sum_into(params, |_peer| true, out);
     }
 
     /// The recovery adjustment `Σ_{j ∈ missing} c_{ij}`: what this user
     /// contributed "against" the missing peers. The server subtracts
     /// these from the aggregate of received reports.
     pub fn adjustment_vector(&self, params: BlindingParams, missing: &[UserId]) -> Vec<u32> {
-        self.signed_sum(params, |peer| missing.contains(&peer))
+        let mut out = Vec::new();
+        self.adjustment_vector_into(params, missing, &mut out);
+        out
+    }
+
+    /// Allocation-aware [`adjustment_vector`](Self::adjustment_vector):
+    /// reuses `out`'s capacity.
+    pub fn adjustment_vector_into(
+        &self,
+        params: BlindingParams,
+        missing: &[UserId],
+        out: &mut Vec<u32>,
+    ) {
+        self.signed_sum_into(params, |peer| missing.contains(&peer), out);
     }
 
     /// Shared worker: sums signed per-peer streams over peers selected by
     /// `include`.
-    fn signed_sum<F: Fn(UserId) -> bool>(&self, params: BlindingParams, include: F) -> Vec<u32> {
-        let mut acc = vec![0u32; params.num_cells];
-        for &peer in self.shared.keys() {
+    fn signed_sum_into<F: Fn(UserId) -> bool>(
+        &self,
+        params: BlindingParams,
+        include: F,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        out.resize(params.num_cells, 0);
+        let len = params.num_cells * 4;
+        let mut guard = self.state.lock().expect("blinding state poisoned");
+        let GenState { scratch, cache } = &mut *guard;
+        for (&peer, key) in &self.shared {
             if !include(peer) {
                 continue;
             }
-            let stream = self.pair_stream(peer, params);
             let positive = self.user > peer;
-            for (m, cell) in acc.iter_mut().enumerate() {
-                let bytes: [u8; 4] = stream[m * 4..m * 4 + 4]
-                    .try_into()
-                    .expect("stream sized to 4 bytes per cell");
-                let v = u32::from_be_bytes(bytes);
-                *cell = if positive {
-                    cell.wrapping_add(v)
-                } else {
-                    cell.wrapping_sub(v)
-                };
+            match cache {
+                Some(c) => {
+                    let stream = c.stream(params.round, peer, key);
+                    accumulate(out, stream.bytes(len), positive);
+                }
+                None => {
+                    if scratch.len() < len {
+                        scratch.resize(len.div_ceil(32) * 32, 0);
+                    }
+                    hmac_expand_multi(key, &stream_info(params.round), &mut scratch[..len]);
+                    accumulate(out, &scratch[..len], positive);
+                }
             }
         }
-        acc
+        if let Some(c) = cache {
+            c.evict();
+        }
+    }
+}
+
+/// Folds a signed per-peer stream into the accumulator, wrapping.
+fn accumulate(acc: &mut [u32], stream: &[u8], positive: bool) {
+    debug_assert_eq!(stream.len(), acc.len() * 4);
+    for (cell, chunk) in acc.iter_mut().zip(stream.chunks_exact(4)) {
+        let v = u32::from_be_bytes(chunk.try_into().expect("chunks_exact(4)"));
+        *cell = if positive {
+            cell.wrapping_add(v)
+        } else {
+            cell.wrapping_sub(v)
+        };
     }
 }
 
@@ -293,5 +535,133 @@ mod tests {
     fn apply_blinding_length_mismatch_panics() {
         let mut cells = vec![0u32; 3];
         apply_blinding(&mut cells, &[1, 2]);
+    }
+
+    #[test]
+    fn cached_rounds_match_cold_derivation() {
+        let (group, pairs, dir) = cohort(5, 106);
+        let cold = generators(&group, &pairs, &dir);
+        let mut warm = generators(&group, &pairs, &dir);
+        for g in &mut warm {
+            g.enable_cache(2);
+        }
+
+        let missing: Vec<UserId> = vec![1, 3];
+        for round in 1..=4u64 {
+            // Growing cell count exercises in-place stream extension.
+            let params = BlindingParams {
+                round,
+                num_cells: 13 + 11 * round as usize,
+            };
+            for (c, w) in cold.iter().zip(&warm) {
+                assert_eq!(
+                    c.blinding_vector(params),
+                    w.blinding_vector(params),
+                    "round {round}"
+                );
+                // Derive twice: the second hit is served from cache.
+                assert_eq!(
+                    c.blinding_vector(params),
+                    w.blinding_vector(params),
+                    "round {round} (cache hit)"
+                );
+                assert_eq!(
+                    c.adjustment_vector(params, &missing),
+                    w.adjustment_vector(params, &missing),
+                    "round {round} adjustment"
+                );
+            }
+        }
+        // 2 retained rounds × 4 peers each.
+        assert_eq!(warm[0].cached_streams(), 8);
+    }
+
+    #[test]
+    fn cache_retains_only_recent_rounds() {
+        let (group, pairs, dir) = cohort(3, 107);
+        let mut gens = generators(&group, &pairs, &dir);
+        gens[0].enable_cache(1);
+        let p = |round| BlindingParams {
+            round,
+            num_cells: 6,
+        };
+        let v1 = gens[0].blinding_vector(p(1));
+        assert_eq!(gens[0].cached_streams(), 2, "round 1 cached (2 peers)");
+        gens[0].blinding_vector(p(2));
+        assert_eq!(gens[0].cached_streams(), 2, "round 1 evicted for round 2");
+        // Re-deriving an evicted round still matches.
+        assert_eq!(gens[0].blinding_vector(p(1)), v1);
+        // Disabling drops the cache but not correctness.
+        gens[0].enable_cache(0);
+        assert!(!gens[0].cache_enabled());
+        assert_eq!(gens[0].blinding_vector(p(1)), v1);
+    }
+
+    #[test]
+    fn blindings_cancel_under_peer_churn_with_caches() {
+        // Membership changes between rounds: generators are rebuilt
+        // against each directory generation (fresh pairwise graph), and
+        // the cancellation property must hold per generation even with
+        // every cache enabled and old-round streams still resident.
+        let mut rng = StdRng::seed_from_u64(108);
+        let group = ModpGroup::generate(&mut rng, 64);
+        let all: Vec<DhKeyPair> = (0..7)
+            .map(|_| DhKeyPair::generate(&group, &mut rng))
+            .collect();
+
+        // Round → member ids (join at round 2, leave at round 3).
+        let memberships: [&[u32]; 3] = [&[0, 1, 2, 3, 4], &[0, 1, 2, 3, 4, 5, 6], &[0, 2, 4, 5, 6]];
+        for (round, members) in memberships.iter().enumerate() {
+            let mut dir = KeyDirectory::new(group.element_len());
+            for &id in *members {
+                dir.publish(id, all[id as usize].public().clone());
+            }
+            let params = BlindingParams {
+                round: round as u64 + 1,
+                num_cells: 9,
+            };
+            let mut sum = vec![0u32; params.num_cells];
+            for &id in *members {
+                let mut g = BlindingGenerator::new(&group, id, &all[id as usize], &dir);
+                g.enable_cache(2);
+                // Warm the cache, then take the cached derivation.
+                g.blinding_vector(params);
+                apply_blinding(&mut sum, &g.blinding_vector(params));
+            }
+            assert!(
+                sum.iter().all(|&c| c == 0),
+                "round {round}: churned cohort must still cancel"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_extension_is_prefix_consistent() {
+        let key = HmacKey::new(b"pairwise");
+        let mut grown = BlindingStream::new(&key, 9);
+        let mut cold = BlindingStream::new(&key, 9);
+        let short = grown.bytes(40).to_vec();
+        assert_eq!(grown.derived_len(), 64, "whole 32-byte blocks");
+        let long = grown.bytes(200).to_vec();
+        assert_eq!(&long[..40], &short[..]);
+        assert_eq!(cold.bytes(200), &long[..]);
+    }
+
+    #[test]
+    fn generator_is_sync_and_clonable() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<BlindingGenerator>();
+
+        let (group, pairs, dir) = cohort(3, 109);
+        let mut g = BlindingGenerator::new(&group, 0, &pairs[0], &dir);
+        g.enable_cache(2);
+        let params = BlindingParams {
+            round: 1,
+            num_cells: 5,
+        };
+        let v = g.blinding_vector(params);
+        let clone = g.clone();
+        assert!(clone.cache_enabled(), "clone keeps cache config");
+        assert_eq!(clone.blinding_vector(params), v);
     }
 }

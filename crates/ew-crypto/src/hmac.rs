@@ -1,51 +1,262 @@
-//! HMAC-SHA256 (RFC 2104) and a simple counter-mode expansion helper used
-//! to derive arbitrary-length pseudo-random byte strings from shared DH
+//! HMAC-SHA256 (RFC 2104) and a counter-mode expansion helper used to
+//! derive arbitrary-length pseudo-random byte strings from shared DH
 //! secrets (the `H(y^x || m || s)` step of the blinding construction).
+//!
+//! ## The expansion hot path
+//!
+//! Blinding derivation expands the *same pairwise key* into thousands
+//! of 32-byte counter blocks per round, so the naive cost model — four
+//! compressions per block (ipad, message, opad, digest) — is mostly
+//! waste:
+//!
+//! * [`HmacKey`] caches the SHA-256 midstates after the ipad and opad
+//!   blocks. The pairwise secret never changes, so those two
+//!   compressions are paid once per peer instead of once per counter
+//!   block — halving the steady-state work.
+//! * [`hmac_expand_multi`] runs the two remaining compressions for up
+//!   to eight *independent* counters at once through
+//!   [`crate::sha256::compress_lanes`], provided `info` is short
+//!   enough that `info || be32(counter)` plus padding fits a single
+//!   block (`info.len() ≤ 51`; the blinding label + round is 28
+//!   bytes). Longer infos fall back to the scalar midstate path.
+//!
+//! Both layers are bit-identical to [`hmac_sha256`]/[`hmac_expand`] —
+//! pinned by the RFC 4231 suite and differential proptests.
 
-use crate::sha256::{Sha256, DIGEST_LEN};
+use crate::sha256::{self, Sha256, DIGEST_LEN};
 
 const BLOCK_LEN: usize = 64;
 
+/// Longest `info` for which `info || be32(counter)` still fits one
+/// padded SHA-256 block (1 byte 0x80 + 8-byte length ⇒ 55 payload
+/// bytes), enabling the multi-lane fast path.
+const LANE_INFO_MAX: usize = 55 - 4;
+
+/// An HMAC-SHA256 key with precomputed ipad/opad midstates.
+///
+/// Constructing the key costs the usual two key-block compressions;
+/// every subsequent [`mac`](Self::mac) then skips them. For
+/// counter-mode expansion over a long-lived key (the pairwise blinding
+/// secrets) this halves the compression count.
+#[derive(Clone)]
+pub struct HmacKey {
+    /// SHA-256 state after absorbing `key ⊕ ipad`.
+    inner: [u32; 8],
+    /// SHA-256 state after absorbing `key ⊕ opad`.
+    outer: [u32; 8],
+}
+
+impl std::fmt::Debug for HmacKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Midstates are key material: don't leak them into logs.
+        f.write_str("HmacKey(..)")
+    }
+}
+
+impl HmacKey {
+    /// Derives the midstates from raw key bytes (hashing first when the
+    /// key exceeds the block size, per RFC 2104).
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            key_block[..DIGEST_LEN].copy_from_slice(&Sha256::digest(key));
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad = [0x36u8; BLOCK_LEN];
+        let mut opad = [0x5cu8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] ^= key_block[i];
+            opad[i] ^= key_block[i];
+        }
+
+        let mut inner = sha256::INIT;
+        sha256::compress_block(&mut inner, &ipad);
+        let mut outer = sha256::INIT;
+        sha256::compress_block(&mut outer, &opad);
+        HmacKey { inner, outer }
+    }
+
+    /// `HMAC-SHA256(key, message)` from the cached midstates.
+    pub fn mac(&self, message: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = sha256::resume(self.inner, BLOCK_LEN as u64);
+        h.update(message);
+        let inner_digest = h.finalize();
+        let mut h = sha256::resume(self.outer, BLOCK_LEN as u64);
+        h.update(&inner_digest);
+        h.finalize()
+    }
+}
+
 /// `HMAC-SHA256(key, message)`.
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
-    let mut key_block = [0u8; BLOCK_LEN];
-    if key.len() > BLOCK_LEN {
-        key_block[..DIGEST_LEN].copy_from_slice(&Sha256::digest(key));
-    } else {
-        key_block[..key.len()].copy_from_slice(key);
-    }
-
-    let mut ipad = [0x36u8; BLOCK_LEN];
-    let mut opad = [0x5cu8; BLOCK_LEN];
-    for i in 0..BLOCK_LEN {
-        ipad[i] ^= key_block[i];
-        opad[i] ^= key_block[i];
-    }
-
-    let inner = Sha256::digest_parts(&[&ipad, message]);
-    Sha256::digest_parts(&[&opad, &inner])
+    HmacKey::new(key).mac(message)
 }
 
 /// Expands `(key, info)` into `len` pseudo-random bytes via counter-mode
 /// HMAC: `T_i = HMAC(key, info || be32(i))`, concatenated and truncated.
 pub fn hmac_expand(key: &[u8], info: &[u8], len: usize) -> Vec<u8> {
-    let mut out = Vec::with_capacity(len);
-    let mut counter: u32 = 0;
-    while out.len() < len {
-        let mut msg = Vec::with_capacity(info.len() + 4);
-        msg.extend_from_slice(info);
-        msg.extend_from_slice(&counter.to_be_bytes());
-        out.extend_from_slice(&hmac_sha256(key, &msg));
-        counter = counter.checked_add(1).expect("expansion too large");
-    }
-    out.truncate(len);
+    let mut out = vec![0u8; len];
+    hmac_expand_into(key, info, &mut out);
     out
+}
+
+/// Allocation-aware [`hmac_expand`]: fills `out` in place.
+pub fn hmac_expand_into(key: &[u8], info: &[u8], out: &mut [u8]) {
+    hmac_expand_multi(&HmacKey::new(key), info, out);
+}
+
+/// Counter-mode expansion from cached midstates, multi-lane where the
+/// message is single-block: fills `out` with
+/// `HMAC(key, info || be32(0)) || HMAC(key, info || be32(1)) || …`
+/// truncated to `out.len()`.
+///
+/// Equivalent to [`hmac_expand`] with the same key bytes; this is the
+/// blinding hot loop's entry point (allocation-free on the fast path).
+pub fn hmac_expand_multi(key: &HmacKey, info: &[u8], out: &mut [u8]) {
+    hmac_expand_multi_at(key, info, 0, out);
+}
+
+/// [`hmac_expand_multi`] starting at counter block `first`: fills `out`
+/// with `T_first || T_{first+1} || …` truncated to `out.len()`.
+///
+/// This is the incremental-extension primitive: a stream derived for
+/// `n` blocks grows to `m > n` blocks by expanding `first = n` into the
+/// tail, yielding bytes identical to a from-scratch `m`-block
+/// expansion (counter blocks are independent).
+pub fn hmac_expand_multi_at(key: &HmacKey, info: &[u8], first: u32, out: &mut [u8]) {
+    if out.is_empty() {
+        return;
+    }
+    let blocks = out.len().div_ceil(DIGEST_LEN);
+    assert!(
+        (first as usize)
+            .checked_add(blocks - 1)
+            .is_some_and(|last| last <= u32::MAX as usize),
+        "expansion too large"
+    );
+
+    if info.len() <= LANE_INFO_MAX {
+        expand_single_block(key, info, first, out);
+    } else {
+        expand_scalar(key, info, first, out);
+    }
+}
+
+/// Fast path: `info || be32(counter)` fits one padded block, so each
+/// `T_i` is exactly one inner + one outer compression — laned 8- and
+/// 4-wide over independent counters. No heap allocation.
+fn expand_single_block(key: &HmacKey, info: &[u8], first: u32, out: &mut [u8]) {
+    // Inner-block template: info, counter placeholder, then SHA-256
+    // padding for a (BLOCK_LEN + info.len() + 4)-byte message.
+    let mut inner_tmpl = [0u8; BLOCK_LEN];
+    inner_tmpl[..info.len()].copy_from_slice(info);
+    inner_tmpl[info.len() + 4] = 0x80;
+    let inner_bits = ((BLOCK_LEN + info.len() + 4) as u64) * 8;
+    inner_tmpl[56..64].copy_from_slice(&inner_bits.to_be_bytes());
+
+    let mut counter = first;
+    let mut chunks = out.chunks_mut(DIGEST_LEN);
+    loop {
+        let remaining = chunks.len();
+        if remaining >= 8 {
+            let group = expand_group::<8>(key, &inner_tmpl, info.len(), counter);
+            for t in group {
+                write_block(chunks.next().expect("checked len"), &t);
+            }
+            counter += 8;
+        } else if remaining >= 4 {
+            let group = expand_group::<4>(key, &inner_tmpl, info.len(), counter);
+            for t in group {
+                write_block(chunks.next().expect("checked len"), &t);
+            }
+            counter += 4;
+        } else if remaining >= 1 {
+            let [t] = expand_group::<1>(key, &inner_tmpl, info.len(), counter);
+            write_block(chunks.next().expect("checked len"), &t);
+            counter += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Computes `L` consecutive counter blocks through the lane-parallel
+/// compressor: one laned inner compression, one laned outer.
+fn expand_group<const L: usize>(
+    key: &HmacKey,
+    inner_tmpl: &[u8; BLOCK_LEN],
+    info_len: usize,
+    first: u32,
+) -> [[u8; DIGEST_LEN]; L] {
+    let mut blocks = [*inner_tmpl; L];
+    for (l, b) in blocks.iter_mut().enumerate() {
+        b[info_len..info_len + 4].copy_from_slice(&(first + l as u32).to_be_bytes());
+    }
+    let mut states = [key.inner; L];
+    sha256::compress_lanes(&mut states, &blocks);
+
+    // Outer block: inner digest + padding for a 96-byte message.
+    let mut outer_blocks = [[0u8; BLOCK_LEN]; L];
+    for (l, b) in outer_blocks.iter_mut().enumerate() {
+        for (i, word) in states[l].iter().enumerate() {
+            b[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        b[DIGEST_LEN] = 0x80;
+        b[56..64].copy_from_slice(&(((BLOCK_LEN + DIGEST_LEN) as u64) * 8).to_be_bytes());
+    }
+    let mut outer_states = [key.outer; L];
+    sha256::compress_lanes(&mut outer_states, &outer_blocks);
+
+    let mut out = [[0u8; DIGEST_LEN]; L];
+    for l in 0..L {
+        for (i, word) in outer_states[l].iter().enumerate() {
+            out[l][i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+    }
+    out
+}
+
+/// Slow path for long infos: scalar midstate HMAC per counter. One
+/// transient message buffer for the whole expansion.
+fn expand_scalar(key: &HmacKey, info: &[u8], first: u32, out: &mut [u8]) {
+    let mut msg = Vec::with_capacity(info.len() + 4);
+    msg.extend_from_slice(info);
+    msg.extend_from_slice(&[0u8; 4]);
+    for (counter, chunk) in (first..).zip(out.chunks_mut(DIGEST_LEN)) {
+        msg[info.len()..].copy_from_slice(&counter.to_be_bytes());
+        write_block(chunk, &key.mac(&msg));
+    }
+}
+
+fn write_block(chunk: &mut [u8], t: &[u8; DIGEST_LEN]) {
+    let n = chunk.len();
+    chunk.copy_from_slice(&t[..n]);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sha256::to_hex;
+
+    /// HMAC computed the pre-midstate way, as the differential oracle.
+    fn hmac_naive(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            key_block[..DIGEST_LEN].copy_from_slice(&Sha256::digest(key));
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; BLOCK_LEN];
+        let mut opad = [0x5cu8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] ^= key_block[i];
+            opad[i] ^= key_block[i];
+        }
+        let inner = Sha256::digest_parts(&[&ipad, message]);
+        Sha256::digest_parts(&[&opad, &inner])
+    }
 
     #[test]
     fn rfc4231_test_case_1() {
@@ -78,6 +289,16 @@ mod tests {
     }
 
     #[test]
+    fn rfc4231_test_case_4() {
+        let key: Vec<u8> = (0x01..=0x19).collect();
+        let data = [0xcdu8; 50];
+        assert_eq!(
+            to_hex(&hmac_sha256(&key, &data)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+        );
+    }
+
+    #[test]
     fn rfc4231_long_key() {
         // Test case 6: key longer than the block size is hashed first.
         let key = [0xaau8; 131];
@@ -89,6 +310,57 @@ mod tests {
             to_hex(&digest),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
         );
+    }
+
+    #[test]
+    fn rfc4231_long_key_and_data() {
+        // Test case 7: both key and data exceed the block size.
+        let key = [0xaau8; 131];
+        let data = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        assert_eq!(
+            to_hex(&hmac_sha256(&key, data)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn cached_midstates_match_naive_hmac() {
+        // The RFC 4231 corpus plus edge-size keys, via both the
+        // midstate path and the from-scratch oracle.
+        let cases: [(&[u8], &[u8]); 6] = [
+            (&[0x0bu8; 20], b"Hi There"),
+            (b"Jefe", b"what do ya want for nothing?"),
+            (&[0xaau8; 131], b"hash the key first"),
+            (&[0x42u8; 64], b"key exactly one block"),
+            (&[0x42u8; 65], b"key one byte over"),
+            (b"", b""),
+        ];
+        for (key, msg) in cases {
+            let cached = HmacKey::new(key);
+            assert_eq!(
+                cached.mac(msg),
+                hmac_naive(key, msg),
+                "key len {}",
+                key.len()
+            );
+            // Reuse: a second mac from the same midstates is identical.
+            assert_eq!(cached.mac(msg), hmac_naive(key, msg));
+        }
+    }
+
+    /// The pre-PR6 expansion, kept as the differential oracle.
+    fn expand_naive(key: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut counter: u32 = 0;
+        while out.len() < len {
+            let mut msg = Vec::with_capacity(info.len() + 4);
+            msg.extend_from_slice(info);
+            msg.extend_from_slice(&counter.to_be_bytes());
+            out.extend_from_slice(&hmac_naive(key, &msg));
+            counter += 1;
+        }
+        out.truncate(len);
+        out
     }
 
     #[test]
@@ -109,5 +381,64 @@ mod tests {
     fn expand_domain_separated() {
         assert_ne!(hmac_expand(b"k1", b"i", 32), hmac_expand(b"k2", b"i", 32));
         assert_ne!(hmac_expand(b"k", b"i1", 32), hmac_expand(b"k", b"i2", 32));
+    }
+
+    #[test]
+    fn laned_expand_matches_naive_across_lane_remainders() {
+        // Output lengths chosen to exercise every lane grouping: full
+        // 8-groups, a 4-group remainder, scalar stragglers, and a
+        // truncated final block.
+        let key = b"pairwise-secret";
+        let info = b"eyewnder/blinding/v1\x00\x00\x00\x00\x00\x00\x00\x2a";
+        for len in [
+            0usize, 1, 31, 32, 33, 127, 128, 129, 160, 255, 256, 257, 384, 400, 512, 1000,
+        ] {
+            assert_eq!(
+                hmac_expand(key, info, len),
+                expand_naive(key, info, len),
+                "len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn long_info_falls_back_to_scalar_and_matches() {
+        // info too long for the single-block fast path (> 51 bytes).
+        let info = [0x5au8; 80];
+        for len in [32usize, 100, 300] {
+            assert_eq!(
+                hmac_expand(b"key", &info, len),
+                expand_naive(b"key", &info, len),
+                "len={len}"
+            );
+        }
+        // Boundary: the longest single-block info and one byte past it.
+        for info_len in [LANE_INFO_MAX, LANE_INFO_MAX + 1] {
+            let info = vec![0x17u8; info_len];
+            assert_eq!(
+                hmac_expand(b"key", &info, 320),
+                expand_naive(b"key", &info, 320),
+                "info_len={info_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn expand_at_counter_extends_streams_incrementally() {
+        let key = HmacKey::new(b"stream-key");
+        let info = b"blinding/info";
+        let full = hmac_expand(b"stream-key", info, 512);
+        // Derive [0, 96) then extend [96, 512) from counter 3.
+        let mut grown = vec![0u8; 512];
+        hmac_expand_multi(&key, info, &mut grown[..96]);
+        hmac_expand_multi_at(&key, info, 3, &mut grown[96..]);
+        assert_eq!(grown, full);
+    }
+
+    #[test]
+    fn expand_into_matches_allocating_variant() {
+        let mut buf = [0u8; 300];
+        hmac_expand_into(b"key", b"info", &mut buf);
+        assert_eq!(&buf[..], &hmac_expand(b"key", b"info", 300)[..]);
     }
 }

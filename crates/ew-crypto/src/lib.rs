@@ -42,10 +42,11 @@ pub mod sha256;
 #[cfg(test)]
 mod proptests;
 
-pub use blinding::{BlindingGenerator, BlindingParams};
+pub use blinding::{BlindingGenerator, BlindingParams, BlindingStream};
 pub use dh::DhKeyPair;
 pub use directory::KeyDirectory;
 pub use group::ModpGroup;
+pub use hmac::HmacKey;
 pub use multi_oprf::{multi_evaluate_direct, MultiOprfClient};
 pub use oprf::{OprfClient, OprfServerKey, OPRF_OUTPUT_LEN};
 pub use rsa::RsaKeyPair;

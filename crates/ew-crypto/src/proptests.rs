@@ -223,4 +223,83 @@ proptest! {
         h.update(&data[split..]);
         prop_assert_eq!(h.finalize(), Sha256::digest(&data));
     }
+
+    #[test]
+    fn sha256_lanes_equal_scalar_for_any_length(
+        len in 0usize..300,
+        seed in any::<u64>(),
+    ) {
+        // Eight distinct messages of one random length (covering both
+        // one- and two-block padding tails) through the 8- and 4-lane
+        // compressors versus the scalar hasher.
+        use crate::sha256::{digest_lanes, Sha256};
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msgs: Vec<Vec<u8>> = (0..8).map(|_| (0..len).map(|_| rng.gen()).collect()).collect();
+        let refs8: [&[u8]; 8] = std::array::from_fn(|l| msgs[l].as_slice());
+        let refs4: [&[u8]; 4] = std::array::from_fn(|l| msgs[l].as_slice());
+        let got8 = digest_lanes::<8>(&refs8);
+        let got4 = digest_lanes::<4>(&refs4);
+        for l in 0..8 {
+            prop_assert_eq!(got8[l], Sha256::digest(&msgs[l]));
+        }
+        for l in 0..4 {
+            prop_assert_eq!(got4[l], Sha256::digest(&msgs[l]));
+        }
+    }
+
+    #[test]
+    fn hmac_expand_equals_per_counter_hmac(
+        key in proptest::collection::vec(any::<u8>(), 0..80),
+        info in proptest::collection::vec(any::<u8>(), 0..70),
+        len in 0usize..600,
+    ) {
+        // The laned/midstate expansion against the definition: for any
+        // key and info (spanning the single-block fast path and the
+        // long-info fallback) and any length (spanning lane remainders
+        // and truncated tails), out = T_0 || T_1 || … truncated.
+        use crate::hmac::{hmac_expand, hmac_sha256};
+        let got = hmac_expand(&key, &info, len);
+        let mut want = Vec::with_capacity(len + 32);
+        let mut counter = 0u32;
+        while want.len() < len {
+            let mut msg = info.clone();
+            msg.extend_from_slice(&counter.to_be_bytes());
+            want.extend_from_slice(&hmac_sha256(&key, &msg));
+            counter += 1;
+        }
+        want.truncate(len);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cached_blinding_streams_equal_cold_for_any_round_schedule(
+        rounds in proptest::collection::vec((any::<u64>(), 1usize..50), 1..6),
+        seed in any::<u64>(),
+    ) {
+        // Any sequence of (round, num_cells) requests — including
+        // repeats that hit the cache and growing cell counts that
+        // extend streams in place — matches a cache-less generator.
+        let group = shared_group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dir = KeyDirectory::new(group.element_len());
+        let pairs: Vec<DhKeyPair> = (0..3u32)
+            .map(|id| {
+                let kp = DhKeyPair::generate(group, &mut rng);
+                dir.publish(id, kp.public().clone());
+                kp
+            })
+            .collect();
+        let cold = BlindingGenerator::new(group, 0, &pairs[0], &dir);
+        let mut warm = BlindingGenerator::new(group, 0, &pairs[0], &dir);
+        warm.enable_cache(2);
+        for &(round, num_cells) in &rounds {
+            let params = BlindingParams { round, num_cells };
+            prop_assert_eq!(cold.blinding_vector(params), warm.blinding_vector(params));
+            prop_assert_eq!(
+                cold.adjustment_vector(params, &[2]),
+                warm.adjustment_vector(params, &[2])
+            );
+        }
+    }
 }

@@ -3,6 +3,21 @@
 //! Used throughout the protocol as `H` in blinding-factor derivation, as
 //! the hash-to-`Z_N` map of the OPRF, and as the outer hash `G` that turns
 //! OPRF group elements into fixed-length ad identifiers.
+//!
+//! ## Multi-lane compression
+//!
+//! The blinding hot loop hashes thousands of *independent* one-block
+//! messages per round (HMAC counter-mode streams — see
+//! [`crate::hmac`]), so besides the incremental scalar hasher this
+//! module provides [`compress_lanes`]: a block-parallel compression
+//! that advances `L` independent states by one block each in a single
+//! interleaved pass. Every working variable is a `[u32; L]` lane array
+//! and every operation is elementwise, which the compiler
+//! auto-vectorizes into SIMD lanes on any target — pure safe rust, no
+//! intrinsics. [`digest_lanes`] is the one-shot convenience over equal
+//! length inputs. Outputs are **bit-identical** to the scalar path by
+//! construction (same round function, differently scheduled); the
+//! differential tests and proptests pin it.
 
 /// Incremental SHA-256 hasher.
 ///
@@ -145,50 +160,209 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        compress_block(&mut self.state, block);
+    }
+}
+
+/// The SHA-256 initial hash value, for callers building midstates
+/// (HMAC ipad/opad caching in [`crate::hmac`]).
+pub(crate) const INIT: [u32; 8] = H0;
+
+/// Resumes hashing from a captured compression state.
+///
+/// `len` is the number of message bytes already folded into `state`
+/// (must be a multiple of 64). Used by the HMAC midstate cache to skip
+/// re-compressing the padded-key block on every call.
+pub(crate) fn resume(state: [u32; 8], len: u64) -> Sha256 {
+    debug_assert_eq!(len % 64, 0, "midstates sit on block boundaries");
+    Sha256 {
+        state,
+        len,
+        buf: [0u8; 64],
+        buf_len: 0,
+    }
+}
+
+/// One scalar compression round: folds `block` into `state` in place.
+pub(crate) fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for i in 0..16 {
+        w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Block-parallel compression: advances `states[l]` by `blocks[l]` for
+/// all `L` lanes at once.
+///
+/// The working variables are lane arrays and every step is an
+/// elementwise u32 operation, so the optimizer turns the inner `for l`
+/// loops into SIMD lanes (SSE2/AVX2/NEON) without any
+/// target-specific code. Each lane computes exactly the scalar
+/// compression function — outputs are bit-identical to
+/// [`Sha256::digest`] per lane.
+///
+/// `L` is typically 8 (one AVX2 register of u32s) or 4; any `L ≥ 1`
+/// is correct.
+pub fn compress_lanes<const L: usize>(states: &mut [[u32; 8]; L], blocks: &[[u8; 64]; L]) {
+    // Message schedule, structure-of-arrays: w[i] holds word i of all lanes.
+    let mut w = [[0u32; L]; 64];
+    for i in 0..16 {
+        for l in 0..L {
+            w[i][l] = u32::from_be_bytes(blocks[l][i * 4..i * 4 + 4].try_into().expect("4 bytes"));
         }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
+    }
+    for i in 16..64 {
+        let (lo, hi) = w.split_at_mut(i);
+        let wi = &mut hi[0];
+        for l in 0..L {
+            let x = lo[i - 15][l];
+            let y = lo[i - 2][l];
+            let s0 = x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3);
+            let s1 = y.rotate_right(17) ^ y.rotate_right(19) ^ (y >> 10);
+            wi[l] = lo[i - 16][l]
                 .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
+                .wrapping_add(lo[i - 7][l])
                 .wrapping_add(s1);
         }
+    }
 
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
+    let mut a = [0u32; L];
+    let mut b = [0u32; L];
+    let mut c = [0u32; L];
+    let mut d = [0u32; L];
+    let mut e = [0u32; L];
+    let mut f = [0u32; L];
+    let mut g = [0u32; L];
+    let mut h = [0u32; L];
+    for l in 0..L {
+        [a[l], b[l], c[l], d[l], e[l], f[l], g[l], h[l]] = states[l];
+    }
+
+    for i in 0..64 {
+        for l in 0..L {
+            let s1 = e[l].rotate_right(6) ^ e[l].rotate_right(11) ^ e[l].rotate_right(25);
+            let ch = (e[l] & f[l]) ^ (!e[l] & g[l]);
+            let t1 = h[l]
                 .wrapping_add(s1)
                 .wrapping_add(ch)
                 .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
+                .wrapping_add(w[i][l]);
+            let s0 = a[l].rotate_right(2) ^ a[l].rotate_right(13) ^ a[l].rotate_right(22);
+            let maj = (a[l] & b[l]) ^ (a[l] & c[l]) ^ (b[l] & c[l]);
             let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
+            h[l] = g[l];
+            g[l] = f[l];
+            f[l] = e[l];
+            e[l] = d[l].wrapping_add(t1);
+            d[l] = c[l];
+            c[l] = b[l];
+            b[l] = a[l];
+            a[l] = t1.wrapping_add(t2);
         }
-
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
     }
+
+    for l in 0..L {
+        let st = &mut states[l];
+        st[0] = st[0].wrapping_add(a[l]);
+        st[1] = st[1].wrapping_add(b[l]);
+        st[2] = st[2].wrapping_add(c[l]);
+        st[3] = st[3].wrapping_add(d[l]);
+        st[4] = st[4].wrapping_add(e[l]);
+        st[5] = st[5].wrapping_add(f[l]);
+        st[6] = st[6].wrapping_add(g[l]);
+        st[7] = st[7].wrapping_add(h[l]);
+    }
+}
+
+/// One-shot multi-lane digest of `L` equal-length messages.
+///
+/// All inputs must share one length (lanes advance in lockstep through
+/// the same block count); panics otherwise. Bit-identical to calling
+/// [`Sha256::digest`] on each input.
+pub fn digest_lanes<const L: usize>(inputs: &[&[u8]; L]) -> [[u8; DIGEST_LEN]; L] {
+    let len = inputs[0].len();
+    assert!(
+        inputs.iter().all(|m| m.len() == len),
+        "digest_lanes requires equal-length inputs"
+    );
+
+    let mut states = [H0; L];
+    let mut blocks = [[0u8; 64]; L];
+    let full = len / 64;
+    for blk in 0..full {
+        for l in 0..L {
+            blocks[l].copy_from_slice(&inputs[l][blk * 64..blk * 64 + 64]);
+        }
+        compress_lanes(&mut states, &blocks);
+    }
+
+    // Padding: 0x80, zeros, 8-byte bit length — spills into a second
+    // block when fewer than 9 bytes of the last block remain.
+    let rem = len - full * 64;
+    let bit_len = (len as u64).wrapping_mul(8).to_be_bytes();
+    for l in 0..L {
+        blocks[l] = [0u8; 64];
+        blocks[l][..rem].copy_from_slice(&inputs[l][full * 64..]);
+        blocks[l][rem] = 0x80;
+        if rem < 56 {
+            blocks[l][56..64].copy_from_slice(&bit_len);
+        }
+    }
+    compress_lanes(&mut states, &blocks);
+    if rem >= 56 {
+        let mut tail = [[0u8; 64]; L];
+        for t in tail.iter_mut() {
+            t[56..64].copy_from_slice(&bit_len);
+        }
+        compress_lanes(&mut states, &tail);
+    }
+
+    let mut out = [[0u8; DIGEST_LEN]; L];
+    for l in 0..L {
+        for (i, word) in states[l].iter().enumerate() {
+            out[l][i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+    }
+    out
 }
 
 /// Hex rendering of a digest, handy in tests and logs.
@@ -274,5 +448,70 @@ mod tests {
     fn distinct_inputs_distinct_digests() {
         assert_ne!(Sha256::digest(b"a"), Sha256::digest(b"b"));
         assert_ne!(Sha256::digest(b""), Sha256::digest(b"\0"));
+    }
+
+    #[test]
+    fn lanes_match_scalar_on_nist_vectors() {
+        // Same vector in every lane, for each NIST short vector.
+        for msg in [
+            &b""[..],
+            b"abc",
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        ] {
+            let want = Sha256::digest(msg);
+            let got8 = digest_lanes::<8>(&[msg; 8]);
+            let got4 = digest_lanes::<4>(&[msg; 4]);
+            assert!(got8.iter().all(|d| *d == want), "8-lane, len={}", msg.len());
+            assert!(got4.iter().all(|d| *d == want), "4-lane, len={}", msg.len());
+        }
+    }
+
+    #[test]
+    fn lanes_match_scalar_with_distinct_inputs_across_padding_boundaries() {
+        // Distinct per-lane content at every padding-sensitive length:
+        // short, exactly 55/56 (padding split), 64 (block), and multi-block.
+        for len in [0usize, 1, 31, 55, 56, 63, 64, 65, 119, 128, 200] {
+            let msgs: Vec<Vec<u8>> = (0..8u8)
+                .map(|l| {
+                    (0..len)
+                        .map(|i| (i as u8).wrapping_mul(l + 1) ^ l)
+                        .collect()
+                })
+                .collect();
+            let refs: [&[u8]; 8] = std::array::from_fn(|l| msgs[l].as_slice());
+            let got = digest_lanes::<8>(&refs);
+            for l in 0..8 {
+                assert_eq!(got[l], Sha256::digest(&msgs[l]), "len={len} lane={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn compress_lanes_matches_scalar_compress() {
+        let mut blocks = [[0u8; 64]; 4];
+        for (l, b) in blocks.iter_mut().enumerate() {
+            for (i, byte) in b.iter_mut().enumerate() {
+                *byte = (i as u8).wrapping_add(l as u8 * 37);
+            }
+        }
+        let mut lanes = [H0; 4];
+        compress_lanes(&mut lanes, &blocks);
+        for l in 0..4 {
+            let mut scalar = H0;
+            compress_block(&mut scalar, &blocks[l]);
+            assert_eq!(lanes[l], scalar, "lane={l}");
+        }
+    }
+
+    #[test]
+    fn resume_matches_streaming() {
+        // Fold one block scalar-style, capture, resume, finish the rest.
+        let data: Vec<u8> = (0..150u8).collect();
+        let mut state = H0;
+        let first: &[u8; 64] = data[..64].try_into().unwrap();
+        compress_block(&mut state, first);
+        let mut resumed = resume(state, 64);
+        resumed.update(&data[64..]);
+        assert_eq!(resumed.finalize(), Sha256::digest(&data));
     }
 }

@@ -1,0 +1,151 @@
+//! The zero-allocation acceptance criterion of the blinding hot loop:
+//! once warmed, counter-mode HMAC expansion (`hmac_expand_into` on the
+//! single-block fast path) and per-round blinding/adjustment derivation
+//! (`*_into` with a reused output vector) must perform **zero** heap
+//! allocations — with the cross-round stream cache on (streams resident)
+//! or off (scratch buffer reused across peers).
+//!
+//! Same counting-global-allocator scheme as `ew-bigint/tests/alloc_free.rs`;
+//! the wrapper lives in this dedicated test binary so no other suite
+//! runs under it.
+
+use ew_crypto::blinding::BlindingParams;
+use ew_crypto::hmac::{hmac_expand, hmac_expand_into};
+use ew_crypto::{BlindingGenerator, DhKeyPair, KeyDirectory, ModpGroup};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Counts this thread's allocations; `realloc` counts too (a growing
+/// buffer is exactly the failure this test exists to catch).
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// Runs `f` and returns how many allocations it performed.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = allocations();
+    let result = f();
+    (allocations() - before, result)
+}
+
+/// A 5-user cohort over a small test group, with generators for all.
+fn cohort() -> Vec<BlindingGenerator> {
+    let mut rng = StdRng::seed_from_u64(0xB11D);
+    let group = ModpGroup::generate(&mut rng, 64);
+    let mut dir = KeyDirectory::new(group.element_len());
+    let pairs: Vec<DhKeyPair> = (0..5u32)
+        .map(|id| {
+            let kp = DhKeyPair::generate(&group, &mut rng);
+            dir.publish(id, kp.public().clone());
+            kp
+        })
+        .collect();
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, kp)| BlindingGenerator::new(&group, i as u32, kp, &dir))
+        .collect()
+}
+
+#[test]
+fn hmac_expand_into_fast_path_allocates_nothing() {
+    // Blinding-shaped info (28 bytes: single-block fast path) into a
+    // preallocated buffer, including a lane-remainder length.
+    let key = b"pairwise-shared-secret";
+    let info = b"eyewnder/blinding/v1\x00\x00\x00\x00\x00\x00\x00\x07";
+    for len in [4096usize, 4096 + 32 * 5 + 7] {
+        let mut out = vec![0u8; len];
+        let (allocs, ()) = count_allocs(|| hmac_expand_into(key, info, &mut out));
+        assert_eq!(
+            allocs, 0,
+            "len={len}: fast-path expansion must not allocate"
+        );
+        assert_eq!(out, hmac_expand(key, info, len), "and must stay correct");
+    }
+}
+
+#[test]
+fn warm_blinding_derivation_allocates_nothing_without_cache() {
+    let gens = cohort();
+    let params = BlindingParams {
+        round: 1,
+        num_cells: 1000,
+    };
+    let mut out = Vec::new();
+    // Warm-up sizes the output vector and the internal stream scratch.
+    gens[0].blinding_vector_into(params, &mut out);
+    let want = out.clone();
+
+    for i in 0..3 {
+        let (allocs, ()) = count_allocs(|| gens[0].blinding_vector_into(params, &mut out));
+        assert_eq!(
+            allocs, 0,
+            "iter={i}: warm cold-path derivation must not allocate"
+        );
+        assert_eq!(out, want, "and must stay correct");
+    }
+
+    // Adjustments reuse the same scratch (subset of peers, same round).
+    let missing = [2u32, 4];
+    let mut adj = Vec::new();
+    gens[0].adjustment_vector_into(params, &missing, &mut adj);
+    let want_adj = adj.clone();
+    let (allocs, ()) = count_allocs(|| gens[0].adjustment_vector_into(params, &missing, &mut adj));
+    assert_eq!(allocs, 0, "warm adjustment derivation must not allocate");
+    assert_eq!(adj, want_adj);
+}
+
+#[test]
+fn cached_round_rederivation_allocates_nothing() {
+    let mut gens = cohort();
+    gens[1].enable_cache(2);
+    let params = BlindingParams {
+        round: 9,
+        num_cells: 1000,
+    };
+    let mut out = Vec::new();
+    // First derivation populates the (peer, round) stream cache.
+    gens[1].blinding_vector_into(params, &mut out);
+    let want = out.clone();
+
+    // Every rederivation in the round — including the recovery-path
+    // adjustment against a peer subset — is served from resident
+    // streams.
+    for i in 0..3 {
+        let (allocs, ()) = count_allocs(|| gens[1].blinding_vector_into(params, &mut out));
+        assert_eq!(allocs, 0, "iter={i}: cached derivation must not allocate");
+        assert_eq!(out, want, "and must stay correct");
+    }
+    let missing = [0u32, 3];
+    let mut adj = Vec::new();
+    gens[1].adjustment_vector_into(params, &missing, &mut adj);
+    let (allocs, ()) = count_allocs(|| gens[1].adjustment_vector_into(params, &missing, &mut adj));
+    assert_eq!(allocs, 0, "cached adjustment must not allocate");
+}

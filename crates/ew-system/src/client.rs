@@ -38,6 +38,9 @@ pub struct Client {
     /// Distinct ads seen this window — the *set* encoded in the CMS, so
     /// the aggregate counts users-per-ad, not impressions-per-ad.
     seen_ads: BTreeSet<AdKey>,
+    /// Rounds of blinding streams to keep resident (0 = no cache);
+    /// applied to the generator when blinding is (re)initialized.
+    blinding_cache_rounds: usize,
     rng: StdRng,
 }
 
@@ -61,6 +64,7 @@ impl Client {
             id_cache: HashMap::new(),
             counters: UserCounters::new(),
             seen_ads: BTreeSet::new(),
+            blinding_cache_rounds: 0,
             rng,
         }
     }
@@ -78,17 +82,31 @@ impl Client {
     /// Precomputes pairwise blinding secrets once the directory is
     /// complete (done once per cohort, §7.1).
     pub fn setup_blinding(&mut self, group: &ModpGroup, directory: &KeyDirectory) {
-        self.blinding = Some(BlindingGenerator::new(
-            group,
-            self.id,
-            &self.keypair,
-            directory,
-        ));
+        let mut generator = BlindingGenerator::new(group, self.id, &self.keypair, directory);
+        generator.enable_cache(self.blinding_cache_rounds);
+        self.blinding = Some(generator);
     }
 
     /// True once blinding secrets are ready.
     pub fn blinding_ready(&self) -> bool {
         self.blinding.is_some()
+    }
+
+    /// Configures the cross-round blinding-stream cache: keep the
+    /// `retain_rounds` most recent rounds' streams resident (`0`
+    /// disables). Applies immediately if blinding is already set up and
+    /// persists across [`Self::setup_blinding`] calls; derivations are
+    /// bit-identical either way — this is purely a time/memory trade.
+    pub fn set_blinding_cache(&mut self, retain_rounds: usize) {
+        self.blinding_cache_rounds = retain_rounds;
+        if let Some(g) = self.blinding.as_mut() {
+            g.enable_cache(retain_rounds);
+        }
+    }
+
+    /// Whether the blinding-stream cache is active on the generator.
+    pub fn blinding_cache_enabled(&self) -> bool {
+        self.blinding.as_ref().is_some_and(|g| g.cache_enabled())
     }
 
     /// Step 1 of the OPRF for an uncached URL: returns the pending state

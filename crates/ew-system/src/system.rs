@@ -119,6 +119,12 @@ pub struct SystemConfig {
     /// bit-identical to [`EyewnderSystem::run_round`] for every value —
     /// see `crate::cluster`).
     pub cluster_backends: usize,
+    /// Rounds of blinding streams each client keeps resident (`0`
+    /// disables the cache). With the default `2`, the recovery round
+    /// reuses the report round's streams and multi-week campaigns keep
+    /// the trailing round warm. Outcomes are bit-identical for every
+    /// value — the determinism suites pin cache-on ≡ cache-off.
+    pub blinding_cache_rounds: usize,
 }
 
 impl Default for SystemConfig {
@@ -133,6 +139,7 @@ impl Default for SystemConfig {
             detector: DetectorConfig::default(),
             parallel: ParallelConfig::default(),
             cluster_backends: 1,
+            blinding_cache_rounds: 2,
         }
     }
 }
@@ -147,6 +154,13 @@ impl SystemConfig {
     /// Returns the config with an `n`-shard aggregation cluster.
     pub fn with_cluster_backends(mut self, n: usize) -> Self {
         self.cluster_backends = n.max(1);
+        self
+    }
+
+    /// Returns the config retaining `rounds` rounds of blinding streams
+    /// per client (`0` turns the cache off).
+    pub fn with_blinding_cache(mut self, rounds: usize) -> Self {
+        self.blinding_cache_rounds = rounds;
         self
     }
 }
@@ -211,6 +225,7 @@ impl EyewnderSystem {
         }
         let directory = backend.directory().clone();
         for c in &mut clients {
+            c.set_blinding_cache(config.blinding_cache_rounds);
             c.setup_blinding(&group, &directory);
         }
 

@@ -1,0 +1,63 @@
+#!/bin/sh
+# Informational per-benchmark delta between two bench-trajectory JSON
+# files (the {"name", "ns_per_iter"} lines the criterion shim appends
+# when EW_BENCH_JSON is set). Prints one row per benchmark present in
+# the new file, with the old time and relative change when the previous
+# file has the same name; never exits non-zero on a regression — the
+# trajectory is a record for humans, not a gate.
+#
+# Usage: scripts/bench_diff.sh OLD.json NEW.json
+
+set -eu
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+
+old="$1"
+new="$2"
+
+if [ ! -f "$new" ]; then
+    echo "bench_diff: new file '$new' not found" >&2
+    exit 2
+fi
+if [ ! -f "$old" ]; then
+    echo "bench_diff: no previous trajectory at '$old'; nothing to diff"
+    exit 0
+fi
+
+awk -v old_label="$(basename "$old")" -v new_label="$(basename "$new")" '
+function field(line, key,    rest) {
+    # Minimal extraction for the shim'"'"'s fixed one-object-per-line
+    # format; not a general JSON parser.
+    rest = line
+    sub(".*\"" key "\": *", "", rest)
+    sub("[,}].*", "", rest)
+    gsub("\"", "", rest)
+    return rest
+}
+FNR == 1 { file++ }
+/"name"/ {
+    name = field($0, "name")
+    ns = field($0, "ns_per_iter") + 0
+    if (file == 1) {
+        prev[name] = ns
+    } else {
+        order[++n] = name
+        cur[name] = ns
+    }
+}
+END {
+    printf "%-45s %14s %14s %9s\n", "benchmark", old_label, new_label, "delta"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        if (name in prev && prev[name] > 0) {
+            pct = (cur[name] - prev[name]) / prev[name] * 100
+            printf "%-45s %12.1f ns %12.1f ns %+8.1f%%\n", name, prev[name], cur[name], pct
+        } else {
+            printf "%-45s %14s %12.1f ns %9s\n", name, "-", cur[name], "new"
+        }
+    }
+}
+' "$old" "$new"

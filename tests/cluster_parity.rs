@@ -28,6 +28,14 @@ fn driver() -> WeeklyDriver {
 }
 
 fn system(threads: usize, cohort: usize) -> EyewnderSystem {
+    system_cached(
+        threads,
+        cohort,
+        SystemConfig::default().blinding_cache_rounds,
+    )
+}
+
+fn system_cached(threads: usize, cohort: usize, cache_rounds: usize) -> EyewnderSystem {
     EyewnderSystem::new(
         SystemConfig {
             seed: seed(),
@@ -37,7 +45,8 @@ fn system(threads: usize, cohort: usize) -> EyewnderSystem {
             cms: eyewnder::sketch::CmsParams::new(4, 512, 0xC1A5),
             ..SystemConfig::default()
         }
-        .with_threads(threads),
+        .with_threads(threads)
+        .with_blinding_cache(cache_rounds),
         cohort,
     )
 }
@@ -148,6 +157,51 @@ fn clustered_recovery_round_bit_identical_to_single_backend() {
                 let label = format!("threads={threads} backends={backends} wire={wire}");
                 let (outcome, _) = clustered_round(&mut sys, cluster, wire, 1, &silent);
                 assert_bit_identical(&baseline, &outcome, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_blinding_clustered_rounds_bit_identical_to_cold_start() {
+    // The cross-week blinding-stream cache × the cluster: two weekly
+    // rounds with silent clients (recovery adjustments rederive the
+    // report round's streams, the cache's hot path) driven through
+    // backends {1, 2} × threads {1, 4} with the cache off and on must
+    // all reproduce the cache-off single-backend local rounds bit for
+    // bit — warm streams retained from week 1 must be unobservable in
+    // week 2's outcome.
+    let driver = driver();
+    let (scenario, weeks, cohort) = driver.workload(2);
+    let silent = [2u32, 9];
+
+    let mut baseline = Vec::new();
+    {
+        let mut sys = system_cached(1, cohort, 0);
+        for (week, log) in weeks.iter().enumerate() {
+            sys.ingest(scenario, log);
+            baseline.push(sys.run_round(week as u64 + 1, &silent));
+        }
+    }
+    assert_eq!(baseline[0].missing, silent, "recovery path must engage");
+
+    for threads in [1usize, 4] {
+        for backends in [1usize, 2] {
+            for cache_rounds in [0usize, 2] {
+                let mut sys = system_cached(threads, cohort, cache_rounds);
+                for (week, log) in weeks.iter().enumerate() {
+                    sys.ingest(scenario, log);
+                    let cluster = ClusterScenario {
+                        backends,
+                        failover: None,
+                    };
+                    let label = format!(
+                        "threads={threads} backends={backends} cache={cache_rounds} week={week}"
+                    );
+                    let (outcome, _) =
+                        clustered_round(&mut sys, cluster, false, week as u64 + 1, &silent);
+                    assert_bit_identical(&baseline[week], &outcome, &label);
+                }
             }
         }
     }

@@ -28,11 +28,30 @@ fn run_rounds(
     threads: usize,
     silent: &[u32],
 ) -> (Vec<RoundOutcome>, u64, EyewnderSystem) {
+    run_rounds_cached(
+        scenario,
+        weeks,
+        cohort,
+        threads,
+        silent,
+        SystemConfig::default().blinding_cache_rounds,
+    )
+}
+
+fn run_rounds_cached(
+    scenario: &Scenario,
+    weeks: &[ImpressionLog],
+    cohort: usize,
+    threads: usize,
+    silent: &[u32],
+    cache_rounds: usize,
+) -> (Vec<RoundOutcome>, u64, EyewnderSystem) {
     let config = SystemConfig {
         seed: SEED,
         ..SystemConfig::default()
     }
-    .with_threads(threads);
+    .with_threads(threads)
+    .with_blinding_cache(cache_rounds);
     let mut sys = EyewnderSystem::new(config, cohort);
     let mut outcomes = Vec::new();
     for (week, log) in weeks.iter().enumerate() {
@@ -123,6 +142,42 @@ fn weekly_rounds_over_wire_bit_identical_for_all_thread_counts() {
     for threads in THREAD_COUNTS {
         let outcomes = run_wire(threads);
         assert_outcomes_identical(&baseline, &outcomes, threads);
+    }
+}
+
+#[test]
+fn cached_blinding_multiweek_bit_identical_to_cold_start() {
+    // The cross-week blinding-stream cache must be unobservable in
+    // round outcomes: a two-week campaign with silent clients (so each
+    // week's recovery adjustments rederive the report round's streams —
+    // the cache's best case) is run cold (cache disabled) and warm
+    // (cache retaining 2 rounds) across threads {1, 4}, and every cell
+    // of every `RoundOutcome` must match the cold single-threaded
+    // baseline bit for bit.
+    let driver = driver();
+    let weeks = driver.weeks(2);
+    let cohort = driver.cohort();
+    let silent = [1u32, 8];
+
+    let (baseline, baseline_requests, _) =
+        run_rounds_cached(driver.scenario(), &weeks, cohort, 1, &silent, 0);
+    assert_eq!(baseline[0].missing, silent, "recovery path must engage");
+    for threads in [1usize, 4] {
+        for cache_rounds in [0usize, 2] {
+            let (outcomes, requests, _) = run_rounds_cached(
+                driver.scenario(),
+                &weeks,
+                cohort,
+                threads,
+                &silent,
+                cache_rounds,
+            );
+            assert_outcomes_identical(&baseline, &outcomes, threads);
+            assert_eq!(
+                requests, baseline_requests,
+                "threads={threads} cache={cache_rounds}: accounting must stay exact"
+            );
+        }
     }
 }
 
