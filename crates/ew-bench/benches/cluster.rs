@@ -13,7 +13,8 @@
 //! the expectation here, not speedup.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use ew_simnet::{DriverScale, WeeklyDriver};
+use ew_simnet::{DriverScale, RestartPhase, ShardRestart, WeeklyDriver};
+use ew_system::cluster::RoutingBus;
 use ew_system::{EyewnderSystem, SystemConfig};
 
 fn bench_round_cluster(c: &mut Criterion) {
@@ -45,5 +46,51 @@ fn bench_round_cluster(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round_cluster);
+/// The cold crash-restart drill under the profiler: a 4-shard clustered
+/// round in which shard 0 is killed after the report wave and rebuilt
+/// from the unified round log (enrollment replica + `Absorbed` replay)
+/// before recovery proceeds. Compare against `round_cluster_4`: the gap
+/// is the price of one full shard replay — the round log's entire
+/// failure-path overhead, measured end to end.
+fn bench_round_cluster_restart(c: &mut Criterion) {
+    let driver = WeeklyDriver::new(16, DriverScale::Fraction(20), 25);
+    let log = driver.week(0);
+    let scenario = driver.scenario().clone();
+    let cohort = driver.cohort();
+
+    let mut sys = EyewnderSystem::new(
+        SystemConfig {
+            seed: 16,
+            ..SystemConfig::default()
+        }
+        .with_cluster_backends(4),
+        cohort,
+    );
+    sys.ingest(&scenario, &log);
+    let map = sys.cluster_map();
+
+    let mut group = c.benchmark_group("round_cluster");
+    group.sample_size(10);
+    let mut round = 0u64;
+    group.bench_function("round_cluster_restart", |b| {
+        b.iter(|| {
+            round += 1;
+            let mut backend = sys.new_cluster(&map);
+            let mut bus = RoutingBus::in_proc(map.clone(), None);
+            black_box(sys.run_round_clustered_with_restart(
+                &mut backend,
+                &mut bus,
+                round,
+                &[],
+                ShardRestart {
+                    shard: 0,
+                    phase: RestartPhase::Reports,
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_cluster, bench_round_cluster_restart);
 criterion_main!(benches);

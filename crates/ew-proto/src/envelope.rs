@@ -31,9 +31,9 @@ use bytes::BufMut;
 /// following bytes.
 pub const ENVELOPE_VERSION: u8 = 0xE1;
 
-/// The three node roles of the paper's Figure 1, as wire-addressable
-/// identities. `Client` carries the user id; the two servers are
-/// singletons.
+/// The node roles of the paper's Figure 1 (plus the cluster's telemetry
+/// sidecar), as wire-addressable identities. `Client` carries the user
+/// id; the servers are singletons.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum NodeId {
     /// A browser-extension client (user id).
@@ -42,12 +42,16 @@ pub enum NodeId {
     Backend,
     /// The OPRF front-end.
     Oprf,
+    /// The telemetry role service (answers `MetricsQuery` with the
+    /// replay-path counter snapshot).
+    Telemetry,
 }
 
 mod sender_tag {
     pub const CLIENT: u8 = 0x01;
     pub const BACKEND: u8 = 0x02;
     pub const OPRF: u8 = 0x03;
+    pub const TELEMETRY: u8 = 0x04;
 }
 
 impl std::fmt::Display for NodeId {
@@ -56,6 +60,7 @@ impl std::fmt::Display for NodeId {
             NodeId::Client(id) => write!(f, "client:{id}"),
             NodeId::Backend => write!(f, "backend"),
             NodeId::Oprf => write!(f, "oprf-server"),
+            NodeId::Telemetry => write!(f, "telemetry"),
         }
     }
 }
@@ -114,6 +119,10 @@ impl Envelope {
                 buf.put_u8(sender_tag::OPRF);
                 buf.put_u32_le(0);
             }
+            NodeId::Telemetry => {
+                buf.put_u8(sender_tag::TELEMETRY);
+                buf.put_u32_le(0);
+            }
         }
         buf.put_u64_le(self.round);
         buf.extend_from_slice(&payload);
@@ -135,6 +144,7 @@ impl Envelope {
             sender_tag::CLIENT => NodeId::Client(id),
             sender_tag::BACKEND => NodeId::Backend,
             sender_tag::OPRF => NodeId::Oprf,
+            sender_tag::TELEMETRY => NodeId::Telemetry,
             other => return Err(CodecError::BadTag(other)),
         };
         let round = get_u64(&mut buf)?;
@@ -176,6 +186,7 @@ mod tests {
                     detail: "element ≥ N".to_string(),
                 },
             ),
+            Envelope::new(NodeId::Telemetry, 5, Message::MetricsQuery { round: 5 }),
             Envelope::new(
                 NodeId::Client(u32::MAX),
                 u64::MAX,

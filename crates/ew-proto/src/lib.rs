@@ -35,6 +35,7 @@ pub mod crc32;
 pub mod envelope;
 pub mod fault;
 pub mod framing;
+pub mod journal;
 pub mod message;
 pub mod shard;
 pub mod transport;
@@ -46,6 +47,7 @@ pub use cluster::{ShardMap, ShardMapError, MAX_CLUSTER_SHARDS, SLOTS_PER_SHARD};
 pub use envelope::{Envelope, NodeId, ENVELOPE_VERSION};
 pub use fault::{FaultConfig, FaultyLink};
 pub use framing::{FrameDecoder, FrameError, MAGIC};
+pub use journal::{JournalEvent, JournalRecord};
 pub use message::{error_code, Message};
 pub use shard::{split_shards, ShardAssembler, ShardError, MAX_SHARD_COUNT};
 pub use transport::{channel_pair, Endpoint, TransportError};

@@ -3,8 +3,9 @@
 //! fault-tolerance exchange of §6).
 
 use crate::codec::{
-    get_bytes, get_bytes_list, get_f64, get_string, get_u32, get_u32_vec, get_u64, get_u8,
-    get_user_list, put_bytes, put_bytes_list, put_string, put_u32_vec, CodecError,
+    get_bytes, get_bytes_list, get_f64, get_string, get_u32, get_u32_vec, get_u64, get_u64_vec,
+    get_u8, get_user_list, put_bytes, put_bytes_list, put_string, put_u32_vec, put_u64_vec,
+    CodecError,
 };
 use bytes::BufMut;
 
@@ -186,6 +187,38 @@ pub enum Message {
         /// shard owning `user`'s reports.
         owners: Vec<u32>,
     },
+    /// Any node → telemetry service: ask for the current replay-path
+    /// counter snapshot (so the journal/failover machinery is observable
+    /// rather than trusted).
+    MetricsQuery {
+        /// Aggregation round the caller is interested in (0 for "the
+        /// service's lifetime totals" — the reply echoes it verbatim).
+        round: u64,
+    },
+    /// Telemetry service → peer: the counter snapshot.
+    MetricsReply {
+        /// Echoed round from the query.
+        round: u64,
+        /// Data-plane envelopes routed through the bus.
+        routed: u64,
+        /// Envelopes re-delivered from the round log (failover or
+        /// restart replay).
+        replayed: u64,
+        /// Replay deliveries skipped because the log already held a
+        /// matching `Absorbed` record (the exactly-once dedupe).
+        deduped: u64,
+        /// Current journal depth (records above the snapshot watermark).
+        journal_depth: u64,
+        /// Journal records dropped by watermark truncation so far.
+        truncated: u64,
+        /// Deepest backend mailbox observed at a drain.
+        queue_depth: u64,
+        /// Cumulative busy nanoseconds per round phase, indexed in phase
+        /// order (open, reports, recovery, finalize). Timings are
+        /// wall-clock and intentionally excluded from determinism
+        /// comparisons.
+        phase_nanos: Vec<u64>,
+    },
     /// Any node → peer: an explicit rejection, so peers can distinguish
     /// "the network dropped my request" from "the service refused it".
     /// Nodes never reply to an `Error` with another `Error` (that would
@@ -215,6 +248,8 @@ mod tag {
     pub const OPRF_SHARD_RESPONSE: u8 = 0x0D;
     pub const ERROR: u8 = 0x0E;
     pub const SHARD_MAP_UPDATE: u8 = 0x0F;
+    pub const METRICS_QUERY: u8 = 0x10;
+    pub const METRICS_REPLY: u8 = 0x11;
 }
 
 impl Message {
@@ -236,6 +271,8 @@ impl Message {
             Message::UsersQuery { .. } => "UsersQuery",
             Message::UsersReply { .. } => "UsersReply",
             Message::ShardMapUpdate { .. } => "ShardMapUpdate",
+            Message::MetricsQuery { .. } => "MetricsQuery",
+            Message::MetricsReply { .. } => "MetricsReply",
             Message::Error { .. } => "Error",
         }
     }
@@ -365,6 +402,30 @@ impl Message {
                 buf.put_u32_le(*shard_ids);
                 put_u32_vec(&mut buf, owners);
             }
+            Message::MetricsQuery { round } => {
+                buf.put_u8(tag::METRICS_QUERY);
+                buf.put_u64_le(*round);
+            }
+            Message::MetricsReply {
+                round,
+                routed,
+                replayed,
+                deduped,
+                journal_depth,
+                truncated,
+                queue_depth,
+                phase_nanos,
+            } => {
+                buf.put_u8(tag::METRICS_REPLY);
+                buf.put_u64_le(*round);
+                buf.put_u64_le(*routed);
+                buf.put_u64_le(*replayed);
+                buf.put_u64_le(*deduped);
+                buf.put_u64_le(*journal_depth);
+                buf.put_u64_le(*truncated);
+                buf.put_u64_le(*queue_depth);
+                put_u64_vec(&mut buf, phase_nanos);
+            }
             Message::Error { code, detail } => {
                 buf.put_u8(tag::ERROR);
                 buf.put_u32_le(*code);
@@ -446,6 +507,19 @@ impl Message {
                 version: get_u32(buf)?,
                 shard_ids: get_u32(buf)?,
                 owners: get_u32_vec(buf)?,
+            },
+            tag::METRICS_QUERY => Message::MetricsQuery {
+                round: get_u64(buf)?,
+            },
+            tag::METRICS_REPLY => Message::MetricsReply {
+                round: get_u64(buf)?,
+                routed: get_u64(buf)?,
+                replayed: get_u64(buf)?,
+                deduped: get_u64(buf)?,
+                journal_depth: get_u64(buf)?,
+                truncated: get_u64(buf)?,
+                queue_depth: get_u64(buf)?,
+                phase_nanos: get_u64_vec(buf)?,
             },
             tag::ERROR => Message::Error {
                 code: get_u32(buf)?,
@@ -529,6 +603,17 @@ mod tests {
                 version: 3,
                 shard_ids: 4,
                 owners: vec![0, 1, 3, 0, 1, 3, 0, 1],
+            },
+            Message::MetricsQuery { round: 12 },
+            Message::MetricsReply {
+                round: 12,
+                routed: 400,
+                replayed: 12,
+                deduped: 3,
+                journal_depth: 17,
+                truncated: 380,
+                queue_depth: 64,
+                phase_nanos: vec![10, 2_000_000, 300, u64::MAX],
             },
             Message::Error {
                 code: error_code::OUT_OF_RANGE,

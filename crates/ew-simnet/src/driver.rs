@@ -100,6 +100,7 @@ impl WeeklyDriver {
             out.push(ClusterScenario {
                 backends: n,
                 failover: None,
+                restart: None,
             });
             if n > 1 {
                 out.push(ClusterScenario {
@@ -108,7 +109,35 @@ impl WeeklyDriver {
                         shard: (n - 1) as u32,
                         after_sends: self.cohort / 3,
                     }),
+                    restart: None,
                 });
+            }
+        }
+        out
+    }
+
+    /// The crash-restart drill matrix: for every requested backend
+    /// count, every shard index is cold-crashed and restarted at every
+    /// [`RestartPhase`] boundary. Unlike [`ShardKill`] — which removes a
+    /// shard for good and hands its range to survivors — a
+    /// [`ShardRestart`] brings the *same* shard back from durable state,
+    /// so even a single-shard cluster is drilled.
+    pub fn restart_matrix(&self, backends: &[usize]) -> Vec<ClusterScenario> {
+        let mut out = Vec::new();
+        for &n in backends {
+            let n = n.max(1);
+            for shard in 0..n as u32 {
+                for phase in [
+                    RestartPhase::Reports,
+                    RestartPhase::Recovery,
+                    RestartPhase::MidReplay,
+                ] {
+                    out.push(ClusterScenario {
+                        backends: n,
+                        failover: None,
+                        restart: Some(ShardRestart { shard, phase }),
+                    });
+                }
             }
         }
         out
@@ -116,16 +145,20 @@ impl WeeklyDriver {
 }
 
 /// One multi-backend configuration of the weekly workload: how many
-/// aggregation shards to run, and an optional scripted mid-round shard
-/// death ([`ShardKill`]) for failover drills. Produced by
-/// [`WeeklyDriver::cluster_matrix`]; the consuming system maps it onto
-/// its cluster driver (shard map size, routing-bus failure plan).
+/// aggregation shards to run, an optional scripted mid-round shard
+/// death ([`ShardKill`]) for failover drills, and an optional scripted
+/// crash-restart ([`ShardRestart`]) for recovery drills. Produced by
+/// [`WeeklyDriver::cluster_matrix`] and [`WeeklyDriver::restart_matrix`];
+/// the consuming system maps it onto its cluster driver (shard map
+/// size, routing-bus failure plan, restart injection point).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterScenario {
     /// Backend shard count.
     pub backends: usize,
     /// Scripted mid-round shard death, if any.
     pub failover: Option<ShardKill>,
+    /// Scripted mid-round crash-restart, if any.
+    pub restart: Option<ShardRestart>,
 }
 
 /// A scripted shard death: `shard`'s uplink is severed after
@@ -136,6 +169,30 @@ pub struct ShardKill {
     pub shard: u32,
     /// Backend-bound envelopes routed before the death.
     pub after_sends: usize,
+}
+
+/// A scripted cold crash-restart: `shard`'s process state is destroyed
+/// at the [`RestartPhase`] boundary and rebuilt from the durable round
+/// log alone (snapshot checkpoint + `Absorbed` suffix replay). The map
+/// is untouched — the shard keeps its key range and must come back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRestart {
+    /// The shard to crash and restart.
+    pub shard: u32,
+    /// When the crash strikes.
+    pub phase: RestartPhase,
+}
+
+/// Where in the round a scripted [`ShardRestart`] strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartPhase {
+    /// After the report wave is absorbed, before recovery starts.
+    Reports,
+    /// After the recovery wave is absorbed, before finalization.
+    Recovery,
+    /// Mid-replay: the restarted shard is crashed *again* immediately
+    /// after its first replay completes — proving replay idempotence.
+    MidReplay,
 }
 
 #[cfg(test)]
@@ -181,7 +238,8 @@ mod tests {
             matrix[0],
             ClusterScenario {
                 backends: 1,
-                failover: None
+                failover: None,
+                restart: None,
             },
             "a single shard has nothing to fail over to"
         );
@@ -189,6 +247,32 @@ mod tests {
             if let Some(kill) = s.failover {
                 assert!((kill.shard as usize) < s.backends);
                 assert!(kill.after_sends < d.cohort(), "the kill lands mid-round");
+            }
+        }
+    }
+
+    #[test]
+    fn restart_matrix_drills_every_shard_at_every_phase() {
+        let d = WeeklyDriver::new(4, DriverScale::Fraction(25), 12);
+        let matrix = d.restart_matrix(&[1, 2, 4]);
+        assert_eq!(matrix.len(), (1 + 2 + 4) * 3, "shards × phases");
+        for s in &matrix {
+            assert_eq!(s.failover, None, "restarts never reassign the map");
+            let restart = s.restart.expect("every drill restarts a shard");
+            assert!((restart.shard as usize) < s.backends);
+        }
+        // Every phase boundary is covered for every shard index.
+        for n in [1usize, 2, 4] {
+            for shard in 0..n as u32 {
+                for phase in [
+                    RestartPhase::Reports,
+                    RestartPhase::Recovery,
+                    RestartPhase::MidReplay,
+                ] {
+                    assert!(matrix.iter().any(
+                        |s| s.backends == n && s.restart == Some(ShardRestart { shard, phase })
+                    ));
+                }
             }
         }
     }

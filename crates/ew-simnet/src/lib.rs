@@ -46,7 +46,9 @@ pub mod web;
 
 pub use campaign::{Ad, AdClass, AdId, Campaign, CampaignKind};
 pub use config::{ScenarioConfig, TargetingBias};
-pub use driver::{ClusterScenario, DriverScale, ShardKill, WeeklyDriver};
+pub use driver::{
+    ClusterScenario, DriverScale, RestartPhase, ShardKill, ShardRestart, WeeklyDriver,
+};
 pub use engine::{simulate_week, Scenario};
 pub use log::{Impression, ImpressionLog};
 pub use topics::{semantic_overlap, TopicId, NUM_TOPICS, TOPIC_NAMES};

@@ -21,6 +21,35 @@ struct RoundState {
     missing: Vec<u32>,
 }
 
+/// An exported snapshot of one open round's aggregation state: what a
+/// cold-restarted shard restores before replaying the journal suffix.
+///
+/// The fields mirror the server's private round state exactly — the
+/// checkpoint **is** the round state, so `restore(checkpoint())` is an
+/// identity and a restart that restores the latest checkpoint plus
+/// replays every later `Absorbed` record is bit-identical to a shard
+/// that never died.
+#[derive(Debug, Clone)]
+pub struct RoundCheckpoint {
+    round: u64,
+    accumulator: SketchAccumulator,
+    reported: BTreeSet<u32>,
+    adjusted: BTreeSet<u32>,
+    missing: Vec<u32>,
+}
+
+impl RoundCheckpoint {
+    /// The round the checkpoint belongs to.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// How many users had reported when the checkpoint was taken.
+    pub fn reported_users(&self) -> usize {
+        self.reported.len()
+    }
+}
+
 /// The aggregation server.
 #[derive(Debug)]
 pub struct BackendServer {
@@ -426,6 +455,35 @@ impl BackendServer {
             state.accumulator,
             state.reported,
         ))
+    }
+
+    /// Exports the open round's aggregation state as a restartable
+    /// checkpoint, leaving the round open. `None` when no round is open.
+    ///
+    /// A checkpoint is the snapshot half of the journal's
+    /// snapshot-plus-replay recovery: a cold-restarted shard restores
+    /// the last checkpoint and then replays only the `Absorbed` records
+    /// above the snapshot watermark (see `crate::journal::RoundLog`).
+    pub fn checkpoint(&self) -> Option<RoundCheckpoint> {
+        self.current.as_ref().map(|state| RoundCheckpoint {
+            round: state.round,
+            accumulator: state.accumulator.clone(),
+            reported: state.reported.clone(),
+            adjusted: state.adjusted.clone(),
+            missing: state.missing.clone(),
+        })
+    }
+
+    /// Restores a round checkpoint taken with [`Self::checkpoint`],
+    /// replacing whatever round state the server held.
+    pub fn restore(&mut self, checkpoint: RoundCheckpoint) {
+        self.current = Some(RoundState {
+            round: checkpoint.round,
+            accumulator: checkpoint.accumulator,
+            reported: checkpoint.reported,
+            adjusted: checkpoint.adjusted,
+            missing: checkpoint.missing,
+        });
     }
 
     /// Publishes an externally finalized view for `round` (the cluster

@@ -22,15 +22,27 @@
 //!   cell-wise wrapping addition is associative and commutative, so the
 //!   merged view is **bit-identical** to the single-backend round for
 //!   every shard count.
-//! * **Failover**: when a shard's uplink reports a
-//!   [`TransportError`] (or a scripted [`ShardFailure`] severs it)
-//!   mid-round, the bus reassigns the dead shard's key range
+//! * **Failover and crash-restart over one log**: when a shard's uplink
+//!   reports a [`TransportError`] (or a scripted [`ShardFailure`] severs
+//!   it) mid-round, the bus reassigns the dead shard's key range
 //!   ([`ShardMap::reassign`]), broadcasts the bumped map on every
-//!   surviving uplink and replays its in-flight mailbox journal to the
-//!   new owners; the [`ClusterBackend`], on adopting the update, replays
-//!   its own absorbed-envelope journal for the dead shard the same way.
-//!   Between the two journals every report is re-delivered exactly once,
-//!   so the round still finalizes bit-identically.
+//!   surviving uplink and replays its **in-flight** journal — envelopes
+//!   sent but not yet acknowledged by a phase transition — to the new
+//!   owners. The [`ClusterBackend`], on adopting the update, replays the
+//!   dead shard's **absorbed** records from its event-sourced
+//!   [`RoundLog`] (`crate::journal`). The two replay sources are
+//!   disjoint by construction — the bus truncates its in-flight journal
+//!   at every phase transition, the round machine's acknowledgment that
+//!   everything delivered earlier was absorbed and is therefore in the
+//!   log — and the log's dedupe index suppresses any byte-identical
+//!   re-delivery that slips through anyway, so every report lands
+//!   exactly once and the round finalizes bit-identically. The same log
+//!   gives [`ClusterBackend::restart_shard`] cold crash-restart: a
+//!   killed shard is rebuilt from the replicated enrolments, the last
+//!   snapshot checkpoint and the absorbed suffix, without touching the
+//!   survivors. Replay counters, journal depth and phase timings are
+//!   exported as [`ReplayMetrics`] so the whole path is observable
+//!   rather than trusted.
 //!
 //! The round machine and the party traits are untouched: a cluster
 //! round is `drive_round(clients, &mut ClusterBackend, &mut RoutingBus,
@@ -47,13 +59,17 @@
 
 use crate::backend::{BackendServer, RoundError};
 use crate::ids::AdIdMapper;
+use crate::journal::{dedupe_key, RoundLog};
 use crate::node::{AggregationBackend, InProcBus, RoundPhase, ServiceBus, WireBus};
+use crate::telemetry::{phase_index, ReplayMetrics};
 use ew_bigint::UBig;
 use ew_core::{GlobalView, ThresholdPolicy};
+use ew_proto::crc32::crc32;
 use ew_proto::transport::TransportError;
-use ew_proto::{Envelope, FaultConfig, Message, NodeId, ShardMap};
+use ew_proto::{Envelope, FaultConfig, JournalEvent, Message, NodeId, ShardMap};
 use ew_sketch::{CmsParams, SketchAccumulator};
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// The client id an envelope's shard ownership is decided by: the
 /// payload's `user` for reports and adjustments (the fields validation
@@ -64,7 +80,7 @@ pub fn route_user(env: &Envelope) -> u32 {
         Message::Report { user, .. } | Message::Adjustment { user, .. } => *user,
         _ => match env.sender {
             NodeId::Client(id) => id,
-            NodeId::Backend | NodeId::Oprf => 0,
+            NodeId::Backend | NodeId::Oprf | NodeId::Telemetry => 0,
         },
     }
 }
@@ -216,8 +232,17 @@ pub struct ShardFailure {
 /// the bumped map as a [`Message::ShardMapUpdate`] on every surviving
 /// uplink (so the [`ClusterBackend`] adopts it in-stream, before any
 /// rerouted envelope), and replays the dead shard's **in-flight
-/// journal** — everything sent since the last drain — to the new
-/// owners.
+/// journal** to the new owners.
+///
+/// The in-flight journal tracks only data-plane envelopes (reports and
+/// adjustments — the idempotent control plane is rebuilt by the map
+/// broadcast itself) and is truncated at every **phase transition**,
+/// not at drain: the round machine only advances a phase after the
+/// backend has absorbed everything delivered in the previous one, so
+/// the transition is the absorb acknowledgment. Everything acknowledged
+/// lives on as `Absorbed` records in the backend's `RoundLog`;
+/// everything still in flight is the bus's to replay — the two replay
+/// sources can never overlap.
 #[derive(Debug)]
 pub struct RoutingBus<B: ServiceBus> {
     map: ShardMap,
@@ -226,6 +251,18 @@ pub struct RoutingBus<B: ServiceBus> {
     journal: Vec<Vec<Envelope>>,
     failure: Option<ShardFailure>,
     backend_sends: usize,
+    /// Data-plane envelopes routed to an uplink (counter).
+    routed: u64,
+    /// In-flight envelopes re-sent by a failover (counter).
+    replayed: u64,
+    /// In-flight entries dropped at phase-transition truncation.
+    truncated: u64,
+    /// Deepest backend drain seen (high-water mark).
+    queue_depth: u64,
+    /// Busy wall-clock per phase; excluded from determinism checks.
+    phase_nanos: [u64; 4],
+    /// The phase the bus is currently in, and since when.
+    clock: Option<(RoundPhase, Instant)>,
 }
 
 impl RoutingBus<InProcBus> {
@@ -274,12 +311,34 @@ impl<B: ServiceBus> RoutingBus<B> {
             journal,
             failure,
             backend_sends: 0,
+            routed: 0,
+            replayed: 0,
+            truncated: 0,
+            queue_depth: 0,
+            phase_nanos: [0; 4],
+            clock: None,
         }
     }
 
     /// The bus's current (authoritative) shard map.
     pub fn map(&self) -> &ShardMap {
         &self.map
+    }
+
+    /// Envelopes currently tracked as in flight (unacknowledged by a
+    /// phase transition) across every shard journal.
+    pub fn in_flight(&self) -> usize {
+        self.journal.iter().map(Vec::len).sum()
+    }
+
+    /// Attributes the wall-clock since the last transition to the phase
+    /// that just ended and restarts the clock at `next`.
+    fn tick_clock(&mut self, next: Option<RoundPhase>) {
+        let now = Instant::now();
+        if let Some((phase, since)) = self.clock.take() {
+            self.phase_nanos[phase_index(phase)] += now.duration_since(since).as_nanos() as u64;
+        }
+        self.clock = next.map(|p| (p, now));
     }
 
     /// Uplinks still alive.
@@ -304,6 +363,7 @@ impl<B: ServiceBus> RoutingBus<B> {
                 .expect("surviving uplink accepts the map update");
         }
         let orphans = std::mem::take(&mut self.journal[dead as usize]);
+        self.replayed += orphans.len() as u64;
         for env in orphans {
             let owner = self.map.owner_of(route_user(&env)) as usize;
             self.links[owner]
@@ -327,6 +387,14 @@ impl<B: ServiceBus> RoutingBus<B> {
                 self.fail_shard(f.shard);
             }
         }
+        // Only data-plane envelopes enter the in-flight journal: they
+        // are the only unacknowledged aggregation state a dead uplink
+        // can lose. Control traffic is rebuilt by the failover's own
+        // map broadcast, and journaling it would double-deliver it.
+        let track = is_data_plane(&env);
+        if track {
+            self.routed += 1;
+        }
         let owner = self.map.owner_of(route_user(&env)) as usize;
         let sent = self.links[owner]
             .as_mut()
@@ -334,7 +402,9 @@ impl<B: ServiceBus> RoutingBus<B> {
             .send(NodeId::Backend, env.clone());
         match sent {
             Ok(()) => {
-                self.journal[owner].push(env);
+                if track {
+                    self.journal[owner].push(env);
+                }
                 Ok(())
             }
             Err(_) => {
@@ -346,7 +416,9 @@ impl<B: ServiceBus> RoutingBus<B> {
                     .as_mut()
                     .expect("map routes only to live shards")
                     .send(NodeId::Backend, env.clone())?;
-                self.journal[owner].push(env);
+                if track {
+                    self.journal[owner].push(env);
+                }
                 Ok(())
             }
         }
@@ -367,24 +439,58 @@ impl<B: ServiceBus> ServiceBus for RoutingBus<B> {
         }
         let mut out = Vec::new();
         let mut corrupt = 0usize;
-        for (link, journal) in self.links.iter_mut().zip(self.journal.iter_mut()) {
-            if let Some(link) = link {
-                let (envs, c) = link.drain(NodeId::Backend);
-                out.extend(envs);
-                corrupt += c;
-            }
-            // Delivered envelopes are the backend's responsibility now
-            // (it keeps its own journal); in-flight tracking restarts.
-            journal.clear();
+        for link in self.links.iter_mut().flatten() {
+            let (envs, c) = link.drain(NodeId::Backend);
+            out.extend(envs);
+            corrupt += c;
         }
+        // Drained ≠ absorbed: the in-flight journal is kept until the
+        // next phase transition acknowledges the absorb, so an uplink
+        // dying between drain and absorb still has its envelopes
+        // replayed. (This was the double-replay seam of the dual-journal
+        // design: clearing here *trusted* the absorb to happen.)
+        self.queue_depth = self.queue_depth.max(out.len() as u64);
         (out, corrupt)
     }
 
     fn on_phase(&mut self, phase: RoundPhase) {
+        self.tick_clock(Some(phase));
+        // The round machine advances a phase only after the backend has
+        // absorbed everything delivered in the previous one, so the
+        // transition is the absorb acknowledgment: everything tracked
+        // here is now an `Absorbed` record in the backend's round log,
+        // and keeping it would make a later failover double-deliver it.
+        let acked: usize = self.journal.iter().map(Vec::len).sum();
+        self.truncated += acked as u64;
+        for journal in &mut self.journal {
+            journal.clear();
+        }
         self.side.on_phase(phase);
         for link in self.links.iter_mut().flatten() {
             link.on_phase(phase);
         }
+    }
+
+    fn take_metrics(&mut self) -> Option<ReplayMetrics> {
+        // Close out the running phase timing (the clock restarts, so
+        // periodic observation never double-counts).
+        let current = self.clock.map(|(p, _)| p);
+        self.tick_clock(current);
+        let metrics = ReplayMetrics {
+            routed: self.routed,
+            replayed: self.replayed,
+            deduped: 0,
+            journal_depth: self.in_flight() as u64,
+            truncated: self.truncated,
+            queue_depth: self.queue_depth,
+            phase_nanos: self.phase_nanos,
+        };
+        self.routed = 0;
+        self.replayed = 0;
+        self.truncated = 0;
+        self.queue_depth = 0;
+        self.phase_nanos = [0; 4];
+        Some(metrics)
     }
 }
 
@@ -394,20 +500,51 @@ impl<B: ServiceBus> ServiceBus for RoutingBus<B> {
 /// after a failover any shard can validate any replayed report.
 ///
 /// The backend follows the map the bus broadcasts: a
-/// [`Message::ShardMapUpdate`] with a newer version is adopted
-/// in-stream, the shards it removed are dropped, and their
-/// **absorbed-envelope journals** are replayed into the ranges' new
-/// owners — reconstructing exactly the state the dead shard contributed,
-/// because validation and accumulation are deterministic.
+/// [`Message::ShardMapUpdate`] with a **strictly newer** version is
+/// adopted in-stream, the shards it removed are dropped, and their
+/// `Absorbed` records are replayed from the unified [`RoundLog`] into
+/// the ranges' new owners — reconstructing exactly the state each dead
+/// shard contributed, because validation and accumulation are
+/// deterministic and only *successful* absorptions are ever journaled.
+///
+/// The log is the single source of truth for every replay flow:
+///
+/// * **failover reassignment** ([`Self::on_envelope`] adopting a map) —
+///   replay the dead shard's records through routing into the new
+///   owners, after dropping its dedupe-index entries so the replay
+///   re-absorbs instead of self-deduping;
+/// * **cold crash-restart** ([`Self::restart_shard`]) — rebuild a
+///   killed shard in place from the replicated enrolments, the last
+///   [`Self::snapshot`] checkpoint and the absorbed suffix;
+/// * **duplicate suppression** ([`Self::deliver_to_shard`]) — a
+///   byte-identical re-delivery of a record absorbed before the current
+///   batch is acknowledged silently instead of erroring (the
+///   double-replay window of the dual-journal design), while an
+///   in-batch duplicate still gets the same `DuplicateReport` answer a
+///   single backend gives, keeping cluster-vs-single bit parity.
 #[derive(Debug)]
 pub struct ClusterBackend {
     map: ShardMap,
     shards: Vec<Option<BackendServer>>,
-    journal: Vec<Vec<Envelope>>,
+    /// The event-sourced round log: one appender, many readers.
+    log: RoundLog,
     round: Option<u64>,
+    element_len: usize,
     params: CmsParams,
     mapper: AdIdMapper,
     policy: ThresholdPolicy,
+    /// Replicated enrolment stream, replayed into cold-restarted shards
+    /// (every shard holds the full bulletin board).
+    enrollments: Vec<(u32, UBig)>,
+    /// Dedupe horizon while a batch is absorbing: only records at or
+    /// below this sequence number count as prior absorptions, so a wire
+    /// duplicate *within* one batch is still answered exactly like the
+    /// single-backend path answers it.
+    batch_horizon: Option<u64>,
+    /// Envelopes re-absorbed from the log (failover + restart).
+    replayed: u64,
+    /// Re-deliveries suppressed by the log's dedupe index.
+    deduped: u64,
 }
 
 impl ClusterBackend {
@@ -430,24 +567,30 @@ impl ClusterBackend {
                 }
             })
             .collect();
-        let journal = (0..map.shard_ids()).map(|_| Vec::new()).collect();
         ClusterBackend {
             map,
             shards,
-            journal,
+            log: RoundLog::new(),
             round: None,
+            element_len,
             params,
             mapper,
             policy,
+            enrollments: Vec::new(),
+            batch_horizon: None,
+            replayed: 0,
+            deduped: 0,
         }
     }
 
     /// Publishes a user's DH public key on every shard's bulletin board
-    /// (replicated, so failover never strands an enrolment).
+    /// (replicated, so neither failover nor a cold restart ever strands
+    /// an enrolment).
     pub fn enroll(&mut self, user: u32, public_key: UBig) {
         for shard in self.shards.iter_mut().flatten() {
             shard.enroll(user, public_key.clone());
         }
+        self.enrollments.push((user, public_key));
     }
 
     /// The map this backend currently routes by.
@@ -460,12 +603,124 @@ impl ClusterBackend {
         self.shards.iter().flatten().count()
     }
 
+    /// The event-sourced round log (read-only — the cluster is the one
+    /// appender).
+    pub fn log(&self) -> &RoundLog {
+        &self.log
+    }
+
+    /// Checkpoints every live shard's round state into the log and
+    /// truncates everything the checkpoints cover — the watermark that
+    /// keeps the journal's depth bounded by the traffic since the last
+    /// snapshot instead of the whole round. Exactly-once is unaffected:
+    /// the dedupe index survives truncation.
+    pub fn snapshot(&mut self) {
+        let checkpoints = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(s, server)| {
+                let cp = server.as_ref()?.checkpoint()?;
+                Some((s as u32, cp))
+            })
+            .collect();
+        self.log.snapshot(checkpoints);
+    }
+
+    /// Kills shard `shard` in place: its process state is gone, but —
+    /// unlike a reassignment failover — the map is untouched, so the
+    /// shard still owns its key ranges and is expected back. The round
+    /// can only proceed after [`Self::restart_shard`] rebuilds it.
+    pub fn crash_shard(&mut self, shard: u32) {
+        self.shards[shard as usize] = None;
+    }
+
+    /// Cold-restarts shard `shard` from durable state only: a fresh
+    /// [`BackendServer`] is enrolled from the replicated bulletin board,
+    /// restored from the log's last snapshot checkpoint (if one exists)
+    /// and fed the shard's `Absorbed` suffix above the watermark, in
+    /// sequence order. Replay bypasses the dedupe check and appends no
+    /// new records — the log already proves these absorptions, so the
+    /// flow is idempotent and a double restart lands on identical
+    /// state. Returns the number of records replayed.
+    ///
+    /// # Panics
+    /// Panics if a journaled record is rejected on replay — the log
+    /// holds only successful absorptions and validation is
+    /// deterministic, so a rejection is a corrupted log, not a runtime
+    /// condition.
+    pub fn restart_shard(&mut self, shard: u32) -> usize {
+        let mut server =
+            BackendServer::new(self.element_len, self.params, self.mapper, self.policy);
+        for (user, key) in &self.enrollments {
+            server.enroll(*user, key.clone());
+        }
+        match self.log.checkpoint_for(shard) {
+            Some(checkpoint) => server.restore(checkpoint),
+            None => {
+                if let Some(round) = self.round {
+                    AggregationBackend::open_round(&mut server, round);
+                }
+            }
+        }
+        let suffix = self.log.replay_for_shard(shard);
+        let replayed = suffix.len();
+        for env in suffix {
+            server
+                .on_envelope(env)
+                .expect("journaled absorption is re-accepted on restart replay");
+        }
+        self.replayed += replayed as u64;
+        self.shards[shard as usize] = Some(server);
+        replayed
+    }
+
+    /// Drains the backend's replay counters (replayed, deduped) and
+    /// reports the log's current depth and truncation total.
+    pub fn take_metrics(&mut self) -> ReplayMetrics {
+        let metrics = ReplayMetrics {
+            routed: 0,
+            replayed: self.replayed,
+            deduped: self.deduped,
+            journal_depth: self.log.depth() as u64,
+            truncated: self.log.truncated_total(),
+            queue_depth: 0,
+            phase_nanos: [0; 4],
+        };
+        self.replayed = 0;
+        self.deduped = 0;
+        metrics
+    }
+
+    /// True when `env` is a byte-identical re-delivery of an envelope
+    /// the log recorded as absorbed **before the current batch** (or at
+    /// any time, outside a batch). Same-identity envelopes with
+    /// different bytes are conflicting duplicates, not replays, and are
+    /// delivered so the shard can reject them explicitly.
+    fn is_replay(&self, env: &Envelope) -> bool {
+        let Some(key) = dedupe_key(env) else {
+            return false;
+        };
+        let Some(entry) = self.log.absorbed_entry(key) else {
+            return false;
+        };
+        entry.seq <= self.batch_horizon.unwrap_or(u64::MAX) && entry.crc == crc32(&env.encode())
+    }
+
     /// Delivers one envelope to a **specific** shard, as a stale router
     /// would: ownership is validated against the current map, and a
     /// report or adjustment landing on a shard that does not own its
     /// sender's key range is a [`RoundError::WrongShard`] rejection (the
     /// driver answers it with [`ew_proto::error_code::WRONG_SHARD`])
     /// rather than silent mis-aggregation.
+    ///
+    /// A byte-identical re-delivery of an already-journaled absorption
+    /// (a failover or restart replay crossing paths with the original)
+    /// is acknowledged with `Ok(None)` and counted as deduped — the
+    /// dual-journal design answered it `DuplicateReport`, which the
+    /// recovery driver treats as fatal. Absorption and journaling are
+    /// one step: the `Absorbed` record is appended only after the shard
+    /// accepts, so rejected envelopes never pollute the replay log.
     pub fn deliver_to_shard(
         &mut self,
         shard: u32,
@@ -476,6 +731,10 @@ impl ClusterBackend {
             if owner != shard {
                 return Err(RoundError::WrongShard { owner, got: shard });
             }
+            if self.is_replay(&env) {
+                self.deduped += 1;
+                return Ok(None);
+            }
         }
         let Some(server) = self.shards.get_mut(shard as usize).and_then(Option::as_mut) else {
             return Err(RoundError::WrongShard {
@@ -483,17 +742,25 @@ impl ClusterBackend {
                 got: shard,
             });
         };
-        if is_data_plane(&env) {
-            self.journal[shard as usize].push(env.clone());
+        let journal_copy = is_data_plane(&env).then(|| env.clone());
+        let result = server.on_envelope(env);
+        if matches!(result, Ok(None)) {
+            if let Some(envelope) = journal_copy {
+                self.log.append(JournalEvent::Absorbed { shard, envelope });
+            }
         }
-        server.on_envelope(env)
+        result
     }
 
-    /// Adopts (or rejects) a broadcast shard map. Newer versions are
-    /// adopted — dead shards dropped and their journals replayed into
-    /// the new owners; the current version is an expected re-broadcast
-    /// (one copy arrives per surviving uplink); older versions are
-    /// answered with [`ew_proto::error_code::STALE_SHARD_MAP`].
+    /// Adopts (or rejects) a broadcast shard map under **strict version
+    /// acceptance**: only a strictly newer version is adopted — dead
+    /// shards dropped and their `Absorbed` records replayed from the
+    /// round log into the ranges' new owners. The current version is
+    /// accepted silently only when it is byte-for-byte the map already
+    /// held (the expected per-uplink re-broadcast); an *equal-version,
+    /// different-ring* map is a split-brain symptom and is rejected
+    /// with [`ew_proto::error_code::STALE_SHARD_MAP`], exactly like an
+    /// older version — never adopted as if it were newer.
     fn handle_map_update(
         &mut self,
         round: u64,
@@ -518,7 +785,13 @@ impl ClusterBackend {
             );
         }
         if version == self.map.version() {
-            return Ok(None); // re-broadcast of the map we already hold
+            if shard_ids == self.map.shard_ids() && owners.as_slice() == self.map.owners() {
+                return Ok(None); // re-broadcast of the map we already hold
+            }
+            return reject(
+                ew_proto::error_code::STALE_SHARD_MAP,
+                format!("conflicting ring at current version {version} is not an update"),
+            );
         }
         let new_map = match ShardMap::from_wire(version, shard_ids, owners) {
             Ok(map) if map.shard_ids() == self.map.shard_ids() => map,
@@ -535,20 +808,35 @@ impl ClusterBackend {
             Err(e) => return reject(ew_proto::error_code::MALFORMED_SHARD_MAP, e.to_string()),
         };
         self.map = new_map;
+        self.log.append(JournalEvent::MapInstalled {
+            version: self.map.version(),
+            shard_ids: self.map.shard_ids(),
+            owners: self.map.owners().to_vec(),
+        });
         // Drop every shard the new map no longer routes to and replay
-        // its absorbed journal into the ranges' new owners. Validation
-        // is deterministic, so the replay reconstructs exactly the
-        // accept/reject decisions — and therefore the partial state —
-        // the dead shard held.
+        // its absorbed records into the ranges' new owners. The dedupe
+        // index forgets the dead shard first, so the replay re-absorbs
+        // (re-indexing each record under its new owner) instead of
+        // matching its own entries and skipping — and because the log
+        // holds only successful absorptions, every replayed record is
+        // re-accepted; a rejection here would be a corrupted log.
         for dead in 0..self.shards.len() {
             if self.shards[dead].is_none() || self.map.is_live(dead as u32) {
                 continue;
             }
             self.shards[dead] = None;
-            let orphans = std::mem::take(&mut self.journal[dead]);
+            let dead = dead as u32;
+            self.log.forget_shard(dead);
+            let orphans = self.log.replay_for_shard(dead);
+            self.log.append(JournalEvent::ShardAdopted {
+                dead,
+                version: self.map.version(),
+            });
+            self.replayed += orphans.len() as u64;
             for env in orphans {
                 let owner = self.map.owner_of(route_user(&env));
-                let _ = self.deliver_to_shard(owner, env);
+                self.deliver_to_shard(owner, env)
+                    .expect("journaled absorption is re-accepted by the adopting shard");
             }
         }
         Ok(None)
@@ -571,43 +859,65 @@ impl ClusterBackend {
             out[i] = Some(AggregationBackend::on_envelope(self, env));
             return;
         }
+        // Dedupe runs serially, in stream order, against the pre-batch
+        // horizon — exactly what the serial walk would do — before any
+        // work is handed to a shard worker.
         let mut groups: Vec<Vec<(usize, Envelope)>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
         for (i, env) in run.drain(..) {
-            let shard = self.map.owner_of(route_user(&env)) as usize;
-            if is_data_plane(&env) {
-                self.journal[shard].push(env.clone());
+            if is_data_plane(&env) && self.is_replay(&env) {
+                self.deduped += 1;
+                out[i] = Some(Ok(None));
+                continue;
             }
+            let shard = self.map.owner_of(route_user(&env)) as usize;
             groups[shard].push((i, env));
         }
-        let mut work: Vec<(Vec<usize>, Vec<Envelope>, &mut BackendServer)> = Vec::new();
-        for (server, group) in self.shards.iter_mut().zip(groups) {
+        let mut work: Vec<(u32, Vec<usize>, Vec<Envelope>, &mut BackendServer)> = Vec::new();
+        for (shard, (server, group)) in self.shards.iter_mut().zip(groups).enumerate() {
             if group.is_empty() {
                 continue;
             }
             let server = server.as_mut().expect("map routes only to live shards");
             let (indices, envelopes) = group.into_iter().unzip();
-            work.push((indices, envelopes, server));
+            work.push((shard as u32, indices, envelopes, server));
         }
         // One worker per shard with a batch; each shard splits its
         // share of the thread budget across its own sharded pre-merge.
+        // Workers hand the envelopes back alongside the results so the
+        // absorptions can be journaled afterwards without a second
+        // trip through the stream.
         let inner_threads = (threads / work.len().max(1)).max(1);
         let fanout = work.len();
         let results = crossbeam::thread::map_shards_mut(&mut work, fanout, |chunk| {
             chunk
                 .iter_mut()
-                .map(|(indices, envelopes, server)| {
+                .map(|(shard, indices, envelopes, server)| {
+                    let envelopes = std::mem::take(envelopes);
+                    let kept = envelopes.clone();
                     (
+                        *shard,
                         std::mem::take(indices),
-                        server.absorb_batch(std::mem::take(envelopes), inner_threads),
+                        kept,
+                        server.absorb_batch(envelopes, inner_threads),
                     )
                 })
                 .collect::<Vec<_>>()
         });
-        for (indices, shard_results) in results.into_iter().flatten() {
-            for (i, result) in indices.into_iter().zip(shard_results) {
+        // Journal the successful absorptions in stream order, so the
+        // log's record sequence is identical for every thread count.
+        let mut absorbed: Vec<(usize, u32, Envelope)> = Vec::new();
+        for (shard, indices, envelopes, shard_results) in results.into_iter().flatten() {
+            for ((i, env), result) in indices.into_iter().zip(envelopes).zip(shard_results) {
+                if matches!(result, Ok(None)) && is_data_plane(&env) {
+                    absorbed.push((i, shard, env));
+                }
                 out[i] = Some(result);
             }
+        }
+        absorbed.sort_unstable_by_key(|&(i, _, _)| i);
+        for (_, shard, envelope) in absorbed {
+            self.log.append(JournalEvent::Absorbed { shard, envelope });
         }
     }
 }
@@ -618,9 +928,19 @@ impl AggregationBackend for ClusterBackend {
         for shard in self.shards.iter_mut().flatten() {
             AggregationBackend::open_round(shard, round);
         }
-        for journal in &mut self.journal {
-            journal.clear();
-        }
+        // A round is the log's epoch: records, dedupe index, snapshot
+        // watermark and counters restart, and the opening map is the
+        // first record — replaying the log from empty always begins
+        // with the routing truth it was written under.
+        self.log.open();
+        self.log.append(JournalEvent::MapInstalled {
+            version: self.map.version(),
+            shard_ids: self.map.shard_ids(),
+            owners: self.map.owners().to_vec(),
+        });
+        self.batch_horizon = None;
+        self.replayed = 0;
+        self.deduped = 0;
     }
 
     fn on_envelope(&mut self, env: Envelope) -> Result<Option<Envelope>, RoundError> {
@@ -655,27 +975,37 @@ impl AggregationBackend for ClusterBackend {
         envelopes: Vec<Envelope>,
         threads: usize,
     ) -> Vec<Result<Option<Envelope>, RoundError>> {
-        if threads <= 1 || envelopes.len() < 2 {
-            return envelopes
+        // Pin the dedupe horizon for the whole batch: only records
+        // journaled *before* this batch count as prior absorptions, so
+        // an in-batch duplicate (a lossy wire duplicating a frame) is
+        // answered `DuplicateReport` exactly like the single-backend
+        // walk — bit-identical replies for every thread count — while a
+        // cross-batch replay is acknowledged silently.
+        self.batch_horizon = Some(self.log.last_seq());
+        let out = if threads <= 1 || envelopes.len() < 2 {
+            envelopes
                 .into_iter()
                 .map(|env| AggregationBackend::on_envelope(self, env))
-                .collect();
-        }
-        let mut out: Vec<Option<Result<Option<Envelope>, RoundError>>> =
-            (0..envelopes.len()).map(|_| None).collect();
-        let mut run: Vec<(usize, Envelope)> = Vec::new();
-        for (i, env) in envelopes.into_iter().enumerate() {
-            if matches!(env.msg, Message::ShardMapUpdate { .. }) {
-                self.absorb_run(&mut run, threads, &mut out);
-                out[i] = Some(AggregationBackend::on_envelope(self, env));
-            } else {
-                run.push((i, env));
+                .collect()
+        } else {
+            let mut out: Vec<Option<Result<Option<Envelope>, RoundError>>> =
+                (0..envelopes.len()).map(|_| None).collect();
+            let mut run: Vec<(usize, Envelope)> = Vec::new();
+            for (i, env) in envelopes.into_iter().enumerate() {
+                if matches!(env.msg, Message::ShardMapUpdate { .. }) {
+                    self.absorb_run(&mut run, threads, &mut out);
+                    out[i] = Some(AggregationBackend::on_envelope(self, env));
+                } else {
+                    run.push((i, env));
+                }
             }
-        }
-        self.absorb_run(&mut run, threads, &mut out);
-        out.into_iter()
-            .map(|r| r.expect("every stream position filled"))
-            .collect()
+            self.absorb_run(&mut run, threads, &mut out);
+            out.into_iter()
+                .map(|r| r.expect("every stream position filled"))
+                .collect()
+        };
+        self.batch_horizon = None;
+        out
     }
 
     fn missing_clients(&mut self) -> Result<Vec<u32>, RoundError> {
@@ -700,6 +1030,12 @@ impl AggregationBackend for ClusterBackend {
         for shard in self.shards.iter_mut().flatten() {
             merger.absorb(&shard.take_shard_view()?)?;
         }
+        // Seal the round's history and truncate: everything at or below
+        // the `RoundFinalized` record is dead weight once the merged
+        // view exists (the per-shard state it reconstructs was just
+        // consumed), so the log ends every round at depth 0.
+        self.log.append(JournalEvent::RoundFinalized { round });
+        self.log.snapshot(Vec::new());
         Ok(merger.finalize(&self.mapper, self.policy))
     }
 }
@@ -822,17 +1158,143 @@ mod tests {
             c.deliver_to_shard(wrong, env.clone()),
             Err(RoundError::WrongShard { owner, got: wrong })
         );
-        // The mis-delivery left no trace: the report still lands once,
-        // and a genuine duplicate is still caught.
+        // The mis-delivery left no trace: the report still lands once.
         assert_eq!(c.deliver_to_shard(owner, env.clone()), Ok(None));
+        // A byte-identical re-delivery is a replay of a journaled
+        // absorption: acknowledged silently, not an error.
+        assert_eq!(c.deliver_to_shard(owner, env), Ok(None));
+        // A *conflicting* duplicate — same user and round, different
+        // content — is still caught explicitly.
         assert_eq!(
-            c.deliver_to_shard(owner, env),
+            c.deliver_to_shard(owner, report_env(p, 1, 1, &[8])),
             Err(RoundError::DuplicateReport(1))
         );
         assert_eq!(
             RoundError::WrongShard { owner, got: wrong }.error_code(),
             error_code::WRONG_SHARD
         );
+    }
+
+    #[test]
+    fn replayed_absorbed_envelope_dedupes_instead_of_erroring() {
+        // The regression at the heart of this PR. Under the dual-journal
+        // design an envelope that was already absorbed and then arrived
+        // again over a replay path (the bus journal re-sending in-flight
+        // traffic after a kill) was journaled a *second* time and
+        // answered `DuplicateReport` — fatal on the recovery link, and a
+        // double record waiting to be replayed into the next failover.
+        // The unified log dedupes it by (key, crc, seq) and acknowledges
+        // silently, leaving exactly one `Absorbed` record.
+        let p = params();
+        let mut c = cluster(ShardMap::uniform(2), 4);
+        AggregationBackend::open_round(&mut c, 1);
+        let env = report_env(p, 1, 1, &[7]);
+        let owner = c.map().owner_of(1);
+        assert_eq!(c.deliver_to_shard(owner, env.clone()), Ok(None));
+        let depth = c.log().depth();
+
+        assert_eq!(
+            c.deliver_to_shard(owner, env.clone()),
+            Ok(None),
+            "cross-batch replay of an absorbed envelope must not error"
+        );
+        assert_eq!(c.log().depth(), depth, "no second Absorbed record");
+        let metrics = c.take_metrics();
+        assert_eq!(metrics.deduped, 1, "the replay was counted, not absorbed");
+
+        // The dedupe holds across a failover replay too: kill the
+        // owner, let the survivor adopt and replay, then re-deliver the
+        // original envelope to the adopting shard.
+        let mut map = c.map().clone();
+        map.reassign(owner).unwrap();
+        let update = Envelope::new(
+            NodeId::Backend,
+            1,
+            Message::ShardMapUpdate {
+                version: map.version(),
+                shard_ids: map.shard_ids(),
+                owners: map.owners().to_vec(),
+            },
+        );
+        assert_eq!(AggregationBackend::on_envelope(&mut c, update), Ok(None));
+        let survivor = c.map().owner_of(1);
+        assert_ne!(survivor, owner);
+        assert_eq!(
+            c.deliver_to_shard(survivor, env),
+            Ok(None),
+            "replay crossing paths with the reassignment stays silent"
+        );
+        assert_eq!(c.take_metrics().deduped, 1);
+    }
+
+    #[test]
+    fn in_batch_duplicates_keep_duplicate_report_semantics() {
+        // Two byte-identical reports inside *one* batch are a client
+        // bug, not a replay: the second must still answer
+        // `DuplicateReport`, exactly as a single backend would — on both
+        // the serial and the parallel absorb path.
+        let p = params();
+        let env = report_env(p, 1, 1, &[7]);
+        for threads in [1usize, 4] {
+            let mut c = cluster(ShardMap::uniform(2), 4);
+            AggregationBackend::open_round(&mut c, 1);
+            let results = c.absorb_batch(vec![env.clone(), env.clone()], threads);
+            assert_eq!(results[0], Ok(None), "threads={threads}");
+            assert_eq!(
+                results[1],
+                Err(RoundError::DuplicateReport(1)),
+                "threads={threads}"
+            );
+            // A later batch re-delivering the same envelope *is* a
+            // replay and dedupes silently.
+            let replays = c.absorb_batch(vec![env.clone()], threads);
+            assert_eq!(replays, vec![Ok(None)], "threads={threads}");
+            assert_eq!(c.take_metrics().deduped, 1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cold_restart_replays_checkpoint_and_suffix() {
+        let p = params();
+        let stream = reports(p, 1);
+        let mut baseline = single(10);
+        baseline.open_round(1);
+        for env in stream.clone() {
+            AggregationBackend::on_envelope(&mut baseline, env).unwrap();
+        }
+        let base_view = baseline.finalize_round().unwrap().clone();
+
+        let mut c = cluster(ShardMap::uniform(2), 10);
+        AggregationBackend::open_round(&mut c, 1);
+        // Absorb half, snapshot (truncating the log), absorb the rest:
+        // the restart must stitch checkpoint + suffix back together.
+        let (first, rest) = stream.split_at(5);
+        for env in first.iter().cloned() {
+            AggregationBackend::on_envelope(&mut c, env).unwrap();
+        }
+        c.snapshot();
+        assert_eq!(c.log().depth(), 0, "snapshot truncates absorbed records");
+        for env in rest.iter().cloned() {
+            AggregationBackend::on_envelope(&mut c, env).unwrap();
+        }
+
+        // Kill shard 0 cold and bring it back from durable state only.
+        c.crash_shard(0);
+        let replayed = c.restart_shard(0);
+        assert!(replayed > 0, "the post-snapshot suffix is replayed");
+        // Replay appends nothing, so a double restart is idempotent.
+        let depth = c.log().depth();
+        c.crash_shard(0);
+        assert_eq!(c.restart_shard(0), replayed);
+        assert_eq!(c.log().depth(), depth, "restart replay journals nothing");
+
+        assert_eq!(
+            AggregationBackend::missing_clients(&mut c).unwrap(),
+            Vec::<u32>::new()
+        );
+        let view = AggregationBackend::finalize(&mut c).unwrap();
+        assert_eq!(view, base_view, "restart is invisible in the outcome");
+        assert_eq!(c.log().depth(), 0, "finalize seals and truncates the round");
     }
 
     #[test]
@@ -850,9 +1312,28 @@ mod tests {
                 },
             )
         };
-        // A re-broadcast of the current version is silently absorbed.
+        // A re-broadcast of the current version is silently absorbed —
+        // but only if the ring is byte-identical.
         let current = mk(0, 2, ShardMap::uniform(2).owners().to_vec());
         assert_eq!(AggregationBackend::on_envelope(&mut c, current), Ok(None));
+
+        // An equal-version update with a *different* ring is a split
+        // brain, not a re-broadcast: explicit STALE_SHARD_MAP, and the
+        // conflicting ring is never adopted.
+        let mut conflicting_ring = ShardMap::uniform(2).owners().to_vec();
+        conflicting_ring.reverse();
+        let conflict = mk(0, 2, conflicting_ring);
+        let reply = AggregationBackend::on_envelope(&mut c, conflict)
+            .unwrap()
+            .expect("conflicting ring at the current version gets an explicit reply");
+        assert!(matches!(
+            reply.msg,
+            Message::Error {
+                code: error_code::STALE_SHARD_MAP,
+                ..
+            }
+        ));
+        assert_eq!(c.map().owners(), ShardMap::uniform(2).owners());
 
         // Adopt a newer map, then replay the older one: explicit
         // STALE_SHARD_MAP, not silence and not an adopted downgrade.

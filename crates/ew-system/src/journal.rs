@@ -1,0 +1,330 @@
+//! The cluster's single event-sourced round log: one append-only
+//! sequence of [`JournalRecord`]s that is the source of truth for
+//! failover replay, duplicate suppression and cold crash-restart.
+//!
+//! ## Why one log
+//!
+//! PR 5 kept **two** ad-hoc journals — the routing bus's per-shard
+//! in-flight envelope lists and the cluster backend's absorbed-envelope
+//! lists — and their exactly-once story was discipline: the bus cleared
+//! its journal on every drain, the backend journaled *before* absorbing,
+//! and nothing cross-checked the two. Replaying after a failure could
+//! therefore double-deliver (the bus re-sends what the backend already
+//! absorbed) or under-deliver (a rejected envelope sat in the absorbed
+//! journal). This module replaces the backend half with mechanism:
+//!
+//! * every **successful** absorption appends an
+//!   [`JournalEvent::Absorbed`] record (rejections are never journaled),
+//! * an index over the absorbed records answers "was this exact
+//!   envelope already absorbed, and by whom?" in `O(log n)` — the
+//!   dedupe check that closes the double-replay window,
+//! * a **snapshot watermark** bounds the log: once every live shard's
+//!   round state is checkpointed, records at or below the watermark are
+//!   truncated and restart recovery becomes *restore checkpoint + replay
+//!   suffix* instead of replay-from-genesis.
+//!
+//! ## Snapshot + replay semantics
+//!
+//! [`RoundLog::snapshot`] stores one [`RoundCheckpoint`] per live shard
+//! and drops every retained record (they are all at or below the new
+//! watermark by construction). The **dedupe index survives truncation**
+//! — exactly-once does not erode as the log is bounded. A cold restart
+//! of shard `s` restores `checkpoint_for(s)` (if any) and replays
+//! [`RoundLog::replay_for_shard`]`(s)` — the absorbed suffix above the
+//! watermark — into the fresh instance.
+//!
+//! One documented asymmetry: *reassignment* failover (redistributing a
+//! dead shard's key range over the survivors) replays the dead shard's
+//! absorbed envelopes through routing, which needs the full record
+//! suffix for that shard — a checkpoint cannot be split along the
+//! reassigned key ranges. The cluster driver therefore only snapshots
+//! between rounds or for restart-in-place recovery, never mid-failover.
+
+use crate::backend::RoundCheckpoint;
+use ew_proto::crc32::crc32;
+use ew_proto::{Envelope, JournalEvent, JournalRecord, Message};
+use std::collections::BTreeMap;
+
+/// The dedupe identity of a data-plane envelope: `(kind, user, round)`
+/// where kind 0 is a report and kind 1 an adjustment. `None` for
+/// control-plane messages — only data-plane envelopes are journaled.
+pub fn dedupe_key(env: &Envelope) -> Option<(u8, u32, u64)> {
+    match &env.msg {
+        Message::Report { user, round, .. } => Some((0, *user, *round)),
+        Message::Adjustment { user, round, .. } => Some((1, *user, *round)),
+        _ => None,
+    }
+}
+
+/// What the log remembers about one absorbed envelope (the value side
+/// of the dedupe index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsorbedEntry {
+    /// The journal sequence number of the `Absorbed` record.
+    pub seq: u64,
+    /// CRC-32 of the absorbed envelope's encoding — a replayed envelope
+    /// must match byte-for-byte to be treated as the same absorption;
+    /// same key with different bytes is a *conflicting* duplicate and
+    /// is rejected by the shard, not deduped.
+    pub crc: u32,
+    /// The shard that absorbed it.
+    pub shard: u32,
+}
+
+/// The append-only, sequence-numbered round log with snapshot-bounded
+/// depth and a duplicate-suppression index over absorbed envelopes.
+#[derive(Debug, Default)]
+pub struct RoundLog {
+    /// Retained records: everything appended after the watermark.
+    records: Vec<JournalRecord>,
+    /// Next sequence number to assign (sequence numbers are 1-based so
+    /// watermark 0 means "nothing snapshotted").
+    next_seq: u64,
+    /// Highest sequence number covered by the latest snapshot; records
+    /// at or below it have been truncated.
+    watermark: u64,
+    /// Per-shard round checkpoints taken at the watermark.
+    checkpoints: BTreeMap<u32, RoundCheckpoint>,
+    /// Dedupe index: data-plane identity → absorbed entry. Survives
+    /// truncation — exactly-once outlives the records themselves.
+    absorbed: BTreeMap<(u8, u32, u64), AbsorbedEntry>,
+    /// Total records dropped by snapshots (telemetry).
+    truncated: u64,
+}
+
+impl RoundLog {
+    /// An empty log (sequence numbers start at 1).
+    pub fn new() -> Self {
+        RoundLog {
+            records: Vec::new(),
+            next_seq: 1,
+            watermark: 0,
+            checkpoints: BTreeMap::new(),
+            absorbed: BTreeMap::new(),
+            truncated: 0,
+        }
+    }
+
+    /// Resets the log for a new round: records, index, checkpoints and
+    /// sequence numbering all start over (a round is the log's epoch).
+    pub fn open(&mut self) {
+        *self = RoundLog::new();
+    }
+
+    /// Appends `event` as the next sequence-numbered record, indexing
+    /// it if it is an absorption. Returns the assigned sequence number.
+    pub fn append(&mut self, event: JournalEvent) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let JournalEvent::Absorbed { shard, envelope } = &event {
+            if let Some(key) = dedupe_key(envelope) {
+                self.absorbed.insert(
+                    key,
+                    AbsorbedEntry {
+                        seq,
+                        crc: crc32(&envelope.encode()),
+                        shard: *shard,
+                    },
+                );
+            }
+        }
+        self.records.push(JournalRecord { seq, event });
+        seq
+    }
+
+    /// The highest sequence number assigned so far (0 if none).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Retained (un-truncated) records, oldest first.
+    pub fn records(&self) -> &[JournalRecord] {
+        &self.records
+    }
+
+    /// How many records are currently retained.
+    pub fn depth(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The snapshot watermark (0 = never snapshotted this round).
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Total records truncated by snapshots this round.
+    pub fn truncated_total(&self) -> u64 {
+        self.truncated
+    }
+
+    /// Looks up the absorbed entry for a data-plane envelope identity.
+    pub fn absorbed_entry(&self, key: (u8, u32, u64)) -> Option<AbsorbedEntry> {
+        self.absorbed.get(&key).copied()
+    }
+
+    /// Drops every dedupe-index entry owned by `dead` and re-owns its
+    /// retained `Absorbed` records to nobody: the reassignment replay
+    /// will re-absorb them into the surviving owners, re-indexing each
+    /// under its new shard. Without this, a replayed envelope would
+    /// match its own index entry and be skipped — losing the state.
+    pub fn forget_shard(&mut self, dead: u32) {
+        self.absorbed.retain(|_, entry| entry.shard != dead);
+        self.checkpoints.remove(&dead);
+    }
+
+    /// The absorbed envelopes of `shard` above the watermark, in
+    /// sequence order — the replay suffix a restarted instance applies
+    /// after restoring its checkpoint.
+    pub fn replay_for_shard(&self, shard: u32) -> Vec<Envelope> {
+        self.records
+            .iter()
+            .filter_map(|rec| match &rec.event {
+                JournalEvent::Absorbed { shard: s, envelope } if *s == shard => {
+                    Some(envelope.clone())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Installs per-shard checkpoints covering everything appended so
+    /// far, advances the watermark to the last assigned sequence number
+    /// and truncates the retained records. The dedupe index is kept.
+    pub fn snapshot(&mut self, checkpoints: Vec<(u32, RoundCheckpoint)>) {
+        self.checkpoints = checkpoints.into_iter().collect();
+        self.watermark = self.last_seq();
+        self.truncated += self.records.len() as u64;
+        self.records.clear();
+    }
+
+    /// The latest checkpoint for `shard`, if one was snapshotted.
+    pub fn checkpoint_for(&self, shard: u32) -> Option<RoundCheckpoint> {
+        self.checkpoints.get(&shard).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ew_proto::NodeId;
+
+    fn report_env(user: u32, round: u64, seed: u64) -> Envelope {
+        Envelope::new(
+            NodeId::Client(user),
+            round,
+            Message::Report {
+                user,
+                round,
+                depth: 2,
+                width: 4,
+                seed,
+                cells: vec![user; 8],
+            },
+        )
+    }
+
+    fn absorb(log: &mut RoundLog, shard: u32, env: Envelope) -> u64 {
+        log.append(JournalEvent::Absorbed {
+            shard,
+            envelope: env,
+        })
+    }
+
+    #[test]
+    fn sequence_numbers_are_one_based_and_dense() {
+        let mut log = RoundLog::new();
+        assert_eq!(log.last_seq(), 0);
+        assert_eq!(absorb(&mut log, 0, report_env(1, 7, 1)), 1);
+        assert_eq!(log.append(JournalEvent::RoundFinalized { round: 7 }), 2);
+        assert_eq!(log.last_seq(), 2);
+        assert_eq!(log.depth(), 2);
+    }
+
+    #[test]
+    fn absorbed_index_tracks_identity_and_bytes() {
+        let mut log = RoundLog::new();
+        let env = report_env(3, 7, 9);
+        let seq = absorb(&mut log, 1, env.clone());
+        let entry = log
+            .absorbed_entry(dedupe_key(&env).unwrap())
+            .expect("indexed");
+        assert_eq!(entry.seq, seq);
+        assert_eq!(entry.shard, 1);
+        assert_eq!(entry.crc, crc32(&env.encode()));
+        // A different-content envelope under the same identity does NOT
+        // match byte-wise: the caller must treat it as a conflicting
+        // duplicate, not a replay.
+        let conflicting = report_env(3, 7, 10);
+        assert_eq!(dedupe_key(&conflicting), dedupe_key(&env));
+        assert_ne!(entry.crc, crc32(&conflicting.encode()));
+    }
+
+    #[test]
+    fn control_plane_envelopes_have_no_dedupe_identity() {
+        let env = Envelope::new(
+            NodeId::Backend,
+            7,
+            Message::MissingClients {
+                round: 7,
+                users: vec![1, 2],
+            },
+        );
+        assert_eq!(dedupe_key(&env), None);
+    }
+
+    #[test]
+    fn snapshot_truncates_but_keeps_the_index() {
+        let mut log = RoundLog::new();
+        let env = report_env(5, 7, 1);
+        absorb(&mut log, 0, env.clone());
+        absorb(&mut log, 0, report_env(6, 7, 2));
+        log.snapshot(Vec::new());
+        assert_eq!(log.depth(), 0);
+        assert_eq!(log.watermark(), 2);
+        assert_eq!(log.truncated_total(), 2);
+        // Dedupe outlives the records.
+        assert!(log.absorbed_entry(dedupe_key(&env).unwrap()).is_some());
+        // New appends continue the sequence above the watermark.
+        assert_eq!(absorb(&mut log, 0, report_env(7, 7, 3)), 3);
+        assert_eq!(log.depth(), 1);
+    }
+
+    #[test]
+    fn replay_suffix_is_per_shard_in_sequence_order() {
+        let mut log = RoundLog::new();
+        absorb(&mut log, 0, report_env(1, 7, 1));
+        absorb(&mut log, 1, report_env(2, 7, 2));
+        absorb(&mut log, 0, report_env(3, 7, 3));
+        log.append(JournalEvent::RoundFinalized { round: 7 });
+        let suffix = log.replay_for_shard(0);
+        assert_eq!(suffix.len(), 2);
+        assert_eq!(dedupe_key(&suffix[0]).unwrap().1, 1);
+        assert_eq!(dedupe_key(&suffix[1]).unwrap().1, 3);
+    }
+
+    #[test]
+    fn forget_shard_unindexes_only_the_dead_shards_entries() {
+        let mut log = RoundLog::new();
+        let dead_env = report_env(1, 7, 1);
+        let live_env = report_env(2, 7, 2);
+        absorb(&mut log, 0, dead_env.clone());
+        absorb(&mut log, 1, live_env.clone());
+        log.forget_shard(0);
+        assert!(log.absorbed_entry(dedupe_key(&dead_env).unwrap()).is_none());
+        assert!(log.absorbed_entry(dedupe_key(&live_env).unwrap()).is_some());
+        // The records themselves remain — replay still sees them.
+        assert_eq!(log.replay_for_shard(0).len(), 1);
+    }
+
+    #[test]
+    fn open_resets_the_epoch() {
+        let mut log = RoundLog::new();
+        absorb(&mut log, 0, report_env(1, 7, 1));
+        log.snapshot(Vec::new());
+        log.open();
+        assert_eq!(log.last_seq(), 0);
+        assert_eq!(log.watermark(), 0);
+        assert_eq!(log.truncated_total(), 0);
+        assert_eq!(absorb(&mut log, 0, report_env(1, 8, 1)), 1);
+    }
+}

@@ -25,6 +25,17 @@
 //!   [`cluster::ClusterBackend`] merging per-shard partials through
 //!   [`cluster::ViewMerger`], and a mid-round failover path that
 //!   reassigns and replays a dead shard's key range.
+//! * [`journal`] — the single event-sourced round log behind the
+//!   cluster: sequence-numbered [`ew_proto::journal::JournalRecord`]s
+//!   with snapshot/replay semantics, a content-addressed dedupe index,
+//!   and watermark truncation that keeps the log's depth bounded. The
+//!   one source of truth for failover reassignment *and* cold
+//!   crash-restart.
+//! * [`telemetry`] — the telemetry role service on the same bus fabric:
+//!   per-round and lifetime [`telemetry::ReplayMetrics`] (envelopes
+//!   routed / replayed / deduped, journal depth, queue high-water,
+//!   per-phase timings), answering `MetricsQuery` envelopes as
+//!   [`ew_proto::NodeId::Telemetry`].
 //! * [`node`] — the role-service API: [`node::ClientNode`],
 //!   [`node::OprfFrontend`] and [`node::AggregationBackend`] interact
 //!   only through versioned `Envelope`s over a [`node::ServiceBus`]
@@ -47,21 +58,24 @@ pub mod cluster;
 pub mod crawler;
 pub mod eval;
 pub mod ids;
+pub mod journal;
 pub mod node;
 pub mod oprf_server;
 pub mod pipeline;
 pub mod store;
 pub mod system;
+pub mod telemetry;
 
-pub use backend::BackendServer;
+pub use backend::{BackendServer, RoundCheckpoint};
 pub use client::Client;
 pub use cluster::{ClusterBackend, RoutingBus, ShardFailure, ShardView, ViewMerger};
 pub use crawler::Crawler;
 pub use eval::{EvalOracles, EvalTree};
 pub use ids::AdIdMapper;
+pub use journal::{dedupe_key, AbsorbedEntry, RoundLog};
 pub use node::{
-    drive_round, AggregationBackend, ClientNode, DrivenRound, InProcBus, OprfFrontend, RoundPhase,
-    ServiceBus, WireBus,
+    drive_round, pump_telemetry, AggregationBackend, ClientNode, DrivenRound, InProcBus,
+    OprfFrontend, RoundPhase, ServiceBus, WireBus,
 };
 pub use oprf_server::OprfService;
 pub use pipeline::{
@@ -70,3 +84,4 @@ pub use pipeline::{
 };
 pub use store::{RoundRecord, Store, UserRecord};
 pub use system::{EyewnderSystem, ParallelConfig, RoundOutcome, SystemConfig};
+pub use telemetry::{phase_index, ReplayMetrics, TelemetryService};

@@ -168,6 +168,16 @@ pub trait ServiceBus {
     fn on_phase(&mut self, phase: RoundPhase) {
         let _ = phase;
     }
+
+    /// Drains the bus's replay-path telemetry since the last call, if
+    /// this bus keeps any (`None` for the plain point-to-point buses).
+    /// The cluster's `RoutingBus` reports routed/replayed counters,
+    /// in-flight journal depth and per-phase wall-clock through this
+    /// seam, so the round drivers can observe any bus without knowing
+    /// its concrete type.
+    fn take_metrics(&mut self) -> Option<crate::telemetry::ReplayMetrics> {
+        None
+    }
 }
 
 /// Direct in-process dispatch: envelopes are moved into per-destination
@@ -677,6 +687,25 @@ where
             bus.send(requester, reply).expect("requester mailbox open");
             replies += 1;
         }
+    }
+    replies
+}
+
+/// Pumps every envelope queued for the telemetry role through `svc`,
+/// routing each reply (metrics snapshots, error replies) back to its
+/// sender. Every query gets exactly one reply. Returns the number of
+/// replies routed.
+pub fn pump_telemetry<B>(svc: &crate::telemetry::TelemetryService, bus: &mut B) -> usize
+where
+    B: ServiceBus,
+{
+    let (requests, _corrupt) = bus.drain(NodeId::Telemetry);
+    let mut replies = 0usize;
+    for req in requests {
+        let requester = req.sender;
+        let reply = svc.on_envelope(&req);
+        bus.send(requester, reply).expect("requester mailbox open");
+        replies += 1;
     }
     replies
 }

@@ -56,13 +56,16 @@ use crate::backend::BackendServer;
 use crate::client::Client;
 use crate::cluster::{ClusterBackend, RoutingBus};
 use crate::ids::AdIdMapper;
-use crate::node::{drive_round, pump_backend, InProcBus, ServiceBus, WireBus};
+use crate::node::{
+    drive_round, pump_backend, pump_telemetry, InProcBus, RoundOpen, ServiceBus, WireBus,
+};
 use crate::oprf_server::OprfService;
 use crate::store::{RoundRecord, Store};
+use crate::telemetry::{ReplayMetrics, TelemetryService};
 use ew_core::{AdKey, Detector, DetectorConfig, GlobalView, ThresholdPolicy, Verdict};
 use ew_crypto::group::ModpGroup;
 use ew_proto::{Envelope, FaultConfig, Message, NodeId, ShardMap};
-use ew_simnet::{AdClass, ImpressionLog, Scenario};
+use ew_simnet::{AdClass, ImpressionLog, RestartPhase, Scenario, ShardRestart};
 use ew_sketch::CmsParams;
 use ew_stats::ConfusionMatrix;
 use rand::rngs::StdRng;
@@ -194,6 +197,10 @@ pub struct EyewnderSystem {
     /// Simulator ad-id → protocol ad-ID, learned during ingestion
     /// (evaluation-side bookkeeping only).
     sim_ad_to_key: HashMap<u64, AdKey>,
+    /// The telemetry role service: accumulates the replay-path metrics
+    /// every clustered round drains from its bus and backend, and
+    /// answers `MetricsQuery` envelopes.
+    telemetry: TelemetryService,
 }
 
 impl EyewnderSystem {
@@ -237,6 +244,7 @@ impl EyewnderSystem {
             clients,
             store,
             sim_ad_to_key: HashMap::new(),
+            telemetry: TelemetryService::new(),
         }
     }
 
@@ -478,6 +486,70 @@ impl EyewnderSystem {
         let params = self.config.cms;
         let threads = self.config.parallel.threads.max(1);
         let driven = drive_round(&self.clients, backend, bus, params, round, silent, threads);
+        self.finish_clustered_round(backend, bus, driven)
+    }
+
+    /// [`Self::run_round_clustered_on`] with a scripted cold
+    /// crash-restart: `restart.shard`'s process state is destroyed at
+    /// the [`RestartPhase`] boundary and rebuilt from the unified round
+    /// log alone (checkpoint + `Absorbed` replay) before the round
+    /// proceeds. The shard map is untouched throughout — this is the
+    /// "machine rebooted" drill, not the "machine is gone" failover —
+    /// and the outcome is bit-identical to the undisturbed round.
+    pub fn run_round_clustered_with_restart<B: ServiceBus>(
+        &mut self,
+        backend: &mut ClusterBackend,
+        bus: &mut B,
+        round: u64,
+        silent: &[u32],
+        restart: ShardRestart,
+    ) -> RoundOutcome {
+        let params = self.config.cms;
+        let threads = self.config.parallel.threads.max(1);
+        let opened = RoundOpen::open(backend, bus, round);
+        let collected =
+            opened.collect_reports(&self.clients, silent, params, threads, backend, bus);
+        if matches!(
+            restart.phase,
+            RestartPhase::Reports | RestartPhase::MidReplay
+        ) {
+            Self::crash_restart(backend, restart);
+        }
+        let recovered = collected.recover(&self.clients, params, threads, backend, bus);
+        if restart.phase == RestartPhase::Recovery {
+            Self::crash_restart(backend, restart);
+        }
+        let driven = recovered.finalize(backend, bus);
+        self.finish_clustered_round(backend, bus, driven)
+    }
+
+    /// Executes one scripted crash-restart against the cluster. A
+    /// [`RestartPhase::MidReplay`] drill crashes the shard a second
+    /// time right after its first replay lands, so the rebuilt state is
+    /// itself rebuilt — the replay-idempotence proof.
+    fn crash_restart(backend: &mut ClusterBackend, restart: ShardRestart) {
+        backend.crash_shard(restart.shard);
+        backend.restart_shard(restart.shard);
+        if restart.phase == RestartPhase::MidReplay {
+            backend.crash_shard(restart.shard);
+            backend.restart_shard(restart.shard);
+        }
+    }
+
+    /// Shared tail of every clustered round: drains the bus and backend
+    /// replay metrics into the telemetry service, records the round in
+    /// the metadata store and installs the view on the resident backend.
+    fn finish_clustered_round<B: ServiceBus>(
+        &mut self,
+        backend: &mut ClusterBackend,
+        bus: &mut B,
+        driven: crate::node::DrivenRound,
+    ) -> RoundOutcome {
+        if let Some(metrics) = bus.take_metrics() {
+            self.telemetry.observe(driven.round, &metrics);
+        }
+        let backend_metrics = backend.take_metrics();
+        self.telemetry.observe(driven.round, &backend_metrics);
         self.record_round(driven.round, driven.reports, &driven.missing, &driven.view);
         self.backend.install_view(driven.round, driven.view.clone());
         RoundOutcome {
@@ -487,6 +559,60 @@ impl EyewnderSystem {
             missing: driven.missing,
             corrupt_frames: driven.corrupt_frames,
         }
+    }
+
+    /// The telemetry role service (per-round and lifetime replay-path
+    /// metrics, fed by every clustered round).
+    pub fn telemetry(&self) -> &TelemetryService {
+        &self.telemetry
+    }
+
+    /// Queries the telemetry service **over the bus**: a `MetricsQuery`
+    /// envelope crosses to [`NodeId::Telemetry`], the service answers
+    /// with a `MetricsReply`, and the reply is decoded back into a
+    /// [`ReplayMetrics`] snapshot. `round` 0 asks for lifetime totals.
+    /// Returns `None` if the round was never observed or the bus lost
+    /// the exchange.
+    pub fn query_metrics_on<B: ServiceBus>(
+        &self,
+        bus: &mut B,
+        round: u64,
+    ) -> Option<ReplayMetrics> {
+        let me = NodeId::Backend;
+        bus.send(
+            NodeId::Telemetry,
+            Envelope::new(me, round, Message::MetricsQuery { round }),
+        )
+        .ok()?;
+        pump_telemetry(&self.telemetry, bus);
+        let (replies, _) = bus.drain(me);
+        replies.into_iter().find_map(|env| match env.msg {
+            Message::MetricsReply {
+                routed,
+                replayed,
+                deduped,
+                journal_depth,
+                truncated,
+                queue_depth,
+                phase_nanos,
+                ..
+            } => {
+                let mut nanos = [0u64; 4];
+                for (slot, v) in nanos.iter_mut().zip(phase_nanos) {
+                    *slot = v;
+                }
+                Some(ReplayMetrics {
+                    routed,
+                    replayed,
+                    deduped,
+                    journal_depth,
+                    truncated,
+                    queue_depth,
+                    phase_nanos: nanos,
+                })
+            }
+            _ => None,
+        })
     }
 
     /// Writes one finalized round into the metadata store.
@@ -700,6 +826,65 @@ mod tests {
         for est in outcome.view.distribution() {
             assert!(est <= 27.0, "estimate {est} is blinding residue");
         }
+    }
+
+    #[test]
+    fn restart_drill_is_invisible_in_the_round_outcome() {
+        let (mut sys, scenario, log) = small_system();
+        sys.ingest(&scenario, &log);
+        let silent = vec![3u32];
+        let map = ShardMap::uniform(2);
+
+        let mut backend = sys.new_cluster(&map);
+        let mut bus = RoutingBus::in_proc(map.clone(), None);
+        let base = sys.run_round_clustered_on(&mut backend, &mut bus, 1, &silent);
+
+        for shard in [0u32, 1] {
+            for phase in [
+                RestartPhase::Reports,
+                RestartPhase::Recovery,
+                RestartPhase::MidReplay,
+            ] {
+                let mut backend = sys.new_cluster(&map);
+                let mut bus = RoutingBus::in_proc(map.clone(), None);
+                let outcome = sys.run_round_clustered_with_restart(
+                    &mut backend,
+                    &mut bus,
+                    1,
+                    &silent,
+                    ShardRestart { shard, phase },
+                );
+                assert_eq!(outcome.view, base.view, "shard={shard} phase={phase:?}");
+                assert_eq!(outcome.missing, base.missing);
+                assert_eq!(outcome.reports, base.reports);
+            }
+        }
+        // The drills actually exercised the replay path.
+        assert!(sys.telemetry().totals().replayed > 0);
+    }
+
+    #[test]
+    fn telemetry_service_answers_round_queries_over_the_bus() {
+        let (mut sys, scenario, log) = small_system();
+        sys.ingest(&scenario, &log);
+        sys.config.cluster_backends = 2;
+        let outcome = sys.run_round_clustered(1, &[]);
+        assert_eq!(outcome.reports, 24);
+
+        let metrics = sys
+            .query_metrics_on(&mut InProcBus::new(), 1)
+            .expect("round 1 was observed");
+        assert_eq!(metrics.routed, 24, "one routed envelope per report");
+        assert_eq!(metrics.journal_depth, 0, "finalize truncates the log");
+        assert!(metrics.truncated > 0, "the absorbed records were truncated");
+
+        // Lifetime totals (round 0) cover the same single round.
+        let totals = sys
+            .query_metrics_on(&mut InProcBus::new(), 0)
+            .expect("totals always answer");
+        assert_eq!(totals.routed, metrics.routed);
+        // A never-observed round stays unanswered.
+        assert_eq!(sys.query_metrics_on(&mut InProcBus::new(), 99), None);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! The telemetry role service: makes the replay path **observable
+//! rather than trusted**.
+//!
+//! The unified round log (`crate::journal`) closes the double-replay
+//! window by mechanism, but a guarantee nobody can watch is a guarantee
+//! that erodes. This module gives the cluster a fourth role service on
+//! the same bus fabric as the clients, the backend and the oprf-server:
+//! any node can send a [`Message::MetricsQuery`] envelope and get the
+//! current [`ReplayMetrics`] snapshot back as a
+//! [`Message::MetricsReply`] from [`ew_proto::NodeId::Telemetry`].
+//!
+//! The counters are deliberately split by kind:
+//!
+//! * **monotone counters** (`routed`, `replayed`, `deduped`,
+//!   `truncated`) accumulate across observations — they answer "how
+//!   much replay machinery actually ran?",
+//! * **gauges** (`journal_depth`) report the latest observation — they
+//!   answer "is the log bounded right now?",
+//! * **high-water marks** (`queue_depth`) keep the maximum — they
+//!   answer "how deep did the mailboxes ever get?",
+//! * **timings** (`phase_nanos`) are wall-clock and accumulate; they
+//!   are intentionally excluded from every determinism comparison (two
+//!   bit-identical rounds will never have bit-identical clocks).
+
+use crate::node::RoundPhase;
+use ew_proto::{error_code, Envelope, Message, NodeId};
+use std::collections::BTreeMap;
+
+/// The position of `phase` in the [`ReplayMetrics::phase_nanos`] row.
+pub fn phase_index(phase: RoundPhase) -> usize {
+    match phase {
+        RoundPhase::Open => 0,
+        RoundPhase::Reports => 1,
+        RoundPhase::Recovery => 2,
+        RoundPhase::Finalize => 3,
+    }
+}
+
+/// One observation (or accumulated view) of the replay path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayMetrics {
+    /// Data-plane envelopes routed to a shard uplink.
+    pub routed: u64,
+    /// Envelopes re-delivered from a journal (failover reassignment or
+    /// cold-restart replay).
+    pub replayed: u64,
+    /// Replay deliveries suppressed because the round log already held
+    /// a byte-identical `Absorbed` record.
+    pub deduped: u64,
+    /// Round-log records above the snapshot watermark (gauge).
+    pub journal_depth: u64,
+    /// Round-log records dropped by watermark truncation.
+    pub truncated: u64,
+    /// Deepest drained backend mailbox seen (high-water mark).
+    pub queue_depth: u64,
+    /// Cumulative busy nanoseconds per phase, indexed by
+    /// [`phase_index`]. Wall-clock: never part of determinism checks.
+    pub phase_nanos: [u64; 4],
+}
+
+impl ReplayMetrics {
+    /// Folds `other` into `self` with per-kind semantics: counters and
+    /// timings add, gauges take the newer value, high-water marks max.
+    pub fn merge(&mut self, other: &ReplayMetrics) {
+        self.routed += other.routed;
+        self.replayed += other.replayed;
+        self.deduped += other.deduped;
+        self.journal_depth = other.journal_depth;
+        self.truncated += other.truncated;
+        self.queue_depth = self.queue_depth.max(other.queue_depth);
+        for (mine, theirs) in self.phase_nanos.iter_mut().zip(other.phase_nanos) {
+            *mine += theirs;
+        }
+    }
+
+    /// Renders the snapshot as a wire reply echoing `round`.
+    pub fn to_reply(&self, round: u64) -> Message {
+        Message::MetricsReply {
+            round,
+            routed: self.routed,
+            replayed: self.replayed,
+            deduped: self.deduped,
+            journal_depth: self.journal_depth,
+            truncated: self.truncated,
+            queue_depth: self.queue_depth,
+            phase_nanos: self.phase_nanos.to_vec(),
+        }
+    }
+}
+
+/// The telemetry service: accumulates [`ReplayMetrics`] observations
+/// per round (and as lifetime totals) and answers `MetricsQuery`
+/// envelopes.
+#[derive(Debug, Default)]
+pub struct TelemetryService {
+    totals: ReplayMetrics,
+    rounds: BTreeMap<u64, ReplayMetrics>,
+}
+
+impl TelemetryService {
+    /// An empty service.
+    pub fn new() -> Self {
+        TelemetryService::default()
+    }
+
+    /// Folds one observation into `round`'s row and the lifetime
+    /// totals.
+    pub fn observe(&mut self, round: u64, metrics: &ReplayMetrics) {
+        self.rounds.entry(round).or_default().merge(metrics);
+        self.totals.merge(metrics);
+    }
+
+    /// The lifetime totals across every observed round.
+    pub fn totals(&self) -> ReplayMetrics {
+        self.totals
+    }
+
+    /// The accumulated snapshot for one round, if observed.
+    pub fn round_metrics(&self, round: u64) -> Option<ReplayMetrics> {
+        self.rounds.get(&round).copied()
+    }
+
+    /// Handles one envelope addressed to the telemetry role: a
+    /// `MetricsQuery` is answered with the matching snapshot (round 0 =
+    /// lifetime totals), a query for a never-observed round with
+    /// `NOT_READY`, and anything else with `UNSUPPORTED_MESSAGE` — the
+    /// same explicit-rejection discipline as the backend service.
+    pub fn on_envelope(&self, env: &Envelope) -> Envelope {
+        let reply = |msg| Envelope::new(NodeId::Telemetry, env.round, msg);
+        match &env.msg {
+            Message::MetricsQuery { round: 0 } => reply(self.totals.to_reply(0)),
+            Message::MetricsQuery { round } => match self.rounds.get(round) {
+                Some(m) => reply(m.to_reply(*round)),
+                None => reply(Message::Error {
+                    code: error_code::NOT_READY,
+                    detail: format!("no metrics observed for round {round}"),
+                }),
+            },
+            other => reply(Message::Error {
+                code: error_code::UNSUPPORTED_MESSAGE,
+                detail: format!("telemetry service cannot handle {}", other.kind()),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(routed: u64) -> ReplayMetrics {
+        ReplayMetrics {
+            routed,
+            replayed: 1,
+            deduped: 2,
+            journal_depth: 5,
+            truncated: 3,
+            queue_depth: routed,
+            phase_nanos: [10, 20, 30, 40],
+        }
+    }
+
+    #[test]
+    fn merge_respects_counter_kinds() {
+        let mut acc = sample(4);
+        acc.merge(&ReplayMetrics {
+            routed: 6,
+            replayed: 1,
+            deduped: 0,
+            journal_depth: 2,
+            truncated: 1,
+            queue_depth: 1,
+            phase_nanos: [1, 1, 1, 1],
+        });
+        assert_eq!(acc.routed, 10); // counter: adds
+        assert_eq!(acc.journal_depth, 2); // gauge: latest wins
+        assert_eq!(acc.queue_depth, 4); // high-water: max
+        assert_eq!(acc.phase_nanos, [11, 21, 31, 41]); // timing: adds
+    }
+
+    #[test]
+    fn query_answers_round_totals_and_lifetime() {
+        let mut svc = TelemetryService::new();
+        svc.observe(7, &sample(4));
+        svc.observe(7, &sample(6));
+        svc.observe(8, &sample(1));
+
+        let q = |round| Envelope::new(NodeId::Backend, round, Message::MetricsQuery { round });
+        match svc.on_envelope(&q(7)).msg {
+            Message::MetricsReply {
+                routed,
+                queue_depth,
+                ..
+            } => {
+                assert_eq!(routed, 10);
+                assert_eq!(queue_depth, 6);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match svc.on_envelope(&q(0)).msg {
+            Message::MetricsReply { routed, .. } => assert_eq!(routed, 11),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_round_and_wrong_kind_rejected_explicitly() {
+        let svc = TelemetryService::new();
+        let env = Envelope::new(NodeId::Backend, 9, Message::MetricsQuery { round: 9 });
+        match svc.on_envelope(&env).msg {
+            Message::Error { code, .. } => assert_eq!(code, error_code::NOT_READY),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let bogus = Envelope::new(NodeId::Backend, 0, Message::UsersQuery { round: 0, ad: 1 });
+        match svc.on_envelope(&bogus).msg {
+            Message::Error { code, .. } => assert_eq!(code, error_code::UNSUPPORTED_MESSAGE),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // The reply is stamped with the telemetry role identity.
+        assert_eq!(svc.on_envelope(&env).sender, NodeId::Telemetry);
+    }
+}
