@@ -13,7 +13,7 @@
 //! the expectation here, not speedup.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use ew_simnet::{DriverScale, RestartPhase, ShardRestart, WeeklyDriver};
+use ew_simnet::{DriverScale, EpochChurn, RestartPhase, ShardRestart, WeeklyDriver};
 use ew_system::cluster::RoutingBus;
 use ew_system::{EyewnderSystem, SystemConfig};
 
@@ -92,5 +92,81 @@ fn bench_round_cluster_restart(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round_cluster, bench_round_cluster_restart);
+/// The epoch coordinator's end-to-end price tag. `campaign_3epochs`
+/// runs a three-epoch churn campaign (20-member rosters, ~10% churn:
+/// two silent drops replaced by two joins per epoch) through the
+/// tick-driven coordinator — admission, warmup, per-epoch shard
+/// directory rebuild, incremental blinding re-sync, drop recovery,
+/// finalize. `closed_world_3rounds` drives three plain clustered
+/// rounds over a static 20-client cohort with the same two-silent
+/// recovery load. Same per-round population, same recovery work; the
+/// gap is the whole churn subsystem's overhead, and the acceptance bar
+/// is ≤10% of the closed-world time.
+fn bench_epoch_churn(c: &mut Criterion) {
+    let spec = |joins: Vec<u32>, leaves: Vec<u32>, drops: Vec<u32>| EpochChurn {
+        joins,
+        leaves,
+        drops,
+    };
+    // Rosters stay at exactly 20 members: each epoch's two dropouts are
+    // replaced by two fresh joiners.
+    let schedule = vec![
+        spec((0..20).collect(), vec![], vec![0, 1]),
+        spec(vec![20, 21], vec![], vec![2, 3]),
+        spec(vec![22, 23], vec![], vec![4, 5]),
+    ];
+
+    let mut group = c.benchmark_group("epoch_churn");
+    group.sample_size(10);
+
+    {
+        let driver = WeeklyDriver::new(16, DriverScale::Fraction(20), 24);
+        let log = driver.week(0);
+        let mut sys = EyewnderSystem::new(
+            SystemConfig {
+                seed: 16,
+                ..SystemConfig::default()
+            }
+            .with_cluster_backends(2),
+            driver.cohort(),
+        );
+        sys.ingest(driver.scenario(), &log);
+        group.bench_function("campaign_3epochs", |b| {
+            b.iter(|| black_box(sys.run_epochs_clustered(4, &schedule)))
+        });
+    }
+    {
+        let driver = WeeklyDriver::new(16, DriverScale::Fraction(20), 20);
+        let log = driver.week(0);
+        let mut sys = EyewnderSystem::new(
+            SystemConfig {
+                seed: 16,
+                ..SystemConfig::default()
+            }
+            .with_cluster_backends(2),
+            driver.cohort(),
+        );
+        sys.ingest(driver.scenario(), &log);
+        let silent = [0u32, 1];
+        group.bench_function("closed_world_3rounds", |b| {
+            b.iter(|| {
+                // The campaign restarts its coordinator each iteration
+                // and therefore replays rounds 1..=3; cycle the same
+                // round numbers here so the cross-round blinding cache
+                // sees an identical access pattern in both arms.
+                for round in 1..=3u64 {
+                    black_box(sys.run_round_clustered(round, &silent));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_round_cluster,
+    bench_round_cluster_restart,
+    bench_epoch_churn
+);
 criterion_main!(benches);

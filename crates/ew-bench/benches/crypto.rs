@@ -201,6 +201,86 @@ fn bench_blinding_multiweek(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_blinding_churn(c: &mut Criterion) {
+    // The multi-week workload under membership churn: every week 10 of
+    // the 100 peers rotate out of the roster and 10 new ones rotate in.
+    // "churn_resync" keeps one long-lived generator and incrementally
+    // syncs it to each week's directory — only the joiners pay DH and
+    // HMAC-midstate setup, survivors keep their cached streams.
+    // "churn_rebuild" reconstructs the generator from scratch each week
+    // (the pre-coordinator world: 100 shared-secret derivations), so
+    // the gap between the two is what epoch-aware sync buys.
+    let mut rng = StdRng::seed_from_u64(5);
+    let group_small = ModpGroup::generate(&mut rng, 64);
+    let me = DhKeyPair::generate(&group_small, &mut rng);
+    let pool: Vec<DhKeyPair> = (0..110)
+        .map(|_| DhKeyPair::generate(&group_small, &mut rng))
+        .collect();
+    // One directory per distinct rotation position (the 10-peer shift
+    // over a 110-peer pool cycles after 11 weeks).
+    let dirs: Vec<KeyDirectory> = (0..11usize)
+        .map(|w| {
+            let mut dir = KeyDirectory::new(group_small.element_len());
+            dir.publish(0, me.public().clone());
+            for k in 0..100usize {
+                let id = (w * 10 + k) % pool.len();
+                dir.publish(id as u32 + 1, pool[id].public().clone());
+            }
+            dir
+        })
+        .collect();
+
+    let missing = [7u32, 23, 41, 59, 88];
+    let mut group = c.benchmark_group("blinding_multiweek");
+    group.sample_size(20);
+
+    {
+        let mut generator = BlindingGenerator::new(&group_small, 0, &me, &dirs[0]);
+        generator.enable_cache(2);
+        let mut blinding = Vec::new();
+        let mut adjustment = Vec::new();
+        let mut week = 0u64;
+        group.bench_function("churn_resync", |b| {
+            b.iter(|| {
+                for _ in 0..2 {
+                    week += 1;
+                    let dir = &dirs[week as usize % dirs.len()];
+                    black_box(generator.sync_directory(&group_small, &me, dir));
+                    let params = BlindingParams {
+                        round: week,
+                        num_cells: 5_000,
+                    };
+                    generator.blinding_vector_into(params, &mut blinding);
+                    generator.adjustment_vector_into(params, &missing, &mut adjustment);
+                    black_box((&blinding, &adjustment));
+                }
+            })
+        });
+    }
+    {
+        let mut blinding = Vec::new();
+        let mut adjustment = Vec::new();
+        let mut week = 0u64;
+        group.bench_function("churn_rebuild", |b| {
+            b.iter(|| {
+                for _ in 0..2 {
+                    week += 1;
+                    let dir = &dirs[week as usize % dirs.len()];
+                    let generator = BlindingGenerator::new(&group_small, 0, &me, dir);
+                    let params = BlindingParams {
+                        round: week,
+                        num_cells: 5_000,
+                    };
+                    generator.blinding_vector_into(params, &mut blinding);
+                    generator.adjustment_vector_into(params, &missing, &mut adjustment);
+                    black_box((&blinding, &adjustment));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sha256,
@@ -211,6 +291,7 @@ criterion_group!(
     bench_dh_modp2048,
     bench_blinding_vector,
     bench_sha256_multilane,
-    bench_blinding_multiweek
+    bench_blinding_multiweek,
+    bench_blinding_churn
 );
 criterion_main!(benches);

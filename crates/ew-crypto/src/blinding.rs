@@ -164,6 +164,25 @@ impl StreamCache {
         }
     }
 
+    /// Drops every cached stream belonging to `peer`, across all
+    /// retained rounds; evicted buffers land in the pool. This is the
+    /// eager eviction for a departed peer — its streams would never be
+    /// requested again, but without this they would squat in the cache
+    /// until their rounds age out.
+    fn evict_peer(&mut self, peer: UserId) {
+        let gone: Vec<(u64, UserId)> = self
+            .streams
+            .keys()
+            .filter(|&&(_, p)| p == peer)
+            .copied()
+            .collect();
+        for key in gone {
+            if let Some(stream) = self.streams.remove(&key) {
+                self.pool.push(stream.bytes);
+            }
+        }
+    }
+
     /// The stream for `(round, peer)`, created from a pooled buffer on
     /// a miss.
     fn stream(&mut self, round: u64, peer: UserId, key: &HmacKey) -> &mut BlindingStream {
@@ -242,9 +261,60 @@ impl BlindingGenerator {
         }
     }
 
+    /// Re-agrees with a changed directory **incrementally**: computes
+    /// shared secrets only for peers that joined, and drops departed
+    /// peers — including their cached streams, evicted eagerly so a
+    /// churning population cannot grow the cache with dead entries.
+    ///
+    /// Surviving peers keep their [`HmacKey`] midstates and any cached
+    /// round streams, which is what makes multi-epoch campaigns cheap:
+    /// under f% churn only f% of the cohort pays the modular
+    /// exponentiation again. The result is bit-identical to rebuilding
+    /// from scratch against the same directory (streams are pure
+    /// functions of the immutable pairwise secret).
+    ///
+    /// Returns `(added, removed)` peer counts.
+    pub fn sync_directory(
+        &mut self,
+        group: &ModpGroup,
+        keypair: &DhKeyPair,
+        directory: &KeyDirectory,
+    ) -> (usize, usize) {
+        let mut added = 0usize;
+        let mut removed = 0usize;
+        let departed: Vec<UserId> = self
+            .shared
+            .keys()
+            .copied()
+            .filter(|&p| directory.get(p).is_none())
+            .collect();
+        let state = self.state.get_mut().expect("blinding state poisoned");
+        for peer in departed {
+            self.shared.remove(&peer);
+            if let Some(cache) = state.cache.as_mut() {
+                cache.evict_peer(peer);
+            }
+            removed += 1;
+        }
+        for (peer, public) in directory.iter() {
+            if peer == self.user || self.shared.contains_key(&peer) {
+                continue;
+            }
+            let secret = keypair.shared_secret(group, public);
+            self.shared.insert(peer, HmacKey::new(&secret));
+            added += 1;
+        }
+        (added, removed)
+    }
+
     /// The id of the user this generator belongs to.
     pub fn user(&self) -> UserId {
         self.user
+    }
+
+    /// The peer ids this generator shares secrets with, ascending.
+    pub fn peers(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.shared.keys().copied()
     }
 
     /// Number of peers this generator shares secrets with.
@@ -633,6 +703,81 @@ mod tests {
                 "round {round}: churned cohort must still cancel"
             );
         }
+    }
+
+    #[test]
+    fn sync_directory_matches_fresh_rebuild() {
+        // An incrementally synced generator must be indistinguishable
+        // from one rebuilt from scratch against the same directory —
+        // the property that lets the coordinator churn the population
+        // without touching surviving pairwise state.
+        let mut rng = StdRng::seed_from_u64(110);
+        let group = ModpGroup::generate(&mut rng, 64);
+        let all: Vec<DhKeyPair> = (0..8)
+            .map(|_| DhKeyPair::generate(&group, &mut rng))
+            .collect();
+        let dir_for = |members: &[u32]| {
+            let mut dir = KeyDirectory::new(group.element_len());
+            for &id in members {
+                dir.publish(id, all[id as usize].public().clone());
+            }
+            dir
+        };
+
+        let epochs: [&[u32]; 3] = [&[0, 1, 2, 3, 4], &[0, 1, 3, 4, 6, 7], &[0, 3, 5, 6, 7]];
+        let dir0 = dir_for(epochs[0]);
+        let mut synced = BlindingGenerator::new(&group, 0, &all[0], &dir0);
+        synced.enable_cache(2);
+        for (i, members) in epochs.iter().enumerate() {
+            let dir = dir_for(members);
+            if i > 0 {
+                let (added, removed) = synced.sync_directory(&group, &all[0], &dir);
+                assert!(added > 0 && removed > 0, "epoch {i} churns both ways");
+            }
+            let fresh = BlindingGenerator::new(&group, 0, &all[0], &dir);
+            let params = BlindingParams {
+                round: i as u64 + 1,
+                num_cells: 11,
+            };
+            assert_eq!(
+                synced.blinding_vector(params),
+                fresh.blinding_vector(params),
+                "epoch {i}: synced ≡ rebuilt"
+            );
+            assert_eq!(
+                synced.peers().collect::<Vec<_>>(),
+                fresh.peers().collect::<Vec<_>>(),
+                "epoch {i}: peer sets agree"
+            );
+        }
+    }
+
+    #[test]
+    fn sync_directory_evicts_departed_streams_eagerly() {
+        let (group, pairs, dir) = cohort(5, 111);
+        let mut g = BlindingGenerator::new(&group, 0, &pairs[0], &dir);
+        g.enable_cache(4);
+        let params = BlindingParams {
+            round: 1,
+            num_cells: 6,
+        };
+        g.blinding_vector(params);
+        assert_eq!(g.cached_streams(), 4, "one stream per peer");
+
+        // Peers 2 and 4 depart; their streams must leave the cache now,
+        // not when round 1 ages out.
+        let mut shrunk = KeyDirectory::new(group.element_len());
+        for id in [0u32, 1, 3] {
+            shrunk.publish(id, pairs[id as usize].public().clone());
+        }
+        let (added, removed) = g.sync_directory(&group, &pairs[0], &shrunk);
+        assert_eq!((added, removed), (0, 2));
+        assert_eq!(g.peer_count(), 2);
+        assert_eq!(g.cached_streams(), 2, "departed peers' streams evicted");
+
+        // A no-op sync changes nothing.
+        assert_eq!(g.sync_directory(&group, &pairs[0], &shrunk), (0, 0));
+        assert_eq!(g.cached_streams(), 2);
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub enum NodeId {
     /// The telemetry role service (answers `MetricsQuery` with the
     /// replay-path counter snapshot).
     Telemetry,
+    /// The epoch coordinator role service (owns the tick-driven epoch
+    /// state machine and the versioned membership ledger).
+    Coordinator,
 }
 
 mod sender_tag {
@@ -52,6 +55,7 @@ mod sender_tag {
     pub const BACKEND: u8 = 0x02;
     pub const OPRF: u8 = 0x03;
     pub const TELEMETRY: u8 = 0x04;
+    pub const COORDINATOR: u8 = 0x05;
 }
 
 impl std::fmt::Display for NodeId {
@@ -61,6 +65,7 @@ impl std::fmt::Display for NodeId {
             NodeId::Backend => write!(f, "backend"),
             NodeId::Oprf => write!(f, "oprf-server"),
             NodeId::Telemetry => write!(f, "telemetry"),
+            NodeId::Coordinator => write!(f, "coordinator"),
         }
     }
 }
@@ -123,6 +128,10 @@ impl Envelope {
                 buf.put_u8(sender_tag::TELEMETRY);
                 buf.put_u32_le(0);
             }
+            NodeId::Coordinator => {
+                buf.put_u8(sender_tag::COORDINATOR);
+                buf.put_u32_le(0);
+            }
         }
         buf.put_u64_le(self.round);
         buf.extend_from_slice(&payload);
@@ -145,6 +154,7 @@ impl Envelope {
             sender_tag::BACKEND => NodeId::Backend,
             sender_tag::OPRF => NodeId::Oprf,
             sender_tag::TELEMETRY => NodeId::Telemetry,
+            sender_tag::COORDINATOR => NodeId::Coordinator,
             other => return Err(CodecError::BadTag(other)),
         };
         let round = get_u64(&mut buf)?;
@@ -187,6 +197,7 @@ mod tests {
                 },
             ),
             Envelope::new(NodeId::Telemetry, 5, Message::MetricsQuery { round: 5 }),
+            Envelope::new(NodeId::Coordinator, 6, Message::Tick { now: 41 }),
             Envelope::new(
                 NodeId::Client(u32::MAX),
                 u64::MAX,

@@ -44,6 +44,9 @@ mod record_tag {
     pub const MAP_INSTALLED: u8 = 0x02;
     pub const SHARD_ADOPTED: u8 = 0x03;
     pub const ROUND_FINALIZED: u8 = 0x04;
+    pub const EPOCH_OPENED: u8 = 0x05;
+    pub const MEMBERSHIP_INSTALLED: u8 = 0x06;
+    pub const EPOCH_COLLAPSED: u8 = 0x07;
 }
 
 /// One event-sourced state transition of a clustered aggregation round.
@@ -83,6 +86,43 @@ pub enum JournalEvent {
         /// The finalized aggregation round.
         round: u64,
     },
+    /// An epoch entered its `Reports` phase: the coordinator froze the
+    /// roster and opened the aggregation round over it. A restart that
+    /// replays past this record rebuilds the epoch's enrollment before
+    /// re-absorbing reports, so crash-restart works across an epoch
+    /// boundary.
+    EpochOpened {
+        /// The opened epoch.
+        epoch: u64,
+        /// The aggregation round the epoch drives.
+        round: u64,
+        /// The membership ledger version the roster was frozen under.
+        version: u32,
+        /// The frozen roster, ascending.
+        members: Vec<u32>,
+    },
+    /// A membership ledger became current (a successor installed at
+    /// admission, or a wire-adopted newer `EpochState`).
+    MembershipInstalled {
+        /// The installed ledger version.
+        version: u32,
+        /// The epoch the ledger was installed for.
+        epoch: u64,
+        /// The admission threshold.
+        min_clients: u32,
+        /// The ledger's member ids, ascending.
+        members: Vec<u32>,
+    },
+    /// An epoch fell below `min_clients` mid-flight and regressed to
+    /// `WaitingForMembers`; the round it drove was abandoned **without**
+    /// finalizing, and everything the epoch journaled above the last
+    /// snapshot is dead weight.
+    EpochCollapsed {
+        /// The collapsed epoch.
+        epoch: u64,
+        /// The members still present when the epoch collapsed.
+        remaining: Vec<u32>,
+    },
 }
 
 impl JournalEvent {
@@ -93,6 +133,9 @@ impl JournalEvent {
             JournalEvent::MapInstalled { .. } => "MapInstalled",
             JournalEvent::ShardAdopted { .. } => "ShardAdopted",
             JournalEvent::RoundFinalized { .. } => "RoundFinalized",
+            JournalEvent::EpochOpened { .. } => "EpochOpened",
+            JournalEvent::MembershipInstalled { .. } => "MembershipInstalled",
+            JournalEvent::EpochCollapsed { .. } => "EpochCollapsed",
         }
     }
 }
@@ -139,6 +182,35 @@ impl JournalRecord {
                 buf.put_u8(record_tag::ROUND_FINALIZED);
                 buf.put_u64_le(*round);
             }
+            JournalEvent::EpochOpened {
+                epoch,
+                round,
+                version,
+                members,
+            } => {
+                buf.put_u8(record_tag::EPOCH_OPENED);
+                buf.put_u64_le(*epoch);
+                buf.put_u64_le(*round);
+                buf.put_u32_le(*version);
+                crate::codec::put_u32_vec(&mut buf, members);
+            }
+            JournalEvent::MembershipInstalled {
+                version,
+                epoch,
+                min_clients,
+                members,
+            } => {
+                buf.put_u8(record_tag::MEMBERSHIP_INSTALLED);
+                buf.put_u32_le(*version);
+                buf.put_u64_le(*epoch);
+                buf.put_u32_le(*min_clients);
+                crate::codec::put_u32_vec(&mut buf, members);
+            }
+            JournalEvent::EpochCollapsed { epoch, remaining } => {
+                buf.put_u8(record_tag::EPOCH_COLLAPSED);
+                buf.put_u64_le(*epoch);
+                crate::codec::put_u32_vec(&mut buf, remaining);
+            }
         }
         buf
     }
@@ -169,6 +241,22 @@ impl JournalRecord {
             },
             record_tag::ROUND_FINALIZED => JournalEvent::RoundFinalized {
                 round: get_u64(buf)?,
+            },
+            record_tag::EPOCH_OPENED => JournalEvent::EpochOpened {
+                epoch: get_u64(buf)?,
+                round: get_u64(buf)?,
+                version: get_u32(buf)?,
+                members: get_u32_vec(buf)?,
+            },
+            record_tag::MEMBERSHIP_INSTALLED => JournalEvent::MembershipInstalled {
+                version: get_u32(buf)?,
+                epoch: get_u64(buf)?,
+                min_clients: get_u32(buf)?,
+                members: get_u32_vec(buf)?,
+            },
+            record_tag::EPOCH_COLLAPSED => JournalEvent::EpochCollapsed {
+                epoch: get_u64(buf)?,
+                remaining: get_u32_vec(buf)?,
             },
             other => return Err(CodecError::BadTag(other)),
         };
@@ -238,6 +326,31 @@ mod tests {
             JournalRecord {
                 seq: u64::MAX,
                 event: JournalEvent::RoundFinalized { round: u64::MAX },
+            },
+            JournalRecord {
+                seq: 5,
+                event: JournalEvent::EpochOpened {
+                    epoch: 2,
+                    round: 14,
+                    version: 6,
+                    members: vec![1, 4, 7, 9],
+                },
+            },
+            JournalRecord {
+                seq: 6,
+                event: JournalEvent::MembershipInstalled {
+                    version: 6,
+                    epoch: 2,
+                    min_clients: 3,
+                    members: vec![1, 4, 7, 9],
+                },
+            },
+            JournalRecord {
+                seq: 7,
+                event: JournalEvent::EpochCollapsed {
+                    epoch: 2,
+                    remaining: vec![1, 9],
+                },
             },
         ]
     }

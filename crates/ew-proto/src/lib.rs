@@ -36,6 +36,7 @@ pub mod envelope;
 pub mod fault;
 pub mod framing;
 pub mod journal;
+pub mod membership;
 pub mod message;
 pub mod shard;
 pub mod transport;
@@ -48,6 +49,7 @@ pub use envelope::{Envelope, NodeId, ENVELOPE_VERSION};
 pub use fault::{FaultConfig, FaultyLink};
 pub use framing::{FrameDecoder, FrameError, MAGIC};
 pub use journal::{JournalEvent, JournalRecord};
+pub use membership::{EpochPhase, Membership, MembershipError, MAX_MEMBERS};
 pub use message::{error_code, Message};
 pub use shard::{split_shards, ShardAssembler, ShardError, MAX_SHARD_COUNT};
 pub use transport::{channel_pair, Endpoint, TransportError};

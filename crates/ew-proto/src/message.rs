@@ -37,6 +37,18 @@ pub mod error_code {
     /// out-of-range shard ids, or an id space that does not match the
     /// receiving cluster).
     pub const MALFORMED_SHARD_MAP: u32 = 8;
+    /// A membership-plane request named a user the coordinator's ledger
+    /// does not carry (e.g. a `Leave` for a client that never joined).
+    pub const NOT_ENROLLED: u32 = 9;
+    /// A membership-plane request referenced an epoch the coordinator
+    /// has already finalized or collapsed — the epoch is closed and its
+    /// roster immutable.
+    pub const EPOCH_CLOSED: u32 = 10;
+    /// An `EpochState` broadcast carried an older membership version
+    /// than the receiver already holds, or an equal version with a
+    /// conflicting roster (the membership analogue of
+    /// [`STALE_SHARD_MAP`]).
+    pub const STALE_MEMBERSHIP: u32 = 11;
 }
 
 /// All protocol messages. Group elements travel as big-endian byte
@@ -219,6 +231,55 @@ pub enum Message {
         /// comparisons.
         phase_nanos: Vec<u64>,
     },
+    /// Client → coordinator: ask to participate in the aggregation.
+    /// Joins received mid-epoch land in the **next** epoch's pending
+    /// set; the coordinator confirms (or not) through the next
+    /// [`Message::EpochState`] broadcast.
+    Join {
+        /// The joining user id.
+        user: u32,
+        /// The epoch the sender believes is current (0 when it has
+        /// never seen an `EpochState`; a closed epoch is answered with
+        /// [`error_code::EPOCH_CLOSED`]).
+        epoch: u64,
+    },
+    /// Client → coordinator: an orderly departure. Leaves during
+    /// `Warmup` shrink the forming roster immediately; leaves during
+    /// `Reports` fold the sender into the round's silent-client
+    /// recovery path instead of aborting the epoch.
+    Leave {
+        /// The departing user id.
+        user: u32,
+        /// The epoch the sender believes is current.
+        epoch: u64,
+    },
+    /// Driver → coordinator: one logical clock edge. All deadline-based
+    /// phase advancement happens inside `tick(now)` — no wall clock —
+    /// so epoch timing is deterministic and replayable.
+    Tick {
+        /// The logical time of this edge (caller-supplied, monotone).
+        now: u64,
+    },
+    /// Coordinator → peers: the epoch state machine's current phase and
+    /// the versioned membership ledger backing it. Versions only ever
+    /// grow; receivers adopt newer ledgers, ignore byte-identical
+    /// re-broadcasts and answer older or conflicting ones with
+    /// [`error_code::STALE_MEMBERSHIP`].
+    EpochState {
+        /// The epoch this state describes.
+        epoch: u64,
+        /// The current phase as a wire byte (see
+        /// `ew_proto::membership::EpochPhase`).
+        phase: u8,
+        /// The aggregation round this epoch drives.
+        round: u64,
+        /// The membership ledger version.
+        version: u32,
+        /// The epoch's admission threshold.
+        min_clients: u32,
+        /// The ledger's member ids, ascending and deduplicated.
+        members: Vec<u32>,
+    },
     /// Any node → peer: an explicit rejection, so peers can distinguish
     /// "the network dropped my request" from "the service refused it".
     /// Nodes never reply to an `Error` with another `Error` (that would
@@ -250,6 +311,10 @@ mod tag {
     pub const SHARD_MAP_UPDATE: u8 = 0x0F;
     pub const METRICS_QUERY: u8 = 0x10;
     pub const METRICS_REPLY: u8 = 0x11;
+    pub const JOIN: u8 = 0x12;
+    pub const LEAVE: u8 = 0x13;
+    pub const TICK: u8 = 0x14;
+    pub const EPOCH_STATE: u8 = 0x15;
 }
 
 impl Message {
@@ -273,6 +338,10 @@ impl Message {
             Message::ShardMapUpdate { .. } => "ShardMapUpdate",
             Message::MetricsQuery { .. } => "MetricsQuery",
             Message::MetricsReply { .. } => "MetricsReply",
+            Message::Join { .. } => "Join",
+            Message::Leave { .. } => "Leave",
+            Message::Tick { .. } => "Tick",
+            Message::EpochState { .. } => "EpochState",
             Message::Error { .. } => "Error",
         }
     }
@@ -426,6 +495,36 @@ impl Message {
                 buf.put_u64_le(*queue_depth);
                 put_u64_vec(&mut buf, phase_nanos);
             }
+            Message::Join { user, epoch } => {
+                buf.put_u8(tag::JOIN);
+                buf.put_u32_le(*user);
+                buf.put_u64_le(*epoch);
+            }
+            Message::Leave { user, epoch } => {
+                buf.put_u8(tag::LEAVE);
+                buf.put_u32_le(*user);
+                buf.put_u64_le(*epoch);
+            }
+            Message::Tick { now } => {
+                buf.put_u8(tag::TICK);
+                buf.put_u64_le(*now);
+            }
+            Message::EpochState {
+                epoch,
+                phase,
+                round,
+                version,
+                min_clients,
+                members,
+            } => {
+                buf.put_u8(tag::EPOCH_STATE);
+                buf.put_u64_le(*epoch);
+                buf.put_u8(*phase);
+                buf.put_u64_le(*round);
+                buf.put_u32_le(*version);
+                buf.put_u32_le(*min_clients);
+                put_u32_vec(&mut buf, members);
+            }
             Message::Error { code, detail } => {
                 buf.put_u8(tag::ERROR);
                 buf.put_u32_le(*code);
@@ -521,6 +620,23 @@ impl Message {
                 queue_depth: get_u64(buf)?,
                 phase_nanos: get_u64_vec(buf)?,
             },
+            tag::JOIN => Message::Join {
+                user: get_u32(buf)?,
+                epoch: get_u64(buf)?,
+            },
+            tag::LEAVE => Message::Leave {
+                user: get_u32(buf)?,
+                epoch: get_u64(buf)?,
+            },
+            tag::TICK => Message::Tick { now: get_u64(buf)? },
+            tag::EPOCH_STATE => Message::EpochState {
+                epoch: get_u64(buf)?,
+                phase: get_u8(buf)?,
+                round: get_u64(buf)?,
+                version: get_u32(buf)?,
+                min_clients: get_u32(buf)?,
+                members: get_user_list(buf)?,
+            },
             tag::ERROR => Message::Error {
                 code: get_u32(buf)?,
                 detail: get_string(buf)?,
@@ -614,6 +730,25 @@ mod tests {
                 truncated: 380,
                 queue_depth: 64,
                 phase_nanos: vec![10, 2_000_000, 300, u64::MAX],
+            },
+            Message::Join { user: 19, epoch: 2 },
+            Message::Leave { user: 19, epoch: 3 },
+            Message::Tick { now: 77 },
+            Message::EpochState {
+                epoch: 3,
+                phase: 2,
+                round: 12,
+                version: 5,
+                min_clients: 8,
+                members: vec![1, 3, 5, 9, 19],
+            },
+            Message::EpochState {
+                epoch: 0,
+                phase: 0,
+                round: 0,
+                version: 0,
+                min_clients: 1,
+                members: vec![],
             },
             Message::Error {
                 code: error_code::OUT_OF_RANGE,
@@ -713,6 +848,27 @@ mod tests {
             };
             assert_eq!(Message::decode(&err.encode()).unwrap(), err);
         }
+    }
+
+    #[test]
+    fn membership_plane_errors_roundtrip() {
+        // The three membership rejections peers answer churn traffic
+        // with, as full `Message::Error` replies (the PR 5 append-only
+        // convention: codes 9–11 extend the registry, never reuse).
+        for code in [
+            error_code::NOT_ENROLLED,
+            error_code::EPOCH_CLOSED,
+            error_code::STALE_MEMBERSHIP,
+        ] {
+            let err = Message::Error {
+                code,
+                detail: format!("membership rejection {code}"),
+            };
+            assert_eq!(Message::decode(&err.encode()).unwrap(), err);
+        }
+        assert_eq!(error_code::NOT_ENROLLED, 9);
+        assert_eq!(error_code::EPOCH_CLOSED, 10);
+        assert_eq!(error_code::STALE_MEMBERSHIP, 11);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! *without* looking at the labels — they are only compared afterwards.
 
 pub mod campaign;
+pub mod churn;
 pub mod config;
 pub mod driver;
 pub mod engine;
@@ -45,6 +46,7 @@ pub mod user;
 pub mod web;
 
 pub use campaign::{Ad, AdClass, AdId, Campaign, CampaignKind};
+pub use churn::{churn_matrix, ChurnCampaign, ChurnConfig, EpochChurn};
 pub use config::{ScenarioConfig, TargetingBias};
 pub use driver::{
     ClusterScenario, DriverScale, RestartPhase, ShardKill, ShardRestart, WeeklyDriver,

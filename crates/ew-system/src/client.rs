@@ -92,6 +92,28 @@ impl Client {
         self.blinding.is_some()
     }
 
+    /// Reconciles the blinding state with a changed epoch directory
+    /// instead of rebuilding it: shared secrets (and any cached
+    /// streams) for departed peers are evicted eagerly, secrets for new
+    /// peers are derived fresh, and surviving pairs keep their
+    /// precomputed HMAC midstates and retained streams across the epoch
+    /// boundary. Returns `(added, removed)` peer counts. Falls back to
+    /// a full [`Self::setup_blinding`] when no generator exists yet.
+    pub fn sync_blinding(&mut self, group: &ModpGroup, directory: &KeyDirectory) -> (usize, usize) {
+        match self.blinding.as_mut() {
+            Some(generator) => generator.sync_directory(group, &self.keypair, directory),
+            None => {
+                self.setup_blinding(group, directory);
+                let peers = self
+                    .blinding
+                    .as_ref()
+                    .map(|g| g.peers().count())
+                    .unwrap_or(0);
+                (peers, 0)
+            }
+        }
+    }
+
     /// Configures the cross-round blinding-stream cache: keep the
     /// `retain_rounds` most recent rounds' streams resident (`0`
     /// disables). Applies immediately if blinding is already set up and

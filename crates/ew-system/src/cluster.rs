@@ -66,7 +66,7 @@ use ew_bigint::UBig;
 use ew_core::{GlobalView, ThresholdPolicy};
 use ew_proto::crc32::crc32;
 use ew_proto::transport::TransportError;
-use ew_proto::{Envelope, FaultConfig, JournalEvent, Message, NodeId, ShardMap};
+use ew_proto::{Envelope, FaultConfig, JournalEvent, Membership, Message, NodeId, ShardMap};
 use ew_sketch::{CmsParams, SketchAccumulator};
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -80,7 +80,7 @@ pub fn route_user(env: &Envelope) -> u32 {
         Message::Report { user, .. } | Message::Adjustment { user, .. } => *user,
         _ => match env.sender {
             NodeId::Client(id) => id,
-            NodeId::Backend | NodeId::Oprf | NodeId::Telemetry => 0,
+            NodeId::Backend | NodeId::Oprf | NodeId::Telemetry | NodeId::Coordinator => 0,
         },
     }
 }
@@ -545,6 +545,13 @@ pub struct ClusterBackend {
     replayed: u64,
     /// Re-deliveries suppressed by the log's dedupe index.
     deduped: u64,
+    /// The coordinator's epoch context, when this cluster is driven by
+    /// one: the epoch number and its frozen membership ledger. Restricts
+    /// shard directories to the epoch roster (so `missing_clients` is
+    /// roster-minus-reported, not cohort-minus-reported) and stamps
+    /// `EpochOpened`/`MembershipInstalled` records into every round log
+    /// so a cold restart replays across the epoch boundary.
+    epoch_context: Option<(u64, Membership)>,
 }
 
 impl ClusterBackend {
@@ -580,6 +587,7 @@ impl ClusterBackend {
             batch_horizon: None,
             replayed: 0,
             deduped: 0,
+            epoch_context: None,
         }
     }
 
@@ -596,6 +604,65 @@ impl ClusterBackend {
     /// The map this backend currently routes by.
     pub fn map(&self) -> &ShardMap {
         &self.map
+    }
+
+    /// The enrolment stream restricted to the current epoch roster (the
+    /// whole bulletin board when no epoch context is installed).
+    fn active_enrollments(&self) -> Vec<(u32, UBig)> {
+        match &self.epoch_context {
+            Some((_, membership)) => self
+                .enrollments
+                .iter()
+                .filter(|(user, _)| membership.contains(*user))
+                .cloned()
+                .collect(),
+            None => self.enrollments.clone(),
+        }
+    }
+
+    /// Installs an epoch's frozen membership ledger and rebuilds every
+    /// live shard's directory down to exactly that roster. From here on
+    /// `missing_clients` means *roster* minus reported — a mid-epoch
+    /// dropout folds into the existing silent-client recovery path, and
+    /// a departed member is simply absent rather than forever "missing".
+    /// The next [`AggregationBackend::open_round`] stamps the matching
+    /// `EpochOpened` and `MembershipInstalled` records into the fresh
+    /// round log.
+    ///
+    /// Keys come from the replicated bulletin board, so a member absent
+    /// from it is skipped (it enrolls on first join, like any cohort
+    /// build).
+    pub fn begin_epoch(&mut self, epoch: u64, membership: &Membership) {
+        self.epoch_context = Some((epoch, membership.clone()));
+        let keys = self.active_enrollments();
+        for server in self.shards.iter_mut().flatten() {
+            let mut fresh =
+                BackendServer::new(self.element_len, self.params, self.mapper, self.policy);
+            for (user, key) in &keys {
+                fresh.enroll(*user, key.clone());
+            }
+            *server = fresh;
+        }
+    }
+
+    /// Abandons the open round after a below-`min_clients` collapse:
+    /// the collapse is journaled (so a replay of this log knows the
+    /// round was abandoned, not lost) and the round is closed **without
+    /// finalizing** — a below-threshold view is cryptographic noise.
+    /// The log itself stays healthy: the next epoch's `open_round`
+    /// starts its history exactly as if the collapsed round had
+    /// finalized.
+    pub fn collapse_epoch(&mut self, remaining: &[u32]) {
+        let epoch = self
+            .epoch_context
+            .as_ref()
+            .map(|(epoch, _)| *epoch)
+            .unwrap_or(0);
+        self.log.append(JournalEvent::EpochCollapsed {
+            epoch,
+            remaining: remaining.to_vec(),
+        });
+        self.round = None;
     }
 
     /// Shards still alive.
@@ -652,8 +719,8 @@ impl ClusterBackend {
     pub fn restart_shard(&mut self, shard: u32) -> usize {
         let mut server =
             BackendServer::new(self.element_len, self.params, self.mapper, self.policy);
-        for (user, key) in &self.enrollments {
-            server.enroll(*user, key.clone());
+        for (user, key) in self.active_enrollments() {
+            server.enroll(user, key);
         }
         match self.log.checkpoint_for(shard) {
             Some(checkpoint) => server.restore(checkpoint),
@@ -938,6 +1005,25 @@ impl AggregationBackend for ClusterBackend {
             shard_ids: self.map.shard_ids(),
             owners: self.map.owners().to_vec(),
         });
+        // Under a coordinator, the epoch boundary is part of the round's
+        // history: a cold restart replaying this log sees which epoch
+        // (and which frozen roster) the round ran under. Restart replay
+        // itself only re-feeds `Absorbed` records, so these are
+        // bookkeeping, not re-deliveries.
+        if let Some((epoch, membership)) = &self.epoch_context {
+            self.log.append(JournalEvent::EpochOpened {
+                epoch: *epoch,
+                round,
+                version: membership.version(),
+                members: membership.members().to_vec(),
+            });
+            self.log.append(JournalEvent::MembershipInstalled {
+                version: membership.version(),
+                epoch: membership.epoch(),
+                min_clients: membership.min_clients(),
+                members: membership.members().to_vec(),
+            });
+        }
         self.batch_horizon = None;
         self.replayed = 0;
         self.deduped = 0;
@@ -1574,5 +1660,102 @@ mod tests {
         );
         let other_dims = ShardView::empty(CmsParams::new(2, 16, 3), 1);
         assert_eq!(m.absorb(&other_dims), Err(RoundError::DimensionMismatch));
+    }
+
+    fn ledger(epoch: u64, members: &[u32]) -> Membership {
+        let roster: BTreeSet<u32> = members.iter().copied().collect();
+        Membership::genesis(1).successor(epoch, &roster)
+    }
+
+    #[test]
+    fn begin_epoch_restricts_the_missing_set_to_the_roster() {
+        let p = params();
+        let mut c = cluster(ShardMap::uniform(3), 10);
+        c.begin_epoch(1, &ledger(1, &[0, 2, 4, 6]));
+        AggregationBackend::open_round(&mut c, 1);
+        for u in [0u32, 2, 4] {
+            AggregationBackend::on_envelope(&mut c, report_env(p, u, 1, &[u as u64])).unwrap();
+        }
+        assert_eq!(
+            AggregationBackend::missing_clients(&mut c).unwrap(),
+            vec![6],
+            "missing means roster minus reported, not cohort minus reported"
+        );
+        // The epoch boundary is part of the round's journaled history.
+        let kinds: Vec<&str> = c.log().records().iter().map(|r| r.event.kind()).collect();
+        assert!(kinds.contains(&"EpochOpened"));
+        assert!(kinds.contains(&"MembershipInstalled"));
+    }
+
+    #[test]
+    fn collapse_abandons_the_round_without_corrupting_the_log() {
+        let p = params();
+        let mut c = cluster(ShardMap::uniform(2), 6);
+        c.begin_epoch(1, &ledger(1, &[0, 1, 2]));
+        AggregationBackend::open_round(&mut c, 1);
+        AggregationBackend::on_envelope(&mut c, report_env(p, 0, 1, &[9])).unwrap();
+        c.collapse_epoch(&[0]);
+        assert_eq!(
+            AggregationBackend::finalize(&mut c),
+            Err(RoundError::NoOpenRound),
+            "a collapsed round is abandoned, never finalized"
+        );
+        // The next epoch runs over the same backend to the same view a
+        // fresh cluster produces — the abandoned round left no residue.
+        c.begin_epoch(2, &ledger(2, &[3, 4, 5]));
+        AggregationBackend::open_round(&mut c, 2);
+        let mut fresh = cluster(ShardMap::uniform(2), 6);
+        fresh.begin_epoch(2, &ledger(2, &[3, 4, 5]));
+        AggregationBackend::open_round(&mut fresh, 2);
+        for u in [3u32, 4, 5] {
+            let env = report_env(p, u, 2, &[u as u64]);
+            AggregationBackend::on_envelope(&mut c, env.clone()).unwrap();
+            AggregationBackend::on_envelope(&mut fresh, env).unwrap();
+        }
+        let view = AggregationBackend::finalize(&mut c).unwrap();
+        let reference = AggregationBackend::finalize(&mut fresh).unwrap();
+        assert_eq!(view, reference);
+    }
+
+    #[test]
+    fn restart_across_an_epoch_boundary_replays_to_the_same_state() {
+        let p = params();
+        let mut c = cluster(ShardMap::uniform(2), 8);
+        let mut twin = cluster(ShardMap::uniform(2), 8);
+
+        // Epoch 1 runs to completion on both.
+        for backend in [&mut c, &mut twin] {
+            backend.begin_epoch(1, &ledger(1, &[0, 1, 2, 3]));
+            AggregationBackend::open_round(backend, 1);
+            for u in [0u32, 1, 2, 3] {
+                AggregationBackend::on_envelope(backend, report_env(p, u, 1, &[u as u64])).unwrap();
+            }
+            AggregationBackend::finalize(backend).unwrap();
+        }
+
+        // Epoch 2 churns the roster; one backend loses a shard mid-round.
+        let roster2 = ledger(2, &[1, 2, 3, 5, 7]);
+        for backend in [&mut c, &mut twin] {
+            backend.begin_epoch(2, &roster2);
+            AggregationBackend::open_round(backend, 2);
+            for u in [1u32, 5] {
+                AggregationBackend::on_envelope(backend, report_env(p, u, 2, &[u as u64])).unwrap();
+            }
+        }
+        c.crash_shard(0);
+        let replayed = c.restart_shard(0);
+        assert!(replayed <= 2, "only this round's absorptions replay");
+        for backend in [&mut c, &mut twin] {
+            for u in [2u32, 3, 7] {
+                AggregationBackend::on_envelope(backend, report_env(p, u, 2, &[u as u64])).unwrap();
+            }
+            assert_eq!(
+                AggregationBackend::missing_clients(backend).unwrap(),
+                Vec::<u32>::new()
+            );
+        }
+        let view = AggregationBackend::finalize(&mut c).unwrap();
+        let reference = AggregationBackend::finalize(&mut twin).unwrap();
+        assert_eq!(view, reference, "the crash-restart is invisible");
     }
 }

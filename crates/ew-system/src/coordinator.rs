@@ -1,0 +1,1012 @@
+//! The epoch coordinator: a tick-driven state machine that owns
+//! dynamic membership and folds mid-epoch churn into the existing
+//! round machinery.
+//!
+//! Everything before this module assumed a **closed world**: the cohort
+//! enrolled once, every round ran over the same clients, and a client
+//! that vanished was a transient fault, not a departure. Real
+//! populations churn — extensions are installed and removed, laptops
+//! sleep through a report window — and the paper's weekly cadence makes
+//! the week (an *epoch*) the natural unit of membership. This module
+//! adds the missing role service:
+//!
+//! * The [`Coordinator`] answers envelopes as [`NodeId::Coordinator`]
+//!   on the same bus fabric as every other role. Clients ask to
+//!   participate with [`Message::Join`], depart cleanly with
+//!   [`Message::Leave`], and anyone can drive time forward with
+//!   [`Message::Tick`] — the coordinator broadcasts its
+//!   [`Message::EpochState`] in reply, Psyche-style.
+//! * Time is **logical**: nothing reads a wall clock. Every deadline is
+//!   expressed in the caller-supplied monotone `now` of
+//!   [`Coordinator::tick`], so a campaign is deterministic and
+//!   replayable — the same join/leave/tick history always produces the
+//!   same epochs.
+//! * Membership changes accumulate in ordered **sets** between ticks
+//!   and are folded only at the tick boundary, so the state after each
+//!   tick is independent of the *delivery order* of joins, leaves and
+//!   drops within the window — the property
+//!   `tests/parallel_determinism.rs` pins by shuffling interleavings.
+//! * The installed roster travels as a versioned [`Membership`] ledger
+//!   with the same acceptance discipline as
+//!   [`ew_proto::ShardMap`]: adopt strictly newer, ignore identical
+//!   re-broadcasts, answer anything stale or conflicting with
+//!   [`ew_proto::error_code::STALE_MEMBERSHIP`].
+//!
+//! ## The phase machine
+//!
+//! ```text
+//!                 joins ≥ min_clients
+//!  WaitingForMembers ───────────────▶ Warmup ───deadline──▶ Reports
+//!        ▲  ▲                          │                      │
+//!        │  └── roster < min_clients ──┘                      │ deadline
+//!        │        (collapse)                                  ▼
+//!        │                                                 Recovery
+//!        │      roster − dropped < min_clients                │ deadline
+//!        ├───────────── (collapse) ◀── Reports                ▼
+//!        └────────────── epoch complete ◀────────────────  Finalize
+//! ```
+//!
+//! * **WaitingForMembers** — joins accumulate; once the forming roster
+//!   reaches `min_clients` the coordinator installs a successor
+//!   [`Membership`], assigns the epoch's round and starts the warmup
+//!   countdown.
+//! * **Warmup** — the admission window: late leaves still shrink the
+//!   roster, and dropping below `min_clients` **regresses** to
+//!   `WaitingForMembers` instead of running a round the blinding could
+//!   not cancel over.
+//! * **Reports** — the roster is frozen; the aggregation round runs
+//!   over exactly these members. A client that vanishes mid-phase is
+//!   [`Coordinator::mark_dropped`] and becomes part of the round's
+//!   silent set — the *existing* §6 adjustment/recovery path absorbs
+//!   the churn; nothing new is invented for it. If drops push the
+//!   effective roster below `min_clients`, the epoch **collapses**: the
+//!   round is abandoned (never finalized — a below-threshold view is
+//!   cryptographic noise) and the machine regresses to
+//!   `WaitingForMembers` with the survivors still enrolled.
+//! * **Recovery → Finalize** — deadline-driven mirrors of the round
+//!   machine's phases; at the end of `Finalize` the epoch completes:
+//!   survivors (roster minus dropped minus clean leaves) carry into the
+//!   next epoch's forming roster, and pending joins land there too.
+//!
+//! Joins received in any phase other than `WaitingForMembers` are
+//! parked for the **next** epoch — a roster never grows mid-flight.
+
+use crate::node::ServiceBus;
+use crate::telemetry::ChurnMetrics;
+use ew_proto::{error_code, Envelope, EpochPhase, Membership, Message, NodeId};
+use std::collections::BTreeSet;
+
+/// Deadline configuration for one epoch, in logical ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochConfig {
+    /// Minimum roster size for an epoch to form (and to keep running:
+    /// dropping below this mid-epoch collapses it).
+    pub min_clients: u32,
+    /// Ticks between admission and the roster freeze.
+    pub warmup_ticks: u64,
+    /// Ticks the report window stays open.
+    pub report_ticks: u64,
+    /// Ticks allotted to the recovery exchange.
+    pub recovery_ticks: u64,
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        EpochConfig {
+            min_clients: 4,
+            warmup_ticks: 2,
+            report_ticks: 3,
+            recovery_ticks: 2,
+        }
+    }
+}
+
+impl EpochConfig {
+    /// Returns the config with the given admission threshold.
+    ///
+    /// # Panics
+    /// Panics if `min_clients` is zero — an epoch admits at least one
+    /// client (the same invariant [`Membership::genesis`] enforces).
+    pub fn with_min_clients(mut self, min_clients: u32) -> Self {
+        assert!(min_clients > 0, "an epoch admits at least one client");
+        self.min_clients = min_clients;
+        self
+    }
+}
+
+/// A phase transition the coordinator surfaced from one tick — the
+/// campaign driver's cue to open, drive, abandon or close a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EpochEvent {
+    /// `min_clients` was met: `epoch` formed with the installed roster
+    /// and `round` was assigned; warmup is counting down.
+    EpochStarted {
+        /// The newly formed epoch.
+        epoch: u64,
+        /// The aggregation round this epoch will drive.
+        round: u64,
+    },
+    /// Warmup elapsed: the roster is frozen and the report window is
+    /// open.
+    ReportsOpened {
+        /// The epoch whose reports are now due.
+        epoch: u64,
+        /// Its aggregation round.
+        round: u64,
+    },
+    /// The report window closed; the recovery exchange begins.
+    RecoveryStarted {
+        /// The epoch entering recovery.
+        epoch: u64,
+        /// Its aggregation round.
+        round: u64,
+    },
+    /// Recovery elapsed; the round is finalizing.
+    FinalizeStarted {
+        /// The epoch entering finalization.
+        epoch: u64,
+        /// Its aggregation round.
+        round: u64,
+    },
+    /// The epoch completed: its survivors carry into the next forming
+    /// roster.
+    EpochCompleted {
+        /// The completed epoch.
+        epoch: u64,
+        /// The round it finalized.
+        round: u64,
+        /// Members still enrolled after dropped and departing clients
+        /// are folded out.
+        survivors: Vec<u32>,
+    },
+    /// The epoch fell below `min_clients` and was abandoned — the
+    /// round (if one was open) must not be finalized.
+    Collapsed {
+        /// The abandoned epoch.
+        epoch: u64,
+        /// Members still enrolled, carried into the regressed
+        /// `WaitingForMembers` state.
+        remaining: Vec<u32>,
+    },
+}
+
+/// The epoch coordinator role service. See the module docs for the
+/// phase machine and churn semantics.
+#[derive(Debug)]
+pub struct Coordinator {
+    config: EpochConfig,
+    /// The installed (versioned, broadcastable) ledger.
+    membership: Membership,
+    /// The live roster: forming in `WaitingForMembers`/`Warmup`, frozen
+    /// from `Reports` on.
+    roster: BTreeSet<u32>,
+    /// Joins parked until the next `WaitingForMembers` fold.
+    pending_joins: BTreeSet<u32>,
+    /// Clean departures, folded out at the next tick boundary that
+    /// honors them (immediately while forming, after the round while
+    /// frozen).
+    pending_leaves: BTreeSet<u32>,
+    /// Mid-epoch dropouts — the round's silent set.
+    dropped: BTreeSet<u32>,
+    phase: EpochPhase,
+    epoch: u64,
+    round: u64,
+    deadline: u64,
+    last_tick: u64,
+    /// Drained by [`Coordinator::take_churn_metrics`].
+    joins_total: u64,
+    leaves_total: u64,
+    drops_total: u64,
+    epochs_completed: u64,
+    collapses: u64,
+    phase_ticks: [u64; 5],
+}
+
+/// The slot of `phase` in [`ChurnMetrics::phase_ticks`].
+pub fn epoch_phase_index(phase: EpochPhase) -> usize {
+    match phase {
+        EpochPhase::WaitingForMembers => 0,
+        EpochPhase::Warmup => 1,
+        EpochPhase::Reports => 2,
+        EpochPhase::Recovery => 3,
+        EpochPhase::Finalize => 4,
+    }
+}
+
+impl Coordinator {
+    /// A genesis coordinator: empty roster, epoch 0, waiting for
+    /// members.
+    ///
+    /// # Panics
+    /// Panics if `config.min_clients` is zero.
+    pub fn new(config: EpochConfig) -> Self {
+        Coordinator {
+            membership: Membership::genesis(config.min_clients),
+            config,
+            roster: BTreeSet::new(),
+            pending_joins: BTreeSet::new(),
+            pending_leaves: BTreeSet::new(),
+            dropped: BTreeSet::new(),
+            phase: EpochPhase::WaitingForMembers,
+            epoch: 0,
+            round: 0,
+            deadline: 0,
+            last_tick: 0,
+            joins_total: 0,
+            leaves_total: 0,
+            drops_total: 0,
+            epochs_completed: 0,
+            collapses: 0,
+            phase_ticks: [0; 5],
+        }
+    }
+
+    /// The deadline configuration.
+    pub fn config(&self) -> EpochConfig {
+        self.config
+    }
+
+    /// The last logical time [`Coordinator::tick`] accepted.
+    pub fn last_tick(&self) -> u64 {
+        self.last_tick
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> EpochPhase {
+        self.phase
+    }
+
+    /// The current epoch (0 = none formed yet).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The aggregation round assigned to the current epoch.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The installed membership ledger.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// The live roster (forming or frozen, depending on phase).
+    pub fn roster(&self) -> &BTreeSet<u32> {
+        &self.roster
+    }
+
+    /// Joins parked for the next epoch.
+    pub fn pending_joins(&self) -> &BTreeSet<u32> {
+        &self.pending_joins
+    }
+
+    /// The current epoch's dropouts — the round's silent set, in
+    /// ascending order.
+    pub fn dropped(&self) -> Vec<u32> {
+        self.dropped.iter().copied().collect()
+    }
+
+    /// Whether `user` is currently enrolled or pending admission.
+    pub fn is_known(&self, user: u32) -> bool {
+        self.roster.contains(&user) || self.pending_joins.contains(&user)
+    }
+
+    /// Registers a join. Idempotent: re-joining while enrolled or
+    /// already pending changes nothing. Joins only ever land in the
+    /// pending set — the roster itself moves at tick boundaries.
+    pub fn register_join(&mut self, user: u32) {
+        if !self.roster.contains(&user) && self.pending_joins.insert(user) {
+            self.joins_total += 1;
+        }
+    }
+
+    /// Registers a clean departure. While the roster is forming the
+    /// next tick folds it out; while frozen the member still owes its
+    /// report and adjustment, and departs when the epoch completes.
+    pub fn register_leave(&mut self, user: u32) {
+        if self.pending_leaves.insert(user) {
+            self.leaves_total += 1;
+        }
+    }
+
+    /// Marks an enrolled member as dropped mid-epoch (the failure
+    /// detector's verdict, not a message — failed clients do not
+    /// send). The drop folds into the round's silent set at the next
+    /// tick; unknown users are ignored.
+    pub fn mark_dropped(&mut self, user: u32) {
+        if self.roster.contains(&user) && self.dropped.insert(user) {
+            self.drops_total += 1;
+        }
+    }
+
+    /// Advances logical time to `now` and runs at most one phase
+    /// transition, returning the events it produced. Non-monotone calls
+    /// (`now` below the last tick) are ignored — time never rewinds.
+    ///
+    /// All accumulated joins/leaves/drops are folded here, at the tick
+    /// boundary, so the post-tick state is independent of their
+    /// delivery order within the window.
+    pub fn tick(&mut self, now: u64) -> Vec<EpochEvent> {
+        if now < self.last_tick {
+            return Vec::new();
+        }
+        self.last_tick = now;
+        self.phase_ticks[epoch_phase_index(self.phase)] += 1;
+        match self.phase {
+            EpochPhase::WaitingForMembers => {
+                // Fold joins first, leaves second: a user who joined and
+                // left inside one window ends up out, regardless of the
+                // order the two envelopes arrived in.
+                self.roster.extend(std::mem::take(&mut self.pending_joins));
+                for user in std::mem::take(&mut self.pending_leaves) {
+                    self.roster.remove(&user);
+                }
+                if self.roster.len() >= self.config.min_clients as usize {
+                    self.epoch += 1;
+                    self.round += 1;
+                    self.membership = self.membership.successor(self.epoch, &self.roster);
+                    self.phase = EpochPhase::Warmup;
+                    self.deadline = now + self.config.warmup_ticks;
+                    return vec![EpochEvent::EpochStarted {
+                        epoch: self.epoch,
+                        round: self.round,
+                    }];
+                }
+                Vec::new()
+            }
+            EpochPhase::Warmup => {
+                for user in std::mem::take(&mut self.pending_leaves) {
+                    self.roster.remove(&user);
+                }
+                if self.roster.len() < self.config.min_clients as usize {
+                    return vec![self.collapse()];
+                }
+                if now >= self.deadline {
+                    // Freeze the roster against the installed ledger so
+                    // the broadcastable truth matches what the round
+                    // will run over.
+                    self.membership = self.membership.successor(self.epoch, &self.roster);
+                    self.phase = EpochPhase::Reports;
+                    self.deadline = now + self.config.report_ticks;
+                    return vec![EpochEvent::ReportsOpened {
+                        epoch: self.epoch,
+                        round: self.round,
+                    }];
+                }
+                Vec::new()
+            }
+            EpochPhase::Reports => {
+                let effective = self.roster.len() - self.dropped.len();
+                if effective < self.config.min_clients as usize {
+                    // Fold the dropouts out before regressing — they
+                    // are gone, not waiting.
+                    for user in std::mem::take(&mut self.dropped) {
+                        self.roster.remove(&user);
+                    }
+                    return vec![self.collapse()];
+                }
+                if now >= self.deadline {
+                    self.phase = EpochPhase::Recovery;
+                    self.deadline = now + self.config.recovery_ticks;
+                    return vec![EpochEvent::RecoveryStarted {
+                        epoch: self.epoch,
+                        round: self.round,
+                    }];
+                }
+                Vec::new()
+            }
+            EpochPhase::Recovery => {
+                if now >= self.deadline {
+                    self.phase = EpochPhase::Finalize;
+                    return vec![EpochEvent::FinalizeStarted {
+                        epoch: self.epoch,
+                        round: self.round,
+                    }];
+                }
+                Vec::new()
+            }
+            EpochPhase::Finalize => {
+                for user in std::mem::take(&mut self.dropped) {
+                    self.roster.remove(&user);
+                }
+                for user in std::mem::take(&mut self.pending_leaves) {
+                    self.roster.remove(&user);
+                }
+                self.epochs_completed += 1;
+                self.phase = EpochPhase::WaitingForMembers;
+                vec![EpochEvent::EpochCompleted {
+                    epoch: self.epoch,
+                    round: self.round,
+                    survivors: self.roster.iter().copied().collect(),
+                }]
+            }
+        }
+    }
+
+    /// Regresses to `WaitingForMembers` without completing the epoch.
+    fn collapse(&mut self) -> EpochEvent {
+        self.collapses += 1;
+        self.phase = EpochPhase::WaitingForMembers;
+        EpochEvent::Collapsed {
+            epoch: self.epoch,
+            remaining: self.roster.iter().copied().collect(),
+        }
+    }
+
+    /// The coordinator's broadcastable state: the installed ledger plus
+    /// the live phase and round (what a [`Message::Tick`] is answered
+    /// with).
+    pub fn state_message(&self) -> Message {
+        Message::EpochState {
+            epoch: self.epoch,
+            phase: self.phase.as_wire(),
+            round: self.round,
+            version: self.membership.version(),
+            min_clients: self.membership.min_clients(),
+            members: self.membership.members().to_vec(),
+        }
+    }
+
+    /// Adopts (or rejects) a broadcast `EpochState` under the same
+    /// strict version acceptance as `ShardMap`: strictly newer ledgers
+    /// are adopted wholesale (the replica catches up — transient churn
+    /// sets are cleared, the newer ledger is the truth), an identical
+    /// re-broadcast of the current version is ignored, and anything
+    /// older, conflicting or malformed is answered with
+    /// [`error_code::STALE_MEMBERSHIP`] and never adopted.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_epoch_state(
+        &mut self,
+        reply_round: u64,
+        epoch: u64,
+        phase: u8,
+        round: u64,
+        version: u32,
+        min_clients: u32,
+        members: &[u32],
+    ) -> Option<Envelope> {
+        let reject = |detail: String| {
+            Some(Envelope::new(
+                NodeId::Coordinator,
+                reply_round,
+                Message::Error {
+                    code: error_code::STALE_MEMBERSHIP,
+                    detail,
+                },
+            ))
+        };
+        if version < self.membership.version() {
+            return reject(format!(
+                "ledger version {version} is older than current {}",
+                self.membership.version()
+            ));
+        }
+        if version == self.membership.version() {
+            let identical = epoch == self.epoch
+                && round == self.round
+                && phase == self.phase.as_wire()
+                && min_clients == self.membership.min_clients()
+                && members == self.membership.members();
+            if identical {
+                return None; // re-broadcast of the state we already hold
+            }
+            return reject(format!(
+                "conflicting ledger at current version {version} is not an update"
+            ));
+        }
+        let parsed_phase = match EpochPhase::from_wire(phase) {
+            Ok(p) => p,
+            Err(e) => return reject(format!("malformed epoch state: {e}")),
+        };
+        let ledger = match Membership::from_wire(version, epoch, min_clients, members.to_vec()) {
+            Ok(m) => m,
+            Err(e) => return reject(format!("malformed membership ledger: {e}")),
+        };
+        self.roster = ledger.members().iter().copied().collect();
+        self.membership = ledger;
+        self.epoch = epoch;
+        self.round = round;
+        self.phase = parsed_phase;
+        self.pending_joins.clear();
+        self.pending_leaves.clear();
+        self.dropped.clear();
+        None
+    }
+
+    /// Handles one envelope addressed to the coordinator role.
+    ///
+    /// * [`Message::Join`] / [`Message::Leave`] register churn;
+    ///   references to an already-closed epoch are answered with
+    ///   [`error_code::EPOCH_CLOSED`], and a leave from a user the
+    ///   coordinator never admitted with
+    ///   [`error_code::NOT_ENROLLED`].
+    /// * [`Message::Tick`] advances logical time and is always answered
+    ///   with the current [`Message::EpochState`] broadcast.
+    /// * [`Message::EpochState`] goes through strict version
+    ///   acceptance (see [`Membership`]).
+    /// * Errors are never answered with errors; anything else gets
+    ///   [`error_code::UNSUPPORTED_MESSAGE`].
+    pub fn on_envelope(&mut self, env: &Envelope) -> Option<Envelope> {
+        let reply = |msg| Some(Envelope::new(NodeId::Coordinator, env.round, msg));
+        match &env.msg {
+            Message::Join { user, epoch } => {
+                if *epoch < self.epoch {
+                    return reply(Message::Error {
+                        code: error_code::EPOCH_CLOSED,
+                        detail: format!("epoch {epoch} is closed (current is {})", self.epoch),
+                    });
+                }
+                self.register_join(*user);
+                None
+            }
+            Message::Leave { user, epoch } => {
+                if *epoch < self.epoch {
+                    return reply(Message::Error {
+                        code: error_code::EPOCH_CLOSED,
+                        detail: format!("epoch {epoch} is closed (current is {})", self.epoch),
+                    });
+                }
+                if !self.is_known(*user) {
+                    return reply(Message::Error {
+                        code: error_code::NOT_ENROLLED,
+                        detail: format!("user {user} is not enrolled and not pending"),
+                    });
+                }
+                self.register_leave(*user);
+                None
+            }
+            Message::Tick { now } => {
+                self.tick(*now);
+                reply(self.state_message())
+            }
+            Message::EpochState {
+                epoch,
+                phase,
+                round,
+                version,
+                min_clients,
+                members,
+            } => self.handle_epoch_state(
+                env.round,
+                *epoch,
+                *phase,
+                *round,
+                *version,
+                *min_clients,
+                members,
+            ),
+            Message::Error { .. } => None,
+            other => reply(Message::Error {
+                code: error_code::UNSUPPORTED_MESSAGE,
+                detail: format!("coordinator cannot handle {}", other.kind()),
+            }),
+        }
+    }
+
+    /// Drains the churn counters into a [`ChurnMetrics`] observation;
+    /// the membership gauges report the current state. Mirrors the
+    /// `take_metrics` discipline of the bus and backend.
+    pub fn take_churn_metrics(&mut self) -> ChurnMetrics {
+        let metrics = ChurnMetrics {
+            members: self.roster.len() as u64,
+            pending_joins: self.pending_joins.len() as u64,
+            joins: self.joins_total,
+            leaves: self.leaves_total,
+            drops: self.drops_total,
+            epochs_completed: self.epochs_completed,
+            collapses: self.collapses,
+            phase_ticks: self.phase_ticks,
+        };
+        self.joins_total = 0;
+        self.leaves_total = 0;
+        self.drops_total = 0;
+        self.epochs_completed = 0;
+        self.collapses = 0;
+        self.phase_ticks = [0; 5];
+        metrics
+    }
+}
+
+/// Pumps every envelope queued for the coordinator role through
+/// `coordinator`, routing each reply (state broadcasts, error replies)
+/// back to its sender. Returns the number of replies routed.
+pub fn pump_coordinator<B>(coordinator: &mut Coordinator, bus: &mut B) -> usize
+where
+    B: ServiceBus,
+{
+    let (requests, _corrupt) = bus.drain(NodeId::Coordinator);
+    let mut replies = 0usize;
+    for req in requests {
+        let requester = req.sender;
+        if let Some(reply) = coordinator.on_envelope(&req) {
+            bus.send(requester, reply).expect("requester mailbox open");
+            replies += 1;
+        }
+    }
+    replies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::InProcBus;
+
+    fn coordinator(min: u32) -> Coordinator {
+        Coordinator::new(EpochConfig::default().with_min_clients(min))
+    }
+
+    fn join(user: u32, epoch: u64) -> Envelope {
+        Envelope::new(NodeId::Client(user), 0, Message::Join { user, epoch })
+    }
+
+    fn leave(user: u32, epoch: u64) -> Envelope {
+        Envelope::new(NodeId::Client(user), 0, Message::Leave { user, epoch })
+    }
+
+    /// Ticks until the coordinator reaches `phase`, with a drift bound.
+    fn tick_until(c: &mut Coordinator, from: u64, phase: EpochPhase) -> u64 {
+        let mut now = from;
+        for _ in 0..32 {
+            if c.phase() == phase {
+                return now;
+            }
+            now += 1;
+            c.tick(now);
+        }
+        panic!("phase {phase} not reached from tick {from}");
+    }
+
+    #[test]
+    fn admission_waits_for_min_clients_then_counts_down() {
+        let mut c = coordinator(3);
+        c.register_join(1);
+        c.register_join(2);
+        assert!(c.tick(1).is_empty(), "below threshold: keep waiting");
+        assert_eq!(c.phase(), EpochPhase::WaitingForMembers);
+        c.register_join(3);
+        let events = c.tick(2);
+        assert_eq!(
+            events,
+            vec![EpochEvent::EpochStarted { epoch: 1, round: 1 }]
+        );
+        assert_eq!(c.phase(), EpochPhase::Warmup);
+        assert_eq!(c.membership().version(), 1);
+        assert_eq!(c.membership().members(), &[1, 2, 3]);
+        let now = tick_until(&mut c, 2, EpochPhase::Reports);
+        assert!(now <= 2 + EpochConfig::default().warmup_ticks + 1);
+        // The frozen ledger matches the roster the round runs over.
+        assert_eq!(c.membership().members(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn joins_and_leaves_fold_order_independently() {
+        // Same window, both orders: identical post-tick state.
+        let mut ab = coordinator(2);
+        ab.register_join(7);
+        ab.register_leave(7);
+        let mut ba = coordinator(2);
+        ba.register_leave(7);
+        ba.register_join(7);
+        ab.tick(1);
+        ba.tick(1);
+        assert_eq!(ab.roster(), ba.roster());
+        assert!(ab.roster().is_empty(), "join+leave in one window = out");
+    }
+
+    #[test]
+    fn warmup_leave_below_threshold_collapses_back() {
+        let mut c = coordinator(3);
+        for u in [1, 2, 3] {
+            c.register_join(u);
+        }
+        c.tick(1);
+        assert_eq!(c.phase(), EpochPhase::Warmup);
+        c.register_leave(2);
+        let events = c.tick(2);
+        assert_eq!(
+            events,
+            vec![EpochEvent::Collapsed {
+                epoch: 1,
+                remaining: vec![1, 3],
+            }]
+        );
+        assert_eq!(c.phase(), EpochPhase::WaitingForMembers);
+        // A refill re-forms the next epoch under a bumped ledger.
+        c.register_join(4);
+        let events = c.tick(3);
+        assert_eq!(
+            events,
+            vec![EpochEvent::EpochStarted { epoch: 2, round: 2 }]
+        );
+        assert_eq!(c.membership().members(), &[1, 3, 4]);
+    }
+
+    #[test]
+    fn mid_reports_drops_fold_into_the_silent_set() {
+        let mut c = coordinator(2);
+        for u in [1, 2, 3, 4] {
+            c.register_join(u);
+        }
+        c.tick(1);
+        tick_until(&mut c, 1, EpochPhase::Reports);
+        c.mark_dropped(3);
+        c.mark_dropped(99); // unknown: ignored
+        assert_eq!(c.dropped(), vec![3]);
+        let now = tick_until(&mut c, 10, EpochPhase::Finalize);
+        let events = c.tick(now + 1);
+        assert_eq!(
+            events,
+            vec![EpochEvent::EpochCompleted {
+                epoch: 1,
+                round: 1,
+                survivors: vec![1, 2, 4],
+            }]
+        );
+        assert_eq!(c.phase(), EpochPhase::WaitingForMembers);
+    }
+
+    #[test]
+    fn drops_below_min_clients_collapse_without_finalizing() {
+        let mut c = coordinator(3);
+        for u in [1, 2, 3] {
+            c.register_join(u);
+        }
+        c.tick(1);
+        tick_until(&mut c, 1, EpochPhase::Reports);
+        c.mark_dropped(1);
+        let events = c.tick(20);
+        assert_eq!(
+            events,
+            vec![EpochEvent::Collapsed {
+                epoch: 1,
+                remaining: vec![2, 3],
+            }]
+        );
+        assert_eq!(c.phase(), EpochPhase::WaitingForMembers);
+        assert_eq!(c.dropped(), Vec::<u32>::new(), "dropouts folded out");
+        let metrics = c.take_churn_metrics();
+        assert_eq!(metrics.collapses, 1);
+        assert_eq!(metrics.epochs_completed, 0, "a collapse never completes");
+    }
+
+    #[test]
+    fn joins_during_a_running_epoch_land_in_the_next_one() {
+        let mut c = coordinator(2);
+        for u in [1, 2] {
+            c.register_join(u);
+        }
+        c.tick(1);
+        tick_until(&mut c, 1, EpochPhase::Reports);
+        c.register_join(9);
+        assert!(!c.membership().contains(9), "roster is frozen");
+        assert!(c.pending_joins().contains(&9));
+        let now = tick_until(&mut c, 10, EpochPhase::Finalize);
+        c.tick(now + 1);
+        // Next admission folds the parked join in.
+        let events = c.tick(now + 2);
+        assert_eq!(
+            events,
+            vec![EpochEvent::EpochStarted { epoch: 2, round: 2 }]
+        );
+        assert_eq!(c.membership().members(), &[1, 2, 9]);
+    }
+
+    #[test]
+    fn leave_during_reports_is_clean_and_departs_after_the_round() {
+        let mut c = coordinator(2);
+        for u in [1, 2, 3] {
+            c.register_join(u);
+        }
+        c.tick(1);
+        tick_until(&mut c, 1, EpochPhase::Reports);
+        c.register_leave(3);
+        // Still on the frozen roster — it owes its report and
+        // adjustment this round.
+        assert!(c.membership().contains(3));
+        assert_eq!(c.dropped(), Vec::<u32>::new(), "a clean leave is no drop");
+        let now = tick_until(&mut c, 10, EpochPhase::Finalize);
+        let events = c.tick(now + 1);
+        assert_eq!(
+            events,
+            vec![EpochEvent::EpochCompleted {
+                epoch: 1,
+                round: 1,
+                survivors: vec![1, 2],
+            }]
+        );
+    }
+
+    #[test]
+    fn tick_never_rewinds_and_rejoin_is_idempotent() {
+        let mut c = coordinator(2);
+        c.register_join(1);
+        c.register_join(1);
+        c.register_join(2);
+        c.tick(5);
+        assert_eq!(c.phase(), EpochPhase::Warmup);
+        let rewound = c.tick(3);
+        assert!(rewound.is_empty(), "time never rewinds");
+        assert_eq!(c.phase(), EpochPhase::Warmup);
+        let metrics = c.take_churn_metrics();
+        assert_eq!(metrics.joins, 2, "the double join counted once");
+    }
+
+    #[test]
+    fn membership_plane_error_replies() {
+        let mut c = coordinator(2);
+        for u in [1, 2] {
+            c.register_join(u);
+        }
+        c.tick(1);
+        assert_eq!(c.epoch(), 1);
+
+        // A leave from a user never admitted: NOT_ENROLLED.
+        let reply = c.on_envelope(&leave(42, 1)).expect("explicit reply");
+        assert!(matches!(
+            reply.msg,
+            Message::Error {
+                code: error_code::NOT_ENROLLED,
+                ..
+            }
+        ));
+        // Join/Leave referencing a closed epoch: EPOCH_CLOSED.
+        for env in [join(5, 0), leave(1, 0)] {
+            let reply = c.on_envelope(&env).expect("explicit reply");
+            assert!(matches!(
+                reply.msg,
+                Message::Error {
+                    code: error_code::EPOCH_CLOSED,
+                    ..
+                }
+            ));
+        }
+        // Current-epoch churn is accepted silently.
+        assert_eq!(c.on_envelope(&join(5, 1)), None);
+        assert_eq!(c.on_envelope(&leave(1, 1)), None);
+        // Unsupported traffic is rejected explicitly, errors silently.
+        let bogus = Envelope::new(
+            NodeId::Client(1),
+            0,
+            Message::UsersQuery { round: 0, ad: 1 },
+        );
+        let reply = c.on_envelope(&bogus).expect("explicit reply");
+        assert!(matches!(
+            reply.msg,
+            Message::Error {
+                code: error_code::UNSUPPORTED_MESSAGE,
+                ..
+            }
+        ));
+        let err = Envelope::new(
+            NodeId::Client(1),
+            0,
+            Message::Error {
+                code: 1,
+                detail: String::new(),
+            },
+        );
+        assert_eq!(c.on_envelope(&err), None, "never error-for-error");
+    }
+
+    #[test]
+    fn epoch_state_version_acceptance_mirrors_the_shard_map() {
+        let mut c = coordinator(2);
+        for u in [1, 2] {
+            c.register_join(u);
+        }
+        c.tick(1);
+        let held = c.state_message();
+        let env = |msg| Envelope::new(NodeId::Coordinator, 0, msg);
+
+        // Identical re-broadcast: silently ignored.
+        assert_eq!(c.on_envelope(&env(held.clone())), None);
+
+        // Equal version, different roster: split brain, rejected.
+        let conflicting = Message::EpochState {
+            epoch: 1,
+            phase: EpochPhase::Warmup.as_wire(),
+            round: 1,
+            version: c.membership().version(),
+            min_clients: 2,
+            members: vec![7, 8],
+        };
+        let reply = c.on_envelope(&env(conflicting)).expect("explicit reply");
+        assert!(matches!(
+            reply.msg,
+            Message::Error {
+                code: error_code::STALE_MEMBERSHIP,
+                ..
+            }
+        ));
+        assert_eq!(c.membership().members(), &[1, 2], "never adopted");
+
+        // Strictly newer: adopted wholesale.
+        let newer = Message::EpochState {
+            epoch: 4,
+            phase: EpochPhase::Reports.as_wire(),
+            round: 9,
+            version: c.membership().version() + 3,
+            min_clients: 2,
+            members: vec![3, 5, 8],
+        };
+        assert_eq!(c.on_envelope(&env(newer)), None);
+        assert_eq!(c.epoch(), 4);
+        assert_eq!(c.round(), 9);
+        assert_eq!(c.phase(), EpochPhase::Reports);
+        assert_eq!(c.membership().members(), &[3, 5, 8]);
+
+        // Now the previously held state is stale: explicit rejection.
+        let reply = c.on_envelope(&env(held)).expect("explicit reply");
+        assert!(matches!(
+            reply.msg,
+            Message::Error {
+                code: error_code::STALE_MEMBERSHIP,
+                ..
+            }
+        ));
+
+        // Malformed newer ledgers (bad phase, unsorted roster) are
+        // rejected, never adopted.
+        for malformed in [
+            Message::EpochState {
+                epoch: 9,
+                phase: 0x77,
+                round: 12,
+                version: c.membership().version() + 1,
+                min_clients: 2,
+                members: vec![1],
+            },
+            Message::EpochState {
+                epoch: 9,
+                phase: EpochPhase::Warmup.as_wire(),
+                round: 12,
+                version: c.membership().version() + 1,
+                min_clients: 2,
+                members: vec![5, 3],
+            },
+        ] {
+            let reply = c.on_envelope(&env(malformed)).expect("explicit reply");
+            assert!(matches!(
+                reply.msg,
+                Message::Error {
+                    code: error_code::STALE_MEMBERSHIP,
+                    ..
+                }
+            ));
+            assert_eq!(c.epoch(), 4, "malformed state never adopted");
+        }
+    }
+
+    #[test]
+    fn pump_routes_state_broadcasts_over_the_bus() {
+        let mut c = coordinator(2);
+        let mut bus = InProcBus::new();
+        for u in [1u32, 2] {
+            bus.send(NodeId::Coordinator, join(u, 0)).unwrap();
+        }
+        bus.send(
+            NodeId::Coordinator,
+            Envelope::new(NodeId::Backend, 0, Message::Tick { now: 1 }),
+        )
+        .unwrap();
+        let replies = pump_coordinator(&mut c, &mut bus);
+        assert_eq!(replies, 1, "joins are silent, the tick is answered");
+        let (mail, _) = bus.drain(NodeId::Backend);
+        assert_eq!(mail.len(), 1);
+        match &mail[0].msg {
+            Message::EpochState {
+                epoch,
+                phase,
+                members,
+                ..
+            } => {
+                assert_eq!(*epoch, 1);
+                assert_eq!(*phase, EpochPhase::Warmup.as_wire());
+                assert_eq!(members, &[1, 2]);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(mail[0].sender, NodeId::Coordinator);
+    }
+}

@@ -31,6 +31,14 @@
 //!   and watermark truncation that keeps the log's depth bounded. The
 //!   one source of truth for failover reassignment *and* cold
 //!   crash-restart.
+//! * [`coordinator`] — the tick-driven epoch coordinator: a
+//!   [`ew_proto::NodeId::Coordinator`] role service owning the
+//!   WaitingForMembers → Warmup → Reports → Recovery → Finalize epoch
+//!   state machine over a versioned [`ew_proto::Membership`] ledger,
+//!   with `min_clients` admission, logical-time deadlines and mid-epoch
+//!   churn: joins park for the next epoch, dropouts fold into the
+//!   silent-client recovery path, and a below-threshold collapse
+//!   regresses to waiting without corrupting the round log.
 //! * [`telemetry`] — the telemetry role service on the same bus fabric:
 //!   per-round and lifetime [`telemetry::ReplayMetrics`] (envelopes
 //!   routed / replayed / deduped, journal depth, queue high-water,
@@ -55,6 +63,7 @@
 pub mod backend;
 pub mod client;
 pub mod cluster;
+pub mod coordinator;
 pub mod crawler;
 pub mod eval;
 pub mod ids;
@@ -69,6 +78,7 @@ pub mod telemetry;
 pub use backend::{BackendServer, RoundCheckpoint};
 pub use client::Client;
 pub use cluster::{ClusterBackend, RoutingBus, ShardFailure, ShardView, ViewMerger};
+pub use coordinator::{epoch_phase_index, pump_coordinator, Coordinator, EpochConfig, EpochEvent};
 pub use crawler::Crawler;
 pub use eval::{EvalOracles, EvalTree};
 pub use ids::AdIdMapper;
@@ -83,5 +93,5 @@ pub use pipeline::{
     resolve_ad_ids_on_bus, run_cleartext_pipeline, run_segmented_pipeline, PipelineResult,
 };
 pub use store::{RoundRecord, Store, UserRecord};
-pub use system::{EyewnderSystem, ParallelConfig, RoundOutcome, SystemConfig};
-pub use telemetry::{phase_index, ReplayMetrics, TelemetryService};
+pub use system::{EpochOutcome, EyewnderSystem, ParallelConfig, RoundOutcome, SystemConfig};
+pub use telemetry::{phase_index, ChurnMetrics, ReplayMetrics, TelemetryService};

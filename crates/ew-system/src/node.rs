@@ -94,6 +94,24 @@ pub trait ClientNode {
     fn on_envelope(&self, params: CmsParams, env: &Envelope) -> Option<Envelope>;
 }
 
+/// Every [`ClientNode`] method takes `&self`, so a shared reference is
+/// itself a client node. This is what lets an epoch driver hand the
+/// round machine a per-roster `Vec<&C>` subset of a long-lived
+/// population without moving or cloning the clients.
+impl<T: ClientNode> ClientNode for &T {
+    fn client_id(&self) -> u32 {
+        (**self).client_id()
+    }
+
+    fn report_envelope(&self, params: CmsParams, round: u64) -> Envelope {
+        (**self).report_envelope(params, round)
+    }
+
+    fn on_envelope(&self, params: CmsParams, env: &Envelope) -> Option<Envelope> {
+        (**self).on_envelope(params, env)
+    }
+}
+
 /// The OPRF front-end as a message-driven service: blind-evaluates
 /// whatever request envelopes arrive.
 pub trait OprfFrontend {

@@ -55,6 +55,7 @@
 use crate::backend::BackendServer;
 use crate::client::Client;
 use crate::cluster::{ClusterBackend, RoutingBus};
+use crate::coordinator::{pump_coordinator, Coordinator, EpochEvent};
 use crate::ids::AdIdMapper;
 use crate::node::{
     drive_round, pump_backend, pump_telemetry, InProcBus, RoundOpen, ServiceBus, WireBus,
@@ -63,9 +64,10 @@ use crate::oprf_server::OprfService;
 use crate::store::{RoundRecord, Store};
 use crate::telemetry::{ReplayMetrics, TelemetryService};
 use ew_core::{AdKey, Detector, DetectorConfig, GlobalView, ThresholdPolicy, Verdict};
+use ew_crypto::directory::KeyDirectory;
 use ew_crypto::group::ModpGroup;
-use ew_proto::{Envelope, FaultConfig, Message, NodeId, ShardMap};
-use ew_simnet::{AdClass, ImpressionLog, RestartPhase, Scenario, ShardRestart};
+use ew_proto::{Envelope, EpochPhase, FaultConfig, Message, NodeId, ShardMap};
+use ew_simnet::{AdClass, EpochChurn, ImpressionLog, RestartPhase, Scenario, ShardRestart};
 use ew_sketch::CmsParams;
 use ew_stats::ConfusionMatrix;
 use rand::rngs::StdRng;
@@ -181,6 +183,27 @@ pub struct RoundOutcome {
     pub missing: Vec<u32>,
     /// Frames rejected as corrupt on the wire path (0 on direct path).
     pub corrupt_frames: usize,
+}
+
+/// Outcome of one scheduled epoch in a churn campaign.
+#[derive(Debug, Clone)]
+pub struct EpochOutcome {
+    /// The epoch number the coordinator assigned (unchanged from the
+    /// previous entry when admission stalled below `min_clients`).
+    pub epoch: u64,
+    /// The aggregation round driven (or abandoned) for this epoch.
+    pub round: u64,
+    /// The frozen roster the epoch ran over (empty if it never formed).
+    pub members: Vec<u32>,
+    /// Users who joined ahead of this epoch's admission.
+    pub joined: Vec<u32>,
+    /// Mid-epoch dropouts — the round's silent set.
+    pub dropped: Vec<u32>,
+    /// Whether the epoch collapsed below `min_clients` (admission stall
+    /// or mid-reports drop) instead of completing.
+    pub collapsed: bool,
+    /// The finalized round, when the epoch completed.
+    pub outcome: Option<RoundOutcome>,
 }
 
 /// The assembled system.
@@ -536,6 +559,219 @@ impl EyewnderSystem {
         }
     }
 
+    /// Runs a multi-epoch churn campaign against one long-lived cluster
+    /// backend, driven by the tick-based epoch [`Coordinator`]:
+    ///
+    /// 1. each epoch's joins cross the bus as [`Message::Join`]
+    ///    envelopes and the coordinator is ticked to admission
+    ///    (`min_clients`) and through warmup;
+    /// 2. the frozen roster becomes the epoch's world: the cluster's
+    ///    shard directories are rebuilt down to it
+    ///    ([`ClusterBackend::begin_epoch`]) and every member
+    ///    incrementally re-syncs its blinding state to the roster
+    ///    directory ([`Client::sync_blinding`] — surviving pairs keep
+    ///    their cached streams, departed peers are evicted);
+    /// 3. clean leaves and silent drops are registered mid-window; the
+    ///    drops become the round's silent set and the **existing**
+    ///    recovery path absorbs them;
+    /// 4. if drops push the epoch below `min_clients` the round is
+    ///    abandoned ([`ClusterBackend::collapse_epoch`]) and the
+    ///    campaign carries on with the survivors — the next epoch's
+    ///    round log starts clean;
+    /// 5. otherwise the standard typestate round runs over exactly the
+    ///    roster members and the coordinator ticks through recovery and
+    ///    finalization to complete the epoch.
+    ///
+    /// Epoch ids the schedule churns must be below the system's cohort
+    /// size (the campaign population is a subset of the built cohort).
+    /// Everything is logical-time driven, so a fixed schedule produces
+    /// bit-identical finalized views for every thread count, bus and
+    /// cluster size — `tests/cluster_parity.rs` pins it.
+    pub fn run_epochs_clustered_on<B: ServiceBus>(
+        &mut self,
+        backend: &mut ClusterBackend,
+        bus: &mut B,
+        coordinator: &mut Coordinator,
+        schedule: &[EpochChurn],
+    ) -> Vec<EpochOutcome> {
+        let params = self.config.cms;
+        let threads = self.config.parallel.threads.max(1);
+        let mut now = coordinator.last_tick();
+        let mut outcomes = Vec::with_capacity(schedule.len());
+
+        for spec in schedule {
+            // Joins cross the bus like any other membership traffic.
+            for &user in &spec.joins {
+                assert!(
+                    (user as usize) < self.clients.len(),
+                    "campaign user {user} is outside the built cohort"
+                );
+                let env = Envelope::new(
+                    NodeId::Client(user),
+                    0,
+                    Message::Join {
+                        user,
+                        epoch: coordinator.epoch(),
+                    },
+                );
+                bus.send(NodeId::Coordinator, env)
+                    .expect("coordinator mailbox open");
+            }
+            pump_coordinator(coordinator, bus);
+
+            // Admission: one tick folds the pending joins; below
+            // min_clients the epoch never forms and the campaign moves
+            // on (later joins may refill the pool).
+            now += 1;
+            let events = coordinator.tick(now);
+            let started = events
+                .iter()
+                .any(|e| matches!(e, EpochEvent::EpochStarted { .. }));
+            if !started {
+                outcomes.push(EpochOutcome {
+                    epoch: coordinator.epoch(),
+                    round: coordinator.round(),
+                    members: Vec::new(),
+                    joined: spec.joins.clone(),
+                    dropped: Vec::new(),
+                    collapsed: true,
+                    outcome: None,
+                });
+                continue;
+            }
+            let epoch = coordinator.epoch();
+            let round = coordinator.round();
+
+            // Warmup countdown (no churn is scheduled inside it here, so
+            // it cannot collapse — the deadline just elapses).
+            while coordinator.phase() == EpochPhase::Warmup {
+                now += 1;
+                coordinator.tick(now);
+            }
+            debug_assert_eq!(coordinator.phase(), EpochPhase::Reports);
+            let membership = coordinator.membership().clone();
+
+            // The frozen roster becomes the epoch's world: shard
+            // directories shrink to it and every member re-syncs its
+            // blinding state incrementally.
+            backend.begin_epoch(epoch, &membership);
+            let mut directory = KeyDirectory::new(self.group.element_len());
+            for &user in membership.members() {
+                directory.publish(user, self.clients[user as usize].public_key().clone());
+            }
+            for &user in membership.members() {
+                self.clients[user as usize].sync_blinding(&self.group, &directory);
+            }
+
+            // Mid-window churn: clean leaves over the bus, silent drops
+            // through the failure-detector seam.
+            for &user in &spec.leaves {
+                let env =
+                    Envelope::new(NodeId::Client(user), round, Message::Leave { user, epoch });
+                bus.send(NodeId::Coordinator, env)
+                    .expect("coordinator mailbox open");
+            }
+            pump_coordinator(coordinator, bus);
+            for &user in &spec.drops {
+                coordinator.mark_dropped(user);
+            }
+            now += 1;
+            let events = coordinator.tick(now);
+            if let Some(EpochEvent::Collapsed { remaining, .. }) = events
+                .iter()
+                .find(|e| matches!(e, EpochEvent::Collapsed { .. }))
+            {
+                backend.collapse_epoch(remaining);
+                self.telemetry
+                    .observe_churn(&coordinator.take_churn_metrics());
+                outcomes.push(EpochOutcome {
+                    epoch,
+                    round,
+                    members: membership.members().to_vec(),
+                    joined: spec.joins.clone(),
+                    dropped: spec.drops.clone(),
+                    collapsed: true,
+                    outcome: None,
+                });
+                continue;
+            }
+
+            // The aggregation round runs over exactly the roster, with
+            // the dropouts as its silent set.
+            let silent = coordinator.dropped();
+            let driven = {
+                let members: Vec<&Client> = membership
+                    .members()
+                    .iter()
+                    .map(|&u| &self.clients[u as usize])
+                    .collect();
+                drive_round(&members, backend, bus, params, round, &silent, threads)
+            };
+
+            // Tick the coordinator through recovery and finalization.
+            while coordinator.phase() != EpochPhase::WaitingForMembers {
+                now += 1;
+                coordinator.tick(now);
+            }
+
+            if let Some(metrics) = bus.take_metrics() {
+                self.telemetry.observe(round, &metrics);
+            }
+            let backend_metrics = backend.take_metrics();
+            self.telemetry.observe(round, &backend_metrics);
+            self.telemetry
+                .observe_churn(&coordinator.take_churn_metrics());
+            for &user in membership.members() {
+                if !driven.missing.contains(&user) {
+                    self.store.mark_reported(user, round);
+                }
+            }
+            self.store.record_round(RoundRecord {
+                round,
+                reports: driven.reports,
+                missing: driven.missing.len(),
+                policy: self.config.policy,
+                users_threshold: driven.view.users_threshold(),
+                positive_ads: driven.view.num_ads(),
+            });
+            self.backend.install_view(round, driven.view.clone());
+            outcomes.push(EpochOutcome {
+                epoch,
+                round,
+                members: membership.members().to_vec(),
+                joined: spec.joins.clone(),
+                dropped: silent,
+                collapsed: false,
+                outcome: Some(RoundOutcome {
+                    round: driven.round,
+                    view: driven.view,
+                    reports: driven.reports,
+                    missing: driven.missing,
+                    corrupt_frames: driven.corrupt_frames,
+                }),
+            });
+        }
+        outcomes
+    }
+
+    /// [`Self::run_epochs_clustered_on`] with a fresh in-proc routing
+    /// bus, a fresh cluster for [`SystemConfig::cluster_backends`]
+    /// shards and a fresh genesis coordinator with the given admission
+    /// threshold — the one-call entry point for churn campaigns.
+    pub fn run_epochs_clustered(
+        &mut self,
+        min_clients: u32,
+        schedule: &[EpochChurn],
+    ) -> Vec<EpochOutcome> {
+        let map = self.cluster_map();
+        let mut backend = self.new_cluster(&map);
+        let mut bus = RoutingBus::in_proc(map, None);
+        let mut coordinator = Coordinator::new(
+            crate::coordinator::EpochConfig::default().with_min_clients(min_clients),
+        );
+        self.run_epochs_clustered_on(&mut backend, &mut bus, &mut coordinator, schedule)
+    }
+
     /// Shared tail of every clustered round: drains the bus and backend
     /// replay metrics into the telemetry service, records the round in
     /// the metadata store and installs the view on the resident backend.
@@ -885,6 +1121,63 @@ mod tests {
         assert_eq!(totals.routed, metrics.routed);
         // A never-observed round stays unanswered.
         assert_eq!(sys.query_metrics_on(&mut InProcBus::new(), 99), None);
+    }
+
+    #[test]
+    fn epoch_campaign_runs_joins_drops_and_one_collapse() {
+        let (mut sys, scenario, log) = small_system();
+        sys.ingest(&scenario, &log);
+        sys.config.cluster_backends = 2;
+        let spec = |joins: Vec<u32>, leaves: Vec<u32>, drops: Vec<u32>| EpochChurn {
+            joins,
+            leaves,
+            drops,
+        };
+        let schedule = vec![
+            spec((0..8).collect(), vec![], vec![]),
+            spec(vec![8, 9], vec![1], vec![2]),
+            // Five of eight members drop: 3 survivors < min_clients 4.
+            spec(vec![], vec![], vec![0, 3, 4, 5, 6]),
+            spec(vec![10, 11], vec![], vec![]),
+        ];
+        let outcomes = sys.run_epochs_clustered(4, &schedule);
+        assert_eq!(outcomes.len(), 4);
+
+        assert_eq!(outcomes[0].members, (0..8).collect::<Vec<u32>>());
+        let first = outcomes[0].outcome.as_ref().expect("epoch 1 completed");
+        assert_eq!(first.reports, 8);
+
+        // Epoch 2: churned roster, a clean leave (still reports) and a
+        // silent drop (recovered through the adjustment path).
+        assert_eq!(outcomes[1].members, (0..10).collect::<Vec<u32>>());
+        let second = outcomes[1].outcome.as_ref().expect("epoch 2 completed");
+        assert_eq!(second.reports, 9);
+        assert_eq!(second.missing, vec![2]);
+        for est in second.view.distribution() {
+            assert!(est <= 13.0, "estimate {est} looks like blinding residue");
+        }
+
+        // Epoch 3 collapses below min_clients: round abandoned.
+        assert!(outcomes[2].collapsed);
+        assert!(outcomes[2].outcome.is_none());
+        assert_eq!(outcomes[2].members.len(), 8);
+
+        // Epoch 4 re-forms from survivors {7, 8, 9} plus the refill.
+        assert_eq!(outcomes[3].members, vec![7, 8, 9, 10, 11]);
+        assert!(!outcomes[3].collapsed);
+        let last = outcomes[3].outcome.as_ref().expect("epoch 4 completed");
+        assert_eq!(last.reports, 5);
+        for est in last.view.distribution() {
+            assert!(est <= 8.0, "estimate {est} looks like blinding residue");
+        }
+
+        let churn = sys.telemetry().churn();
+        assert_eq!(churn.collapses, 1);
+        assert_eq!(churn.epochs_completed, 3);
+        assert_eq!(churn.joins, 12);
+        assert_eq!(churn.drops, 6, "one epoch-2 drop plus five collapse drops");
+        assert_eq!(churn.members, 5, "final roster gauge");
+        assert!(churn.phase_ticks.iter().all(|&t| t > 0));
     }
 
     #[test]

@@ -88,13 +88,58 @@ impl ReplayMetrics {
     }
 }
 
+/// One observation (or accumulated view) of the membership plane — the
+/// coordinator's counterpart to [`ReplayMetrics`]. Kept as its own
+/// struct (not folded into `ReplayMetrics`) so the frozen
+/// `MetricsReply` wire format is untouched; churn is read through the
+/// driver's [`TelemetryService::churn`] accessor instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChurnMetrics {
+    /// Live roster size at observation time (gauge).
+    pub members: u64,
+    /// Joins parked for the next epoch at observation time (gauge).
+    pub pending_joins: u64,
+    /// Distinct join registrations (counter).
+    pub joins: u64,
+    /// Distinct clean-leave registrations (counter).
+    pub leaves: u64,
+    /// Distinct mid-epoch dropouts (counter).
+    pub drops: u64,
+    /// Epochs that ran to completion (counter).
+    pub epochs_completed: u64,
+    /// Below-`min_clients` collapses (counter).
+    pub collapses: u64,
+    /// Logical ticks spent per epoch phase, indexed by
+    /// [`crate::coordinator::epoch_phase_index`] (counters).
+    pub phase_ticks: [u64; 5],
+}
+
+impl ChurnMetrics {
+    /// Folds `other` into `self`: counters add, gauges take the newer
+    /// observation — the same per-kind discipline as
+    /// [`ReplayMetrics::merge`].
+    pub fn merge(&mut self, other: &ChurnMetrics) {
+        self.members = other.members;
+        self.pending_joins = other.pending_joins;
+        self.joins += other.joins;
+        self.leaves += other.leaves;
+        self.drops += other.drops;
+        self.epochs_completed += other.epochs_completed;
+        self.collapses += other.collapses;
+        for (mine, theirs) in self.phase_ticks.iter_mut().zip(other.phase_ticks) {
+            *mine += theirs;
+        }
+    }
+}
+
 /// The telemetry service: accumulates [`ReplayMetrics`] observations
-/// per round (and as lifetime totals) and answers `MetricsQuery`
-/// envelopes.
+/// per round (and as lifetime totals), tracks the membership plane's
+/// [`ChurnMetrics`], and answers `MetricsQuery` envelopes.
 #[derive(Debug, Default)]
 pub struct TelemetryService {
     totals: ReplayMetrics,
     rounds: BTreeMap<u64, ReplayMetrics>,
+    churn: ChurnMetrics,
 }
 
 impl TelemetryService {
@@ -118,6 +163,19 @@ impl TelemetryService {
     /// The accumulated snapshot for one round, if observed.
     pub fn round_metrics(&self, round: u64) -> Option<ReplayMetrics> {
         self.rounds.get(&round).copied()
+    }
+
+    /// Folds one membership-plane observation (typically the
+    /// coordinator's drained `take_churn_metrics`) into the lifetime
+    /// churn view.
+    pub fn observe_churn(&mut self, metrics: &ChurnMetrics) {
+        self.churn.merge(metrics);
+    }
+
+    /// The accumulated membership-plane view: gauges reflect the latest
+    /// observation, counters the campaign lifetime.
+    pub fn churn(&self) -> ChurnMetrics {
+        self.churn
     }
 
     /// Handles one envelope addressed to the telemetry role: a
@@ -218,5 +276,39 @@ mod tests {
         }
         // The reply is stamped with the telemetry role identity.
         assert_eq!(svc.on_envelope(&env).sender, NodeId::Telemetry);
+    }
+
+    #[test]
+    fn churn_merge_respects_counter_kinds() {
+        let mut svc = TelemetryService::new();
+        svc.observe_churn(&ChurnMetrics {
+            members: 10,
+            pending_joins: 2,
+            joins: 12,
+            leaves: 1,
+            drops: 1,
+            epochs_completed: 1,
+            collapses: 0,
+            phase_ticks: [3, 2, 3, 2, 1],
+        });
+        svc.observe_churn(&ChurnMetrics {
+            members: 9,
+            pending_joins: 0,
+            joins: 1,
+            leaves: 2,
+            drops: 0,
+            epochs_completed: 1,
+            collapses: 1,
+            phase_ticks: [1, 1, 1, 1, 1],
+        });
+        let churn = svc.churn();
+        assert_eq!(churn.members, 9, "gauge: latest wins");
+        assert_eq!(churn.pending_joins, 0, "gauge: latest wins");
+        assert_eq!(churn.joins, 13); // counter: adds
+        assert_eq!(churn.leaves, 3);
+        assert_eq!(churn.drops, 1);
+        assert_eq!(churn.epochs_completed, 2);
+        assert_eq!(churn.collapses, 1);
+        assert_eq!(churn.phase_ticks, [4, 3, 4, 3, 2]);
     }
 }

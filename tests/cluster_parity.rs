@@ -14,10 +14,12 @@
 
 use eyewnder::proto::{FaultConfig, ShardMap};
 use eyewnder::simnet::{
-    ClusterScenario, DriverScale, RestartPhase, ShardKill, ShardRestart, WeeklyDriver,
+    ClusterScenario, DriverScale, EpochChurn, RestartPhase, ShardKill, ShardRestart, WeeklyDriver,
 };
-use eyewnder::system::cluster::{RoutingBus, ShardFailure};
-use eyewnder::system::{EyewnderSystem, RoundOutcome, SystemConfig};
+use eyewnder::system::cluster::{ClusterBackend, RoutingBus, ShardFailure};
+use eyewnder::system::{
+    Coordinator, EpochConfig, EpochOutcome, EyewnderSystem, RoundOutcome, ServiceBus, SystemConfig,
+};
 
 const fn seed() -> u64 {
     0xC1A5_0005
@@ -399,6 +401,201 @@ fn restart_phases_cover_reports_recovery_and_midreplay() {
         2 * replayed["Reports"],
         "the idempotence drill replays the same suffix twice: {replayed:?}"
     );
+}
+
+/// The fixed churn schedule the epoch-campaign parity tests drive:
+/// formation, a churn epoch with a clean leave and a silent drop, a
+/// scripted below-`min_clients` collapse, and a refill epoch over the
+/// survivors. Four epochs, three of which finalize a round.
+fn churn_schedule() -> Vec<EpochChurn> {
+    let spec = |joins: Vec<u32>, leaves: Vec<u32>, drops: Vec<u32>| EpochChurn {
+        joins,
+        leaves,
+        drops,
+    };
+    vec![
+        spec((0..8).collect(), vec![], vec![]),
+        spec(vec![8, 9], vec![1], vec![2]),
+        // Five of eight members drop mid-reports: 3 < min_clients 4.
+        spec(vec![], vec![], vec![0, 3, 4, 5, 6]),
+        spec(vec![10, 11], vec![], vec![]),
+    ]
+}
+
+fn fresh_coordinator() -> Coordinator {
+    Coordinator::new(EpochConfig::default().with_min_clients(4))
+}
+
+/// Runs the full churn campaign against a fresh cluster + coordinator
+/// over the requested transport.
+fn epoch_campaign(
+    sys: &mut EyewnderSystem,
+    backends: usize,
+    wire: bool,
+    schedule: &[EpochChurn],
+) -> Vec<EpochOutcome> {
+    sys.config.cluster_backends = backends;
+    let map = sys.cluster_map();
+    let mut backend = sys.new_cluster(&map);
+    let mut coordinator = fresh_coordinator();
+    if wire {
+        let mut bus = RoutingBus::over_wire(map, None, None);
+        sys.run_epochs_clustered_on(&mut backend, &mut bus, &mut coordinator, schedule)
+    } else {
+        let mut bus = RoutingBus::in_proc(map, None);
+        sys.run_epochs_clustered_on(&mut backend, &mut bus, &mut coordinator, schedule)
+    }
+}
+
+fn assert_epochs_identical(a: &[EpochOutcome], b: &[EpochOutcome], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.epoch, y.epoch, "{label}");
+        assert_eq!(x.round, y.round, "{label}");
+        assert_eq!(x.members, y.members, "{label}");
+        assert_eq!(x.joined, y.joined, "{label}");
+        assert_eq!(x.dropped, y.dropped, "{label}");
+        assert_eq!(x.collapsed, y.collapsed, "{label}");
+        match (&x.outcome, &y.outcome) {
+            (None, None) => {}
+            (Some(p), Some(q)) => assert_bit_identical(p, q, label),
+            _ => panic!(
+                "{label}: one cell finalized epoch {}, the other did not",
+                x.epoch
+            ),
+        }
+    }
+}
+
+#[test]
+fn epoch_churn_campaign_bit_identical_across_the_cluster_matrix() {
+    // The tentpole acceptance matrix: a four-epoch churn campaign
+    // (joins, a clean leave, silent drops, one below-min_clients
+    // collapse, a refill) driven by the tick-based coordinator must
+    // finalize **bit-identically** across backends {1, 2, 4} × threads
+    // {1, 4} × {in-proc, wire}. Membership is logical-time folded, so
+    // neither the transport nor the cluster size nor the worker count
+    // may leave a fingerprint on any epoch's view.
+    let driver = driver();
+    let (scenario, weeks, cohort) = driver.workload(1);
+    let schedule = churn_schedule();
+
+    let mut baseline: Option<Vec<EpochOutcome>> = None;
+    for threads in [1usize, 4] {
+        for backends in [1usize, 2, 4] {
+            for wire in [false, true] {
+                let label = format!("threads={threads} backends={backends} wire={wire}");
+                let mut sys = system(threads, cohort);
+                sys.ingest(scenario, &weeks[0]);
+                let outcomes = epoch_campaign(&mut sys, backends, wire, &schedule);
+                match &baseline {
+                    None => {
+                        // Structural checks once, on the baseline cell:
+                        // the schedule plays out as scripted.
+                        assert_eq!(outcomes.len(), 4, "{label}");
+                        assert_eq!(outcomes[0].members, (0..8).collect::<Vec<u32>>());
+                        assert_eq!(
+                            outcomes[0]
+                                .outcome
+                                .as_ref()
+                                .expect("epoch 1 completes")
+                                .reports,
+                            8
+                        );
+                        let second = outcomes[1].outcome.as_ref().expect("epoch 2 completes");
+                        assert_eq!(second.reports, 9, "clean leaver still reports");
+                        assert_eq!(second.missing, vec![2], "the drop goes silent");
+                        assert!(outcomes[2].collapsed, "epoch 3 falls under min_clients");
+                        assert!(outcomes[2].outcome.is_none(), "no view from a collapse");
+                        assert_eq!(outcomes[3].members, vec![7, 8, 9, 10, 11]);
+                        assert_eq!(
+                            outcomes[3]
+                                .outcome
+                                .as_ref()
+                                .expect("epoch 4 completes")
+                                .reports,
+                            5
+                        );
+                        baseline = Some(outcomes);
+                    }
+                    Some(base) => assert_epochs_identical(base, &outcomes, &label),
+                }
+            }
+        }
+    }
+}
+
+/// Runs the campaign with cold shard crash-restarts across two epoch
+/// boundaries: after the first completed epoch and after the collapsed
+/// one (whose abandoned round left an `EpochCollapsed` record and no
+/// open round in the log).
+fn interrupted_campaign<B: ServiceBus>(
+    sys: &mut EyewnderSystem,
+    backend: &mut ClusterBackend,
+    bus: &mut B,
+    coordinator: &mut Coordinator,
+    schedule: &[EpochChurn],
+    victim: u32,
+) -> Vec<EpochOutcome> {
+    let mut out = sys.run_epochs_clustered_on(backend, bus, coordinator, &schedule[..1]);
+    backend.crash_shard(victim);
+    backend.restart_shard(victim);
+    out.extend(sys.run_epochs_clustered_on(backend, bus, coordinator, &schedule[1..3]));
+    backend.crash_shard(0);
+    backend.restart_shard(0);
+    out.extend(sys.run_epochs_clustered_on(backend, bus, coordinator, &schedule[3..]));
+    out
+}
+
+#[test]
+fn epoch_boundary_crash_restart_is_invisible_to_the_campaign() {
+    // A shard cold-crashed between epochs must rebuild purely from
+    // durable state (the replicated bulletin board plus the round log)
+    // and the campaign must carry on bit-identically — including the
+    // restart after the collapsed epoch, where the log records an
+    // abandoned round rather than a finalized one.
+    let driver = driver();
+    let (scenario, weeks, cohort) = driver.workload(1);
+    let schedule = churn_schedule();
+
+    let mut base_sys = system(1, cohort);
+    base_sys.ingest(scenario, &weeks[0]);
+    let baseline = epoch_campaign(&mut base_sys, 2, false, &schedule);
+
+    for backends in [2usize, 4] {
+        for wire in [false, true] {
+            let label = format!("backends={backends} wire={wire}");
+            let mut sys = system(1, cohort);
+            sys.ingest(scenario, &weeks[0]);
+            sys.config.cluster_backends = backends;
+            let map = sys.cluster_map();
+            let mut backend = sys.new_cluster(&map);
+            let mut coordinator = fresh_coordinator();
+            let victim = (backends - 1) as u32;
+            let outcomes = if wire {
+                let mut bus = RoutingBus::over_wire(map, None, None);
+                interrupted_campaign(
+                    &mut sys,
+                    &mut backend,
+                    &mut bus,
+                    &mut coordinator,
+                    &schedule,
+                    victim,
+                )
+            } else {
+                let mut bus = RoutingBus::in_proc(map, None);
+                interrupted_campaign(
+                    &mut sys,
+                    &mut backend,
+                    &mut bus,
+                    &mut coordinator,
+                    &schedule,
+                    victim,
+                )
+            };
+            assert_epochs_identical(&baseline, &outcomes, &label);
+        }
+    }
 }
 
 #[test]
