@@ -13,9 +13,12 @@
 //! the expectation here, not speedup.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use ew_simnet::{DriverScale, EpochChurn, RestartPhase, ShardRestart, WeeklyDriver};
+use ew_simnet::{
+    CoordinatorCrash, CoordinatorFault, CrashPoint, DriverScale, EpochChurn, RestartPhase,
+    ShardRestart, WeeklyDriver,
+};
 use ew_system::cluster::RoutingBus;
-use ew_system::{EyewnderSystem, SystemConfig};
+use ew_system::{EyewnderSystem, LogicalClock, SystemConfig};
 
 fn bench_round_cluster(c: &mut Criterion) {
     let driver = WeeklyDriver::new(16, DriverScale::Fraction(20), 25);
@@ -163,10 +166,107 @@ fn bench_epoch_churn(c: &mut Criterion) {
     group.finish();
 }
 
+/// The deadline scheduler's price tag: the same three-epoch,
+/// 20-member, ~10% churn campaign as `epoch_churn/campaign_3epochs`,
+/// driven through the deadline runner on a `LogicalClock` with nothing
+/// scripted to go wrong. The two arms execute the identical epoch
+/// state walk; the gap is the clock seam plus the per-tick coordinator
+/// checkpoint into the control journal, and the acceptance bar is ≤10%
+/// of the `epoch_churn` arm.
+fn bench_epoch_deadline(c: &mut Criterion) {
+    let spec = |joins: Vec<u32>, leaves: Vec<u32>, drops: Vec<u32>| EpochChurn {
+        joins,
+        leaves,
+        drops,
+    };
+    let schedule = vec![
+        spec((0..20).collect(), vec![], vec![0, 1]),
+        spec(vec![20, 21], vec![], vec![2, 3]),
+        spec(vec![22, 23], vec![], vec![4, 5]),
+    ];
+
+    let driver = WeeklyDriver::new(16, DriverScale::Fraction(20), 24);
+    let log = driver.week(0);
+    let mut sys = EyewnderSystem::new(
+        SystemConfig {
+            seed: 16,
+            ..SystemConfig::default()
+        }
+        .with_cluster_backends(2),
+        driver.cohort(),
+    );
+    sys.ingest(driver.scenario(), &log);
+
+    let mut group = c.benchmark_group("epoch_deadline");
+    group.sample_size(10);
+    group.bench_function("campaign_3epochs", |b| {
+        b.iter(|| {
+            let mut clock = LogicalClock::new();
+            black_box(sys.run_epochs_deadline(
+                4,
+                1,
+                &mut clock,
+                &schedule,
+                &CoordinatorFault::none(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// The coordinator crash-restart drill under the profiler: the same
+/// campaign, but the coordinator is destroyed at every epoch's
+/// finalize boundary and rebuilt from the control journal's latest
+/// checkpoint alone. Compare against `epoch_deadline/campaign_3epochs`:
+/// the gap is the full price of three checkpoint restores — the
+/// coordinator's entire failure-path overhead, measured end to end.
+fn bench_coordinator_restart(c: &mut Criterion) {
+    let spec = |joins: Vec<u32>, leaves: Vec<u32>, drops: Vec<u32>| EpochChurn {
+        joins,
+        leaves,
+        drops,
+    };
+    let schedule = vec![
+        spec((0..20).collect(), vec![], vec![0, 1]),
+        spec(vec![20, 21], vec![], vec![2, 3]),
+        spec(vec![22, 23], vec![], vec![4, 5]),
+    ];
+    let fault = CoordinatorFault {
+        crash: Some(CoordinatorCrash {
+            phase: CrashPoint::Finalize,
+        }),
+        storm: None,
+    };
+
+    let driver = WeeklyDriver::new(16, DriverScale::Fraction(20), 24);
+    let log = driver.week(0);
+    let mut sys = EyewnderSystem::new(
+        SystemConfig {
+            seed: 16,
+            ..SystemConfig::default()
+        }
+        .with_cluster_backends(2),
+        driver.cohort(),
+    );
+    sys.ingest(driver.scenario(), &log);
+
+    let mut group = c.benchmark_group("coordinator_restart");
+    group.sample_size(10);
+    group.bench_function("finalize_crash_3epochs", |b| {
+        b.iter(|| {
+            let mut clock = LogicalClock::new();
+            black_box(sys.run_epochs_deadline(4, 1, &mut clock, &schedule, &fault))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_round_cluster,
     bench_round_cluster_restart,
-    bench_epoch_churn
+    bench_epoch_churn,
+    bench_epoch_deadline,
+    bench_coordinator_restart
 );
 criterion_main!(benches);

@@ -194,6 +194,7 @@ mod tests {
                 Message::Error {
                     code: crate::message::error_code::OUT_OF_RANGE,
                     detail: "element ≥ N".to_string(),
+                    hint: None,
                 },
             ),
             Envelope::new(NodeId::Telemetry, 5, Message::MetricsQuery { round: 5 }),

@@ -47,6 +47,8 @@ mod record_tag {
     pub const EPOCH_OPENED: u8 = 0x05;
     pub const MEMBERSHIP_INSTALLED: u8 = 0x06;
     pub const EPOCH_COLLAPSED: u8 = 0x07;
+    pub const COORDINATOR_STATE: u8 = 0x08;
+    pub const REPORT_PARKED: u8 = 0x09;
 }
 
 /// One event-sourced state transition of a clustered aggregation round.
@@ -123,6 +125,57 @@ pub enum JournalEvent {
         /// The members still present when the epoch collapsed.
         remaining: Vec<u32>,
     },
+    /// A checkpoint of the coordinator's mutable state, appended after
+    /// every tick-boundary mutation. The **latest** such record is the
+    /// whole restore story: unlike shard replay (which folds a suffix of
+    /// `Absorbed` records), restoring a coordinator only needs the most
+    /// recent checkpoint, so a restarted coordinator resumes at the
+    /// exact phase it died in. Deployment configuration (tick budgets,
+    /// `min_clients` policy) and telemetry counters are deliberately
+    /// **not** part of the checkpoint — config is supplied at restart,
+    /// counters restart from zero like every other node's.
+    CoordinatorState {
+        /// The coordinator's current epoch.
+        epoch: u64,
+        /// The aggregation round the epoch drives.
+        round: u64,
+        /// The current phase, as its [`crate::EpochPhase`] wire byte.
+        phase: u8,
+        /// The installed membership ledger's version.
+        version: u32,
+        /// The epoch the installed ledger was stamped for (can trail
+        /// `epoch` after a wire-adopted `EpochState`).
+        ledger_epoch: u64,
+        /// The installed ledger's admission threshold.
+        min_clients: u32,
+        /// The installed ledger's member ids, ascending.
+        members: Vec<u32>,
+        /// The live roster (admitted, not yet left/dropped), ascending.
+        roster: Vec<u32>,
+        /// Joins parked for the next admission, ascending.
+        pending_joins: Vec<u32>,
+        /// Leaves parked for the next tick boundary, ascending.
+        pending_leaves: Vec<u32>,
+        /// Members dropped mid-epoch (the §6 silent set), ascending.
+        dropped: Vec<u32>,
+        /// The tick at which the current phase times out.
+        deadline: u64,
+        /// The last tick instant the coordinator observed.
+        last_tick: u64,
+    },
+    /// A report arrived after its epoch finalized but inside the grace
+    /// window, and was parked for the next epoch instead of being lost.
+    /// Journaling the verbatim envelope means parked reports survive a
+    /// coordinator restart exactly like absorbed envelopes survive a
+    /// shard restart.
+    ReportParked {
+        /// The (closed) epoch the report was addressed to.
+        epoch: u64,
+        /// The aggregation round that epoch drove.
+        round: u64,
+        /// The late report envelope, verbatim.
+        envelope: Envelope,
+    },
 }
 
 impl JournalEvent {
@@ -136,6 +189,8 @@ impl JournalEvent {
             JournalEvent::EpochOpened { .. } => "EpochOpened",
             JournalEvent::MembershipInstalled { .. } => "MembershipInstalled",
             JournalEvent::EpochCollapsed { .. } => "EpochCollapsed",
+            JournalEvent::CoordinatorState { .. } => "CoordinatorState",
+            JournalEvent::ReportParked { .. } => "ReportParked",
         }
     }
 }
@@ -211,6 +266,46 @@ impl JournalRecord {
                 buf.put_u64_le(*epoch);
                 crate::codec::put_u32_vec(&mut buf, remaining);
             }
+            JournalEvent::CoordinatorState {
+                epoch,
+                round,
+                phase,
+                version,
+                ledger_epoch,
+                min_clients,
+                members,
+                roster,
+                pending_joins,
+                pending_leaves,
+                dropped,
+                deadline,
+                last_tick,
+            } => {
+                buf.put_u8(record_tag::COORDINATOR_STATE);
+                buf.put_u64_le(*epoch);
+                buf.put_u64_le(*round);
+                buf.put_u8(*phase);
+                buf.put_u32_le(*version);
+                buf.put_u64_le(*ledger_epoch);
+                buf.put_u32_le(*min_clients);
+                crate::codec::put_u32_vec(&mut buf, members);
+                crate::codec::put_u32_vec(&mut buf, roster);
+                crate::codec::put_u32_vec(&mut buf, pending_joins);
+                crate::codec::put_u32_vec(&mut buf, pending_leaves);
+                crate::codec::put_u32_vec(&mut buf, dropped);
+                buf.put_u64_le(*deadline);
+                buf.put_u64_le(*last_tick);
+            }
+            JournalEvent::ReportParked {
+                epoch,
+                round,
+                envelope,
+            } => {
+                buf.put_u8(record_tag::REPORT_PARKED);
+                buf.put_u64_le(*epoch);
+                buf.put_u64_le(*round);
+                put_bytes(&mut buf, &envelope.encode());
+            }
         }
         buf
     }
@@ -258,6 +353,41 @@ impl JournalRecord {
                 epoch: get_u64(buf)?,
                 remaining: get_u32_vec(buf)?,
             },
+            record_tag::COORDINATOR_STATE => {
+                let epoch = get_u64(buf)?;
+                let round = get_u64(buf)?;
+                let phase = get_u8(buf)?;
+                // The phase byte is the EpochPhase wire space; unknown
+                // bytes are corruption, rejected like a bad tag.
+                if crate::membership::EpochPhase::from_wire(phase).is_err() {
+                    return Err(CodecError::BadTag(phase));
+                }
+                JournalEvent::CoordinatorState {
+                    epoch,
+                    round,
+                    phase,
+                    version: get_u32(buf)?,
+                    ledger_epoch: get_u64(buf)?,
+                    min_clients: get_u32(buf)?,
+                    members: get_u32_vec(buf)?,
+                    roster: get_u32_vec(buf)?,
+                    pending_joins: get_u32_vec(buf)?,
+                    pending_leaves: get_u32_vec(buf)?,
+                    dropped: get_u32_vec(buf)?,
+                    deadline: get_u64(buf)?,
+                    last_tick: get_u64(buf)?,
+                }
+            }
+            record_tag::REPORT_PARKED => {
+                let epoch = get_u64(buf)?;
+                let round = get_u64(buf)?;
+                let raw = get_bytes(buf)?;
+                JournalEvent::ReportParked {
+                    epoch,
+                    round,
+                    envelope: Envelope::decode(&raw)?,
+                }
+            }
             other => return Err(CodecError::BadTag(other)),
         };
         if !payload.is_empty() {
@@ -352,7 +482,73 @@ mod tests {
                     remaining: vec![1, 9],
                 },
             },
+            JournalRecord {
+                seq: 8,
+                event: JournalEvent::CoordinatorState {
+                    epoch: 3,
+                    round: 15,
+                    phase: 0x02,
+                    version: 7,
+                    ledger_epoch: 3,
+                    min_clients: 3,
+                    members: vec![1, 4, 7, 9],
+                    roster: vec![1, 4, 9],
+                    pending_joins: vec![11],
+                    pending_leaves: vec![],
+                    dropped: vec![7],
+                    deadline: 42,
+                    last_tick: 40,
+                },
+            },
+            JournalRecord {
+                seq: 9,
+                event: JournalEvent::ReportParked {
+                    epoch: 3,
+                    round: 15,
+                    envelope: Envelope::new(
+                        NodeId::Client(9),
+                        15,
+                        Message::Report {
+                            user: 9,
+                            round: 15,
+                            depth: 2,
+                            width: 4,
+                            seed: 3,
+                            cells: vec![8, 7, 6, 5, 4, 3, 2, 1],
+                        },
+                    ),
+                },
+            },
         ]
+    }
+
+    #[test]
+    fn coordinator_state_rejects_unknown_phase_byte() {
+        let rec = JournalRecord {
+            seq: 1,
+            event: JournalEvent::CoordinatorState {
+                epoch: 1,
+                round: 1,
+                phase: 0x00,
+                version: 1,
+                ledger_epoch: 1,
+                min_clients: 1,
+                members: vec![],
+                roster: vec![],
+                pending_joins: vec![],
+                pending_leaves: vec![],
+                dropped: vec![],
+                deadline: 0,
+                last_tick: 0,
+            },
+        };
+        let mut encoded = rec.encode();
+        // seq u64 | tag u8 | epoch u64 | round u64 | phase u8
+        encoded[8 + 1 + 8 + 8] = 0x77;
+        assert_eq!(
+            JournalRecord::decode(&encoded),
+            Err(CodecError::BadTag(0x77))
+        );
     }
 
     #[test]

@@ -74,6 +74,12 @@ pub enum EpochPhase {
     Recovery,
     /// The round's merged view is being finalized.
     Finalize,
+    /// The post-finalize grace window: the epoch is complete and its
+    /// roster immutable, but a report that blew the deadline can still
+    /// be **parked** for the next epoch instead of being silently lost.
+    /// Ends at the grace deadline, regressing to
+    /// [`EpochPhase::WaitingForMembers`].
+    Grace,
 }
 
 /// Wire bytes for [`EpochPhase`] (stable; append-only).
@@ -83,6 +89,7 @@ mod phase_tag {
     pub const REPORTS: u8 = 0x02;
     pub const RECOVERY: u8 = 0x03;
     pub const FINALIZE: u8 = 0x04;
+    pub const GRACE: u8 = 0x05;
 }
 
 impl EpochPhase {
@@ -94,6 +101,7 @@ impl EpochPhase {
             EpochPhase::Reports => phase_tag::REPORTS,
             EpochPhase::Recovery => phase_tag::RECOVERY,
             EpochPhase::Finalize => phase_tag::FINALIZE,
+            EpochPhase::Grace => phase_tag::GRACE,
         }
     }
 
@@ -105,6 +113,7 @@ impl EpochPhase {
             phase_tag::REPORTS => Ok(EpochPhase::Reports),
             phase_tag::RECOVERY => Ok(EpochPhase::Recovery),
             phase_tag::FINALIZE => Ok(EpochPhase::Finalize),
+            phase_tag::GRACE => Ok(EpochPhase::Grace),
             other => Err(MembershipError::BadPhase(other)),
         }
     }
@@ -118,6 +127,7 @@ impl std::fmt::Display for EpochPhase {
             EpochPhase::Reports => "reports",
             EpochPhase::Recovery => "recovery",
             EpochPhase::Finalize => "finalize",
+            EpochPhase::Grace => "grace",
         };
         write!(f, "{name}")
     }
@@ -307,12 +317,13 @@ mod tests {
             EpochPhase::Reports,
             EpochPhase::Recovery,
             EpochPhase::Finalize,
+            EpochPhase::Grace,
         ] {
             assert_eq!(EpochPhase::from_wire(phase.as_wire()).unwrap(), phase);
         }
         assert_eq!(
-            EpochPhase::from_wire(0x05),
-            Err(MembershipError::BadPhase(0x05))
+            EpochPhase::from_wire(0x06),
+            Err(MembershipError::BadPhase(0x06))
         );
     }
 }

@@ -51,6 +51,23 @@ pub mod error_code {
     pub const STALE_MEMBERSHIP: u32 = 11;
 }
 
+/// Structured retry guidance carried by an
+/// [`error_code::EPOCH_CLOSED`] reply — the append-only extension of
+/// the error payload that turns "your epoch is closed" from a dead end
+/// into an admission pointer. `detail` stays free-form and is never
+/// parsed; peers that want to rejoin read this structure instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionHint {
+    /// The epoch the sender should cite when it retries (the
+    /// coordinator's current epoch — a `Join` citing it parks the
+    /// sender for the next admission).
+    pub epoch: u64,
+    /// Suggested backoff before retrying, in logical ticks: the
+    /// coordinator's estimate of when the next fold point (phase
+    /// deadline or admission tick) comes around.
+    pub retry_after: u64,
+}
+
 /// All protocol messages. Group elements travel as big-endian byte
 /// strings (the crypto layer's canonical serialization).
 #[derive(Debug, Clone, PartialEq)]
@@ -230,6 +247,16 @@ pub enum Message {
         /// wall-clock and intentionally excluded from determinism
         /// comparisons.
         phase_nanos: Vec<u64>,
+        /// Post-finalize reports parked during a grace window instead of
+        /// being dropped (appended in PR 9; fields are append-only like
+        /// tags).
+        late_reports_parked: u64,
+        /// Stragglers folded into the silent set because they blew the
+        /// report deadline.
+        deadline_drops: u64,
+        /// Coordinator cold restarts rebuilt from the journaled epoch
+        /// state.
+        coordinator_restarts: u64,
     },
     /// Client → coordinator: ask to participate in the aggregation.
     /// Joins received mid-epoch land in the **next** epoch's pending
@@ -289,6 +316,12 @@ pub enum Message {
         code: u32,
         /// Human-readable context (never parsed by peers).
         detail: String,
+        /// Structured retry guidance, carried by
+        /// [`error_code::EPOCH_CLOSED`] replies so a late joiner or a
+        /// straggler whose report missed the deadline knows which epoch
+        /// to retry against and how long to back off. Absent on every
+        /// other rejection.
+        hint: Option<AdmissionHint>,
     },
 }
 
@@ -484,6 +517,9 @@ impl Message {
                 truncated,
                 queue_depth,
                 phase_nanos,
+                late_reports_parked,
+                deadline_drops,
+                coordinator_restarts,
             } => {
                 buf.put_u8(tag::METRICS_REPLY);
                 buf.put_u64_le(*round);
@@ -494,6 +530,9 @@ impl Message {
                 buf.put_u64_le(*truncated);
                 buf.put_u64_le(*queue_depth);
                 put_u64_vec(&mut buf, phase_nanos);
+                buf.put_u64_le(*late_reports_parked);
+                buf.put_u64_le(*deadline_drops);
+                buf.put_u64_le(*coordinator_restarts);
             }
             Message::Join { user, epoch } => {
                 buf.put_u8(tag::JOIN);
@@ -525,10 +564,18 @@ impl Message {
                 buf.put_u32_le(*min_clients);
                 put_u32_vec(&mut buf, members);
             }
-            Message::Error { code, detail } => {
+            Message::Error { code, detail, hint } => {
                 buf.put_u8(tag::ERROR);
                 buf.put_u32_le(*code);
                 put_string(&mut buf, detail);
+                match hint {
+                    None => buf.put_u8(0),
+                    Some(AdmissionHint { epoch, retry_after }) => {
+                        buf.put_u8(1);
+                        buf.put_u64_le(*epoch);
+                        buf.put_u64_le(*retry_after);
+                    }
+                }
             }
         }
         buf
@@ -619,6 +666,9 @@ impl Message {
                 truncated: get_u64(buf)?,
                 queue_depth: get_u64(buf)?,
                 phase_nanos: get_u64_vec(buf)?,
+                late_reports_parked: get_u64(buf)?,
+                deadline_drops: get_u64(buf)?,
+                coordinator_restarts: get_u64(buf)?,
             },
             tag::JOIN => Message::Join {
                 user: get_u32(buf)?,
@@ -637,10 +687,19 @@ impl Message {
                 min_clients: get_u32(buf)?,
                 members: get_user_list(buf)?,
             },
-            tag::ERROR => Message::Error {
-                code: get_u32(buf)?,
-                detail: get_string(buf)?,
-            },
+            tag::ERROR => {
+                let code = get_u32(buf)?;
+                let detail = get_string(buf)?;
+                let hint = match get_u8(buf)? {
+                    0 => None,
+                    1 => Some(AdmissionHint {
+                        epoch: get_u64(buf)?,
+                        retry_after: get_u64(buf)?,
+                    }),
+                    other => return Err(CodecError::BadTag(other)),
+                };
+                Message::Error { code, detail, hint }
+            }
             other => return Err(CodecError::BadTag(other)),
         };
         if !payload.is_empty() {
@@ -730,6 +789,9 @@ mod tests {
                 truncated: 380,
                 queue_depth: 64,
                 phase_nanos: vec![10, 2_000_000, 300, u64::MAX],
+                late_reports_parked: 2,
+                deadline_drops: 5,
+                coordinator_restarts: 1,
             },
             Message::Join { user: 19, epoch: 2 },
             Message::Leave { user: 19, epoch: 3 },
@@ -753,10 +815,20 @@ mod tests {
             Message::Error {
                 code: error_code::OUT_OF_RANGE,
                 detail: "blinded element ≥ modulus".to_string(),
+                hint: None,
             },
             Message::Error {
                 code: error_code::UNSUPPORTED_MESSAGE,
                 detail: String::new(),
+                hint: None,
+            },
+            Message::Error {
+                code: error_code::EPOCH_CLOSED,
+                detail: "epoch 3 is closed (current is 4)".to_string(),
+                hint: Some(AdmissionHint {
+                    epoch: 4,
+                    retry_after: 2,
+                }),
             },
         ]
     }
@@ -792,6 +864,7 @@ mod tests {
         let msg = Message::Error {
             code: error_code::BAD_SHARD_HEADER,
             detail: "shard 7 of 3".to_string(),
+            hint: None,
         };
         let encoded = msg.encode();
         assert_eq!(Message::decode(&encoded).unwrap(), msg);
@@ -801,11 +874,40 @@ mod tests {
         let mut bad = Message::Error {
             code: 1,
             detail: "ab".to_string(),
+            hint: None,
         }
         .encode();
-        let n = bad.len();
-        bad[n - 1] = 0xFF; // invalid UTF-8 continuation byte
+        let n = bad.len() - 2; // last two bytes: corrupted char + hint flag
+        bad[n] = 0xFF; // invalid UTF-8 continuation byte
         assert_eq!(Message::decode(&bad), Err(CodecError::BadString));
+    }
+
+    #[test]
+    fn epoch_closed_hint_roundtrips_and_rejects_bad_flag() {
+        // The admission hint is the PR 9 append-only extension of the
+        // error payload: EPOCH_CLOSED replies carry the epoch to retry
+        // against plus backoff guidance, everything else says "no hint".
+        let hinted = Message::Error {
+            code: error_code::EPOCH_CLOSED,
+            detail: "epoch 7 is closed (current is 9)".to_string(),
+            hint: Some(AdmissionHint {
+                epoch: 9,
+                retry_after: 3,
+            }),
+        };
+        assert_eq!(Message::decode(&hinted.encode()).unwrap(), hinted);
+
+        // The presence byte admits exactly 0 and 1; anything else is
+        // corruption, not a silent default.
+        let mut encoded = Message::Error {
+            code: error_code::EPOCH_CLOSED,
+            detail: String::new(),
+            hint: None,
+        }
+        .encode();
+        let n = encoded.len();
+        encoded[n - 1] = 0x02;
+        assert_eq!(Message::decode(&encoded), Err(CodecError::BadTag(0x02)));
     }
 
     #[test]
@@ -845,6 +947,7 @@ mod tests {
             let err = Message::Error {
                 code,
                 detail: format!("cluster rejection {code}"),
+                hint: None,
             };
             assert_eq!(Message::decode(&err.encode()).unwrap(), err);
         }
@@ -863,6 +966,7 @@ mod tests {
             let err = Message::Error {
                 code,
                 detail: format!("membership rejection {code}"),
+                hint: None,
             };
             assert_eq!(Message::decode(&err.encode()).unwrap(), err);
         }

@@ -142,6 +142,17 @@ impl WeeklyDriver {
         }
         out
     }
+
+    /// The coordinator-fault drill matrix for this workload: the
+    /// fault-free baseline, a coordinator crash at every
+    /// [`crate::faults::CrashPoint`], straggler storms inside and
+    /// beyond the grace window, and every crash × in-grace-storm
+    /// combination — seeded like the rest of the driver so the same
+    /// `(seed, scale)` pair always scripts the same faults. See
+    /// [`crate::faults::coordinator_fault_matrix`].
+    pub fn coordinator_matrix(&self, seed: u64) -> Vec<crate::faults::CoordinatorFault> {
+        crate::faults::coordinator_fault_matrix(seed)
+    }
 }
 
 /// One multi-backend configuration of the weekly workload: how many

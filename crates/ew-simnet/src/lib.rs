@@ -40,6 +40,7 @@ pub mod churn;
 pub mod config;
 pub mod driver;
 pub mod engine;
+pub mod faults;
 pub mod log;
 pub mod topics;
 pub mod user;
@@ -52,6 +53,9 @@ pub use driver::{
     ClusterScenario, DriverScale, RestartPhase, ShardKill, ShardRestart, WeeklyDriver,
 };
 pub use engine::{simulate_week, Scenario};
+pub use faults::{
+    coordinator_fault_matrix, CoordinatorCrash, CoordinatorFault, CrashPoint, StragglerStorm,
+};
 pub use log::{Impression, ImpressionLog};
 pub use topics::{semantic_overlap, TopicId, NUM_TOPICS, TOPIC_NAMES};
 pub use user::{AgeBracket, Demographics, Gender, IncomeBracket, User};

@@ -568,6 +568,7 @@ impl AggregationBackend for BackendServer {
                     None => Message::Error {
                         code: error_code::NOT_READY,
                         detail: format!("no finalized round to answer #Users({ad})"),
+                        hint: None,
                     },
                 };
                 Ok(Some(Envelope::new(NodeId::Backend, env_round, reply)))
@@ -580,6 +581,7 @@ impl AggregationBackend for BackendServer {
                 Message::Error {
                     code: error_code::UNSUPPORTED_MESSAGE,
                     detail: format!("backend does not serve {}", other.kind()),
+                    hint: None,
                 },
             ))),
         }
@@ -934,6 +936,7 @@ mod tests {
                 Message::Error {
                     code: 1,
                     detail: "spoof".to_string(),
+                    hint: None,
                 },
             ),
             mk_report(2, 1, &[4]),

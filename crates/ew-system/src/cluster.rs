@@ -483,6 +483,9 @@ impl<B: ServiceBus> ServiceBus for RoutingBus<B> {
             journal_depth: self.in_flight() as u64,
             truncated: self.truncated,
             queue_depth: self.queue_depth,
+            late_reports_parked: 0,
+            deadline_drops: 0,
+            coordinator_restarts: 0,
             phase_nanos: self.phase_nanos,
         };
         self.routed = 0;
@@ -552,6 +555,16 @@ pub struct ClusterBackend {
     /// `EpochOpened`/`MembershipInstalled` records into every round log
     /// so a cold restart replays across the epoch boundary.
     epoch_context: Option<(u64, Membership)>,
+    /// The control-plane log: coordinator checkpoints and parked late
+    /// reports. Unlike `log` it is **never** reset per round — it plays
+    /// for the coordinator the role the round log plays for the shards,
+    /// surviving a coordinator crash precisely because it lives here.
+    control: RoundLog,
+    /// Sequence watermark of the last parked report already folded into
+    /// an epoch's report set; parked records at or below it are spent.
+    parked_consumed: u64,
+    /// Late reports parked since the last `take_metrics` drain.
+    late_parked: u64,
 }
 
 impl ClusterBackend {
@@ -588,6 +601,9 @@ impl ClusterBackend {
             replayed: 0,
             deduped: 0,
             epoch_context: None,
+            control: RoundLog::new(),
+            parked_consumed: 0,
+            late_parked: 0,
         }
     }
 
@@ -742,8 +758,76 @@ impl ClusterBackend {
         replayed
     }
 
-    /// Drains the backend's replay counters (replayed, deduped) and
-    /// reports the log's current depth and truncation total.
+    /// The control-plane log (read-only): coordinator checkpoints and
+    /// parked late reports.
+    pub fn control_log(&self) -> &RoundLog {
+        &self.control
+    }
+
+    /// Journals a coordinator checkpoint (a
+    /// [`JournalEvent::CoordinatorState`] record) into the control-plane
+    /// log, compacting away the checkpoints it supersedes — restore only
+    /// ever reads the latest one, so older checkpoints are dead weight
+    /// the moment a newer one lands.
+    ///
+    /// # Panics
+    /// Panics if `state` is not a `CoordinatorState` record.
+    pub fn checkpoint_coordinator(&mut self, state: JournalEvent) {
+        assert!(
+            matches!(state, JournalEvent::CoordinatorState { .. }),
+            "only CoordinatorState records checkpoint the coordinator"
+        );
+        self.control.append(state);
+        self.control.compact_coordinator_states();
+    }
+
+    /// The latest journaled coordinator checkpoint, if any — what
+    /// `restart_coordinator` restores from.
+    pub fn latest_coordinator_checkpoint(&self) -> Option<&JournalEvent> {
+        self.control
+            .records()
+            .iter()
+            .rev()
+            .find(|rec| matches!(rec.event, JournalEvent::CoordinatorState { .. }))
+            .map(|rec| &rec.event)
+    }
+
+    /// Parks a late report that arrived inside the grace window: the
+    /// verbatim envelope is journaled as [`JournalEvent::ReportParked`]
+    /// in the control-plane log, so it survives a coordinator restart
+    /// and is folded into the next epoch's report set instead of being
+    /// silently lost.
+    pub fn park_late_report(&mut self, epoch: u64, round: u64, envelope: Envelope) {
+        self.control.append(JournalEvent::ReportParked {
+            epoch,
+            round,
+            envelope,
+        });
+        self.late_parked += 1;
+    }
+
+    /// Drains every parked report not yet folded into an epoch, oldest
+    /// first, advancing the consumed watermark past them. Idempotent
+    /// across coordinator restarts: the watermark lives here, with the
+    /// journal, not in the coordinator that crashed.
+    pub fn take_parked_reports(&mut self) -> Vec<Envelope> {
+        let horizon = self.parked_consumed;
+        let parked: Vec<Envelope> = self
+            .control
+            .records()
+            .iter()
+            .filter(|rec| rec.seq > horizon)
+            .filter_map(|rec| match &rec.event {
+                JournalEvent::ReportParked { envelope, .. } => Some(envelope.clone()),
+                _ => None,
+            })
+            .collect();
+        self.parked_consumed = self.control.last_seq();
+        parked
+    }
+
+    /// Drains the backend's replay counters (replayed, deduped, parked)
+    /// and reports the log's current depth and truncation total.
     pub fn take_metrics(&mut self) -> ReplayMetrics {
         let metrics = ReplayMetrics {
             routed: 0,
@@ -752,10 +836,14 @@ impl ClusterBackend {
             journal_depth: self.log.depth() as u64,
             truncated: self.log.truncated_total(),
             queue_depth: 0,
+            late_reports_parked: self.late_parked,
+            deadline_drops: 0,
+            coordinator_restarts: 0,
             phase_nanos: [0; 4],
         };
         self.replayed = 0;
         self.deduped = 0;
+        self.late_parked = 0;
         metrics
     }
 
@@ -839,7 +927,11 @@ impl ClusterBackend {
             Ok(Some(Envelope::new(
                 NodeId::Backend,
                 round,
-                Message::Error { code, detail },
+                Message::Error {
+                    code,
+                    detail,
+                    hint: None,
+                },
             )))
         };
         if version < self.map.version() {

@@ -16,11 +16,16 @@
 //!   [`Message::Leave`], and anyone can drive time forward with
 //!   [`Message::Tick`] — the coordinator broadcasts its
 //!   [`Message::EpochState`] in reply, Psyche-style.
-//! * Time is **logical**: nothing reads a wall clock. Every deadline is
-//!   expressed in the caller-supplied monotone `now` of
-//!   [`Coordinator::tick`], so a campaign is deterministic and
-//!   replayable — the same join/leave/tick history always produces the
-//!   same epochs.
+//! * Time is a **monotone tick count**: every deadline is expressed in
+//!   the caller-supplied `now` of [`Coordinator::tick`], so a campaign
+//!   is deterministic and replayable — the same join/leave/tick history
+//!   always produces the same epochs. Where ticks come *from* is the
+//!   [`Clock`] seam: [`LogicalClock`] (campaign-driven, the default),
+//!   [`VirtualClock`] (test-scripted jittered schedules) or
+//!   [`MonotonicClock`] (real wall-clock deployments). Phase
+//!   transitions fire at the first tick **at or past** a deadline, so
+//!   jittered schedules reach the same transitions as step-by-one
+//!   schedules — the property `tests/coordinator_soak.rs` pins.
 //! * Membership changes accumulate in ordered **sets** between ticks
 //!   and are folded only at the tick boundary, so the state after each
 //!   tick is independent of the *delivery order* of joins, leaves and
@@ -70,11 +75,125 @@
 //!
 //! Joins received in any phase other than `WaitingForMembers` are
 //! parked for the **next** epoch — a roster never grows mid-flight.
+//!
+//! ## Crash-survivability (PR 9)
+//!
+//! The coordinator is as restartable as the shards it governs: after
+//! every tick-boundary mutation [`Coordinator::checkpoint`] emits a
+//! [`JournalEvent::CoordinatorState`] record, and
+//! [`Coordinator::restore`] rebuilds a coordinator from the **latest**
+//! such record — resuming at the exact phase, deadline and churn sets
+//! it died with. Completed epochs additionally leave a post-finalize
+//! [`EpochPhase::Grace`] window during which a late report is *parked*
+//! for the next epoch (journaled as [`JournalEvent::ReportParked`])
+//! instead of being silently lost, and every
+//! [`error_code::EPOCH_CLOSED`] reply carries an [`AdmissionHint`] —
+//! which epoch to rejoin and how long to back off.
 
 use crate::node::ServiceBus;
 use crate::telemetry::ChurnMetrics;
-use ew_proto::{error_code, Envelope, EpochPhase, Membership, Message, NodeId};
+use ew_proto::{
+    error_code, AdmissionHint, Envelope, EpochPhase, JournalEvent, Membership, Message, NodeId,
+};
 use std::collections::BTreeSet;
+
+/// The tick source driving [`Coordinator::tick`]: where `now` comes
+/// from. Implementations must be monotone non-decreasing — the
+/// coordinator ignores rewinds, but a well-behaved clock never rewinds
+/// in the first place.
+pub trait Clock {
+    /// The next tick instant.
+    fn now(&mut self) -> u64;
+}
+
+/// The campaign-driven clock: every call advances by exactly one tick.
+/// This reproduces the pre-PR-9 `now += 1` driver loops verbatim, which
+/// is what keeps refactored campaigns bit-identical to their logical
+/// baselines.
+#[derive(Debug, Default, Clone)]
+pub struct LogicalClock {
+    now: u64,
+}
+
+impl LogicalClock {
+    /// A logical clock starting at tick 0 (first call returns 1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A logical clock resuming at `now` — what a campaign runner hands
+    /// a coordinator whose `last_tick` is already past 0, so the clock
+    /// never issues ticks the coordinator would ignore as rewinds.
+    pub fn starting_at(now: u64) -> Self {
+        LogicalClock { now }
+    }
+}
+
+impl Clock for LogicalClock {
+    fn now(&mut self) -> u64 {
+        self.now += 1;
+        self.now
+    }
+}
+
+/// A test-scripted clock: each call advances by the next step of the
+/// given schedule (steps are clamped to ≥ 1 to stay monotone; an
+/// exhausted schedule continues by 1). Deadline scheduling is
+/// jitter-insensitive — transitions fire at the first tick at or past
+/// the deadline — so any `VirtualClock` schedule must produce the same
+/// `EpochOutcome`s as [`LogicalClock`].
+#[derive(Debug, Clone)]
+pub struct VirtualClock {
+    now: u64,
+    steps: std::vec::IntoIter<u64>,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at tick 0 with the given step schedule.
+    pub fn new(steps: Vec<u64>) -> Self {
+        VirtualClock {
+            now: 0,
+            steps: steps.into_iter(),
+        }
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&mut self) -> u64 {
+        self.now += self.steps.next().unwrap_or(1).max(1);
+        self.now
+    }
+}
+
+/// The deployment clock: real monotonic time quantized to a fixed tick
+/// duration. Never used in the deterministic test matrix — wall-clock
+/// timing is exactly what the [`VirtualClock`] proptests abstract away.
+#[derive(Debug, Clone)]
+pub struct MonotonicClock {
+    start: std::time::Instant,
+    tick: std::time::Duration,
+}
+
+impl MonotonicClock {
+    /// A monotonic clock where one logical tick spans `tick` of real
+    /// time.
+    ///
+    /// # Panics
+    /// Panics if `tick` is zero.
+    pub fn new(tick: std::time::Duration) -> Self {
+        assert!(!tick.is_zero(), "a tick spans a positive duration");
+        MonotonicClock {
+            start: std::time::Instant::now(),
+            tick,
+        }
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&mut self) -> u64 {
+        (self.start.elapsed().as_nanos() / self.tick.as_nanos()) as u64
+    }
+}
 
 /// Deadline configuration for one epoch, in logical ticks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +207,10 @@ pub struct EpochConfig {
     pub report_ticks: u64,
     /// Ticks allotted to the recovery exchange.
     pub recovery_ticks: u64,
+    /// Ticks the post-finalize grace window stays open for late
+    /// reports; 0 disables the window (finalize regresses straight to
+    /// `WaitingForMembers`, the pre-PR-9 behaviour).
+    pub grace_ticks: u64,
 }
 
 impl Default for EpochConfig {
@@ -97,6 +220,7 @@ impl Default for EpochConfig {
             warmup_ticks: 2,
             report_ticks: 3,
             recovery_ticks: 2,
+            grace_ticks: 1,
         }
     }
 }
@@ -110,6 +234,12 @@ impl EpochConfig {
     pub fn with_min_clients(mut self, min_clients: u32) -> Self {
         assert!(min_clients > 0, "an epoch admits at least one client");
         self.min_clients = min_clients;
+        self
+    }
+
+    /// Returns the config with the given grace window (0 disables it).
+    pub fn with_grace_ticks(mut self, grace_ticks: u64) -> Self {
+        self.grace_ticks = grace_ticks;
         self
     }
 }
@@ -199,7 +329,9 @@ pub struct Coordinator {
     drops_total: u64,
     epochs_completed: u64,
     collapses: u64,
-    phase_ticks: [u64; 5],
+    deadline_drops: u64,
+    restarts: u64,
+    phase_ticks: [u64; 6],
 }
 
 /// The slot of `phase` in [`ChurnMetrics::phase_ticks`].
@@ -210,6 +342,7 @@ pub fn epoch_phase_index(phase: EpochPhase) -> usize {
         EpochPhase::Reports => 2,
         EpochPhase::Recovery => 3,
         EpochPhase::Finalize => 4,
+        EpochPhase::Grace => 5,
     }
 }
 
@@ -237,7 +370,9 @@ impl Coordinator {
             drops_total: 0,
             epochs_completed: 0,
             collapses: 0,
-            phase_ticks: [0; 5],
+            deadline_drops: 0,
+            restarts: 0,
+            phase_ticks: [0; 6],
         }
     }
 
@@ -318,6 +453,106 @@ impl Coordinator {
         if self.roster.contains(&user) && self.dropped.insert(user) {
             self.drops_total += 1;
         }
+    }
+
+    /// Drops a straggler who blew the report deadline: the deadline
+    /// scheduler's verdict rather than the failure detector's, counted
+    /// separately (`deadline_drops`) but folded into the **same** §6
+    /// silent-set recovery path as [`Coordinator::mark_dropped`] — a
+    /// late client never stalls the epoch. Returns whether the user was
+    /// actually dropped (enrolled and not already dropped).
+    pub fn drop_straggler(&mut self, user: u32) -> bool {
+        if self.roster.contains(&user) && self.dropped.insert(user) {
+            self.drops_total += 1;
+            self.deadline_drops += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the post-finalize grace window is currently open.
+    pub fn in_grace(&self) -> bool {
+        self.phase == EpochPhase::Grace
+    }
+
+    /// The retry guidance carried in every `EPOCH_CLOSED` reply: the
+    /// epoch a rejected client should rejoin, and how many ticks to
+    /// back off before the coordinator will plausibly admit it (the
+    /// remainder of the current phase, at least one tick).
+    pub fn admission_hint(&self) -> AdmissionHint {
+        AdmissionHint {
+            epoch: self.epoch + 1,
+            retry_after: self.deadline.saturating_sub(self.last_tick).max(1),
+        }
+    }
+
+    /// A checkpoint of the coordinator's mutable state as a journal
+    /// event. Deployment config and telemetry counters are deliberately
+    /// excluded — config is supplied at restart, counters restart at
+    /// zero (the same discipline as a restarted shard's).
+    pub fn checkpoint(&self) -> JournalEvent {
+        JournalEvent::CoordinatorState {
+            epoch: self.epoch,
+            round: self.round,
+            phase: self.phase.as_wire(),
+            version: self.membership.version(),
+            ledger_epoch: self.membership.epoch(),
+            min_clients: self.membership.min_clients(),
+            members: self.membership.members().to_vec(),
+            roster: self.roster.iter().copied().collect(),
+            pending_joins: self.pending_joins.iter().copied().collect(),
+            pending_leaves: self.pending_leaves.iter().copied().collect(),
+            dropped: self.dropped.iter().copied().collect(),
+            deadline: self.deadline,
+            last_tick: self.last_tick,
+        }
+    }
+
+    /// Rebuilds a coordinator from a [`JournalEvent::CoordinatorState`]
+    /// checkpoint: the restart half of the crash drill. The restored
+    /// coordinator resumes at the exact phase, deadline and churn sets
+    /// of the checkpoint; its counters start from zero except
+    /// `coordinator_restarts`, which records the restart itself.
+    ///
+    /// # Panics
+    /// Panics if the event is not a `CoordinatorState` record or the
+    /// checkpoint is internally inconsistent — a corrupted journal is
+    /// unrecoverable, exactly like a shard replay failure.
+    pub fn restore(config: EpochConfig, event: &JournalEvent) -> Self {
+        let JournalEvent::CoordinatorState {
+            epoch,
+            round,
+            phase,
+            version,
+            ledger_epoch,
+            min_clients,
+            members,
+            roster,
+            pending_joins,
+            pending_leaves,
+            dropped,
+            deadline,
+            last_tick,
+        } = event
+        else {
+            panic!("restore from {} record, not CoordinatorState", event.kind());
+        };
+        let mut restored = Coordinator::new(config);
+        restored.membership =
+            Membership::from_wire(*version, *ledger_epoch, *min_clients, members.clone())
+                .expect("checkpointed ledger is canonical");
+        restored.roster = roster.iter().copied().collect();
+        restored.pending_joins = pending_joins.iter().copied().collect();
+        restored.pending_leaves = pending_leaves.iter().copied().collect();
+        restored.dropped = dropped.iter().copied().collect();
+        restored.phase = EpochPhase::from_wire(*phase).expect("checkpointed phase is known");
+        restored.epoch = *epoch;
+        restored.round = *round;
+        restored.deadline = *deadline;
+        restored.last_tick = *last_tick;
+        restored.restarts = 1;
+        restored
     }
 
     /// Advances logical time to `now` and runs at most one phase
@@ -414,12 +649,26 @@ impl Coordinator {
                     self.roster.remove(&user);
                 }
                 self.epochs_completed += 1;
-                self.phase = EpochPhase::WaitingForMembers;
+                if self.config.grace_ticks > 0 {
+                    // The epoch is complete and its roster immutable,
+                    // but late reports can still be parked until the
+                    // grace deadline.
+                    self.phase = EpochPhase::Grace;
+                    self.deadline = now + self.config.grace_ticks;
+                } else {
+                    self.phase = EpochPhase::WaitingForMembers;
+                }
                 vec![EpochEvent::EpochCompleted {
                     epoch: self.epoch,
                     round: self.round,
                     survivors: self.roster.iter().copied().collect(),
                 }]
+            }
+            EpochPhase::Grace => {
+                if now >= self.deadline {
+                    self.phase = EpochPhase::WaitingForMembers;
+                }
+                Vec::new()
             }
         }
     }
@@ -473,6 +722,7 @@ impl Coordinator {
                 Message::Error {
                     code: error_code::STALE_MEMBERSHIP,
                     detail,
+                    hint: None,
                 },
             ))
         };
@@ -535,6 +785,7 @@ impl Coordinator {
                     return reply(Message::Error {
                         code: error_code::EPOCH_CLOSED,
                         detail: format!("epoch {epoch} is closed (current is {})", self.epoch),
+                        hint: Some(self.admission_hint()),
                     });
                 }
                 self.register_join(*user);
@@ -545,12 +796,14 @@ impl Coordinator {
                     return reply(Message::Error {
                         code: error_code::EPOCH_CLOSED,
                         detail: format!("epoch {epoch} is closed (current is {})", self.epoch),
+                        hint: Some(self.admission_hint()),
                     });
                 }
                 if !self.is_known(*user) {
                     return reply(Message::Error {
                         code: error_code::NOT_ENROLLED,
                         detail: format!("user {user} is not enrolled and not pending"),
+                        hint: None,
                     });
                 }
                 self.register_leave(*user);
@@ -580,6 +833,7 @@ impl Coordinator {
             other => reply(Message::Error {
                 code: error_code::UNSUPPORTED_MESSAGE,
                 detail: format!("coordinator cannot handle {}", other.kind()),
+                hint: None,
             }),
         }
     }
@@ -596,6 +850,8 @@ impl Coordinator {
             drops: self.drops_total,
             epochs_completed: self.epochs_completed,
             collapses: self.collapses,
+            deadline_drops: self.deadline_drops,
+            coordinator_restarts: self.restarts,
             phase_ticks: self.phase_ticks,
         };
         self.joins_total = 0;
@@ -603,7 +859,9 @@ impl Coordinator {
         self.drops_total = 0;
         self.epochs_completed = 0;
         self.collapses = 0;
-        self.phase_ticks = [0; 5];
+        self.deadline_drops = 0;
+        self.restarts = 0;
+        self.phase_ticks = [0; 6];
         metrics
     }
 }
@@ -743,7 +1001,8 @@ mod tests {
                 survivors: vec![1, 2, 4],
             }]
         );
-        assert_eq!(c.phase(), EpochPhase::WaitingForMembers);
+        assert_eq!(c.phase(), EpochPhase::Grace, "grace window opens");
+        tick_until(&mut c, now + 1, EpochPhase::WaitingForMembers);
     }
 
     #[test]
@@ -781,10 +1040,12 @@ mod tests {
         c.register_join(9);
         assert!(!c.membership().contains(9), "roster is frozen");
         assert!(c.pending_joins().contains(&9));
-        let now = tick_until(&mut c, 10, EpochPhase::Finalize);
-        c.tick(now + 1);
+        let mut now = tick_until(&mut c, 10, EpochPhase::Finalize);
+        now += 1;
+        c.tick(now); // epoch completes, grace opens
+        now = tick_until(&mut c, now, EpochPhase::WaitingForMembers);
         // Next admission folds the parked join in.
-        let events = c.tick(now + 2);
+        let events = c.tick(now + 1);
         assert_eq!(
             events,
             vec![EpochEvent::EpochStarted { epoch: 2, round: 2 }]
@@ -884,9 +1145,192 @@ mod tests {
             Message::Error {
                 code: 1,
                 detail: String::new(),
+                hint: None,
             },
         );
         assert_eq!(c.on_envelope(&err), None, "never error-for-error");
+    }
+
+    #[test]
+    fn epoch_closed_replies_carry_the_admission_hint() {
+        let mut c = coordinator(2);
+        for u in [1, 2] {
+            c.register_join(u);
+        }
+        c.tick(1);
+        assert_eq!(c.epoch(), 1);
+        let reply = c.on_envelope(&join(5, 0)).expect("explicit reply");
+        match reply.msg {
+            Message::Error {
+                code: error_code::EPOCH_CLOSED,
+                hint: Some(hint),
+                ..
+            } => {
+                assert_eq!(hint.epoch, 2, "rejoin at the next epoch");
+                assert!(hint.retry_after >= 1, "backoff is never zero");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grace_window_opens_after_finalize_and_expires() {
+        let mut c = coordinator(2);
+        for u in [1, 2] {
+            c.register_join(u);
+        }
+        c.tick(1);
+        let now = tick_until(&mut c, 1, EpochPhase::Finalize);
+        c.tick(now + 1);
+        assert!(c.in_grace());
+        // Inside the window the hint points at the successor epoch.
+        assert_eq!(c.admission_hint().epoch, 2);
+        // The window expires at its deadline, regressing to admission.
+        let expired = tick_until(&mut c, now + 1, EpochPhase::WaitingForMembers);
+        assert!(expired <= now + 1 + EpochConfig::default().grace_ticks + 1);
+        assert!(!c.in_grace());
+    }
+
+    #[test]
+    fn zero_grace_ticks_disables_the_window() {
+        let mut c = Coordinator::new(
+            EpochConfig::default()
+                .with_min_clients(2)
+                .with_grace_ticks(0),
+        );
+        for u in [1, 2] {
+            c.register_join(u);
+        }
+        c.tick(1);
+        let now = tick_until(&mut c, 1, EpochPhase::Finalize);
+        c.tick(now + 1);
+        assert_eq!(
+            c.phase(),
+            EpochPhase::WaitingForMembers,
+            "no grace: straight back to admission"
+        );
+    }
+
+    #[test]
+    fn deadline_drop_counts_separately_but_folds_into_the_silent_set() {
+        let mut c = coordinator(2);
+        for u in [1, 2, 3] {
+            c.register_join(u);
+        }
+        c.tick(1);
+        tick_until(&mut c, 1, EpochPhase::Reports);
+        assert!(c.drop_straggler(3), "straggler blew the report deadline");
+        assert!(!c.drop_straggler(3), "already dropped");
+        assert!(!c.drop_straggler(99), "unknown user");
+        assert_eq!(c.dropped(), vec![3], "same silent set as mark_dropped");
+        let metrics = c.take_churn_metrics();
+        assert_eq!(metrics.drops, 1);
+        assert_eq!(metrics.deadline_drops, 1);
+        assert_eq!(metrics.coordinator_restarts, 0);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_at_the_exact_phase() {
+        let config = EpochConfig::default().with_min_clients(2);
+        let mut c = Coordinator::new(config);
+        for u in [1, 2, 3] {
+            c.register_join(u);
+        }
+        c.tick(1);
+        let mut now = tick_until(&mut c, 1, EpochPhase::Reports);
+        c.mark_dropped(3);
+        c.register_join(9); // parks for the next epoch
+        c.register_leave(2);
+
+        // Kill the coordinator mid-Reports; restore from its checkpoint.
+        let checkpoint = c.checkpoint();
+        let mut restored = Coordinator::restore(config, &checkpoint);
+        assert_eq!(restored.phase(), c.phase());
+        assert_eq!(restored.epoch(), c.epoch());
+        assert_eq!(restored.round(), c.round());
+        assert_eq!(restored.roster(), c.roster());
+        assert_eq!(restored.pending_joins(), c.pending_joins());
+        assert_eq!(restored.dropped(), c.dropped());
+        assert_eq!(restored.membership(), c.membership());
+        assert_eq!(restored.last_tick(), c.last_tick());
+
+        // Restore is idempotent: restoring the restored checkpoint is a
+        // fixpoint (the MidReplay discipline of restart_shard).
+        let again = Coordinator::restore(config, &restored.checkpoint());
+        assert_eq!(again.checkpoint(), restored.checkpoint());
+
+        // Both coordinators now tick identically to the epoch's end.
+        loop {
+            now += 1;
+            let a = c.tick(now);
+            let b = restored.tick(now);
+            assert_eq!(a, b, "restored coordinator diverged at tick {now}");
+            if c.phase() == EpochPhase::WaitingForMembers {
+                break;
+            }
+        }
+        let metrics = restored.take_churn_metrics();
+        assert_eq!(metrics.coordinator_restarts, 1, "the restart is counted");
+    }
+
+    #[test]
+    fn restore_rejects_foreign_records() {
+        let result = std::panic::catch_unwind(|| {
+            Coordinator::restore(
+                EpochConfig::default(),
+                &ew_proto::JournalEvent::RoundFinalized { round: 3 },
+            )
+        });
+        assert!(result.is_err(), "only CoordinatorState records restore");
+    }
+
+    #[test]
+    fn clocks_are_monotone_and_logical_steps_by_one() {
+        let mut logical = LogicalClock::new();
+        assert_eq!(logical.now(), 1);
+        assert_eq!(logical.now(), 2);
+        let mut virt = VirtualClock::new(vec![3, 0, 5]);
+        assert_eq!(virt.now(), 3);
+        assert_eq!(virt.now(), 4, "zero steps clamp to one");
+        assert_eq!(virt.now(), 9);
+        assert_eq!(virt.now(), 10, "exhausted schedule continues by one");
+        let mut wall = MonotonicClock::new(std::time::Duration::from_nanos(1));
+        let a = wall.now();
+        let b = wall.now();
+        assert!(b >= a, "monotonic clock never rewinds");
+    }
+
+    #[test]
+    fn jittered_virtual_schedule_matches_the_logical_baseline() {
+        // Deadlines fire at the first tick AT OR PAST the deadline, so
+        // a jittered schedule walks the same phase sequence as the
+        // step-by-one baseline (only tick counts differ, and those are
+        // telemetry, not outcome).
+        let drive = |clock: &mut dyn Clock| {
+            let mut c = coordinator(2);
+            for u in [1, 2, 3] {
+                c.register_join(u);
+            }
+            let mut phases = vec![];
+            let mut events = vec![];
+            for _ in 0..32 {
+                let evs = c.tick(clock.now());
+                if phases.last() != Some(&c.phase()) {
+                    phases.push(c.phase());
+                }
+                events.extend(evs);
+                if matches!(events.last(), Some(EpochEvent::EpochCompleted { .. }))
+                    && c.phase() == EpochPhase::WaitingForMembers
+                {
+                    break;
+                }
+            }
+            (phases, events)
+        };
+        let baseline = drive(&mut LogicalClock::new());
+        let jittered = drive(&mut VirtualClock::new(vec![2, 1, 4, 1, 3, 2, 5]));
+        assert_eq!(baseline.1, jittered.1, "same events under jitter");
+        assert_eq!(baseline.0, jittered.0, "same phase walk under jitter");
     }
 
     #[test]

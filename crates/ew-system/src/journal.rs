@@ -201,6 +201,27 @@ impl RoundLog {
     pub fn checkpoint_for(&self, shard: u32) -> Option<RoundCheckpoint> {
         self.checkpoints.get(&shard).cloned()
     }
+
+    /// Control-plane compaction: drops every `CoordinatorState` record
+    /// except the latest. Coordinator restore only ever reads the
+    /// newest checkpoint, so the ones it supersedes are dead weight the
+    /// moment it lands — without this, a long campaign's control log
+    /// would grow by one checkpoint per tick-boundary mutation.
+    /// Sequence numbering and every other record kind are untouched.
+    pub fn compact_coordinator_states(&mut self) {
+        let latest = self
+            .records
+            .iter()
+            .rev()
+            .find(|rec| matches!(rec.event, JournalEvent::CoordinatorState { .. }))
+            .map(|rec| rec.seq);
+        let Some(latest) = latest else { return };
+        let before = self.records.len();
+        self.records.retain(|rec| {
+            !matches!(rec.event, JournalEvent::CoordinatorState { .. }) || rec.seq == latest
+        });
+        self.truncated += (before - self.records.len()) as u64;
+    }
 }
 
 #[cfg(test)]
@@ -314,6 +335,47 @@ mod tests {
         assert!(log.absorbed_entry(dedupe_key(&live_env).unwrap()).is_some());
         // The records themselves remain — replay still sees them.
         assert_eq!(log.replay_for_shard(0).len(), 1);
+    }
+
+    #[test]
+    fn compaction_keeps_only_the_latest_coordinator_state() {
+        let state = |epoch| JournalEvent::CoordinatorState {
+            epoch,
+            round: epoch,
+            phase: 0x00,
+            version: epoch as u32,
+            ledger_epoch: epoch,
+            min_clients: 2,
+            members: vec![1, 2],
+            roster: vec![1, 2],
+            pending_joins: vec![],
+            pending_leaves: vec![],
+            dropped: vec![],
+            deadline: 0,
+            last_tick: epoch,
+        };
+        let mut log = RoundLog::new();
+        log.compact_coordinator_states(); // no checkpoints: a no-op
+        log.append(state(1));
+        log.append(JournalEvent::ReportParked {
+            epoch: 1,
+            round: 1,
+            envelope: report_env(4, 1, 9),
+        });
+        log.append(state(2));
+        log.append(state(3));
+        log.compact_coordinator_states();
+        // The parked report and the newest checkpoint survive; the two
+        // superseded checkpoints are truncated.
+        assert_eq!(log.depth(), 2);
+        assert_eq!(log.truncated_total(), 2);
+        assert_eq!(log.last_seq(), 4, "sequence numbering is untouched");
+        let kinds: Vec<&str> = log.records().iter().map(|r| r.event.kind()).collect();
+        assert_eq!(kinds, ["ReportParked", "CoordinatorState"]);
+        assert!(matches!(
+            log.records().last().unwrap().event,
+            JournalEvent::CoordinatorState { epoch: 3, .. }
+        ));
     }
 
     #[test]

@@ -78,7 +78,10 @@ pub mod telemetry;
 pub use backend::{BackendServer, RoundCheckpoint};
 pub use client::Client;
 pub use cluster::{ClusterBackend, RoutingBus, ShardFailure, ShardView, ViewMerger};
-pub use coordinator::{epoch_phase_index, pump_coordinator, Coordinator, EpochConfig, EpochEvent};
+pub use coordinator::{
+    epoch_phase_index, pump_coordinator, Clock, Coordinator, EpochConfig, EpochEvent, LogicalClock,
+    MonotonicClock, VirtualClock,
+};
 pub use crawler::Crawler;
 pub use eval::{EvalOracles, EvalTree};
 pub use ids::AdIdMapper;
@@ -93,5 +96,8 @@ pub use pipeline::{
     resolve_ad_ids_on_bus, run_cleartext_pipeline, run_segmented_pipeline, PipelineResult,
 };
 pub use store::{RoundRecord, Store, UserRecord};
-pub use system::{EpochOutcome, EyewnderSystem, ParallelConfig, RoundOutcome, SystemConfig};
+pub use system::{
+    deliver_late_report, restart_coordinator, EpochOutcome, EyewnderSystem, ParallelConfig,
+    RoundOutcome, SystemConfig,
+};
 pub use telemetry::{phase_index, ChurnMetrics, ReplayMetrics, TelemetryService};

@@ -442,6 +442,7 @@ impl RoundOpen {
                         ew_proto::Message::Error {
                             code: e.error_code(),
                             detail: e.to_string(),
+                            hint: None,
                         },
                     );
                     bus.send(requester, reply).expect("requester mailbox open");
@@ -659,7 +660,7 @@ where
             }
             // An explicit refusal is a different failure than frame
             // loss — surface the service's own diagnosis.
-            ew_proto::Message::Error { code, detail } => {
+            ew_proto::Message::Error { code, detail, .. } => {
                 panic!("oprf front-end rejected batch {request_id}: code {code}: {detail}")
             }
             _ => {}
@@ -876,6 +877,7 @@ mod tests {
                     Message::Error {
                         code: 1,
                         detail: "spoof".to_string(),
+                        hint: None,
                     },
                 ),
             )
@@ -934,6 +936,7 @@ mod tests {
                 Message::Error {
                     code: error_code::REJECTED_REPORT,
                     detail,
+                    ..
                 } if detail.contains("duplicate")
             ),
             "got {:?}",

@@ -101,7 +101,13 @@ impl OprfService {
     /// exception is an incoming `Error`, which is never answered (no
     /// error ping-pong).
     pub fn handle(&self, msg: &Message) -> Option<Message> {
-        let reject = |code: u32, detail: String| Some(Message::Error { code, detail });
+        let reject = |code: u32, detail: String| {
+            Some(Message::Error {
+                code,
+                detail,
+                hint: None,
+            })
+        };
         match msg {
             Message::OprfRequest {
                 request_id,
@@ -431,6 +437,7 @@ mod tests {
             .handle(&Message::Error {
                 code: 1,
                 detail: "peer rejected us".to_string(),
+                hint: None,
             })
             .is_none());
         assert_eq!(service.requests_served(), 0);

@@ -55,10 +55,13 @@
 use crate::backend::BackendServer;
 use crate::client::Client;
 use crate::cluster::{ClusterBackend, RoutingBus};
-use crate::coordinator::{pump_coordinator, Coordinator, EpochEvent};
+use crate::coordinator::{
+    pump_coordinator, Clock, Coordinator, EpochConfig, EpochEvent, LogicalClock,
+};
 use crate::ids::AdIdMapper;
 use crate::node::{
-    drive_round, pump_backend, pump_telemetry, InProcBus, RoundOpen, ServiceBus, WireBus,
+    drive_round, pump_backend, pump_telemetry, ClientNode, InProcBus, RoundOpen, ServiceBus,
+    WireBus,
 };
 use crate::oprf_server::OprfService;
 use crate::store::{RoundRecord, Store};
@@ -66,8 +69,11 @@ use crate::telemetry::{ReplayMetrics, TelemetryService};
 use ew_core::{AdKey, Detector, DetectorConfig, GlobalView, ThresholdPolicy, Verdict};
 use ew_crypto::directory::KeyDirectory;
 use ew_crypto::group::ModpGroup;
-use ew_proto::{Envelope, EpochPhase, FaultConfig, Message, NodeId, ShardMap};
-use ew_simnet::{AdClass, EpochChurn, ImpressionLog, RestartPhase, Scenario, ShardRestart};
+use ew_proto::{error_code, Envelope, EpochPhase, FaultConfig, Message, NodeId, ShardMap};
+use ew_simnet::{
+    AdClass, CoordinatorFault, CrashPoint, EpochChurn, ImpressionLog, RestartPhase, Scenario,
+    ShardRestart,
+};
 use ew_sketch::CmsParams;
 use ew_stats::ConfusionMatrix;
 use rand::rngs::StdRng;
@@ -587,6 +593,10 @@ impl EyewnderSystem {
     /// Everything is logical-time driven, so a fixed schedule produces
     /// bit-identical finalized views for every thread count, bus and
     /// cluster size — `tests/cluster_parity.rs` pins it.
+    ///
+    /// This is [`Self::run_epochs_deadline_on`] on a [`LogicalClock`]
+    /// resuming at the coordinator's last tick, with nothing scripted
+    /// to go wrong — the pre-deadline driver loop, reproduced verbatim.
     pub fn run_epochs_clustered_on<B: ServiceBus>(
         &mut self,
         backend: &mut ClusterBackend,
@@ -594,14 +604,81 @@ impl EyewnderSystem {
         coordinator: &mut Coordinator,
         schedule: &[EpochChurn],
     ) -> Vec<EpochOutcome> {
+        let mut clock = LogicalClock::starting_at(coordinator.last_tick());
+        self.run_epochs_deadline_on(
+            backend,
+            bus,
+            coordinator,
+            &mut clock,
+            schedule,
+            &CoordinatorFault::none(),
+        )
+    }
+
+    /// The deadline-driven heart of every churn campaign: runs a
+    /// multi-epoch schedule against one long-lived cluster backend with
+    /// `now` drawn from an arbitrary [`Clock`], the coordinator's state
+    /// checkpointed into the cluster's control journal at every tick
+    /// boundary, and an optional scripted [`CoordinatorFault`] layered
+    /// on top:
+    ///
+    /// * a [`ew_simnet::CoordinatorCrash`] destroys the coordinator at
+    ///   its [`CrashPoint`] in every epoch and rebuilds it from the
+    ///   journal's latest checkpoint alone
+    ///   ([`restart_coordinator`]) — the coordinator half of the
+    ///   shard crash-restart drill, and like that drill it must leave
+    ///   campaign outcomes bit-identical;
+    /// * a [`ew_simnet::StragglerStorm`] makes a deterministic slice of
+    ///   each roster blow the report deadline: the victims are
+    ///   deadline-dropped into the §6 silent-set recovery path
+    ///   ([`Coordinator::drop_straggler`]), and their reports arrive
+    ///   `lateness` ticks after finalize — parked in the control
+    ///   journal and folded into the next epoch when the grace window
+    ///   covers the lateness, refused for good when it does not, and
+    ///   answered with an `EPOCH_CLOSED` + [`ew_proto::AdmissionHint`]
+    ///   reply either way ([`deliver_late_report`]).
+    ///
+    /// Phase transitions fire at the first tick **at or past** their
+    /// deadline and lateness is compared against `grace_ticks`
+    /// logically, so outcomes are insensitive to clock jitter: any
+    /// [`crate::coordinator::VirtualClock`] schedule produces the same
+    /// `EpochOutcome`s as the [`LogicalClock`] baseline
+    /// (`tests/coordinator_soak.rs` pins it).
+    pub fn run_epochs_deadline_on<B: ServiceBus, C: Clock>(
+        &mut self,
+        backend: &mut ClusterBackend,
+        bus: &mut B,
+        coordinator: &mut Coordinator,
+        clock: &mut C,
+        schedule: &[EpochChurn],
+        fault: &CoordinatorFault,
+    ) -> Vec<EpochOutcome> {
         let params = self.config.cms;
         let threads = self.config.parallel.threads.max(1);
-        let mut now = coordinator.last_tick();
         let mut outcomes = Vec::with_capacity(schedule.len());
 
         for spec in schedule {
+            // One scripted crash per epoch, at the fault's phase.
+            let mut crashed = false;
+
+            // Reports parked during the previous epoch's grace window
+            // fold in ahead of the scheduled joins: a parked envelope
+            // has proven its sender is alive, so the sender is
+            // re-admitted and its data rides this epoch's fresh report.
+            let mut joining: Vec<u32> = backend
+                .take_parked_reports()
+                .iter()
+                .filter_map(|env| match env.sender {
+                    NodeId::Client(user) => Some(user),
+                    _ => None,
+                })
+                .collect();
+            joining.extend(spec.joins.iter().copied());
+            joining.sort_unstable();
+            joining.dedup();
+
             // Joins cross the bus like any other membership traffic.
-            for &user in &spec.joins {
+            for &user in &joining {
                 assert!(
                     (user as usize) < self.clients.len(),
                     "campaign user {user} is outside the built cohort"
@@ -618,12 +695,13 @@ impl EyewnderSystem {
                     .expect("coordinator mailbox open");
             }
             pump_coordinator(coordinator, bus);
+            backend.checkpoint_coordinator(coordinator.checkpoint());
 
             // Admission: one tick folds the pending joins; below
             // min_clients the epoch never forms and the campaign moves
             // on (later joins may refill the pool).
-            now += 1;
-            let events = coordinator.tick(now);
+            let events = coordinator.tick(clock.now());
+            backend.checkpoint_coordinator(coordinator.checkpoint());
             let started = events
                 .iter()
                 .any(|e| matches!(e, EpochEvent::EpochStarted { .. }));
@@ -632,7 +710,7 @@ impl EyewnderSystem {
                     epoch: coordinator.epoch(),
                     round: coordinator.round(),
                     members: Vec::new(),
-                    joined: spec.joins.clone(),
+                    joined: joining,
                     dropped: Vec::new(),
                     collapsed: true,
                     outcome: None,
@@ -641,12 +719,19 @@ impl EyewnderSystem {
             }
             let epoch = coordinator.epoch();
             let round = coordinator.round();
+            crash_drill(
+                &mut crashed,
+                fault,
+                CrashPoint::Warmup,
+                backend,
+                coordinator,
+            );
 
             // Warmup countdown (no churn is scheduled inside it here, so
             // it cannot collapse — the deadline just elapses).
             while coordinator.phase() == EpochPhase::Warmup {
-                now += 1;
-                coordinator.tick(now);
+                coordinator.tick(clock.now());
+                backend.checkpoint_coordinator(coordinator.checkpoint());
             }
             debug_assert_eq!(coordinator.phase(), EpochPhase::Reports);
             let membership = coordinator.membership().clone();
@@ -664,7 +749,8 @@ impl EyewnderSystem {
             }
 
             // Mid-window churn: clean leaves over the bus, silent drops
-            // through the failure-detector seam.
+            // through the failure-detector seam, and the storm's
+            // victims through the deadline scheduler's.
             for &user in &spec.leaves {
                 let env =
                     Envelope::new(NodeId::Client(user), round, Message::Leave { user, epoch });
@@ -675,8 +761,15 @@ impl EyewnderSystem {
             for &user in &spec.drops {
                 coordinator.mark_dropped(user);
             }
-            now += 1;
-            let events = coordinator.tick(now);
+            let victims = fault
+                .storm
+                .map(|storm| storm.victims(epoch, membership.members()))
+                .unwrap_or_default();
+            for &user in &victims {
+                coordinator.drop_straggler(user);
+            }
+            let events = coordinator.tick(clock.now());
+            backend.checkpoint_coordinator(coordinator.checkpoint());
             if let Some(EpochEvent::Collapsed { remaining, .. }) = events
                 .iter()
                 .find(|e| matches!(e, EpochEvent::Collapsed { .. }))
@@ -684,12 +777,15 @@ impl EyewnderSystem {
                 backend.collapse_epoch(remaining);
                 self.telemetry
                     .observe_churn(&coordinator.take_churn_metrics());
+                let mut planned = spec.drops.clone();
+                planned.extend(victims.iter().copied());
+                planned.sort_unstable();
                 outcomes.push(EpochOutcome {
                     epoch,
                     round,
                     members: membership.members().to_vec(),
-                    joined: spec.joins.clone(),
-                    dropped: spec.drops.clone(),
+                    joined: joining,
+                    dropped: planned,
                     collapsed: true,
                     outcome: None,
                 });
@@ -697,7 +793,8 @@ impl EyewnderSystem {
             }
 
             // The aggregation round runs over exactly the roster, with
-            // the dropouts as its silent set.
+            // the dropouts (silent and deadline-dropped alike) as its
+            // silent set.
             let silent = coordinator.dropped();
             let driven = {
                 let members: Vec<&Client> = membership
@@ -707,11 +804,53 @@ impl EyewnderSystem {
                     .collect();
                 drive_round(&members, backend, bus, params, round, &silent, threads)
             };
+            crash_drill(
+                &mut crashed,
+                fault,
+                CrashPoint::Reports,
+                backend,
+                coordinator,
+            );
 
-            // Tick the coordinator through recovery and finalization.
+            // Tick the coordinator through recovery, finalization and
+            // the grace window; the storm's late reports land once the
+            // epoch completes.
             while coordinator.phase() != EpochPhase::WaitingForMembers {
-                now += 1;
-                coordinator.tick(now);
+                let events = coordinator.tick(clock.now());
+                backend.checkpoint_coordinator(coordinator.checkpoint());
+                if coordinator.phase() == EpochPhase::Recovery {
+                    crash_drill(
+                        &mut crashed,
+                        fault,
+                        CrashPoint::Recovery,
+                        backend,
+                        coordinator,
+                    );
+                }
+                let completed = events
+                    .iter()
+                    .any(|e| matches!(e, EpochEvent::EpochCompleted { .. }));
+                if completed {
+                    crash_drill(
+                        &mut crashed,
+                        fault,
+                        CrashPoint::Finalize,
+                        backend,
+                        coordinator,
+                    );
+                    if let Some(storm) = fault.storm {
+                        for &user in &victims {
+                            let report = self.clients[user as usize].report_envelope(params, round);
+                            let (_, refusal) =
+                                deliver_late_report(backend, coordinator, report, storm.lateness);
+                            bus.send(NodeId::Client(user), refusal)
+                                .expect("straggler mailbox open");
+                        }
+                    }
+                    if coordinator.in_grace() {
+                        crash_drill(&mut crashed, fault, CrashPoint::Grace, backend, coordinator);
+                    }
+                }
             }
 
             if let Some(metrics) = bus.take_metrics() {
@@ -739,7 +878,7 @@ impl EyewnderSystem {
                 epoch,
                 round,
                 members: membership.members().to_vec(),
-                joined: spec.joins.clone(),
+                joined: joining,
                 dropped: silent,
                 collapsed: false,
                 outcome: Some(RoundOutcome {
@@ -766,10 +905,38 @@ impl EyewnderSystem {
         let map = self.cluster_map();
         let mut backend = self.new_cluster(&map);
         let mut bus = RoutingBus::in_proc(map, None);
-        let mut coordinator = Coordinator::new(
-            crate::coordinator::EpochConfig::default().with_min_clients(min_clients),
-        );
+        let mut coordinator =
+            Coordinator::new(EpochConfig::default().with_min_clients(min_clients));
         self.run_epochs_clustered_on(&mut backend, &mut bus, &mut coordinator, schedule)
+    }
+
+    /// [`Self::run_epochs_deadline_on`] with a fresh in-proc routing
+    /// bus, a fresh cluster and a fresh genesis coordinator — the
+    /// one-call entry point for deadline/fault campaigns.
+    pub fn run_epochs_deadline<C: Clock>(
+        &mut self,
+        min_clients: u32,
+        grace_ticks: u64,
+        clock: &mut C,
+        schedule: &[EpochChurn],
+        fault: &CoordinatorFault,
+    ) -> Vec<EpochOutcome> {
+        let map = self.cluster_map();
+        let mut backend = self.new_cluster(&map);
+        let mut bus = RoutingBus::in_proc(map, None);
+        let mut coordinator = Coordinator::new(
+            EpochConfig::default()
+                .with_min_clients(min_clients)
+                .with_grace_ticks(grace_ticks),
+        );
+        self.run_epochs_deadline_on(
+            &mut backend,
+            &mut bus,
+            &mut coordinator,
+            clock,
+            schedule,
+            fault,
+        )
     }
 
     /// Shared tail of every clustered round: drains the bus and backend
@@ -831,6 +998,9 @@ impl EyewnderSystem {
                 truncated,
                 queue_depth,
                 phase_nanos,
+                late_reports_parked,
+                deadline_drops,
+                coordinator_restarts,
                 ..
             } => {
                 let mut nanos = [0u64; 4];
@@ -844,6 +1014,9 @@ impl EyewnderSystem {
                     journal_depth,
                     truncated,
                     queue_depth,
+                    late_reports_parked,
+                    deadline_drops,
+                    coordinator_restarts,
                     phase_nanos: nanos,
                 })
             }
@@ -966,6 +1139,80 @@ impl EyewnderSystem {
         }
         (confusion, insufficient)
     }
+}
+
+/// Rebuilds the epoch coordinator from the cluster's control journal:
+/// the latest [`ew_proto::JournalEvent::CoordinatorState`] checkpoint
+/// if one was taken, else a fresh genesis coordinator. This is the
+/// coordinator half of the crash-restart drill —
+/// [`ClusterBackend::restart_shard`]'s twin: the in-memory coordinator
+/// is gone, the control journal is the only survivor, and the campaign
+/// must resume as if nothing happened.
+pub fn restart_coordinator(backend: &ClusterBackend, config: EpochConfig) -> Coordinator {
+    match backend.latest_coordinator_checkpoint() {
+        Some(checkpoint) => Coordinator::restore(config, checkpoint),
+        None => Coordinator::new(config),
+    }
+}
+
+/// Executes one scripted coordinator crash if `fault` names `point` and
+/// this epoch has not crashed yet: the coordinator is dropped on the
+/// floor and rebuilt from the control journal's latest checkpoint.
+fn crash_drill(
+    crashed: &mut bool,
+    fault: &CoordinatorFault,
+    point: CrashPoint,
+    backend: &ClusterBackend,
+    coordinator: &mut Coordinator,
+) {
+    if *crashed || fault.crash.map(|c| c.phase) != Some(point) {
+        return;
+    }
+    let config = coordinator.config();
+    *coordinator = restart_coordinator(backend, config);
+    *crashed = true;
+}
+
+/// Handles a report that arrived after its epoch finalized. When the
+/// grace window is open **and** covers the report's lateness, the
+/// envelope is parked in the cluster's control journal — journaled, so
+/// it survives a coordinator restart — to be folded into the next
+/// epoch; otherwise it is refused for good. Either way the sender gets
+/// an `EPOCH_CLOSED` reply carrying the [`ew_proto::AdmissionHint`]:
+/// which epoch to rejoin and how many ticks to back off first.
+///
+/// Lateness is compared against the configured grace window in logical
+/// ticks — never against the jittered tick the report happened to
+/// arrive on — so whether a report parks is a pure function of the
+/// schedule, not of the clock driving it.
+pub fn deliver_late_report(
+    backend: &mut ClusterBackend,
+    coordinator: &Coordinator,
+    report: Envelope,
+    lateness: u64,
+) -> (bool, Envelope) {
+    let round = report.round;
+    let parked = coordinator.in_grace() && lateness <= coordinator.config().grace_ticks;
+    if parked {
+        backend.park_late_report(coordinator.epoch(), round, report);
+    }
+    let refusal = Envelope::new(
+        NodeId::Coordinator,
+        round,
+        Message::Error {
+            code: error_code::EPOCH_CLOSED,
+            detail: format!(
+                "round {round} is finalized; report {}",
+                if parked {
+                    "parked for the next epoch"
+                } else {
+                    "refused (grace window missed)"
+                }
+            ),
+            hint: Some(coordinator.admission_hint()),
+        },
+    );
+    (parked, refusal)
 }
 
 #[cfg(test)]
@@ -1178,6 +1425,84 @@ mod tests {
         assert_eq!(churn.drops, 6, "one epoch-2 drop plus five collapse drops");
         assert_eq!(churn.members, 5, "final roster gauge");
         assert!(churn.phase_ticks.iter().all(|&t| t > 0));
+    }
+
+    #[test]
+    fn late_reports_park_only_inside_the_grace_window() {
+        let (sys, ..) = small_system();
+        let map = sys.cluster_map();
+        let mut backend = sys.new_cluster(&map);
+
+        // Walk a two-member coordinator to its first grace window.
+        let mut coordinator = Coordinator::new(EpochConfig::default().with_min_clients(2));
+        coordinator.register_join(0);
+        coordinator.register_join(1);
+        let mut now = 0u64;
+        while !coordinator.in_grace() {
+            now += 1;
+            coordinator.tick(now);
+        }
+
+        let report = Envelope::new(
+            NodeId::Client(0),
+            coordinator.round(),
+            Message::Join { user: 0, epoch: 0 },
+        );
+        let (parked, refusal) = deliver_late_report(&mut backend, &coordinator, report.clone(), 1);
+        assert!(parked, "lateness 1 sits inside the default one-tick window");
+        match refusal.msg {
+            Message::Error { code, hint, .. } => {
+                assert_eq!(code, error_code::EPOCH_CLOSED);
+                let hint = hint.expect("every refusal carries the admission hint");
+                assert_eq!(hint.epoch, coordinator.epoch() + 1);
+                assert!(hint.retry_after >= 1);
+            }
+            other => panic!("refusal must be an error, got {}", other.kind()),
+        }
+        let parked_envelopes = backend.take_parked_reports();
+        assert_eq!(parked_envelopes.len(), 1);
+        assert_eq!(parked_envelopes[0].sender, NodeId::Client(0));
+        assert!(
+            backend.take_parked_reports().is_empty(),
+            "consumption is a durable watermark, not a re-read"
+        );
+
+        let (parked, refusal) = deliver_late_report(&mut backend, &coordinator, report, 5);
+        assert!(!parked, "lateness beyond grace_ticks is refused for good");
+        assert!(matches!(refusal.msg, Message::Error { hint: Some(_), .. }));
+        assert!(backend.take_parked_reports().is_empty());
+    }
+
+    #[test]
+    fn restart_coordinator_restores_the_latest_checkpoint_or_genesis() {
+        let (sys, ..) = small_system();
+        let map = sys.cluster_map();
+        let mut backend = sys.new_cluster(&map);
+        let config = EpochConfig::default().with_min_clients(2);
+
+        // An empty control journal restarts at genesis.
+        let genesis = restart_coordinator(&backend, config);
+        assert_eq!(genesis.epoch(), 0);
+        assert_eq!(genesis.phase(), EpochPhase::WaitingForMembers);
+
+        // After checkpoints land, the latest one wins.
+        let mut coordinator = Coordinator::new(config);
+        coordinator.register_join(0);
+        coordinator.register_join(1);
+        backend.checkpoint_coordinator(coordinator.checkpoint());
+        coordinator.tick(1);
+        backend.checkpoint_coordinator(coordinator.checkpoint());
+
+        let restored = restart_coordinator(&backend, config);
+        assert_eq!(restored.epoch(), coordinator.epoch());
+        assert_eq!(restored.round(), coordinator.round());
+        assert_eq!(restored.phase(), coordinator.phase());
+        assert_eq!(restored.last_tick(), coordinator.last_tick());
+        assert_eq!(
+            restored.checkpoint(),
+            coordinator.checkpoint(),
+            "the restored coordinator re-checkpoints to the same record"
+        );
     }
 
     #[test]

@@ -53,6 +53,13 @@ pub struct ReplayMetrics {
     pub truncated: u64,
     /// Deepest drained backend mailbox seen (high-water mark).
     pub queue_depth: u64,
+    /// Late reports parked during a grace window instead of dropped.
+    pub late_reports_parked: u64,
+    /// Stragglers dropped by the deadline scheduler (a subset of the
+    /// churn plane's `drops`).
+    pub deadline_drops: u64,
+    /// Coordinator crash-restarts survived.
+    pub coordinator_restarts: u64,
     /// Cumulative busy nanoseconds per phase, indexed by
     /// [`phase_index`]. Wall-clock: never part of determinism checks.
     pub phase_nanos: [u64; 4],
@@ -68,6 +75,9 @@ impl ReplayMetrics {
         self.journal_depth = other.journal_depth;
         self.truncated += other.truncated;
         self.queue_depth = self.queue_depth.max(other.queue_depth);
+        self.late_reports_parked += other.late_reports_parked;
+        self.deadline_drops += other.deadline_drops;
+        self.coordinator_restarts += other.coordinator_restarts;
         for (mine, theirs) in self.phase_nanos.iter_mut().zip(other.phase_nanos) {
             *mine += theirs;
         }
@@ -84,6 +94,9 @@ impl ReplayMetrics {
             truncated: self.truncated,
             queue_depth: self.queue_depth,
             phase_nanos: self.phase_nanos.to_vec(),
+            late_reports_parked: self.late_reports_parked,
+            deadline_drops: self.deadline_drops,
+            coordinator_restarts: self.coordinator_restarts,
         }
     }
 }
@@ -109,9 +122,14 @@ pub struct ChurnMetrics {
     pub epochs_completed: u64,
     /// Below-`min_clients` collapses (counter).
     pub collapses: u64,
+    /// Stragglers dropped by the deadline scheduler (counter; a subset
+    /// of `drops`).
+    pub deadline_drops: u64,
+    /// Coordinator crash-restarts survived (counter).
+    pub coordinator_restarts: u64,
     /// Logical ticks spent per epoch phase, indexed by
     /// [`crate::coordinator::epoch_phase_index`] (counters).
-    pub phase_ticks: [u64; 5],
+    pub phase_ticks: [u64; 6],
 }
 
 impl ChurnMetrics {
@@ -126,6 +144,8 @@ impl ChurnMetrics {
         self.drops += other.drops;
         self.epochs_completed += other.epochs_completed;
         self.collapses += other.collapses;
+        self.deadline_drops += other.deadline_drops;
+        self.coordinator_restarts += other.coordinator_restarts;
         for (mine, theirs) in self.phase_ticks.iter_mut().zip(other.phase_ticks) {
             *mine += theirs;
         }
@@ -167,9 +187,13 @@ impl TelemetryService {
 
     /// Folds one membership-plane observation (typically the
     /// coordinator's drained `take_churn_metrics`) into the lifetime
-    /// churn view.
+    /// churn view. The deadline and restart counters are additionally
+    /// bridged into the lifetime [`ReplayMetrics`] totals so the
+    /// existing `MetricsQuery { round: 0 }` wire path reports them.
     pub fn observe_churn(&mut self, metrics: &ChurnMetrics) {
         self.churn.merge(metrics);
+        self.totals.deadline_drops += metrics.deadline_drops;
+        self.totals.coordinator_restarts += metrics.coordinator_restarts;
     }
 
     /// The accumulated membership-plane view: gauges reflect the latest
@@ -192,11 +216,13 @@ impl TelemetryService {
                 None => reply(Message::Error {
                     code: error_code::NOT_READY,
                     detail: format!("no metrics observed for round {round}"),
+                    hint: None,
                 }),
             },
             other => reply(Message::Error {
                 code: error_code::UNSUPPORTED_MESSAGE,
                 detail: format!("telemetry service cannot handle {}", other.kind()),
+                hint: None,
             }),
         }
     }
@@ -214,6 +240,9 @@ mod tests {
             journal_depth: 5,
             truncated: 3,
             queue_depth: routed,
+            late_reports_parked: 1,
+            deadline_drops: 0,
+            coordinator_restarts: 0,
             phase_nanos: [10, 20, 30, 40],
         }
     }
@@ -228,11 +257,17 @@ mod tests {
             journal_depth: 2,
             truncated: 1,
             queue_depth: 1,
+            late_reports_parked: 2,
+            deadline_drops: 1,
+            coordinator_restarts: 1,
             phase_nanos: [1, 1, 1, 1],
         });
         assert_eq!(acc.routed, 10); // counter: adds
         assert_eq!(acc.journal_depth, 2); // gauge: latest wins
         assert_eq!(acc.queue_depth, 4); // high-water: max
+        assert_eq!(acc.late_reports_parked, 3); // counter: adds
+        assert_eq!(acc.deadline_drops, 1);
+        assert_eq!(acc.coordinator_restarts, 1);
         assert_eq!(acc.phase_nanos, [11, 21, 31, 41]); // timing: adds
     }
 
@@ -289,7 +324,9 @@ mod tests {
             drops: 1,
             epochs_completed: 1,
             collapses: 0,
-            phase_ticks: [3, 2, 3, 2, 1],
+            deadline_drops: 1,
+            coordinator_restarts: 0,
+            phase_ticks: [3, 2, 3, 2, 1, 1],
         });
         svc.observe_churn(&ChurnMetrics {
             members: 9,
@@ -299,7 +336,9 @@ mod tests {
             drops: 0,
             epochs_completed: 1,
             collapses: 1,
-            phase_ticks: [1, 1, 1, 1, 1],
+            deadline_drops: 0,
+            coordinator_restarts: 1,
+            phase_ticks: [1, 1, 1, 1, 1, 0],
         });
         let churn = svc.churn();
         assert_eq!(churn.members, 9, "gauge: latest wins");
@@ -309,6 +348,30 @@ mod tests {
         assert_eq!(churn.drops, 1);
         assert_eq!(churn.epochs_completed, 2);
         assert_eq!(churn.collapses, 1);
-        assert_eq!(churn.phase_ticks, [4, 3, 4, 3, 2]);
+        assert_eq!(churn.deadline_drops, 1);
+        assert_eq!(churn.coordinator_restarts, 1);
+        assert_eq!(churn.phase_ticks, [4, 3, 4, 3, 2, 1]);
+        // The new counters are bridged into the MetricsQuery wire path.
+        let totals = svc.totals();
+        assert_eq!(totals.deadline_drops, 1);
+        assert_eq!(totals.coordinator_restarts, 1);
+        match svc
+            .on_envelope(&Envelope::new(
+                NodeId::Backend,
+                0,
+                Message::MetricsQuery { round: 0 },
+            ))
+            .msg
+        {
+            Message::MetricsReply {
+                deadline_drops,
+                coordinator_restarts,
+                ..
+            } => {
+                assert_eq!(deadline_drops, 1);
+                assert_eq!(coordinator_restarts, 1);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
     }
 }

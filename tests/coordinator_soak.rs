@@ -1,0 +1,420 @@
+//! Soak coverage for the crash-survivable, deadline-driven epoch
+//! coordinator (the PR 9 tentpole):
+//!
+//! * **Jitter insensitivity** — any `VirtualClock` step schedule must
+//!   produce `EpochOutcome`s bit-identical to the `LogicalClock`
+//!   baseline, across threads {1, 4} × backends {1, 2, 4} ×
+//!   {in-proc, wire} (a proptest; the CI `coordinator-soak` job runs it
+//!   at `PROPTEST_CASES=256` in release).
+//! * **Crash parity** — a coordinator killed and rebuilt from its
+//!   control-journal checkpoint at *every* lifecycle point (warmup,
+//!   reports, recovery, finalize, mid-grace) must leave campaign
+//!   outcomes bit-identical to the no-crash baseline across the same
+//!   matrix: a restart is not allowed to leave a fingerprint.
+//! * **Grace window** — a report that blows the deadline but arrives
+//!   inside the grace window is parked (journaled) and its sender folds
+//!   into the next epoch: never silently dropped. Beyond the window it
+//!   is refused for good.
+//! * **Randomized schedule** — a fixed-seed random mix of crash points,
+//!   storms and clock jitter replays bit-identically, run to run.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+
+use eyewnder::simnet::{
+    CoordinatorCrash, CoordinatorFault, CrashPoint, DriverScale, EpochChurn, StragglerStorm,
+    WeeklyDriver,
+};
+use eyewnder::system::cluster::RoutingBus;
+use eyewnder::system::{
+    Clock, Coordinator, EpochConfig, EpochOutcome, EyewnderSystem, LogicalClock, SystemConfig,
+    VirtualClock,
+};
+
+const SEED: u64 = 0xC0DE_0009;
+
+const fn seed() -> u64 {
+    0xC00D_0009
+}
+
+fn driver() -> WeeklyDriver {
+    // Same world as tests/cluster_parity.rs: 12 users, 25 sites, full
+    // Table 1 visit rate — multi-client shards at every cluster size,
+    // small enough for debug CI.
+    WeeklyDriver::new(seed(), DriverScale::Fraction(40), 12)
+}
+
+fn system(threads: usize, cohort: usize) -> EyewnderSystem {
+    EyewnderSystem::new(
+        SystemConfig {
+            seed: seed(),
+            cms: eyewnder::sketch::CmsParams::new(4, 512, 0xC1A5),
+            ..SystemConfig::default()
+        }
+        .with_threads(threads),
+        cohort,
+    )
+}
+
+/// The cluster-parity churn schedule: formation, a churn epoch with a
+/// clean leave and a silent drop, a below-`min_clients` collapse, and a
+/// refill epoch — every coordinator code path in four epochs.
+fn churn_schedule() -> Vec<EpochChurn> {
+    let spec = |joins: Vec<u32>, leaves: Vec<u32>, drops: Vec<u32>| EpochChurn {
+        joins,
+        leaves,
+        drops,
+    };
+    vec![
+        spec((0..8).collect(), vec![], vec![]),
+        spec(vec![8, 9], vec![1], vec![2]),
+        spec(vec![], vec![], vec![0, 3, 4, 5, 6]),
+        spec(vec![10, 11], vec![], vec![]),
+    ]
+}
+
+/// Runs the campaign through the deadline runner with the given clock,
+/// fault, transport and cluster size.
+fn deadline_campaign<C: Clock>(
+    threads: usize,
+    backends: usize,
+    wire: bool,
+    clock: &mut C,
+    fault: &CoordinatorFault,
+    schedule: &[EpochChurn],
+) -> (Vec<EpochOutcome>, EyewnderSystem) {
+    let driver = driver();
+    let (scenario, weeks, cohort) = driver.workload(1);
+    let mut sys = system(threads, cohort);
+    sys.ingest(scenario, &weeks[0]);
+    sys.config.cluster_backends = backends;
+    let map = sys.cluster_map();
+    let mut backend = sys.new_cluster(&map);
+    let mut coordinator = Coordinator::new(EpochConfig::default().with_min_clients(4));
+    let outcomes = if wire {
+        let mut bus = RoutingBus::over_wire(map, None, None);
+        sys.run_epochs_deadline_on(
+            &mut backend,
+            &mut bus,
+            &mut coordinator,
+            clock,
+            schedule,
+            fault,
+        )
+    } else {
+        let mut bus = RoutingBus::in_proc(map, None);
+        sys.run_epochs_deadline_on(
+            &mut backend,
+            &mut bus,
+            &mut coordinator,
+            clock,
+            schedule,
+            fault,
+        )
+    };
+    (outcomes, sys)
+}
+
+/// The no-fault, logical-clock, single-thread, single-shard, in-proc
+/// baseline every cell is held against.
+fn baseline() -> &'static [EpochOutcome] {
+    static BASELINE: OnceLock<Vec<EpochOutcome>> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let mut clock = LogicalClock::new();
+        deadline_campaign(
+            1,
+            1,
+            false,
+            &mut clock,
+            &CoordinatorFault::none(),
+            &churn_schedule(),
+        )
+        .0
+    })
+}
+
+fn assert_epochs_identical(a: &[EpochOutcome], b: &[EpochOutcome], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.epoch, y.epoch, "{label}");
+        assert_eq!(x.round, y.round, "{label}");
+        assert_eq!(x.members, y.members, "{label}");
+        assert_eq!(x.joined, y.joined, "{label}");
+        assert_eq!(x.dropped, y.dropped, "{label}");
+        assert_eq!(x.collapsed, y.collapsed, "{label}");
+        match (&x.outcome, &y.outcome) {
+            (None, None) => {}
+            (Some(p), Some(q)) => {
+                assert_eq!(p.reports, q.reports, "{label}");
+                assert_eq!(p.missing, q.missing, "{label}");
+                assert_eq!(p.view, q.view, "{label}");
+                assert_eq!(
+                    p.view.users_threshold().to_bits(),
+                    q.view.users_threshold().to_bits(),
+                    "{label}: Users_th must match to the last bit"
+                );
+            }
+            _ => panic!("{label}: epoch {} finalization diverged", x.epoch),
+        }
+    }
+}
+
+/// Drills one crash point through the full parity matrix.
+fn crash_parity_matrix(phase: CrashPoint) {
+    let fault = CoordinatorFault {
+        crash: Some(CoordinatorCrash { phase }),
+        storm: None,
+    };
+    let base = baseline();
+    for threads in [1usize, 4] {
+        for backends in [1usize, 2, 4] {
+            for wire in [false, true] {
+                let label =
+                    format!("crash={phase:?} threads={threads} backends={backends} wire={wire}");
+                let mut clock = LogicalClock::new();
+                let (outcomes, sys) = deadline_campaign(
+                    threads,
+                    backends,
+                    wire,
+                    &mut clock,
+                    &fault,
+                    &churn_schedule(),
+                );
+                assert_epochs_identical(base, &outcomes, &label);
+                assert!(
+                    sys.telemetry().totals().coordinator_restarts > 0,
+                    "{label}: the drill must actually restart the coordinator"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn coordinator_crash_at_warmup_is_invisible() {
+    crash_parity_matrix(CrashPoint::Warmup);
+}
+
+#[test]
+fn coordinator_crash_at_reports_is_invisible() {
+    crash_parity_matrix(CrashPoint::Reports);
+}
+
+#[test]
+fn coordinator_crash_at_recovery_is_invisible() {
+    crash_parity_matrix(CrashPoint::Recovery);
+}
+
+#[test]
+fn coordinator_crash_at_finalize_is_invisible() {
+    crash_parity_matrix(CrashPoint::Finalize);
+}
+
+#[test]
+fn coordinator_crash_mid_grace_is_invisible() {
+    crash_parity_matrix(CrashPoint::Grace);
+}
+
+#[test]
+fn late_reports_inside_the_grace_window_are_parked_never_dropped() {
+    // The satellite regression: a member who blows the report deadline
+    // but delivers within the grace window must not vanish from the
+    // study — its report is parked in the control journal, it is
+    // re-admitted, and its data rides the next epoch's round.
+    let storm = StragglerStorm {
+        percent: 20,
+        lateness: 1, // within the default one-tick grace window
+        seed: 41,
+    };
+    let fault = CoordinatorFault {
+        crash: None,
+        storm: Some(storm),
+    };
+    let schedule = churn_schedule();
+    let mut clock = LogicalClock::new();
+    let (outcomes, sys) = deadline_campaign(1, 2, false, &mut clock, &fault, &schedule);
+
+    // Epoch 1 forms over members 0..8; the storm victimises a fixed,
+    // deterministic slice of them.
+    let victims = storm.victims(1, outcomes[0].members.as_slice());
+    assert!(!victims.is_empty(), "the storm must bite");
+    for v in &victims {
+        assert!(
+            outcomes[0].dropped.contains(v),
+            "victim {v} must be deadline-dropped into the silent set"
+        );
+        assert!(
+            outcomes[1].members.contains(v),
+            "parked victim {v} must fold into the next epoch's roster"
+        );
+    }
+    let first = outcomes[0].outcome.as_ref().expect("epoch 1 finalizes");
+    assert_eq!(
+        first.reports,
+        outcomes[0].members.len() - outcomes[0].dropped.len(),
+        "victims are silent in the round they missed"
+    );
+    let second = outcomes[1].outcome.as_ref().expect("epoch 2 finalizes");
+    assert!(
+        second.reports > 0,
+        "the next epoch's round carries the returnees' reports"
+    );
+
+    let totals = sys.telemetry().totals();
+    assert!(
+        totals.late_reports_parked as usize >= victims.len(),
+        "every in-grace late report parks: {totals:?}"
+    );
+    assert!(
+        totals.deadline_drops > 0,
+        "deadline drops surface in telemetry: {totals:?}"
+    );
+}
+
+#[test]
+fn late_reports_beyond_the_grace_window_are_refused() {
+    let storm = StragglerStorm {
+        percent: 20,
+        lateness: 64, // far past the one-tick grace window
+        seed: 41,
+    };
+    let fault = CoordinatorFault {
+        crash: None,
+        storm: Some(storm),
+    };
+    let schedule = churn_schedule();
+    let mut clock = LogicalClock::new();
+    let (outcomes, sys) = deadline_campaign(1, 2, false, &mut clock, &fault, &schedule);
+
+    let victims = storm.victims(1, outcomes[0].members.as_slice());
+    assert!(!victims.is_empty(), "the storm must bite");
+    // Scheduled epoch-2 churn still joins {8, 9}; the refused victims
+    // are not re-admitted by their stale reports.
+    for v in &victims {
+        if !churn_schedule()[1].joins.contains(v) {
+            assert!(
+                !outcomes[1].members.contains(v),
+                "refused victim {v} must not ride a stale report back in"
+            );
+        }
+    }
+    assert_eq!(
+        sys.telemetry().totals().late_reports_parked,
+        0,
+        "nothing parks outside the window"
+    );
+}
+
+#[test]
+fn randomized_crash_and_deadline_schedule_is_deterministic() {
+    // The CI soak's fixed-seed randomized drill: every campaign draws a
+    // random crash point, a random storm and a random clock-jitter
+    // schedule from one seeded RNG, runs twice, and must replay
+    // bit-identically — crash recovery, parking and deadline drops
+    // included. Crash-only campaigns must additionally match the
+    // fault-free baseline.
+    let mut rng = StdRng::seed_from_u64(SEED);
+    for case in 0..4u32 {
+        let phase = CrashPoint::ALL[rng.gen_range(0..CrashPoint::ALL.len())];
+        let with_storm = case % 2 == 1;
+        let fault = CoordinatorFault {
+            crash: Some(CoordinatorCrash { phase }),
+            storm: with_storm.then(|| StragglerStorm {
+                percent: 25,
+                lateness: rng.gen_range(1..3),
+                seed: rng.gen(),
+            }),
+        };
+        let steps: Vec<u64> = (0..64).map(|_| rng.gen_range(1..5)).collect();
+        let backends = [1usize, 2][rng.gen_range(0..2usize)];
+        let label = format!("case={case} crash={phase:?} storm={with_storm} backends={backends}");
+
+        let mut first_clock = VirtualClock::new(steps.clone());
+        let (first, _) = deadline_campaign(
+            2,
+            backends,
+            false,
+            &mut first_clock,
+            &fault,
+            &churn_schedule(),
+        );
+        let mut second_clock = VirtualClock::new(steps);
+        let (second, _) = deadline_campaign(
+            2,
+            backends,
+            false,
+            &mut second_clock,
+            &fault,
+            &churn_schedule(),
+        );
+        assert_epochs_identical(&first, &second, &label);
+        if !with_storm {
+            assert_epochs_identical(baseline(), &first, &label);
+        }
+    }
+}
+
+proptest! {
+    // Every case runs a full cryptographic campaign, so the default
+    // budget is lean enough for single-core debug CI; the dedicated
+    // `coordinator-soak` job raises it to 256 via PROPTEST_CASES in
+    // release mode.
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(12),
+    ))]
+
+    #[test]
+    fn any_virtual_clock_schedule_matches_the_logical_baseline(seed in any::<u64>()) {
+        // The tentpole property: deadline transitions fire at the first
+        // tick at or past the deadline and grace is compared logically,
+        // so clock jitter is unobservable in campaign outcomes. Each
+        // case derives a jitter schedule and one (threads, backends,
+        // transport) cell from its seed; across the case budget the
+        // full {1, 4} × {1, 2, 4} × {in-proc, wire} matrix is swept.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let steps: Vec<u64> = (0..48).map(|_| rng.gen_range(1..7)).collect();
+        let threads = if seed & 1 == 0 { 1 } else { 4 };
+        let backends = [1usize, 2, 4][(seed >> 1) as usize % 3];
+        let wire = seed & 8 != 0;
+        let label = format!("threads={threads} backends={backends} wire={wire}");
+
+        let mut clock = VirtualClock::new(steps);
+        let (outcomes, _) = deadline_campaign(
+            threads,
+            backends,
+            wire,
+            &mut clock,
+            &CoordinatorFault::none(),
+            &churn_schedule(),
+        );
+        let base = baseline();
+        prop_assert_eq!(outcomes.len(), base.len(), "{}", label);
+        for (x, y) in base.iter().zip(&outcomes) {
+            prop_assert_eq!(x.epoch, y.epoch, "{}", label);
+            prop_assert_eq!(x.round, y.round, "{}", label);
+            prop_assert_eq!(&x.members, &y.members, "{}", label);
+            prop_assert_eq!(&x.joined, &y.joined, "{}", label);
+            prop_assert_eq!(&x.dropped, &y.dropped, "{}", label);
+            prop_assert_eq!(x.collapsed, y.collapsed, "{}", label);
+            match (&x.outcome, &y.outcome) {
+                (None, None) => {}
+                (Some(p), Some(q)) => {
+                    prop_assert_eq!(p.reports, q.reports, "{}", label);
+                    prop_assert_eq!(&p.missing, &q.missing, "{}", label);
+                    prop_assert_eq!(&p.view, &q.view, "{}", label);
+                    prop_assert_eq!(
+                        p.view.users_threshold().to_bits(),
+                        q.view.users_threshold().to_bits(),
+                        "{}", label
+                    );
+                }
+                _ => panic!("{label}: finalization diverged"),
+            }
+        }
+    }
+}
