@@ -18,7 +18,7 @@ use ew_simnet::{
     ShardRestart, WeeklyDriver,
 };
 use ew_system::cluster::RoutingBus;
-use ew_system::{EyewnderSystem, LogicalClock, SystemConfig};
+use ew_system::{hist_kind, trace, EyewnderSystem, LogicalClock, SystemConfig};
 
 fn bench_round_cluster(c: &mut Criterion) {
     let driver = WeeklyDriver::new(16, DriverScale::Fraction(20), 25);
@@ -45,6 +45,67 @@ fn bench_round_cluster(c: &mut Criterion) {
                 black_box(sys.run_round_clustered(round, &[]))
             })
         });
+    }
+    group.finish();
+}
+
+/// The flight recorder's price tag on the hot path: `round_cluster_4`
+/// re-run with tracing explicitly disabled (the seam's cost is one
+/// thread-local check per span site — the acceptance bar is ≤1% against
+/// the plain `round_cluster_4`) and with a 4096-event ring enabled
+/// (ring writes included — the bar is ≤5%). The traced arm also feeds
+/// the round's absorb/phase latency quantiles into the `EW_BENCH_JSON`
+/// trajectory via [`ew_bench::record_hist_quantiles`], so the
+/// `BENCH_*.json` files carry p50/p90/p99 from here on.
+fn bench_round_cluster_tracing(c: &mut Criterion) {
+    let driver = WeeklyDriver::new(16, DriverScale::Fraction(20), 25);
+    let log = driver.week(0);
+    let scenario = driver.scenario().clone();
+    let cohort = driver.cohort();
+
+    let build = || {
+        let mut sys = EyewnderSystem::new(
+            SystemConfig {
+                seed: 16,
+                ..SystemConfig::default()
+            }
+            .with_cluster_backends(4),
+            cohort,
+        );
+        sys.ingest(&scenario, &log);
+        sys
+    };
+
+    let mut group = c.benchmark_group("round_cluster");
+    group.sample_size(10);
+    {
+        let mut sys = build();
+        let mut round = 0u64;
+        trace::disable();
+        group.bench_function("round_cluster_4_tracing_off", |b| {
+            b.iter(|| {
+                round += 1;
+                black_box(sys.run_round_clustered(round, &[]))
+            })
+        });
+    }
+    {
+        let mut sys = build();
+        let mut round = 0u64;
+        trace::enable(4096);
+        group.bench_function("round_cluster_4_tracing_on", |b| {
+            b.iter(|| {
+                round += 1;
+                black_box(sys.run_round_clustered(round, &[]))
+            })
+        });
+        trace::disable();
+        let totals = sys.telemetry().totals();
+        ew_bench::record_hist_quantiles("round_cluster_4/absorb", &totals.absorb_hist);
+        ew_bench::record_hist_quantiles(
+            "round_cluster_4/phase_reports",
+            totals.hist(hist_kind::PHASE_REPORTS).expect("known kind"),
+        );
     }
     group.finish();
 }
@@ -264,6 +325,7 @@ fn bench_coordinator_restart(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_round_cluster,
+    bench_round_cluster_tracing,
     bench_round_cluster_restart,
     bench_epoch_churn,
     bench_epoch_deadline,

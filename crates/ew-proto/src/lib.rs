@@ -50,6 +50,6 @@ pub use fault::{FaultConfig, FaultyLink};
 pub use framing::{FrameDecoder, FrameError, MAGIC};
 pub use journal::{JournalEvent, JournalRecord};
 pub use membership::{EpochPhase, Membership, MembershipError, MAX_MEMBERS};
-pub use message::{error_code, AdmissionHint, Message};
+pub use message::{error_code, AdmissionHint, HistogramSnapshot, Message};
 pub use shard::{split_shards, ShardAssembler, ShardError, MAX_SHARD_COUNT};
 pub use transport::{channel_pair, Endpoint, TransportError};

@@ -68,6 +68,24 @@ pub struct AdmissionHint {
     pub retry_after: u64,
 }
 
+/// The sparse wire form of a log2 latency histogram — the PR 10
+/// append-only extension of [`Message::MetricsReply`]. Only non-empty
+/// buckets travel; `kind` names the histogram family (the consuming
+/// system's `hist_kind` registry) and is forwarded opaquely, so new
+/// families are a sender-side addition only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Which histogram family this is (append-only registry).
+    pub kind: u8,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded samples.
+    pub sum: u64,
+    /// `(bucket_index, occupancy)` for every non-empty log2 bucket,
+    /// ascending by index.
+    pub buckets: Vec<(u8, u64)>,
+}
+
 /// All protocol messages. Group elements travel as big-endian byte
 /// strings (the crypto layer's canonical serialization).
 #[derive(Debug, Clone, PartialEq)]
@@ -257,6 +275,17 @@ pub enum Message {
         /// Coordinator cold restarts rebuilt from the journaled epoch
         /// state.
         coordinator_restarts: u64,
+        /// Cumulative wall-clock nanoseconds per **epoch** phase,
+        /// indexed in coordinator phase order (waiting, warmup,
+        /// reports, recovery, finalize, grace) — appended in PR 10 so
+        /// epochs are timed, not just ticked.
+        epoch_phase_nanos: Vec<u64>,
+        /// Latency histograms (sparse log2 buckets), one per observed
+        /// family in `kind` order. Appended in PR 10; receivers skip
+        /// unknown kinds, and **trailing bytes after this field are
+        /// tolerated** so future append-only extensions of this one
+        /// variant decode on today's readers.
+        hists: Vec<HistogramSnapshot>,
     },
     /// Client → coordinator: ask to participate in the aggregation.
     /// Joins received mid-epoch land in the **next** epoch's pending
@@ -520,6 +549,8 @@ impl Message {
                 late_reports_parked,
                 deadline_drops,
                 coordinator_restarts,
+                epoch_phase_nanos,
+                hists,
             } => {
                 buf.put_u8(tag::METRICS_REPLY);
                 buf.put_u64_le(*round);
@@ -533,6 +564,8 @@ impl Message {
                 buf.put_u64_le(*late_reports_parked);
                 buf.put_u64_le(*deadline_drops);
                 buf.put_u64_le(*coordinator_restarts);
+                put_u64_vec(&mut buf, epoch_phase_nanos);
+                put_hist_list(&mut buf, hists);
             }
             Message::Join { user, epoch } => {
                 buf.put_u8(tag::JOIN);
@@ -657,19 +690,33 @@ impl Message {
             tag::METRICS_QUERY => Message::MetricsQuery {
                 round: get_u64(buf)?,
             },
-            tag::METRICS_REPLY => Message::MetricsReply {
-                round: get_u64(buf)?,
-                routed: get_u64(buf)?,
-                replayed: get_u64(buf)?,
-                deduped: get_u64(buf)?,
-                journal_depth: get_u64(buf)?,
-                truncated: get_u64(buf)?,
-                queue_depth: get_u64(buf)?,
-                phase_nanos: get_u64_vec(buf)?,
-                late_reports_parked: get_u64(buf)?,
-                deadline_drops: get_u64(buf)?,
-                coordinator_restarts: get_u64(buf)?,
-            },
+            tag::METRICS_REPLY => {
+                let msg = Message::MetricsReply {
+                    round: get_u64(buf)?,
+                    routed: get_u64(buf)?,
+                    replayed: get_u64(buf)?,
+                    deduped: get_u64(buf)?,
+                    journal_depth: get_u64(buf)?,
+                    truncated: get_u64(buf)?,
+                    queue_depth: get_u64(buf)?,
+                    phase_nanos: get_u64_vec(buf)?,
+                    late_reports_parked: get_u64(buf)?,
+                    deadline_drops: get_u64(buf)?,
+                    coordinator_restarts: get_u64(buf)?,
+                    epoch_phase_nanos: get_u64_vec(buf)?,
+                    hists: get_hist_list(buf)?,
+                };
+                // Forward-compat: a newer sender may have appended more
+                // telemetry fields after the histogram list. Every
+                // known field above is fixed-width or length-prefixed,
+                // so a *truncated* frame still fails inside one of the
+                // reads; only genuinely extra trailing bytes land here,
+                // and they are deliberately tolerated (this variant
+                // only — everywhere else trailing bytes stay
+                // corruption).
+                *buf = &[];
+                msg
+            }
             tag::JOIN => Message::Join {
                 user: get_u32(buf)?,
                 epoch: get_u64(buf)?,
@@ -707,6 +754,57 @@ impl Message {
         }
         Ok(msg)
     }
+}
+
+/// Writes a length-prefixed [`HistogramSnapshot`] list: per histogram
+/// a fixed header (kind, count, sum) then its length-prefixed sparse
+/// bucket pairs — every level is length-prefixed, so any truncation
+/// cuts inside a known read and fails loudly.
+fn put_hist_list(buf: &mut Vec<u8>, hists: &[HistogramSnapshot]) {
+    buf.put_u32_le(hists.len() as u32);
+    for h in hists {
+        buf.put_u8(h.kind);
+        buf.put_u64_le(h.count);
+        buf.put_u64_le(h.sum);
+        buf.put_u32_le(h.buckets.len() as u32);
+        for &(index, n) in &h.buckets {
+            buf.put_u8(index);
+            buf.put_u64_le(n);
+        }
+    }
+}
+
+/// Reads the list [`put_hist_list`] writes.
+fn get_hist_list(buf: &mut &[u8]) -> Result<Vec<HistogramSnapshot>, CodecError> {
+    let count = get_u32(buf)? as usize;
+    // Every histogram carries at least 21 fixed bytes, so a hostile
+    // count cannot force a huge allocation before the reads EOF.
+    if count.saturating_mul(21) > buf.len() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let kind = get_u8(buf)?;
+        let sample_count = get_u64(buf)?;
+        let sum = get_u64(buf)?;
+        let n = get_u32(buf)? as usize;
+        if n.saturating_mul(9) > buf.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let mut buckets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let index = get_u8(buf)?;
+            let occupancy = get_u64(buf)?;
+            buckets.push((index, occupancy));
+        }
+        out.push(HistogramSnapshot {
+            kind,
+            count: sample_count,
+            sum,
+            buckets,
+        });
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -792,6 +890,36 @@ mod tests {
                 late_reports_parked: 2,
                 deadline_drops: 5,
                 coordinator_restarts: 1,
+                epoch_phase_nanos: vec![1, 2, 3, 4, 5, 6],
+                hists: vec![
+                    HistogramSnapshot {
+                        kind: 0,
+                        count: 3,
+                        sum: 3100,
+                        buckets: vec![(9, 2), (10, 1)],
+                    },
+                    HistogramSnapshot {
+                        kind: 6,
+                        count: 0,
+                        sum: 0,
+                        buckets: vec![],
+                    },
+                ],
+            },
+            Message::MetricsReply {
+                round: 0,
+                routed: 0,
+                replayed: 0,
+                deduped: 0,
+                journal_depth: 0,
+                truncated: 0,
+                queue_depth: 0,
+                phase_nanos: vec![],
+                late_reports_parked: 0,
+                deadline_drops: 0,
+                coordinator_restarts: 0,
+                epoch_phase_nanos: vec![],
+                hists: vec![],
             },
             Message::Join { user: 19, epoch: 2 },
             Message::Leave { user: 19, epoch: 3 },
@@ -857,6 +985,58 @@ mod tests {
         let mut encoded = Message::UsersQuery { round: 1, ad: 2 }.encode();
         encoded.push(0);
         assert!(Message::decode(&encoded).is_err());
+    }
+
+    #[test]
+    fn metrics_reply_tolerates_unknown_trailing_fields() {
+        // Forward-compat contract: a newer telemetry service may append
+        // fields after the histogram list; today's reader must decode
+        // the fields it knows and ignore the rest — on this variant
+        // only, everywhere else trailing bytes stay corruption.
+        for msg in samples() {
+            let is_reply = matches!(msg, Message::MetricsReply { .. });
+            let mut extended = msg.encode();
+            extended.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x01]);
+            if is_reply {
+                assert_eq!(
+                    Message::decode(&extended).unwrap(),
+                    msg,
+                    "known fields decode, unknown tail ignored"
+                );
+            } else {
+                assert!(
+                    Message::decode(&extended).is_err(),
+                    "{}: trailing bytes stay corruption",
+                    msg.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_list_rejects_hostile_counts_without_allocating() {
+        // A frame claiming 2^32-ish histograms (or buckets) but holding
+        // only a few bytes must fail on the length guard, not attempt
+        // the allocation.
+        let sane = Message::MetricsReply {
+            round: 0,
+            routed: 0,
+            replayed: 0,
+            deduped: 0,
+            journal_depth: 0,
+            truncated: 0,
+            queue_depth: 0,
+            phase_nanos: vec![],
+            late_reports_parked: 0,
+            deadline_drops: 0,
+            coordinator_restarts: 0,
+            epoch_phase_nanos: vec![],
+            hists: vec![],
+        }
+        .encode();
+        let mut hostile = sane[..sane.len() - 4].to_vec();
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Message::decode(&hostile), Err(CodecError::UnexpectedEof));
     }
 
     #[test]

@@ -48,6 +48,26 @@ impl CrashPoint {
         CrashPoint::Finalize,
         CrashPoint::Grace,
     ];
+
+    /// The crash point's slot in [`CrashPoint::ALL`] — a stable numeric
+    /// tag for trace events and matrix bookkeeping.
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&p| p == self)
+            .expect("ALL enumerates every crash point")
+    }
+
+    /// A stable lowercase label for trace annotations and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            CrashPoint::Warmup => "warmup",
+            CrashPoint::Reports => "reports",
+            CrashPoint::Recovery => "recovery",
+            CrashPoint::Finalize => "finalize",
+            CrashPoint::Grace => "grace",
+        }
+    }
 }
 
 /// A scripted cold coordinator crash: process state destroyed at the
@@ -126,6 +146,25 @@ impl CoordinatorFault {
     /// True when nothing is scripted.
     pub fn is_none(&self) -> bool {
         self.crash.is_none() && self.storm.is_none()
+    }
+
+    /// A compact human-readable annotation for this fault
+    /// configuration — what a trace or soak log prints next to the
+    /// scenario it is driving (e.g. `crash@reports+storm(25%,late=1)`).
+    pub fn summary(&self) -> String {
+        match (self.crash, self.storm) {
+            (None, None) => "baseline".to_string(),
+            (Some(crash), None) => format!("crash@{}", crash.phase.label()),
+            (None, Some(storm)) => {
+                format!("storm({}%,late={})", storm.percent, storm.lateness)
+            }
+            (Some(crash), Some(storm)) => format!(
+                "crash@{}+storm({}%,late={})",
+                crash.phase.label(),
+                storm.percent,
+                storm.lateness
+            ),
+        }
     }
 }
 
@@ -242,5 +281,41 @@ mod tests {
                 .any(|f| f.crash.is_none() && f.storm.is_some_and(|s| s.lateness > 1)),
             "and one that blows past it"
         );
+    }
+
+    #[test]
+    fn labels_indices_and_summaries_are_stable() {
+        for (i, point) in CrashPoint::ALL.into_iter().enumerate() {
+            assert_eq!(point.index(), i);
+        }
+        assert_eq!(CrashPoint::Reports.label(), "reports");
+        assert_eq!(CoordinatorFault::none().summary(), "baseline");
+        let storm = StragglerStorm {
+            percent: 25,
+            lateness: 1,
+            seed: 3,
+        };
+        let fault = CoordinatorFault {
+            crash: Some(CoordinatorCrash {
+                phase: CrashPoint::Grace,
+            }),
+            storm: Some(storm),
+        };
+        assert_eq!(fault.summary(), "crash@grace+storm(25%,late=1)");
+        assert_eq!(
+            CoordinatorFault {
+                crash: None,
+                storm: Some(storm)
+            }
+            .summary(),
+            "storm(25%,late=1)"
+        );
+        // Every matrix entry's summary is unique — a soak log can key
+        // scenarios by it.
+        let matrix = coordinator_fault_matrix(9);
+        let mut summaries: Vec<String> = matrix.iter().map(|f| f.summary()).collect();
+        summaries.sort();
+        summaries.dedup();
+        assert_eq!(summaries.len(), matrix.len());
     }
 }

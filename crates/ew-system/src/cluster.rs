@@ -61,7 +61,8 @@ use crate::backend::{BackendServer, RoundError};
 use crate::ids::AdIdMapper;
 use crate::journal::{dedupe_key, RoundLog};
 use crate::node::{AggregationBackend, InProcBus, RoundPhase, ServiceBus, WireBus};
-use crate::telemetry::{phase_index, ReplayMetrics};
+use crate::telemetry::{phase_index, Hist64, ReplayMetrics};
+use crate::trace;
 use ew_bigint::UBig;
 use ew_core::{GlobalView, ThresholdPolicy};
 use ew_proto::crc32::crc32;
@@ -261,6 +262,11 @@ pub struct RoutingBus<B: ServiceBus> {
     queue_depth: u64,
     /// Busy wall-clock per phase; excluded from determinism checks.
     phase_nanos: [u64; 4],
+    /// Per-phase latency distributions (one sample per phase
+    /// transition); excluded from determinism checks like every timing.
+    phase_hist: [Hist64; 4],
+    /// In-flight replay duration distribution (failover re-sends).
+    replay_hist: Hist64,
     /// The phase the bus is currently in, and since when.
     clock: Option<(RoundPhase, Instant)>,
 }
@@ -316,6 +322,8 @@ impl<B: ServiceBus> RoutingBus<B> {
             truncated: 0,
             queue_depth: 0,
             phase_nanos: [0; 4],
+            phase_hist: [Hist64::new(); 4],
+            replay_hist: Hist64::new(),
             clock: None,
         }
     }
@@ -336,7 +344,9 @@ impl<B: ServiceBus> RoutingBus<B> {
     fn tick_clock(&mut self, next: Option<RoundPhase>) {
         let now = Instant::now();
         if let Some((phase, since)) = self.clock.take() {
-            self.phase_nanos[phase_index(phase)] += now.duration_since(since).as_nanos() as u64;
+            let nanos = now.duration_since(since).as_nanos() as u64;
+            self.phase_nanos[phase_index(phase)] += nanos;
+            self.phase_hist[phase_index(phase)].record(nanos);
         }
         self.clock = next.map(|p| (p, now));
     }
@@ -363,6 +373,8 @@ impl<B: ServiceBus> RoutingBus<B> {
                 .expect("surviving uplink accepts the map update");
         }
         let orphans = std::mem::take(&mut self.journal[dead as usize]);
+        let _span = trace::span("shard_failover", dead as u64, orphans.len() as u64);
+        let replay_started = Instant::now();
         self.replayed += orphans.len() as u64;
         for env in orphans {
             let owner = self.map.owner_of(route_user(&env)) as usize;
@@ -373,6 +385,8 @@ impl<B: ServiceBus> RoutingBus<B> {
                 .expect("surviving uplink accepts the replay");
             self.journal[owner].push(env);
         }
+        self.replay_hist
+            .record(replay_started.elapsed().as_nanos() as u64);
     }
 
     fn send_backend(&mut self, env: Envelope) -> Result<(), TransportError> {
@@ -479,20 +493,21 @@ impl<B: ServiceBus> ServiceBus for RoutingBus<B> {
         let metrics = ReplayMetrics {
             routed: self.routed,
             replayed: self.replayed,
-            deduped: 0,
             journal_depth: self.in_flight() as u64,
             truncated: self.truncated,
             queue_depth: self.queue_depth,
-            late_reports_parked: 0,
-            deadline_drops: 0,
-            coordinator_restarts: 0,
             phase_nanos: self.phase_nanos,
+            phase_hist: self.phase_hist,
+            replay_hist: self.replay_hist,
+            ..ReplayMetrics::default()
         };
         self.routed = 0;
         self.replayed = 0;
         self.truncated = 0;
         self.queue_depth = 0;
         self.phase_nanos = [0; 4];
+        self.phase_hist = [Hist64::new(); 4];
+        self.replay_hist = Hist64::new();
         Some(metrics)
     }
 }
@@ -565,6 +580,12 @@ pub struct ClusterBackend {
     parked_consumed: u64,
     /// Late reports parked since the last `take_metrics` drain.
     late_parked: u64,
+    /// Per-shard absorb-batch service-time distribution (wall-clock;
+    /// excluded from determinism checks like every timing).
+    absorb_hist: Hist64,
+    /// Journal replay duration distribution (failover adoption + cold
+    /// restart).
+    replay_hist: Hist64,
 }
 
 impl ClusterBackend {
@@ -604,6 +625,8 @@ impl ClusterBackend {
             control: RoundLog::new(),
             parked_consumed: 0,
             late_parked: 0,
+            absorb_hist: Hist64::new(),
+            replay_hist: Hist64::new(),
         }
     }
 
@@ -715,6 +738,7 @@ impl ClusterBackend {
     /// shard still owns its key ranges and is expected back. The round
     /// can only proceed after [`Self::restart_shard`] rebuilds it.
     pub fn crash_shard(&mut self, shard: u32) {
+        trace::instant("shard_crash", shard as u64, 0);
         self.shards[shard as usize] = None;
     }
 
@@ -733,6 +757,8 @@ impl ClusterBackend {
     /// deterministic, so a rejection is a corrupted log, not a runtime
     /// condition.
     pub fn restart_shard(&mut self, shard: u32) -> usize {
+        let span = trace::span("shard_restart", shard as u64, 0);
+        let started = Instant::now();
         let mut server =
             BackendServer::new(self.element_len, self.params, self.mapper, self.policy);
         for (user, key) in self.active_enrollments() {
@@ -755,6 +781,9 @@ impl ClusterBackend {
         }
         self.replayed += replayed as u64;
         self.shards[shard as usize] = Some(server);
+        self.replay_hist.record(started.elapsed().as_nanos() as u64);
+        trace::instant("journal_replay", shard as u64, replayed as u64);
+        drop(span);
         replayed
     }
 
@@ -830,20 +859,20 @@ impl ClusterBackend {
     /// and reports the log's current depth and truncation total.
     pub fn take_metrics(&mut self) -> ReplayMetrics {
         let metrics = ReplayMetrics {
-            routed: 0,
             replayed: self.replayed,
             deduped: self.deduped,
             journal_depth: self.log.depth() as u64,
             truncated: self.log.truncated_total(),
-            queue_depth: 0,
             late_reports_parked: self.late_parked,
-            deadline_drops: 0,
-            coordinator_restarts: 0,
-            phase_nanos: [0; 4],
+            absorb_hist: self.absorb_hist,
+            replay_hist: self.replay_hist,
+            ..ReplayMetrics::default()
         };
         self.replayed = 0;
         self.deduped = 0;
         self.late_parked = 0;
+        self.absorb_hist = Hist64::new();
+        self.replay_hist = Hist64::new();
         metrics
     }
 
@@ -991,12 +1020,17 @@ impl ClusterBackend {
                 dead,
                 version: self.map.version(),
             });
+            let _span = trace::span("shard_adoption", dead as u64, orphans.len() as u64);
+            let started = Instant::now();
             self.replayed += orphans.len() as u64;
+            let replayed = orphans.len() as u64;
             for env in orphans {
                 let owner = self.map.owner_of(route_user(&env));
                 self.deliver_to_shard(owner, env)
                     .expect("journaled absorption is re-accepted by the adopting shard");
             }
+            self.replay_hist.record(started.elapsed().as_nanos() as u64);
+            trace::instant("journal_replay", dead as u64, replayed);
         }
         Ok(None)
     }
@@ -1054,19 +1088,22 @@ impl ClusterBackend {
                 .map(|(shard, indices, envelopes, server)| {
                     let envelopes = std::mem::take(envelopes);
                     let kept = envelopes.clone();
-                    (
-                        *shard,
-                        std::mem::take(indices),
-                        kept,
-                        server.absorb_batch(envelopes, inner_threads),
-                    )
+                    // Each worker times its own shard's absorb; the
+                    // nanos ride back with the results and land in the
+                    // driver-side histogram (workers never touch
+                    // telemetry state directly).
+                    let started = Instant::now();
+                    let shard_results = server.absorb_batch(envelopes, inner_threads);
+                    let nanos = started.elapsed().as_nanos() as u64;
+                    (*shard, std::mem::take(indices), kept, shard_results, nanos)
                 })
                 .collect::<Vec<_>>()
         });
         // Journal the successful absorptions in stream order, so the
         // log's record sequence is identical for every thread count.
         let mut absorbed: Vec<(usize, u32, Envelope)> = Vec::new();
-        for (shard, indices, envelopes, shard_results) in results.into_iter().flatten() {
+        for (shard, indices, envelopes, shard_results, nanos) in results.into_iter().flatten() {
+            self.absorb_hist.record(nanos);
             for ((i, env), result) in indices.into_iter().zip(envelopes).zip(shard_results) {
                 if matches!(result, Ok(None)) && is_data_plane(&env) {
                     absorbed.push((i, shard, env));
@@ -1161,10 +1198,18 @@ impl AggregationBackend for ClusterBackend {
         // cross-batch replay is acknowledged silently.
         self.batch_horizon = Some(self.log.last_seq());
         let out = if threads <= 1 || envelopes.len() < 2 {
-            envelopes
+            // The serial walk is one implicit shard group: time it as
+            // one absorb sample, mirroring the per-shard timing of the
+            // parallel fan-out below.
+            let started = Instant::now();
+            let out: Vec<_> = envelopes
                 .into_iter()
                 .map(|env| AggregationBackend::on_envelope(self, env))
-                .collect()
+                .collect();
+            if !out.is_empty() {
+                self.absorb_hist.record(started.elapsed().as_nanos() as u64);
+            }
+            out
         } else {
             let mut out: Vec<Option<Result<Option<Envelope>, RoundError>>> =
                 (0..envelopes.len()).map(|_| None).collect();

@@ -92,6 +92,7 @@
 
 use crate::node::ServiceBus;
 use crate::telemetry::ChurnMetrics;
+use crate::trace;
 use ew_proto::{
     error_code, AdmissionHint, Envelope, EpochPhase, JournalEvent, Membership, Message, NodeId,
 };
@@ -332,6 +333,14 @@ pub struct Coordinator {
     deadline_drops: u64,
     restarts: u64,
     phase_ticks: [u64; 6],
+    /// Wall-clock nanoseconds attributed to each phase (the window
+    /// between consecutive accepted ticks belongs to the phase the
+    /// earlier tick left installed). Wall-clock, so excluded from
+    /// checkpoints and never part of a determinism comparison.
+    phase_nanos: [u64; 6],
+    /// The open attribution window: the phase installed by the last
+    /// accepted tick and when it was installed.
+    wall: Option<(EpochPhase, std::time::Instant)>,
 }
 
 /// The slot of `phase` in [`ChurnMetrics::phase_ticks`].
@@ -373,6 +382,8 @@ impl Coordinator {
             deadline_drops: 0,
             restarts: 0,
             phase_ticks: [0; 6],
+            phase_nanos: [0; 6],
+            wall: None,
         }
     }
 
@@ -465,6 +476,7 @@ impl Coordinator {
         if self.roster.contains(&user) && self.dropped.insert(user) {
             self.drops_total += 1;
             self.deadline_drops += 1;
+            trace::instant("deadline_drop", user as u64, self.epoch);
             true
         } else {
             false
@@ -552,6 +564,7 @@ impl Coordinator {
         restored.deadline = *deadline;
         restored.last_tick = *last_tick;
         restored.restarts = 1;
+        trace::instant("coordinator_restore", *epoch, *round);
         restored
     }
 
@@ -566,8 +579,26 @@ impl Coordinator {
         if now < self.last_tick {
             return Vec::new();
         }
+        let entered = std::time::Instant::now();
+        if let Some((phase, opened)) = self.wall.take() {
+            self.phase_nanos[epoch_phase_index(phase)] +=
+                entered.duration_since(opened).as_nanos() as u64;
+        }
         self.last_tick = now;
         self.phase_ticks[epoch_phase_index(self.phase)] += 1;
+        trace::instant(
+            "coordinator_tick",
+            now,
+            epoch_phase_index(self.phase) as u64,
+        );
+        let events = self.advance(now);
+        self.wall = Some((self.phase, std::time::Instant::now()));
+        events
+    }
+
+    /// The phase-machine body of [`Coordinator::tick`], after the
+    /// monotonicity gate and timing bookkeeping have run.
+    fn advance(&mut self, now: u64) -> Vec<EpochEvent> {
         match self.phase {
             EpochPhase::WaitingForMembers => {
                 // Fold joins first, leaves second: a user who joined and
@@ -842,6 +873,15 @@ impl Coordinator {
     /// the membership gauges report the current state. Mirrors the
     /// `take_metrics` discipline of the bus and backend.
     pub fn take_churn_metrics(&mut self) -> ChurnMetrics {
+        // Close the running attribution window so a drain between ticks
+        // still sees the time spent in the current phase, then restart
+        // the window from now.
+        if let Some((phase, opened)) = self.wall.take() {
+            let now = std::time::Instant::now();
+            self.phase_nanos[epoch_phase_index(phase)] +=
+                now.duration_since(opened).as_nanos() as u64;
+            self.wall = Some((phase, now));
+        }
         let metrics = ChurnMetrics {
             members: self.roster.len() as u64,
             pending_joins: self.pending_joins.len() as u64,
@@ -853,6 +893,7 @@ impl Coordinator {
             deadline_drops: self.deadline_drops,
             coordinator_restarts: self.restarts,
             phase_ticks: self.phase_ticks,
+            phase_nanos: self.phase_nanos,
         };
         self.joins_total = 0;
         self.leaves_total = 0;
@@ -862,6 +903,7 @@ impl Coordinator {
         self.deadline_drops = 0;
         self.restarts = 0;
         self.phase_ticks = [0; 6];
+        self.phase_nanos = [0; 6];
         metrics
     }
 }

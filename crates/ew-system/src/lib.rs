@@ -74,6 +74,7 @@ pub mod pipeline;
 pub mod store;
 pub mod system;
 pub mod telemetry;
+pub mod trace;
 
 pub use backend::{BackendServer, RoundCheckpoint};
 pub use client::Client;
@@ -100,4 +101,8 @@ pub use system::{
     deliver_late_report, restart_coordinator, EpochOutcome, EyewnderSystem, ParallelConfig,
     RoundOutcome, SystemConfig,
 };
-pub use telemetry::{phase_index, ChurnMetrics, ReplayMetrics, TelemetryService};
+pub use telemetry::{
+    hist_kind, phase_index, ChurnMetrics, Hist64, ReplayMetrics, TelemetryService,
+    TelemetrySnapshot, MAX_ROUND_ROWS,
+};
+pub use trace::{NullSink, SpanGuard, TraceEvent, TraceEventKind, TraceRecorder, TraceSink};

@@ -43,6 +43,7 @@
 //! the `*_on` generic entry points that accept any [`ServiceBus`].
 
 use crate::backend::RoundError;
+use crate::trace;
 use ew_core::GlobalView;
 use ew_proto::transport::TransportError;
 use ew_proto::{channel_pair, Endpoint, Envelope, FaultConfig, NodeId};
@@ -355,6 +356,7 @@ impl RoundOpen {
         A: AggregationBackend,
         B: ServiceBus,
     {
+        let _span = trace::span("round_open", round, 0);
         bus.on_phase(RoundPhase::Open);
         backend.open_round(round);
         RoundOpen { round }
@@ -386,6 +388,7 @@ impl RoundOpen {
         A: AggregationBackend,
         B: ServiceBus,
     {
+        let _span = trace::span("round_reports", self.round, clients.len() as u64);
         bus.on_phase(RoundPhase::Reports);
         let round = self.round;
         let shards = crossbeam::thread::map_shards(clients, threads.max(1), |shard| {
@@ -492,6 +495,7 @@ impl RoundReports {
         A: AggregationBackend,
         B: ServiceBus,
     {
+        let _span = trace::span("round_recovery", self.round, 0);
         bus.on_phase(RoundPhase::Recovery);
         let round = self.round;
         let missing = backend.missing_clients().expect("round open");
@@ -571,6 +575,7 @@ impl RoundRecovery {
         A: AggregationBackend,
         B: ServiceBus,
     {
+        let _span = trace::span("round_finalize", self.round, self.missing.len() as u64);
         bus.on_phase(RoundPhase::Finalize);
         let view = backend.finalize().expect("finalizable round");
         DrivenRound {

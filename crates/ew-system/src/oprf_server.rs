@@ -13,18 +13,24 @@
 //! freshly reset one.
 
 use crate::node::OprfFrontend;
+use crate::telemetry::Hist64;
 use ew_bigint::UBig;
 use ew_crypto::oprf::{OprfError, OprfServerKey};
 use ew_crypto::rsa::RsaPublicKey;
 use ew_proto::{error_code, Envelope, Message, NodeId};
 use rand::RngCore;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// The OPRF service, wrapping the key with request accounting.
 #[derive(Debug)]
 pub struct OprfService {
     key: OprfServerKey,
     requests_served: AtomicU64,
+    /// Batch service-time histogram (nanoseconds per batch call), one
+    /// lock acquisition per batch — negligible next to the modular
+    /// exponentiations the batch itself performs.
+    batch_nanos: Mutex<Hist64>,
 }
 
 impl Clone for OprfService {
@@ -32,6 +38,7 @@ impl Clone for OprfService {
         OprfService {
             key: self.key.clone(),
             requests_served: AtomicU64::new(self.requests_served.load(Ordering::Relaxed)),
+            batch_nanos: Mutex::new(*self.batch_nanos.lock().expect("hist lock never poisoned")),
         }
     }
 }
@@ -42,6 +49,7 @@ impl OprfService {
         OprfService {
             key: OprfServerKey::generate(rng, bits),
             requests_served: AtomicU64::new(0),
+            batch_nanos: Mutex::new(Hist64::new()),
         }
     }
 
@@ -73,7 +81,9 @@ impl OprfService {
     /// counts towards the request total. All-or-nothing: an out-of-range
     /// element fails the batch before any work is done.
     pub fn evaluate_batch(&self, blinded: &[UBig]) -> Result<Vec<UBig>, OprfError> {
+        let started = std::time::Instant::now();
         let out = self.key.evaluate_blinded_batch(blinded)?;
+        self.record_batch_nanos(started.elapsed().as_nanos() as u64);
         self.record_served(blinded.len() as u64);
         Ok(out)
     }
@@ -89,9 +99,26 @@ impl OprfService {
         blinded: &[UBig],
         threads: usize,
     ) -> Result<Vec<UBig>, OprfError> {
+        let started = std::time::Instant::now();
         let out = self.key.evaluate_blinded_batch_par(blinded, threads)?;
+        self.record_batch_nanos(started.elapsed().as_nanos() as u64);
         self.record_served(blinded.len() as u64);
         Ok(out)
+    }
+
+    /// Records one batch's wall-clock service time.
+    fn record_batch_nanos(&self, nanos: u64) {
+        self.batch_nanos
+            .lock()
+            .expect("hist lock never poisoned")
+            .record(nanos);
+    }
+
+    /// Drains the batch service-time histogram (nanoseconds per
+    /// successful batch evaluation), resetting it — the same drain
+    /// discipline as the bus and backend `take_metrics`.
+    pub fn take_batch_hist(&self) -> Hist64 {
+        std::mem::take(&mut *self.batch_nanos.lock().expect("hist lock never poisoned"))
     }
 
     /// Handles a wire message; every request gets an answer — the
@@ -363,6 +390,11 @@ mod tests {
         let par = service.evaluate_batch_par(&blinded, 4).unwrap();
         assert_eq!(par, seq);
         assert_eq!(service.requests_served(), 18, "9 sequential + 9 parallel");
+        // Both batch paths record exactly one service-time sample each,
+        // and the drain resets the histogram.
+        let hist = service.take_batch_hist();
+        assert_eq!(hist.count(), 2);
+        assert!(service.take_batch_hist().is_empty(), "drain resets");
     }
 
     #[test]

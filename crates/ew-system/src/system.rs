@@ -66,6 +66,7 @@ use crate::node::{
 use crate::oprf_server::OprfService;
 use crate::store::{RoundRecord, Store};
 use crate::telemetry::{ReplayMetrics, TelemetryService};
+use crate::trace;
 use ew_core::{AdKey, Detector, DetectorConfig, GlobalView, ThresholdPolicy, Verdict};
 use ew_crypto::directory::KeyDirectory;
 use ew_crypto::group::ModpGroup;
@@ -765,6 +766,9 @@ impl EyewnderSystem {
                 .storm
                 .map(|storm| storm.victims(epoch, membership.members()))
                 .unwrap_or_default();
+            if !victims.is_empty() {
+                trace::instant("straggler_storm", epoch, victims.len() as u64);
+            }
             for &user in &victims {
                 coordinator.drop_straggler(user);
             }
@@ -858,6 +862,7 @@ impl EyewnderSystem {
             }
             let backend_metrics = backend.take_metrics();
             self.telemetry.observe(round, &backend_metrics);
+            self.telemetry.observe_oprf(&self.oprf.take_batch_hist());
             self.telemetry
                 .observe_churn(&coordinator.take_churn_metrics());
             for &user in membership.members() {
@@ -890,6 +895,11 @@ impl EyewnderSystem {
                 }),
             });
         }
+        // Campaign over: one snapshot line set per campaign when
+        // `EW_TELEMETRY_JSON` names a sink (no-op otherwise).
+        self.telemetry
+            .snapshot()
+            .export_json_env("deadline_campaign");
         outcomes
     }
 
@@ -953,6 +963,7 @@ impl EyewnderSystem {
         }
         let backend_metrics = backend.take_metrics();
         self.telemetry.observe(driven.round, &backend_metrics);
+        self.telemetry.observe_oprf(&self.oprf.take_batch_hist());
         self.record_round(driven.round, driven.reports, &driven.missing, &driven.view);
         self.backend.install_view(driven.round, driven.view.clone());
         RoundOutcome {
@@ -1001,25 +1012,23 @@ impl EyewnderSystem {
                 late_reports_parked,
                 deadline_drops,
                 coordinator_restarts,
+                epoch_phase_nanos,
+                hists,
                 ..
-            } => {
-                let mut nanos = [0u64; 4];
-                for (slot, v) in nanos.iter_mut().zip(phase_nanos) {
-                    *slot = v;
-                }
-                Some(ReplayMetrics {
-                    routed,
-                    replayed,
-                    deduped,
-                    journal_depth,
-                    truncated,
-                    queue_depth,
-                    late_reports_parked,
-                    deadline_drops,
-                    coordinator_restarts,
-                    phase_nanos: nanos,
-                })
-            }
+            } => Some(ReplayMetrics::from_reply_parts(
+                routed,
+                replayed,
+                deduped,
+                journal_depth,
+                truncated,
+                queue_depth,
+                &phase_nanos,
+                late_reports_parked,
+                deadline_drops,
+                coordinator_restarts,
+                &epoch_phase_nanos,
+                &hists,
+            )),
             _ => None,
         })
     }
@@ -1169,7 +1178,21 @@ fn crash_drill(
         return;
     }
     let config = coordinator.config();
+    // The causality chain a crash drill must leave in the flight
+    // recorder: the crash instant, then a restart span whose child is
+    // the `coordinator_restore` instant emitted by the journal replay.
+    trace::instant(
+        "coordinator_crash",
+        point.index() as u64,
+        coordinator.epoch(),
+    );
+    let span = trace::span(
+        "coordinator_restart",
+        coordinator.epoch(),
+        coordinator.round(),
+    );
     *coordinator = restart_coordinator(backend, config);
+    drop(span);
     *crashed = true;
 }
 

@@ -18,13 +18,24 @@
 //!   answer "is the log bounded right now?",
 //! * **high-water marks** (`queue_depth`) keep the maximum — they
 //!   answer "how deep did the mailboxes ever get?",
-//! * **timings** (`phase_nanos`) are wall-clock and accumulate; they
-//!   are intentionally excluded from every determinism comparison (two
-//!   bit-identical rounds will never have bit-identical clocks).
+//! * **timings** (`phase_nanos`, `epoch_phase_nanos`) are wall-clock
+//!   and accumulate; they are intentionally excluded from every
+//!   determinism comparison (two bit-identical rounds will never have
+//!   bit-identical clocks),
+//! * **histograms** ([`Hist64`]) are merge-able log2 latency
+//!   distributions — sums answer "how much?", the histograms answer
+//!   "how is it distributed?" with p50/p90/p99 estimators. Like the
+//!   timings, they ride outside every determinism comparison.
+//!
+//! Snapshots leave the process two ways: JSON lines appended to the
+//! file named by `EW_TELEMETRY_JSON` (mirroring the bench harness's
+//! `EW_BENCH_JSON`), and a Prometheus-style text exposition — see
+//! [`TelemetrySnapshot`].
 
 use crate::node::RoundPhase;
-use ew_proto::{error_code, Envelope, Message, NodeId};
+use ew_proto::{error_code, Envelope, HistogramSnapshot, Message, NodeId};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// The position of `phase` in the [`ReplayMetrics::phase_nanos`] row.
 pub fn phase_index(phase: RoundPhase) -> usize {
@@ -33,6 +44,201 @@ pub fn phase_index(phase: RoundPhase) -> usize {
         RoundPhase::Reports => 1,
         RoundPhase::Recovery => 2,
         RoundPhase::Finalize => 3,
+    }
+}
+
+/// Wire identifiers for the histogram families a [`ReplayMetrics`]
+/// snapshot carries (the `kind` byte of a
+/// [`HistogramSnapshot`]). Append-only, like every wire enum.
+pub mod hist_kind {
+    /// Round phase `Open` latency (nanoseconds per round).
+    pub const PHASE_OPEN: u8 = 0;
+    /// Round phase `Reports` latency.
+    pub const PHASE_REPORTS: u8 = 1;
+    /// Round phase `Recovery` latency.
+    pub const PHASE_RECOVERY: u8 = 2;
+    /// Round phase `Finalize` latency.
+    pub const PHASE_FINALIZE: u8 = 3;
+    /// Per-shard absorb-batch service time.
+    pub const ABSORB: u8 = 4;
+    /// OPRF batch service time (per blind-evaluated batch).
+    pub const OPRF_BATCH: u8 = 5;
+    /// Journal replay duration (failover or cold restart).
+    pub const REPLAY: u8 = 6;
+
+    /// Every kind, in wire order — the export iteration axis.
+    pub const ALL: [u8; 7] = [
+        PHASE_OPEN,
+        PHASE_REPORTS,
+        PHASE_RECOVERY,
+        PHASE_FINALIZE,
+        ABSORB,
+        OPRF_BATCH,
+        REPLAY,
+    ];
+
+    /// Human label for `kind` (unknown kinds render as `"unknown"`).
+    pub fn label(kind: u8) -> &'static str {
+        match kind {
+            PHASE_OPEN => "phase_open",
+            PHASE_REPORTS => "phase_reports",
+            PHASE_RECOVERY => "phase_recovery",
+            PHASE_FINALIZE => "phase_finalize",
+            ABSORB => "absorb",
+            OPRF_BATCH => "oprf_batch",
+            REPLAY => "replay",
+            _ => "unknown",
+        }
+    }
+}
+
+/// A fixed-bucket log2 histogram over `u64` samples: bucket *i* holds
+/// values whose floor(log2) is *i* (bucket 0 additionally holds 0).
+/// Merging is element-wise addition — associative and commutative, the
+/// same contract as `SketchAccumulator::merge` — so per-shard and
+/// per-round histograms fold into campaign totals in any order.
+///
+/// Quantile estimates resolve to the **upper bound** of the bucket the
+/// rank lands in: a conservative (never under-reported) latency bound
+/// with at most 2× relative error, which is what a log2 sketch buys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hist64 {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Hist64 {
+    fn default() -> Self {
+        Hist64 {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Hist64 {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Hist64::default()
+    }
+
+    /// The bucket `value` lands in: floor(log2(value)), with 0 sharing
+    /// bucket 0 with 1.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The largest value bucket `index` can hold.
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        if index >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (index + 1)) - 1
+        }
+    }
+
+    /// Records one sample. Count and sum saturate instead of wrapping —
+    /// a pinned histogram reads as "at least this much", never as a
+    /// freshly reset one.
+    pub fn record(&mut self, value: u64) {
+        let slot = Self::bucket_of(value);
+        self.buckets[slot] = self.buckets[slot].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Folds `other` in: element-wise bucket addition (associative and
+    /// commutative).
+    pub fn merge(&mut self, other: &Hist64) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets) {
+            *mine = mine.saturating_add(theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The estimated `q`-quantile (`0.0 ≤ q ≤ 1.0`): the upper bound of
+    /// the bucket holding the rank-⌈q·count⌉ sample. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The sparse wire form: only non-empty buckets travel.
+    pub fn to_snapshot(&self, kind: u8) -> HistogramSnapshot {
+        HistogramSnapshot {
+            kind,
+            count: self.count,
+            sum: self.sum,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n != 0)
+                .map(|(i, &n)| (i as u8, n))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds from the sparse wire form. Out-of-range bucket indices
+    /// (a future sender with finer buckets) clamp into the last bucket
+    /// rather than failing — forward-compatible by construction.
+    pub fn from_snapshot(snap: &HistogramSnapshot) -> Self {
+        let mut hist = Hist64::new();
+        for &(index, n) in &snap.buckets {
+            let slot = (index as usize).min(63);
+            hist.buckets[slot] = hist.buckets[slot].saturating_add(n);
+        }
+        hist.count = snap.count;
+        hist.sum = snap.sum;
+        hist
     }
 }
 
@@ -60,14 +266,29 @@ pub struct ReplayMetrics {
     pub deadline_drops: u64,
     /// Coordinator crash-restarts survived.
     pub coordinator_restarts: u64,
-    /// Cumulative busy nanoseconds per phase, indexed by
+    /// Cumulative busy nanoseconds per round phase, indexed by
     /// [`phase_index`]. Wall-clock: never part of determinism checks.
     pub phase_nanos: [u64; 4],
+    /// Cumulative wall-clock nanoseconds per **epoch** phase, indexed
+    /// by [`crate::coordinator::epoch_phase_index`] — the six-phase
+    /// counterpart of `phase_nanos`, so Warmup and Grace are timed,
+    /// not just ticked.
+    pub epoch_phase_nanos: [u64; 6],
+    /// Round-phase latency distributions (nanoseconds per round),
+    /// indexed by [`phase_index`].
+    pub phase_hist: [Hist64; 4],
+    /// Per-shard absorb-batch service-time distribution.
+    pub absorb_hist: Hist64,
+    /// OPRF batch service-time distribution.
+    pub oprf_hist: Hist64,
+    /// Journal replay duration distribution (failover + cold restart).
+    pub replay_hist: Hist64,
 }
 
 impl ReplayMetrics {
-    /// Folds `other` into `self` with per-kind semantics: counters and
-    /// timings add, gauges take the newer value, high-water marks max.
+    /// Folds `other` into `self` with per-kind semantics: counters,
+    /// timings and histograms add, gauges take the newer value,
+    /// high-water marks max.
     pub fn merge(&mut self, other: &ReplayMetrics) {
         self.routed += other.routed;
         self.replayed += other.replayed;
@@ -81,9 +302,53 @@ impl ReplayMetrics {
         for (mine, theirs) in self.phase_nanos.iter_mut().zip(other.phase_nanos) {
             *mine += theirs;
         }
+        for (mine, theirs) in self
+            .epoch_phase_nanos
+            .iter_mut()
+            .zip(other.epoch_phase_nanos)
+        {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.phase_hist.iter_mut().zip(&other.phase_hist) {
+            mine.merge(theirs);
+        }
+        self.absorb_hist.merge(&other.absorb_hist);
+        self.oprf_hist.merge(&other.oprf_hist);
+        self.replay_hist.merge(&other.replay_hist);
     }
 
-    /// Renders the snapshot as a wire reply echoing `round`.
+    /// The histogram family `kind` names, if this snapshot carries it.
+    pub fn hist(&self, kind: u8) -> Option<&Hist64> {
+        match kind {
+            hist_kind::PHASE_OPEN => Some(&self.phase_hist[0]),
+            hist_kind::PHASE_REPORTS => Some(&self.phase_hist[1]),
+            hist_kind::PHASE_RECOVERY => Some(&self.phase_hist[2]),
+            hist_kind::PHASE_FINALIZE => Some(&self.phase_hist[3]),
+            hist_kind::ABSORB => Some(&self.absorb_hist),
+            hist_kind::OPRF_BATCH => Some(&self.oprf_hist),
+            hist_kind::REPLAY => Some(&self.replay_hist),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the family `kind` names — the decode side of
+    /// [`ReplayMetrics::hist`]. Unknown kinds (a future sender) return
+    /// `None` and are skipped, never an error.
+    pub fn hist_mut(&mut self, kind: u8) -> Option<&mut Hist64> {
+        match kind {
+            hist_kind::PHASE_OPEN => Some(&mut self.phase_hist[0]),
+            hist_kind::PHASE_REPORTS => Some(&mut self.phase_hist[1]),
+            hist_kind::PHASE_RECOVERY => Some(&mut self.phase_hist[2]),
+            hist_kind::PHASE_FINALIZE => Some(&mut self.phase_hist[3]),
+            hist_kind::ABSORB => Some(&mut self.absorb_hist),
+            hist_kind::OPRF_BATCH => Some(&mut self.oprf_hist),
+            hist_kind::REPLAY => Some(&mut self.replay_hist),
+            _ => None,
+        }
+    }
+
+    /// Renders the snapshot as a wire reply echoing `round`. Every
+    /// histogram family travels (sparse), in [`hist_kind::ALL`] order.
     pub fn to_reply(&self, round: u64) -> Message {
         Message::MetricsReply {
             round,
@@ -97,7 +362,63 @@ impl ReplayMetrics {
             late_reports_parked: self.late_reports_parked,
             deadline_drops: self.deadline_drops,
             coordinator_restarts: self.coordinator_restarts,
+            epoch_phase_nanos: self.epoch_phase_nanos.to_vec(),
+            hists: hist_kind::ALL
+                .iter()
+                .map(|&kind| {
+                    self.hist(kind)
+                        .expect("ALL names only known kinds")
+                        .to_snapshot(kind)
+                })
+                .collect(),
         }
+    }
+
+    /// Rebuilds a snapshot from the decoded fields of a
+    /// [`Message::MetricsReply`]. Short vectors (an older sender) leave
+    /// the missing slots zero; unknown histogram kinds are skipped —
+    /// both directions of the append-only compatibility contract.
+    /// The arity mirrors the wire message field-for-field on purpose:
+    /// a grouping struct here would just restate `MetricsReply`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_reply_parts(
+        routed: u64,
+        replayed: u64,
+        deduped: u64,
+        journal_depth: u64,
+        truncated: u64,
+        queue_depth: u64,
+        phase_nanos: &[u64],
+        late_reports_parked: u64,
+        deadline_drops: u64,
+        coordinator_restarts: u64,
+        epoch_phase_nanos: &[u64],
+        hists: &[HistogramSnapshot],
+    ) -> Self {
+        let mut metrics = ReplayMetrics {
+            routed,
+            replayed,
+            deduped,
+            journal_depth,
+            truncated,
+            queue_depth,
+            late_reports_parked,
+            deadline_drops,
+            coordinator_restarts,
+            ..ReplayMetrics::default()
+        };
+        for (slot, v) in metrics.phase_nanos.iter_mut().zip(phase_nanos) {
+            *slot = *v;
+        }
+        for (slot, v) in metrics.epoch_phase_nanos.iter_mut().zip(epoch_phase_nanos) {
+            *slot = *v;
+        }
+        for snap in hists {
+            if let Some(slot) = metrics.hist_mut(snap.kind) {
+                slot.merge(&Hist64::from_snapshot(snap));
+            }
+        }
+        metrics
     }
 }
 
@@ -130,11 +451,15 @@ pub struct ChurnMetrics {
     /// Logical ticks spent per epoch phase, indexed by
     /// [`crate::coordinator::epoch_phase_index`] (counters).
     pub phase_ticks: [u64; 6],
+    /// Wall-clock nanoseconds spent per epoch phase, indexed like
+    /// `phase_ticks` — epochs are timed, not just ticked. Excluded
+    /// from determinism checks like every timing.
+    pub phase_nanos: [u64; 6],
 }
 
 impl ChurnMetrics {
-    /// Folds `other` into `self`: counters add, gauges take the newer
-    /// observation — the same per-kind discipline as
+    /// Folds `other` into `self`: counters and timings add, gauges take
+    /// the newer observation — the same per-kind discipline as
     /// [`ReplayMetrics::merge`].
     pub fn merge(&mut self, other: &ChurnMetrics) {
         self.members = other.members;
@@ -149,12 +474,166 @@ impl ChurnMetrics {
         for (mine, theirs) in self.phase_ticks.iter_mut().zip(other.phase_ticks) {
             *mine += theirs;
         }
+        for (mine, theirs) in self.phase_nanos.iter_mut().zip(other.phase_nanos) {
+            *mine += theirs;
+        }
+    }
+}
+
+/// How many per-round rows [`TelemetryService`] retains before
+/// evicting the oldest — bounds a long campaign's memory the same way
+/// the ring bounds the flight recorder.
+pub const MAX_ROUND_ROWS: usize = 64;
+
+/// A point-in-time copy of everything the telemetry service knows,
+/// with the two export serializers: JSON lines (the shape
+/// `EW_TELEMETRY_JSON` archives) and a Prometheus-style text
+/// exposition.
+#[derive(Debug, Clone)]
+pub struct TelemetrySnapshot {
+    /// Lifetime replay-path totals.
+    pub totals: ReplayMetrics,
+    /// Lifetime membership-plane view.
+    pub churn: ChurnMetrics,
+    /// The retained per-round rows, ascending by round.
+    pub rounds: Vec<(u64, ReplayMetrics)>,
+}
+
+impl TelemetrySnapshot {
+    /// The snapshot as JSON lines: one `{"metric": …, "value": …}` line
+    /// per scalar, one `{"hist": …, "count": …, "p50": …}` line per
+    /// histogram family, each carrying the caller's `scope` label.
+    pub fn to_json_lines(&self, scope: &str) -> String {
+        let mut out = String::new();
+        let scalars: [(&str, u64); 16] = [
+            ("routed", self.totals.routed),
+            ("replayed", self.totals.replayed),
+            ("deduped", self.totals.deduped),
+            ("journal_depth", self.totals.journal_depth),
+            ("truncated", self.totals.truncated),
+            ("queue_depth", self.totals.queue_depth),
+            ("late_reports_parked", self.totals.late_reports_parked),
+            ("deadline_drops", self.totals.deadline_drops),
+            ("coordinator_restarts", self.totals.coordinator_restarts),
+            ("members", self.churn.members),
+            ("pending_joins", self.churn.pending_joins),
+            ("joins", self.churn.joins),
+            ("leaves", self.churn.leaves),
+            ("drops", self.churn.drops),
+            ("epochs_completed", self.churn.epochs_completed),
+            ("collapses", self.churn.collapses),
+        ];
+        for (name, value) in scalars {
+            let _ = writeln!(
+                out,
+                "{{\"scope\": \"{scope}\", \"metric\": \"{name}\", \"value\": {value}}}"
+            );
+        }
+        for (i, nanos) in self.totals.epoch_phase_nanos.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{{\"scope\": \"{scope}\", \"metric\": \"epoch_phase_nanos\", \"phase\": {i}, \"value\": {nanos}}}"
+            );
+        }
+        for kind in hist_kind::ALL {
+            let hist = self.totals.hist(kind).expect("ALL names only known kinds");
+            let _ = writeln!(
+                out,
+                "{{\"scope\": \"{scope}\", \"hist\": \"{}\", \"count\": {}, \"sum\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                hist_kind::label(kind),
+                hist.count(),
+                hist.sum(),
+                hist.p50(),
+                hist.p90(),
+                hist.p99(),
+            );
+        }
+        out
+    }
+
+    /// The snapshot as a Prometheus-style text exposition: counters and
+    /// gauges as plain families, histograms as summaries with
+    /// `quantile` labels plus `_sum`/`_count`.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let counter = |out: &mut String, name: &str, value: u64| {
+            let _ = writeln!(out, "# TYPE ew_{name} counter\new_{name} {value}");
+        };
+        let gauge = |out: &mut String, name: &str, value: u64| {
+            let _ = writeln!(out, "# TYPE ew_{name} gauge\new_{name} {value}");
+        };
+        counter(&mut out, "routed_total", self.totals.routed);
+        counter(&mut out, "replayed_total", self.totals.replayed);
+        counter(&mut out, "deduped_total", self.totals.deduped);
+        gauge(&mut out, "journal_depth", self.totals.journal_depth);
+        counter(&mut out, "truncated_total", self.totals.truncated);
+        gauge(&mut out, "queue_depth_high_water", self.totals.queue_depth);
+        counter(
+            &mut out,
+            "late_reports_parked_total",
+            self.totals.late_reports_parked,
+        );
+        counter(&mut out, "deadline_drops_total", self.totals.deadline_drops);
+        counter(
+            &mut out,
+            "coordinator_restarts_total",
+            self.totals.coordinator_restarts,
+        );
+        gauge(&mut out, "members", self.churn.members);
+        gauge(&mut out, "pending_joins", self.churn.pending_joins);
+        counter(&mut out, "joins_total", self.churn.joins);
+        counter(&mut out, "leaves_total", self.churn.leaves);
+        counter(&mut out, "drops_total", self.churn.drops);
+        counter(
+            &mut out,
+            "epochs_completed_total",
+            self.churn.epochs_completed,
+        );
+        counter(&mut out, "collapses_total", self.churn.collapses);
+        let _ = writeln!(out, "# TYPE ew_epoch_phase_nanos counter");
+        for (i, nanos) in self.totals.epoch_phase_nanos.iter().enumerate() {
+            let _ = writeln!(out, "ew_epoch_phase_nanos{{phase=\"{i}\"}} {nanos}");
+        }
+        for kind in hist_kind::ALL {
+            let hist = self.totals.hist(kind).expect("ALL names only known kinds");
+            let label = hist_kind::label(kind);
+            let _ = writeln!(out, "# TYPE ew_{label}_nanos summary");
+            for (q, v) in [(0.5, hist.p50()), (0.9, hist.p90()), (0.99, hist.p99())] {
+                let _ = writeln!(out, "ew_{label}_nanos{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "ew_{label}_nanos_sum {}", hist.sum());
+            let _ = writeln!(out, "ew_{label}_nanos_count {}", hist.count());
+        }
+        out
+    }
+
+    /// Appends the JSON-lines rendering to the file named by the
+    /// `EW_TELEMETRY_JSON` environment variable (mirroring the bench
+    /// harness's `EW_BENCH_JSON`). A no-op when the variable is unset;
+    /// IO errors are swallowed — telemetry export never fails a run.
+    pub fn export_json_env(&self, scope: &str) {
+        let Ok(path) = std::env::var("EW_TELEMETRY_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        use std::io::Write as _;
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = f.write_all(self.to_json_lines(scope).as_bytes());
+        }
     }
 }
 
 /// The telemetry service: accumulates [`ReplayMetrics`] observations
 /// per round (and as lifetime totals), tracks the membership plane's
-/// [`ChurnMetrics`], and answers `MetricsQuery` envelopes.
+/// [`ChurnMetrics`], and answers `MetricsQuery` envelopes. Retains at
+/// most [`MAX_ROUND_ROWS`] per-round rows — older rounds evict, their
+/// contribution surviving in the lifetime totals.
 #[derive(Debug, Default)]
 pub struct TelemetryService {
     totals: ReplayMetrics,
@@ -169,10 +648,14 @@ impl TelemetryService {
     }
 
     /// Folds one observation into `round`'s row and the lifetime
-    /// totals.
+    /// totals, evicting the oldest row beyond [`MAX_ROUND_ROWS`].
     pub fn observe(&mut self, round: u64, metrics: &ReplayMetrics) {
         self.rounds.entry(round).or_default().merge(metrics);
         self.totals.merge(metrics);
+        while self.rounds.len() > MAX_ROUND_ROWS {
+            let oldest = *self.rounds.keys().next().expect("non-empty map");
+            self.rounds.remove(&oldest);
+        }
     }
 
     /// The lifetime totals across every observed round.
@@ -180,26 +663,57 @@ impl TelemetryService {
         self.totals
     }
 
-    /// The accumulated snapshot for one round, if observed.
+    /// The accumulated snapshot for one round, if still retained.
     pub fn round_metrics(&self, round: u64) -> Option<ReplayMetrics> {
         self.rounds.get(&round).copied()
+    }
+
+    /// How many per-round rows are currently retained.
+    pub fn retained_rounds(&self) -> usize {
+        self.rounds.len()
     }
 
     /// Folds one membership-plane observation (typically the
     /// coordinator's drained `take_churn_metrics`) into the lifetime
     /// churn view. The deadline and restart counters are additionally
     /// bridged into the lifetime [`ReplayMetrics`] totals so the
-    /// existing `MetricsQuery { round: 0 }` wire path reports them.
+    /// existing `MetricsQuery { round: 0 }` wire path reports them, and
+    /// the epoch-phase wall clock is bridged into
+    /// [`ReplayMetrics::epoch_phase_nanos`] for the same reason.
     pub fn observe_churn(&mut self, metrics: &ChurnMetrics) {
         self.churn.merge(metrics);
         self.totals.deadline_drops += metrics.deadline_drops;
         self.totals.coordinator_restarts += metrics.coordinator_restarts;
+        for (slot, v) in self
+            .totals
+            .epoch_phase_nanos
+            .iter_mut()
+            .zip(metrics.phase_nanos)
+        {
+            *slot += v;
+        }
+    }
+
+    /// Folds an OPRF batch service-time histogram (the oprf-server's
+    /// drained accounting) into the lifetime totals.
+    pub fn observe_oprf(&mut self, hist: &Hist64) {
+        self.totals.oprf_hist.merge(hist);
     }
 
     /// The accumulated membership-plane view: gauges reflect the latest
     /// observation, counters the campaign lifetime.
     pub fn churn(&self) -> ChurnMetrics {
         self.churn
+    }
+
+    /// A point-in-time copy of everything the service knows, ready for
+    /// export.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            totals: self.totals,
+            churn: self.churn,
+            rounds: self.rounds.iter().map(|(&r, &m)| (r, m)).collect(),
+        }
     }
 
     /// Handles one envelope addressed to the telemetry role: a
@@ -244,6 +758,7 @@ mod tests {
             deadline_drops: 0,
             coordinator_restarts: 0,
             phase_nanos: [10, 20, 30, 40],
+            ..ReplayMetrics::default()
         }
     }
 
@@ -261,6 +776,8 @@ mod tests {
             deadline_drops: 1,
             coordinator_restarts: 1,
             phase_nanos: [1, 1, 1, 1],
+            epoch_phase_nanos: [1, 2, 3, 4, 5, 6],
+            ..ReplayMetrics::default()
         });
         assert_eq!(acc.routed, 10); // counter: adds
         assert_eq!(acc.journal_depth, 2); // gauge: latest wins
@@ -269,6 +786,73 @@ mod tests {
         assert_eq!(acc.deadline_drops, 1);
         assert_eq!(acc.coordinator_restarts, 1);
         assert_eq!(acc.phase_nanos, [11, 21, 31, 41]); // timing: adds
+        assert_eq!(acc.epoch_phase_nanos, [1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn hist_buckets_quantiles_and_merge() {
+        let mut h = Hist64::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram reports 0");
+        for v in [0u64, 1, 2, 3, 100, 1000, 1000, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 3106);
+        assert_eq!(Hist64::bucket_of(0), 0);
+        assert_eq!(Hist64::bucket_of(1), 0);
+        assert_eq!(Hist64::bucket_of(2), 1);
+        assert_eq!(Hist64::bucket_of(1000), 9);
+        assert_eq!(Hist64::bucket_of(u64::MAX), 63);
+        assert_eq!(Hist64::bucket_upper_bound(0), 1);
+        assert_eq!(Hist64::bucket_upper_bound(9), 1023);
+        assert_eq!(Hist64::bucket_upper_bound(63), u64::MAX);
+        // Rank 4 of 8 lands in bucket_of(3) = 1 → upper bound 3.
+        assert_eq!(h.p50(), 3);
+        // Rank 8 of 8 is one of the 1000s → upper bound 1023.
+        assert_eq!(h.p99(), 1023);
+        assert!(h.p50() <= h.p90() && h.p90() <= h.p99());
+
+        let mut a = Hist64::new();
+        a.record(5);
+        let mut b = Hist64::new();
+        b.record(700);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge commutes");
+        assert_eq!(ab.count(), 2);
+        assert_eq!(ab.sum(), 705);
+    }
+
+    #[test]
+    fn hist_snapshot_roundtrips_sparse() {
+        let mut h = Hist64::new();
+        for v in [1u64, 1, 17, 1 << 40] {
+            h.record(v);
+        }
+        let snap = h.to_snapshot(hist_kind::ABSORB);
+        assert_eq!(snap.kind, hist_kind::ABSORB);
+        assert_eq!(snap.buckets.len(), 3, "only non-empty buckets travel");
+        let back = Hist64::from_snapshot(&snap);
+        assert_eq!(back, h);
+        // A future sender's out-of-range bucket clamps, never fails.
+        let weird = HistogramSnapshot {
+            kind: hist_kind::ABSORB,
+            count: 1,
+            sum: 9,
+            buckets: vec![(200, 1)],
+        };
+        assert_eq!(Hist64::from_snapshot(&weird).count(), 1);
+    }
+
+    #[test]
+    fn saturating_accounting_never_wraps() {
+        let mut h = Hist64::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum pins instead of wrapping");
+        assert_eq!(h.count(), 2);
     }
 
     #[test]
@@ -294,6 +878,19 @@ mod tests {
             Message::MetricsReply { routed, .. } => assert_eq!(routed, 11),
             other => panic!("unexpected reply {other:?}"),
         }
+    }
+
+    #[test]
+    fn round_rows_evict_oldest_beyond_the_cap() {
+        let mut svc = TelemetryService::new();
+        for round in 1..=(MAX_ROUND_ROWS as u64 + 10) {
+            svc.observe(round, &sample(1));
+        }
+        assert_eq!(svc.retained_rounds(), MAX_ROUND_ROWS);
+        assert!(svc.round_metrics(1).is_none(), "oldest rows evicted");
+        assert!(svc.round_metrics(MAX_ROUND_ROWS as u64 + 10).is_some());
+        // Evicted rounds still count in the lifetime totals.
+        assert_eq!(svc.totals().routed, MAX_ROUND_ROWS as u64 + 10);
     }
 
     #[test]
@@ -327,6 +924,7 @@ mod tests {
             deadline_drops: 1,
             coordinator_restarts: 0,
             phase_ticks: [3, 2, 3, 2, 1, 1],
+            phase_nanos: [10, 10, 10, 10, 10, 10],
         });
         svc.observe_churn(&ChurnMetrics {
             members: 9,
@@ -339,6 +937,7 @@ mod tests {
             deadline_drops: 0,
             coordinator_restarts: 1,
             phase_ticks: [1, 1, 1, 1, 1, 0],
+            phase_nanos: [1, 2, 3, 4, 5, 6],
         });
         let churn = svc.churn();
         assert_eq!(churn.members, 9, "gauge: latest wins");
@@ -351,10 +950,13 @@ mod tests {
         assert_eq!(churn.deadline_drops, 1);
         assert_eq!(churn.coordinator_restarts, 1);
         assert_eq!(churn.phase_ticks, [4, 3, 4, 3, 2, 1]);
-        // The new counters are bridged into the MetricsQuery wire path.
+        assert_eq!(churn.phase_nanos, [11, 12, 13, 14, 15, 16], "timing: adds");
+        // The new counters are bridged into the MetricsQuery wire path,
+        // and so is the epoch-phase wall clock.
         let totals = svc.totals();
         assert_eq!(totals.deadline_drops, 1);
         assert_eq!(totals.coordinator_restarts, 1);
+        assert_eq!(totals.epoch_phase_nanos, [11, 12, 13, 14, 15, 16]);
         match svc
             .on_envelope(&Envelope::new(
                 NodeId::Backend,
@@ -366,12 +968,40 @@ mod tests {
             Message::MetricsReply {
                 deadline_drops,
                 coordinator_restarts,
+                epoch_phase_nanos,
                 ..
             } => {
                 assert_eq!(deadline_drops, 1);
                 assert_eq!(coordinator_restarts, 1);
+                assert_eq!(epoch_phase_nanos, vec![11, 12, 13, 14, 15, 16]);
             }
             other => panic!("unexpected reply {other:?}"),
         }
+    }
+
+    #[test]
+    fn snapshot_serializes_json_lines_and_prometheus() {
+        let mut svc = TelemetryService::new();
+        let mut m = sample(4);
+        m.absorb_hist.record(1500);
+        m.absorb_hist.record(3000);
+        svc.observe(1, &m);
+        let snap = svc.snapshot();
+
+        let json = snap.to_json_lines("unit_test");
+        assert!(json.lines().count() >= 16 + 6 + hist_kind::ALL.len());
+        assert!(json.contains("\"metric\": \"routed\", \"value\": 4"));
+        assert!(json.contains("\"hist\": \"absorb\", \"count\": 2"));
+        assert!(json.contains("\"scope\": \"unit_test\""));
+        for line in json.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+
+        let prom = snap.to_prometheus_text();
+        assert!(prom.contains("ew_routed_total 4"));
+        assert!(prom.contains("# TYPE ew_absorb_nanos summary"));
+        assert!(prom.contains("ew_absorb_nanos_count 2"));
+        assert!(prom.contains("ew_absorb_nanos{quantile=\"0.99\"} 4095"));
+        assert!(prom.contains("ew_epoch_phase_nanos{phase=\"5\"}"));
     }
 }

@@ -1,12 +1,21 @@
 #!/bin/sh
-# Informational per-benchmark delta between two bench-trajectory JSON
-# files (the {"name", "ns_per_iter"} lines the criterion shim appends
-# when EW_BENCH_JSON is set). Prints one row per benchmark present in
-# the new file, with the old time and relative change when the previous
-# file has the same name; never exits non-zero on a regression — the
-# trajectory is a record for humans, not a gate.
+# Per-benchmark delta between two bench-trajectory JSON files (the
+# {"name", "ns_per_iter"} lines the criterion shim appends when
+# EW_BENCH_JSON is set). Prints one row per benchmark present in the
+# new file, with the old time and relative change when the previous
+# file has the same name.
 #
-# Usage: scripts/bench_diff.sh OLD.json NEW.json
+# Modes:
+#   * Informational (default): never exits non-zero on a regression —
+#     the trajectory is a record for humans, not a gate.
+#   * Threshold: with BENCH_DIFF_MAX_REGRESSION=<pct> set, exits 1 if
+#     any benchmark slowed down by more than <pct> percent — the CI
+#     gate mode.
+#   * Markdown: with BENCH_DIFF_MARKDOWN=1, emits a GitHub-flavored
+#     markdown table instead of aligned plain text (for job summaries).
+#
+# Usage: [BENCH_DIFF_MAX_REGRESSION=pct] [BENCH_DIFF_MARKDOWN=1] \
+#            scripts/bench_diff.sh OLD.json NEW.json
 
 set -eu
 
@@ -27,7 +36,9 @@ if [ ! -f "$old" ]; then
     exit 0
 fi
 
-awk -v old_label="$(basename "$old")" -v new_label="$(basename "$new")" '
+awk -v old_label="$(basename "$old")" -v new_label="$(basename "$new")" \
+    -v max_regression="${BENCH_DIFF_MAX_REGRESSION:-}" \
+    -v markdown="${BENCH_DIFF_MARKDOWN:-}" '
 function field(line, key,    rest) {
     # Minimal extraction for the shim'"'"'s fixed one-object-per-line
     # format; not a general JSON parser.
@@ -49,15 +60,39 @@ FNR == 1 { file++ }
     }
 }
 END {
-    printf "%-45s %14s %14s %9s\n", "benchmark", old_label, new_label, "delta"
+    gate = (max_regression != "")
+    failed = 0
+    if (markdown != "") {
+        printf "| benchmark | %s | %s | delta |\n", old_label, new_label
+        printf "|---|---:|---:|---:|\n"
+    } else {
+        printf "%-45s %14s %14s %9s\n", "benchmark", old_label, new_label, "delta"
+    }
     for (i = 1; i <= n; i++) {
         name = order[i]
         if (name in prev && prev[name] > 0) {
             pct = (cur[name] - prev[name]) / prev[name] * 100
-            printf "%-45s %12.1f ns %12.1f ns %+8.1f%%\n", name, prev[name], cur[name], pct
+            over = (gate && pct > max_regression + 0)
+            if (over) failed++
+            if (markdown != "") {
+                printf "| %s%s | %.1f ns | %.1f ns | %+.1f%% |\n", \
+                    name, (over ? " ⚠️" : ""), prev[name], cur[name], pct
+            } else {
+                printf "%-45s %12.1f ns %12.1f ns %+8.1f%%%s\n", \
+                    name, prev[name], cur[name], pct, (over ? "  << over budget" : "")
+            }
         } else {
-            printf "%-45s %14s %12.1f ns %9s\n", name, "-", cur[name], "new"
+            if (markdown != "") {
+                printf "| %s | - | %.1f ns | new |\n", name, cur[name]
+            } else {
+                printf "%-45s %14s %12.1f ns %9s\n", name, "-", cur[name], "new"
+            }
         }
+    }
+    if (gate && failed > 0) {
+        printf "\nbench_diff: %d benchmark(s) regressed more than %s%%\n", \
+            failed, max_regression > "/dev/stderr"
+        exit 1
     }
 }
 ' "$old" "$new"

@@ -356,6 +356,104 @@ fn randomized_crash_and_deadline_schedule_is_deterministic() {
     }
 }
 
+#[test]
+fn crash_drill_leaves_the_flight_recorder_causality_chain() {
+    use eyewnder::system::trace;
+    use eyewnder::system::TraceEventKind;
+
+    // A crash drill must leave the full causality chain in the flight
+    // recorder: the crash instant, then a `coordinator_restart` span
+    // whose child is the `coordinator_restore` instant the journal
+    // replay emits, then the span's close — in that sequence order.
+    let fault = CoordinatorFault {
+        crash: Some(CoordinatorCrash {
+            phase: CrashPoint::Reports,
+        }),
+        storm: None,
+    };
+    trace::enable(8192);
+    let mut clock = LogicalClock::new();
+    let (outcomes, _) = deadline_campaign(1, 2, false, &mut clock, &fault, &churn_schedule());
+    let events = trace::drain();
+    trace::disable();
+    assert_epochs_identical(baseline(), &outcomes, "crash drill with tracing on");
+
+    let crash = events
+        .iter()
+        .find(|e| e.label == "coordinator_crash" && e.kind == TraceEventKind::Instant)
+        .expect("the drill records the crash instant");
+    let open = events
+        .iter()
+        .find(|e| e.label == "coordinator_restart" && e.kind == TraceEventKind::SpanOpen)
+        .expect("the drill opens a restart span");
+    let restore = events
+        .iter()
+        .find(|e| e.label == "coordinator_restore" && e.kind == TraceEventKind::Instant)
+        .expect("the journal replay records the restore");
+    let close = events
+        .iter()
+        .find(|e| e.label == "coordinator_restart" && e.kind == TraceEventKind::SpanClose)
+        .expect("the restart span closes");
+    assert!(crash.seq < open.seq, "crash precedes the restart span");
+    assert_eq!(
+        restore.parent, open.span,
+        "the restore instant is a child of the restart span"
+    );
+    assert!(
+        open.seq < restore.seq && restore.seq < close.seq,
+        "restore happens inside the restart span"
+    );
+    // The round machine's phase spans surround the drill: the campaign
+    // itself is traced, not just the crash.
+    for phase in [
+        "round_open",
+        "round_reports",
+        "round_recovery",
+        "round_finalize",
+    ] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.label == phase && e.kind == TraceEventKind::SpanOpen),
+            "phase span {phase} recorded"
+        );
+    }
+    assert!(
+        events.iter().any(|e| e.label == "coordinator_tick"),
+        "coordinator ticks recorded"
+    );
+}
+
+#[test]
+fn campaign_outcomes_are_bit_identical_with_tracing_on() {
+    use eyewnder::system::trace;
+
+    // The flight recorder must be invisible to the campaign: the same
+    // storm-and-crash schedule produces bit-identical EpochOutcomes
+    // whether tracing is enabled or not (trace timestamps are logical
+    // sequence numbers; nothing about the recorder feeds back into the
+    // protocol).
+    let fault = CoordinatorFault {
+        crash: Some(CoordinatorCrash {
+            phase: CrashPoint::Finalize,
+        }),
+        storm: Some(StragglerStorm {
+            percent: 20,
+            lateness: 1,
+            seed: 41,
+        }),
+    };
+    let mut clock = LogicalClock::new();
+    let (quiet, _) = deadline_campaign(2, 2, false, &mut clock, &fault, &churn_schedule());
+
+    trace::enable(1024); // deliberately small: overwrite pressure included
+    let mut clock = LogicalClock::new();
+    let (traced, _) = deadline_campaign(2, 2, false, &mut clock, &fault, &churn_schedule());
+    trace::disable();
+
+    assert_epochs_identical(&quiet, &traced, "tracing on vs off");
+}
+
 proptest! {
     // Every case runs a full cryptographic campaign, so the default
     // budget is lean enough for single-core debug CI; the dedicated

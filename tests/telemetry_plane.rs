@@ -1,0 +1,291 @@
+//! Property coverage for the PR 10 observability plane: histogram
+//! algebra, metric-merge semantics, round-row eviction bounds and the
+//! append-only `MetricsReply` wire contract.
+//!
+//! * **Merge algebra** — `Hist64::merge` is associative *and*
+//!   commutative (it is a per-bucket sum); `ReplayMetrics::merge` and
+//!   `ChurnMetrics::merge` are associative, and commutative modulo
+//!   their gauge fields (`journal_depth`, `members`, `pending_joins`
+//!   are latest-wins by design).
+//! * **Quantile bounds** — a log2-bucketed quantile never understates:
+//!   `quantile(q)` is an upper bound on the true q-quantile and at most
+//!   one bucket (2×) above the largest sample.
+//! * **Eviction** — the per-round table never exceeds
+//!   [`MAX_ROUND_ROWS`] and always evicts the *oldest* round.
+//! * **Wire round-trips** — a `MetricsReply` built from any
+//!   `ReplayMetrics` survives encode → decode → `from_reply_parts`
+//!   bit-identically, with unknown trailing bytes and unknown histogram
+//!   kinds tolerated (the forward-compat half of the contract).
+
+use proptest::prelude::*;
+
+use eyewnder::proto::{HistogramSnapshot, Message};
+use eyewnder::system::MAX_ROUND_ROWS;
+use eyewnder::system::{hist_kind, ChurnMetrics, Hist64, ReplayMetrics, TelemetryService};
+
+/// A bounded counter value: large enough to exercise wide buckets,
+/// small enough that chains of `+=` merges cannot overflow in debug.
+fn counter() -> impl Strategy<Value = u64> {
+    0u64..(1 << 40)
+}
+
+fn hist() -> impl Strategy<Value = Hist64> {
+    proptest::collection::vec(any::<u64>(), 0..24).prop_map(|samples| {
+        let mut h = Hist64::new();
+        for s in samples {
+            h.record(s);
+        }
+        h
+    })
+}
+
+fn replay_metrics() -> impl Strategy<Value = ReplayMetrics> {
+    // 9 scalar counters + 4 phase nanos + 6 epoch phase nanos, as one
+    // flat draw (the proptest shim caps tuples at arity 6), plus the 7
+    // histogram families.
+    (
+        proptest::collection::vec(counter(), 19..20),
+        proptest::collection::vec(hist(), 7..8),
+    )
+        .prop_map(|(v, h)| {
+            let mut metrics = ReplayMetrics {
+                routed: v[0],
+                replayed: v[1],
+                deduped: v[2],
+                journal_depth: v[3],
+                truncated: v[4],
+                queue_depth: v[5],
+                late_reports_parked: v[6],
+                deadline_drops: v[7],
+                coordinator_restarts: v[8],
+                phase_hist: [h[0], h[1], h[2], h[3]],
+                absorb_hist: h[4],
+                oprf_hist: h[5],
+                replay_hist: h[6],
+                ..ReplayMetrics::default()
+            };
+            metrics.phase_nanos.copy_from_slice(&v[9..13]);
+            metrics.epoch_phase_nanos.copy_from_slice(&v[13..19]);
+            metrics
+        })
+}
+
+fn churn_metrics() -> impl Strategy<Value = ChurnMetrics> {
+    // 9 scalars + 6 phase ticks + 6 phase nanos, flat for the same
+    // tuple-arity reason.
+    proptest::collection::vec(counter(), 21..22).prop_map(|v| {
+        let mut metrics = ChurnMetrics {
+            members: v[0],
+            pending_joins: v[1],
+            joins: v[2],
+            leaves: v[3],
+            drops: v[4],
+            epochs_completed: v[5],
+            collapses: v[6],
+            deadline_drops: v[7],
+            coordinator_restarts: v[8],
+            ..ChurnMetrics::default()
+        };
+        metrics.phase_ticks.copy_from_slice(&v[9..15]);
+        metrics.phase_nanos.copy_from_slice(&v[15..21]);
+        metrics
+    })
+}
+
+fn merged_replay(a: &ReplayMetrics, b: &ReplayMetrics) -> ReplayMetrics {
+    let mut out = *a;
+    out.merge(b);
+    out
+}
+
+fn merged_churn(a: &ChurnMetrics, b: &ChurnMetrics) -> ChurnMetrics {
+    let mut out = *a;
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn hist_merge_is_associative_and_commutative(a in hist(), b in hist(), c in hist()) {
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc, "associativity");
+
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba, "commutativity");
+    }
+
+    #[test]
+    fn hist_quantiles_bound_the_samples(samples in proptest::collection::vec(any::<u64>(), 1..64)) {
+        let mut h = Hist64::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let max = *samples.iter().max().expect("non-empty");
+        // The p99 upper bound covers the largest sample but never
+        // overshoots its bucket: at most (2 * max + 1) saturating.
+        prop_assert!(h.quantile(1.0) >= max);
+        prop_assert!(h.quantile(1.0) <= max.saturating_mul(2).saturating_add(1));
+        // Quantiles are monotone in q.
+        prop_assert!(h.p50() <= h.p90());
+        prop_assert!(h.p90() <= h.p99());
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    #[test]
+    fn hist_snapshot_roundtrips(h in hist()) {
+        let snap = h.to_snapshot(hist_kind::ABSORB);
+        prop_assert_eq!(Hist64::from_snapshot(&snap), h);
+    }
+
+    #[test]
+    fn replay_merge_is_associative(a in replay_metrics(), b in replay_metrics(), c in replay_metrics()) {
+        let left = merged_replay(&merged_replay(&a, &b), &c);
+        let right = merged_replay(&a, &merged_replay(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn replay_merge_is_commutative_modulo_gauges(a in replay_metrics(), b in replay_metrics()) {
+        let mut ab = merged_replay(&a, &b);
+        let mut ba = merged_replay(&b, &a);
+        // journal_depth is a latest-wins gauge — the one field where
+        // argument order is *supposed* to matter.
+        prop_assert_eq!(ab.journal_depth, b.journal_depth);
+        prop_assert_eq!(ba.journal_depth, a.journal_depth);
+        ab.journal_depth = 0;
+        ba.journal_depth = 0;
+        prop_assert_eq!(ab, ba, "everything but the gauge commutes");
+    }
+
+    #[test]
+    fn churn_merge_is_associative(a in churn_metrics(), b in churn_metrics(), c in churn_metrics()) {
+        let left = merged_churn(&merged_churn(&a, &b), &c);
+        let right = merged_churn(&a, &merged_churn(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn churn_merge_is_commutative_modulo_gauges(a in churn_metrics(), b in churn_metrics()) {
+        let mut ab = merged_churn(&a, &b);
+        let mut ba = merged_churn(&b, &a);
+        prop_assert_eq!(ab.members, b.members);
+        prop_assert_eq!(ab.pending_joins, b.pending_joins);
+        ab.members = 0;
+        ba.members = 0;
+        ab.pending_joins = 0;
+        ba.pending_joins = 0;
+        prop_assert_eq!(ab, ba, "everything but the gauges commutes");
+    }
+
+    #[test]
+    fn metrics_reply_roundtrips_through_the_wire(m in replay_metrics(), round in any::<u64>()) {
+        let encoded = m.to_reply(round).encode();
+        let decoded = Message::decode(&encoded).expect("own encoding decodes");
+        let Message::MetricsReply {
+            round: got_round,
+            routed,
+            replayed,
+            deduped,
+            journal_depth,
+            truncated,
+            queue_depth,
+            phase_nanos,
+            late_reports_parked,
+            deadline_drops,
+            coordinator_restarts,
+            epoch_phase_nanos,
+            hists,
+        } = decoded
+        else {
+            panic!("wrong message kind");
+        };
+        prop_assert_eq!(got_round, round);
+        let rebuilt = ReplayMetrics::from_reply_parts(
+            routed,
+            replayed,
+            deduped,
+            journal_depth,
+            truncated,
+            queue_depth,
+            &phase_nanos,
+            late_reports_parked,
+            deadline_drops,
+            coordinator_restarts,
+            &epoch_phase_nanos,
+            &hists,
+        );
+        prop_assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn metrics_reply_tolerates_trailing_garbage(m in replay_metrics(), garbage in proptest::collection::vec(any::<u8>(), 1..16)) {
+        // The forward-compat half of the contract: bytes a future
+        // sender appends after the hist list must not break an old
+        // decoder, and must not change what it reads.
+        let mut encoded = m.to_reply(7).encode();
+        let clean = Message::decode(&encoded).expect("own encoding decodes");
+        encoded.extend_from_slice(&garbage);
+        let padded = Message::decode(&encoded).expect("trailing bytes tolerated");
+        prop_assert_eq!(clean, padded);
+    }
+}
+
+#[test]
+fn unknown_hist_kinds_are_skipped_not_fatal() {
+    let mut h = Hist64::new();
+    h.record(1000);
+    let known = h.to_snapshot(hist_kind::REPLAY);
+    let unknown = HistogramSnapshot {
+        kind: 0x7F, // a family this build has never heard of
+        count: 3,
+        sum: 30,
+        buckets: vec![(3, 3)],
+    };
+    let rebuilt =
+        ReplayMetrics::from_reply_parts(0, 0, 0, 0, 0, 0, &[], 0, 0, 0, &[], &[known, unknown]);
+    assert_eq!(rebuilt.replay_hist, h, "the known family lands");
+    for kind in hist_kind::ALL {
+        if kind != hist_kind::REPLAY {
+            assert!(
+                rebuilt.hist(kind).expect("known kind").is_empty(),
+                "kind {kind} stays empty"
+            );
+        }
+    }
+}
+
+#[test]
+fn round_rows_never_exceed_the_cap_and_evict_oldest() {
+    let mut svc = TelemetryService::new();
+    let sample = ReplayMetrics {
+        routed: 1,
+        ..ReplayMetrics::default()
+    };
+    let total = (MAX_ROUND_ROWS as u64) * 2;
+    for round in 1..=total {
+        svc.observe(round, &sample);
+        assert!(
+            svc.retained_rounds() <= MAX_ROUND_ROWS,
+            "cap holds at round {round}"
+        );
+    }
+    assert_eq!(svc.retained_rounds(), MAX_ROUND_ROWS);
+    let snapshot = svc.snapshot();
+    let oldest_retained = snapshot.rounds.first().expect("rows retained").0;
+    assert_eq!(
+        oldest_retained,
+        total - MAX_ROUND_ROWS as u64 + 1,
+        "eviction removes the oldest round first"
+    );
+    // Lifetime totals keep counting across evictions.
+    assert_eq!(svc.totals().routed, total);
+}
